@@ -1,0 +1,75 @@
+"""Paper Fig. 12: ring-oscillator frequency histogram at very large
+mismatch (the paper uses 3-sigma(dI_DS) = 44 %, three times its
+technology's variation).
+
+At this mismatch level the circuit response is visibly nonlinear: the
+Monte-Carlo histogram is skewed and the linear (pseudo-noise) model,
+which is Gaussian by construction, misestimates sigma (the paper
+reports a 15.9 % underestimate and a normalised skewness of -0.057).
+The benchmark regenerates histogram + PDF overlay and records both
+deviation metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.analysis.pss import PssOptions
+from repro.circuits import ring_oscillator
+from repro.core import (Frequency, monte_carlo_transient,
+                        transient_mismatch_analysis)
+from repro.stats import ascii_histogram, normalized_skewness
+
+from conftest import WallClock, mc_samples, publish
+
+#: Scale chosen so 3-sigma(dI_DS) is ~3x the technology's nominal,
+#: mirroring the paper's "three times the variation in this technology".
+SCALE = 3.0
+
+
+def test_fig12_large_mismatch_histogram(benchmark, tech, results_dir):
+    osc = ring_oscillator(tech)
+    compiled = compile_circuit(osc)
+    f = Frequency("f_osc", "osc1")
+
+    res = benchmark.pedantic(lambda: transient_mismatch_analysis(
+        compiled, [f], oscillator_anchor="osc1", t_settle=8e-9,
+        dt_settle=2e-12, pss_options=PssOptions(n_steps=300)),
+        rounds=1, iterations=1)
+    f0 = res.mean("f_osc")
+    sigma_lin = SCALE * res.sigma("f_osc")
+    id3 = 3.0 * SCALE * tech.sigma_id_rel(8.32e-6, 0.13e-6, 1.0)
+
+    n = mc_samples(300)
+    with WallClock() as wc:
+        mc = monte_carlo_transient(
+            compiled, [f], n=n, t_stop=10e-9, dt=2e-12,
+            window=(2e-9, 10e-9), seed=501, sigma_scale=SCALE)
+    samples = mc.samples["f_osc"]
+    samples = samples[np.isfinite(samples)]
+    sigma_mc = samples.std(ddof=1)
+    skew = normalized_skewness(samples)
+    underestimate = (sigma_mc - sigma_lin) / sigma_mc
+
+    art = ascii_histogram(samples / 1e9, f0 / 1e9, sigma_lin / 1e9,
+                          bins=21, label="oscillator frequency [GHz]")
+    text = "\n".join([
+        f"FIG. 12: ring-oscillator frequency at 3sig(dI_DS) = "
+        f"{100 * id3:.0f}% (mismatch x{SCALE})",
+        f"  linear model : mean {f0 / 1e9:.3f} GHz, "
+        f"sigma {sigma_lin / 1e6:.1f} MHz (Gaussian by construction)",
+        f"  MC-{n}       : mean {samples.mean() / 1e9:.3f} GHz, "
+        f"sigma {sigma_mc / 1e6:.1f} MHz",
+        f"  linear-model sigma deviation: {100 * underestimate:+.1f}% "
+        "(paper: underestimates by 15.9%)",
+        f"  MC normalised skewness: {skew:+.4f} (paper: -0.057)",
+        f"  runtimes: proposed {res.runtime_seconds:.1f} s, "
+        f"batched MC {wc.seconds:.1f} s",
+        "",
+        art,
+    ])
+    publish(results_dir, "fig12_oscillator_hist", text)
+
+    # shape: the distribution departs from Gaussian at this mismatch
+    assert sigma_mc > 0
+    assert abs(underestimate) > 0.01   # linear model visibly off

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Conventions:
+
+* the *proposed method* is timed by pytest-benchmark (one round - these
+  are seconds-long end-to-end analyses, not microbenchmarks);
+* the Monte-Carlo baselines run once per session with wall-clock
+  recorded manually, at sample counts controlled by ``REPRO_BENCH_MC``
+  (default 200; the paper's 1000/10000-point runs are reproduced by
+  setting ``REPRO_BENCH_MC=1000`` etc. - runtimes scale linearly);
+* every benchmark prints its table and also writes it under
+  ``benchmarks/results/`` so the artefacts survive pytest's capture.
+
+Speedups are reported two ways: against our *batched* MC (all samples
+integrate as one stacked system - far faster than serial SPICE), and
+against the serial-equivalent cost ``n x (single-sample transient)``,
+which is what the paper's 100-1000x numbers compare against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import default_technology
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def mc_samples(default: int = 200) -> int:
+    return int(os.environ.get("REPRO_BENCH_MC", default))
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{text}\n{banner}")
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+class WallClock:
+    """Tiny context manager for baseline timings."""
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self.t0
+        return False

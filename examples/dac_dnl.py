@@ -1,0 +1,54 @@
+"""DAC DNL via metric covariances - the paper's Eq. 13 example.
+
+Adjacent taps of a resistor-string DAC share most of their resistors, so
+their voltage variations are strongly correlated.  The DNL
+``(V_{N+1} - V_N) - LSB`` therefore has a much smaller sigma than the
+individual code voltages - but only if the covariance term of Eq. 13 is
+kept.  One DC mismatch analysis delivers every tap's variance and every
+pairwise covariance simultaneously; Monte-Carlo confirms.
+
+Run:  python examples/dac_dnl.py
+"""
+
+import numpy as np
+
+from repro import (compile_circuit, dc_mismatch_analysis, default_technology,
+                   monte_carlo_dc, resistor_string_dac)
+from repro.circuits.dac import dac_tap_names
+from repro.core.contributions import covariance, difference_variance
+
+
+def main() -> None:
+    tech = default_technology()
+    n_bits = 3
+    dac = resistor_string_dac(tech, n_bits=n_bits, sigma_rel=0.01)
+    taps = dac_tap_names(n_bits)
+
+    result = dc_mismatch_analysis(
+        dac, {tap: tap for tap in taps})
+
+    print("code voltages (one analysis, all taps + covariances):")
+    for tap in taps:
+        print(f"  {tap}: nominal {result.mean(tap):.4f} V, "
+              f"sigma {result.sigma(tap) * 1e3:.3f} mV")
+
+    print("\nDNL sigma per code (Eq. 13) vs naive independent estimate:")
+    tables = {tap: result.contributions(tap) for tap in taps}
+    mc = monte_carlo_dc(compile_circuit(dac),
+                        {tap: tap for tap in taps}, n=4000, seed=8)
+    for lo, hi in zip(taps[:-1], taps[1:]):
+        s_eq13 = np.sqrt(difference_variance(tables[hi], tables[lo]))
+        naive = np.hypot(tables[hi].sigma, tables[lo].sigma)
+        rho = (covariance(tables[hi], tables[lo])
+               / (tables[hi].sigma * tables[lo].sigma))
+        mc_dnl = np.std(mc.samples[hi] - mc.samples[lo], ddof=1)
+        print(f"  {hi}-{lo}: Eq.13 {s_eq13 * 1e3:6.3f} mV | naive "
+              f"{naive * 1e3:6.3f} mV | MC {mc_dnl * 1e3:6.3f} mV "
+              f"(rho = {rho:+.3f})")
+
+    print("\nIgnoring the correlation would overestimate the DNL sigma "
+          "several-fold - the paper's point about Eq. 12/13.")
+
+
+if __name__ == "__main__":
+    main()

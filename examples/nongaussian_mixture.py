@@ -1,0 +1,80 @@
+"""Gaussian-mixture projection for large mismatch (paper Section VIII,
+Fig. 13).
+
+When a mismatch parameter is too large for one global linear model, the
+paper proposes splitting its distribution into narrow Gaussians and
+projecting each through its own *local* linear model (one PSS + LPTV
+solve per component).  Here: the ring-oscillator frequency under a
+deliberately huge threshold mismatch on one transistor.
+
+The mixture recovers the skewed, non-Gaussian frequency distribution
+that the single linear model cannot represent - compare both against
+Monte-Carlo over that one parameter.
+
+Run:  python examples/nongaussian_mixture.py
+"""
+
+import numpy as np
+
+from repro import (compile_circuit, default_technology,
+                   periodic_sensitivities, ring_oscillator)
+from repro.analysis.pss import PssOptions, pss_oscillator
+from repro.core.gaussian_mixture import project_mixture, split_gaussian
+from repro.stats import normalized_skewness
+
+KEY = ("MN1", "vt0")
+SIGMA_P = 60e-3          # a wildly exaggerated 60 mV threshold sigma
+
+
+def main() -> None:
+    tech = default_technology()
+    compiled = compile_circuit(ring_oscillator(tech))
+    opts = PssOptions(n_steps=300)
+
+    nominal = pss_oscillator(compiled, anchor="osc1", t_settle=8e-9,
+                             dt_settle=2e-12, options=opts)
+
+    def local_model(p_centre: float):
+        """Frequency and its local sensitivity at vt0 + p_centre."""
+        state = compiled.make_state(deltas={KEY: p_centre})
+        p = pss_oscillator(compiled, anchor="osc1", t_settle=8e-9,
+                           dt_settle=2e-12, options=opts, state=state,
+                           period_guess=nominal.period)
+        sens = periodic_sensitivities(
+            p, compiled.mismatch_injections(p.state, p.x,
+                                            decls=[d for d in
+                                                   compiled.circuit
+                                                   .mismatch_decls()
+                                                   if d.key == KEY]))
+        return p.f0, float(sens.df_dp()[0])
+
+    f0, slope0 = local_model(0.0)
+    print(f"nominal f0 = {f0 / 1e9:.3f} GHz; single linear model: "
+          f"sigma = {abs(slope0) * SIGMA_P / 1e6:.1f} MHz, "
+          "skew = 0 by construction")
+
+    components = split_gaussian(SIGMA_P, n_components=7, span_sigmas=2.5)
+    mixture = project_mixture(local_model, components)
+    print(f"mixture model   : sigma = {mixture.sigma / 1e6:.1f} MHz, "
+          f"skewness = {mixture.skewness:+.3f}")
+
+    # Monte-Carlo over this single parameter (each sample: one PSS)
+    rng = np.random.default_rng(0)
+    draws = rng.normal(0.0, SIGMA_P, 60)
+    freqs = []
+    for d in draws:
+        state = compiled.make_state(deltas={KEY: float(d)})
+        p = pss_oscillator(compiled, anchor="osc1", t_settle=8e-9,
+                           dt_settle=2e-12, options=opts, state=state,
+                           period_guess=nominal.period)
+        freqs.append(p.f0)
+    freqs = np.asarray(freqs)
+    print(f"Monte-Carlo (60): sigma = {freqs.std(ddof=1) / 1e6:.1f} MHz, "
+          f"normalised skew = {normalized_skewness(freqs):+.4f}")
+
+    print("\nThe mixture tracks the MC sigma and reproduces the sign of "
+          "the skew; the single linear model cannot (paper Fig. 13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Yield-driven sizing of a ring oscillator (paper Section VII workflow).
+
+The mismatch sensitivities make yield optimisation tractable: one
+analysis reports how much each transistor's width matters for the
+frequency variance, the Eqs. 14-16 chain rule predicts sigma after a
+resize without re-simulating, and a re-run confirms the prediction.
+
+Scenario: shrink sigma(f)/f below a target by widening only the devices
+that matter, at minimum added area.
+
+Run:  python examples/oscillator_yield.py
+"""
+
+from repro import (Frequency, compile_circuit, default_technology,
+                   ring_oscillator, transient_mismatch_analysis,
+                   width_sensitivities)
+from repro.analysis.pss import PssOptions
+from repro.core.design_sensitivity import sigma_after_resize
+
+TARGET_REL_SIGMA = 0.018      # spec: sigma(f)/f below 1.8 %
+
+
+def analyse(wn, wp):
+    tech = default_technology()
+    osc = ring_oscillator(tech, wn=wn, wp=wp)
+    res = transient_mismatch_analysis(
+        osc, [Frequency("f", "osc1")], oscillator_anchor="osc1",
+        t_settle=8e-9, dt_settle=2e-12,
+        pss_options=PssOptions(n_steps=300))
+    return osc, res
+
+
+def main() -> None:
+    wn, wp = 1.0e-6, 2.0e-6
+    osc, res = analyse(wn, wp)
+    f0, sigma = res.mean("f"), res.sigma("f")
+    table = res.contributions("f")
+    print(f"initial design: f0 = {f0 / 1e9:.3f} GHz, "
+          f"sigma/f = {sigma / f0:.2%} (target {TARGET_REL_SIGMA:.1%})")
+
+    rows = width_sensitivities(table, osc)
+    print("\nwidth impact ranking (top 4):")
+    for r in rows[:4]:
+        print(f"  {r.device}: share {r.normalized_impact:5.1%}, "
+              f"W = {r.width * 1e6:.2f} um")
+
+    # every device contributes here (symmetric ring), so widen all of
+    # them; the chain rule finds the smallest factor meeting the spec
+    devices = [r.device for r in rows]
+    factor = 1.0
+    for factor in (1.25, 1.5, 1.75, 2.0, 2.5, 3.0):
+        predicted = sigma_after_resize(
+            table, osc, {d: factor * osc[d].w for d in devices})
+        if predicted / f0 <= TARGET_REL_SIGMA:
+            break
+    print(f"\nchain-rule prediction: widening all devices x{factor:.2f} "
+          f"-> sigma/f = {predicted / f0:.2%} (no re-simulation)")
+
+    osc2, res2 = analyse(wn * factor, wp * factor)
+    f2, s2 = res2.mean("f"), res2.sigma("f")
+    print(f"verification re-run : f0 = {f2 / 1e9:.3f} GHz, "
+          f"sigma/f = {s2 / f2:.2%}")
+    print("\nNote: the prediction covers the explicit Pelgrom 1/W term; "
+          "the re-run also moves the bias point (f0 shifts), which is "
+          "why the verified sigma differs slightly - the paper makes "
+          "the same caveat for its Fig. 10 ranking.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: mismatch analysis in a dozen lines.
+
+Two minimal end-to-end runs of the paper's method:
+
+1. DC mismatch analysis (the ``dcmatch`` prior art) on a resistor
+   divider - checked against the closed-form answer.
+2. Transient mismatch analysis on the 5-stage ring oscillator: one PSS +
+   one LPTV solve gives the frequency sigma and the full contribution
+   breakdown that a 1000-point Monte-Carlo would need hours for.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (Circuit, Frequency, default_technology,
+                   dc_mismatch_analysis, ring_oscillator,
+                   transient_mismatch_analysis)
+
+# ----------------------------------------------------------------------
+# 1. DC mismatch analysis of a divider (prior art the paper extends)
+# ----------------------------------------------------------------------
+divider = Circuit("divider")
+divider.add_vsource("V1", "in", "0", dc=1.2)
+divider.add_resistor("R1", "in", "out", 1e3, sigma_rel=0.02)
+divider.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+
+dc_result = dc_mismatch_analysis(divider, {"vout": "out"})
+print(dc_result.report())
+
+analytic = np.hypot(-1.2 * 3e3 / 4e6 * 20.0, 1.2 * 1e3 / 4e6 * 60.0)
+print(f"\nanalytic sigma: {analytic * 1e3:.3f} mV  "
+      f"(engine: {dc_result.sigma('vout') * 1e3:.3f} mV)\n")
+
+# ----------------------------------------------------------------------
+# 2. Transient mismatch analysis of a ring oscillator (the paper's
+#    method: PSS + LPTV pseudo-noise analysis)
+# ----------------------------------------------------------------------
+tech = default_technology()
+osc = ring_oscillator(tech)
+
+result = transient_mismatch_analysis(
+    osc, [Frequency("f_osc", node="osc1")],
+    oscillator_anchor="osc1", t_settle=8e-9, dt_settle=2e-12)
+
+f0 = result.mean("f_osc")
+sigma = result.sigma("f_osc")
+print(f"ring oscillator: f0 = {f0 / 1e9:.3f} GHz, "
+      f"sigma(f) = {sigma / 1e6:.2f} MHz ({sigma / f0:.2%})")
+print(result.contributions("f_osc").summary(top=6))
+print(f"\ntotal runtime: {result.runtime_seconds:.2f} s "
+      f"(PSS {result.runtime_breakdown['pss']:.2f} s, "
+      f"LPTV {result.runtime_breakdown['lptv']:.3f} s)")

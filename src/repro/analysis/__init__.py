@@ -1,0 +1,34 @@
+"""Numerical analyses: MNA compilation, DC, transient, AC, noise, PSS,
+LPTV sensitivity and periodic noise."""
+
+from .ac import AcResult, ac_analysis
+from .dcop import (DcResult, NewtonOptions, dc_operating_point, dc_sweep,
+                   newton_solve)
+from .harmonic import HarmonicLptv, SidebandResponse
+from .lptv import (PeriodicLinearization, SensitivitySolution,
+                   periodic_sensitivities)
+from .mna import (CompiledCircuit, Deltas, Injection, NoiseInjection,
+                  ParamState, compile_circuit)
+from .noise_ac import NoiseResult, noise_analysis
+from .pnoise import PNoiseResult, pnoise
+from .pss import (PssOptions, PssResult, integrate_period, pss,
+                  pss_oscillator)
+from .transient import TransientOptions, TransientResult, transient
+from .transient_noise import (TransientNoiseResult,
+                              transient_noise_analysis)
+
+__all__ = [
+    "compile_circuit", "CompiledCircuit", "ParamState", "Deltas",
+    "Injection", "NoiseInjection",
+    "dc_operating_point", "dc_sweep", "newton_solve", "DcResult",
+    "NewtonOptions",
+    "transient", "TransientOptions", "TransientResult",
+    "ac_analysis", "AcResult",
+    "noise_analysis", "NoiseResult",
+    "pss", "pss_oscillator", "PssOptions", "PssResult", "integrate_period",
+    "PeriodicLinearization", "SensitivitySolution",
+    "periodic_sensitivities",
+    "HarmonicLptv", "SidebandResponse",
+    "pnoise", "PNoiseResult",
+    "transient_noise_analysis", "TransientNoiseResult",
+]

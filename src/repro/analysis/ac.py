@@ -1,0 +1,89 @@
+"""Small-signal AC analysis around the DC operating point.
+
+Linearises the circuit at DC and solves ``(G + j w C) X = B`` over a
+frequency grid.  Used directly for transfer functions and as the
+degenerate (time-invariant) case the LPTV machinery must reduce to -
+``tests/test_lptv_vs_ac.py`` checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import TWO_PI
+from ..errors import AnalysisError
+from .dcop import DcResult, dc_operating_point
+from .mna import CompiledCircuit, ParamState
+
+
+@dataclass
+class AcResult:
+    """Complex node responses over a frequency grid.
+
+    ``x`` has shape ``(n_freq, n)``; :meth:`transfer` returns the
+    response of one (differential) node.
+    """
+
+    compiled: CompiledCircuit
+    state: ParamState
+    freqs: np.ndarray
+    x: np.ndarray
+    dc: DcResult
+
+    def transfer(self, node: str, neg: str | None = None) -> np.ndarray:
+        c = self.compiled
+        out = self.x[:, c.node_index[node]]
+        if neg is not None:
+            out = out - self.x[:, c.node_index[neg]]
+        return out
+
+
+def _linearize_at_dc(compiled: CompiledCircuit, state: ParamState,
+                     dc: DcResult) -> tuple[np.ndarray, np.ndarray]:
+    n = compiled.n
+    _, g_pad, f_pad = compiled.buffers(())
+    compiled.assemble(state, compiled.pad(dc.x), 0.0, g_pad, f_pad)
+    g = g_pad[:n, :n].copy()
+    c = compiled.capacitance(state)[:n, :n]
+    return g, c
+
+
+def ac_analysis(compiled: CompiledCircuit, source_name: str,
+                freqs: np.ndarray, state: ParamState | None = None,
+                amplitude: float = 1.0,
+                dc: DcResult | None = None) -> AcResult:
+    """AC sweep with a unit (or *amplitude*) stimulus on one source.
+
+    The stimulus replaces the small-signal value of the named voltage or
+    current source; all other independent sources are AC grounds, as in
+    SPICE ``.AC``.
+    """
+    state = state or compiled.nominal
+    if state.batched:
+        raise AnalysisError("AC analysis is batchless")
+    freqs = np.atleast_1d(np.asarray(freqs, dtype=float))
+    dc = dc or dc_operating_point(compiled, state)
+    g, c = _linearize_at_dc(compiled, state, dc)
+    n = compiled.n
+
+    b = np.zeros(n)
+    el = compiled.circuit[source_name]
+    from ..circuit.sources import CurrentSource, VoltageSource
+    if isinstance(el, VoltageSource):
+        b[compiled.branch(source_name)] = amplitude
+    elif isinstance(el, CurrentSource):
+        p, q = compiled.idx(el.pos), compiled.idx(el.neg)
+        if p < n:
+            b[p] -= amplitude
+        if q < n:
+            b[q] += amplitude
+    else:
+        raise AnalysisError(f"'{source_name}' is not an independent source")
+
+    x = np.empty((freqs.size, n), dtype=complex)
+    for i, f in enumerate(freqs):
+        a = g + 1j * TWO_PI * f * c
+        x[i] = np.linalg.solve(a, b)
+    return AcResult(compiled=compiled, state=state, freqs=freqs, x=x, dc=dc)

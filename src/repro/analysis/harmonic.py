@@ -1,0 +1,178 @@
+"""Frequency-domain LPTV analysis (harmonic conversion matrices).
+
+The ADS-style counterpart of the time-domain shooting engine in
+:mod:`repro.analysis.lptv`.  Around a PSS orbit with fundamental ``f0``
+the linearised circuit couples an input at offset ``f`` to outputs at all
+sidebands ``k f0 + f``; expanding the periodic Jacobian ``G(t)`` in a
+Fourier series and truncating at ``K`` harmonics yields the block
+conversion matrix
+
+.. math:: T_{km}(f) = \\hat G_{k-m}
+          + j 2 \\pi (k f_0 + f)\\, C\\, \\delta_{km}
+
+(``C`` is constant here because all charges are linear).  Solving
+``T X = B`` gives the sideband responses; this is how RF simulators based
+on harmonic balance compute PNOISE [13], [14], [17].
+
+The engine is kept dense and is intended for small circuits and for
+validating the shooting engine (the two must agree on smooth orbits);
+the shooting engine remains the workhorse because it is exact on the
+discretisation, free of Gibbs truncation error, and scales as
+``O(N n^3)`` instead of ``O((n K)^3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import TWO_PI
+from ..errors import AnalysisError
+from .lptv import PeriodicLinearization
+from .mna import Injection, NoiseInjection
+from .pss import PssResult
+
+
+@dataclass
+class SidebandResponse:
+    """Complex response of every unknown at every kept sideband.
+
+    ``x[k_index, :]`` is the phasor at frequency ``sidebands[k_index]*f0
+    + f``.
+    """
+
+    sidebands: np.ndarray
+    f_offset: float
+    x: np.ndarray
+
+    def at(self, sideband: int) -> np.ndarray:
+        idx = np.nonzero(self.sidebands == sideband)[0]
+        if idx.size == 0:
+            raise AnalysisError(f"sideband {sideband} not in truncation")
+        return self.x[idx[0]]
+
+
+class HarmonicLptv:
+    """Conversion-matrix LPTV operator built from a PSS orbit."""
+
+    def __init__(self, pss_result: PssResult, n_harmonics: int = 16):
+        self.pss = pss_result
+        self.k = int(n_harmonics)
+        self.compiled = pss_result.compiled
+        n = self.compiled.n
+        n_steps = pss_result.n_steps
+        if 2 * self.k >= n_steps // 2:
+            raise AnalysisError(
+                "harmonic truncation too large for the orbit sampling "
+                f"(K={self.k}, N={n_steps})")
+        size = n * (2 * self.k + 1)
+        if size > 6000:
+            raise AnalysisError(
+                f"conversion matrix would be {size}x{size}; the harmonic "
+                "engine is meant for small circuits - use the shooting "
+                "engine (repro.analysis.lptv) instead")
+
+        lin = PeriodicLinearization(pss_result)
+        # DFT of the periodic Jacobian, one period without the repeated
+        # endpoint; g_hat[m] is the coefficient of exp(+j 2 pi m f0 t):
+        # G_m = (1/N) sum_k G(t_k) exp(-j 2 pi m k / N), i.e. fft/N
+        # (np.fft.ifft would produce the exp(-j...) convention instead).
+        g_samples = lin.g_t[:-1]
+        self._g_hat = np.fft.fft(g_samples, axis=0) / g_samples.shape[0]
+        self._c = lin.c
+        self._n_steps = n_steps
+        self.sidebands = np.arange(-self.k, self.k + 1)
+
+    def _g_coeff(self, m: int) -> np.ndarray:
+        return self._g_hat[m % self._n_steps]
+
+    def conversion_matrix(self, f_offset: float) -> np.ndarray:
+        """Assemble ``T(f)`` for one offset frequency."""
+        n = self.compiled.n
+        nk = 2 * self.k + 1
+        f0 = self.pss.f0
+        t_mat = np.zeros((nk * n, nk * n), dtype=complex)
+        for ki, k in enumerate(self.sidebands):
+            for mi, m in enumerate(self.sidebands):
+                blk = self._g_coeff(k - m).astype(complex)
+                if ki == mi:
+                    blk = blk + 1j * TWO_PI * (k * f0 + f_offset) * self._c
+                t_mat[ki * n:(ki + 1) * n, mi * n:(mi + 1) * n] = blk
+        return t_mat
+
+    def _modulation_spectrum(self, b_t: np.ndarray) -> np.ndarray:
+        """DFT coefficients (``exp(+j 2 pi m f0 t)`` convention) of a
+        periodic modulation sampled on the orbit grid."""
+        return np.fft.fft(b_t[:-1], axis=0) / (b_t.shape[0] - 1)
+
+    def solve_injection(self, injection: Injection, f_offset: float,
+                        t_lu: tuple | None = None,
+                        harmonic_shift: int = 0) -> SidebandResponse:
+        """Sideband response to ``delta p = exp(j 2 pi f t)`` through one
+        pseudo-noise injection.
+
+        ``harmonic_shift`` co-translates the source spectrum by
+        ``k0 f0`` - the noise-folding path for sources with power at
+        harmonic offsets.
+        """
+        n = self.compiled.n
+        f0 = self.pss.f0
+        di_hat = self._modulation_spectrum(injection.di_dp)
+        dq_hat = (self._modulation_spectrum(injection.dq_dp)
+                  if injection.dq_dp is not None else None)
+        rhs = np.zeros(((2 * self.k + 1), n), dtype=complex)
+        for ki, k in enumerate(self.sidebands):
+            m = k - harmonic_shift
+            blk = -di_hat[m % self._n_steps].astype(complex)
+            if dq_hat is not None:
+                blk = blk - (1j * TWO_PI * (k * f0 + f_offset)
+                             * dq_hat[m % self._n_steps])
+            rhs[ki] = blk
+        x = self._solve(f_offset, rhs.reshape(-1), t_lu)
+        return SidebandResponse(self.sidebands, f_offset,
+                                x.reshape(2 * self.k + 1, n))
+
+    def solve_noise_source(self, source: NoiseInjection, f_offset: float,
+                           t_lu: tuple | None = None,
+                           harmonic_shift: int = 0) -> SidebandResponse:
+        """Sideband response to a unit-amplitude stimulus through one
+        physical noise source's (cyclostationary) incidence."""
+        n = self.compiled.n
+        b_hat = self._modulation_spectrum(source.b)
+        rhs = np.zeros(((2 * self.k + 1), n), dtype=complex)
+        for ki, k in enumerate(self.sidebands):
+            m = k - harmonic_shift
+            rhs[ki] = b_hat[m % self._n_steps].astype(complex)
+        x = self._solve(f_offset, rhs.reshape(-1), t_lu)
+        return SidebandResponse(self.sidebands, f_offset,
+                                x.reshape(2 * self.k + 1, n))
+
+    def lu(self, f_offset: float):
+        """Factor the conversion matrix once for reuse across sources."""
+        from scipy.linalg import lu_factor
+        return lu_factor(self.conversion_matrix(f_offset))
+
+    def _solve(self, f_offset: float, rhs: np.ndarray,
+               t_lu: tuple | None) -> np.ndarray:
+        from scipy.linalg import lu_factor, lu_solve
+        if t_lu is None:
+            t_lu = lu_factor(self.conversion_matrix(f_offset))
+        return lu_solve(t_lu, rhs)
+
+    def time_domain_waveform(self, response: SidebandResponse,
+                             node: str, neg: str | None = None
+                             ) -> np.ndarray:
+        """Reconstruct the quasi-DC (f->0) periodic response waveform on
+        the orbit grid - comparable against the shooting engine's
+        sensitivity waveforms."""
+        c = self.compiled
+        coeff = response.x[:, c.node_index[node]].copy()
+        if neg is not None:
+            coeff -= response.x[:, c.node_index[neg]]
+        t = self.pss.t - self.pss.t[0]
+        f0 = self.pss.f0
+        wave = np.zeros(t.size, dtype=complex)
+        for k, a in zip(self.sidebands, coeff):
+            wave += a * np.exp(1j * TWO_PI * k * f0 * t)
+        return wave.real

@@ -1,0 +1,227 @@
+"""LPTV small-signal analysis around a periodic steady state.
+
+This is the time-domain ("shooting") realisation of the paper's LPTV
+noise/sensitivity analysis - the same structure SpectreRF's PNOISE uses
+([12]-[17] in the paper).  Around a converged PSS orbit the circuit is
+linear and periodically time-varying:
+
+.. math:: C \\dot{\\delta x} + G(t)\\, \\delta x
+          = -\\Big( \\frac{d}{dt}\\frac{\\partial q}{\\partial p}
+          + \\frac{\\partial i}{\\partial p} \\Big)\\, \\delta p
+
+The right-hand side is exactly the *pseudo-noise injection* of a mismatch
+parameter (paper Section III); its quasi-DC (1 Hz) limit is the periodic
+solution of the equation above with a constant ``delta p``, which this
+module computes exactly on the PSS discretisation:
+
+1. along the orbit, factor the per-step integrator matrices
+   ``A_k = C/h + theta G_k``, ``B_k = C/h - (1 - theta) G_{k-1}``;
+2. propagate the one-period particular response ``P_N = dPhi/dp`` and the
+   monodromy matrix ``M = dPhi/dx0`` (one pass, shared solves);
+3. close the periodicity condition: driven circuits solve
+   ``(I - M) dx0 = P_N``; oscillators solve the bordered system that adds
+   the period unknown ``dT`` and the phase-anchor row - ``dT/dp`` *is*
+   the oscillator's frequency sensitivity (the discrete equivalent of the
+   PPV projection of [15]);
+4. a second pass stores the full periodic sensitivity waveform
+   ``w_i(t_k) = dx_pss(t_k)/dp_i`` for every parameter at once.
+
+Cost: one orbit linearisation plus two block-triangular sweeps -
+independent of the number of mismatch parameters beyond cheap matrix
+multiplies.  This is the "no additional simulation cost" property the
+paper stresses for contributions, correlations and design sensitivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from ..errors import AnalysisError
+from .mna import CompiledCircuit, Injection
+from .pss import PssResult
+
+
+@dataclass
+class SensitivitySolution:
+    """Periodic sensitivity waveforms of one LPTV solve.
+
+    Attributes
+    ----------
+    pss:
+        The orbit the linearisation was taken around.
+    injections:
+        The parameter injections, order matching the last axis of
+        ``waveforms``.
+    waveforms:
+        ``(N+1, n, m)``: ``waveforms[k, :, i]`` is the periodic
+        steady-state shift per unit of parameter ``i`` at orbit sample
+        ``k``.  For oscillators this is the orbit-shape sensitivity at
+        fixed phase (the period shift is reported separately).
+    dT_dp:
+        ``(m,)`` period sensitivities [s/unit]; ``None`` for driven
+        circuits.
+    """
+
+    pss: PssResult
+    injections: list[Injection]
+    waveforms: np.ndarray
+    dT_dp: np.ndarray | None = None
+
+    @property
+    def n_params(self) -> int:
+        return len(self.injections)
+
+    @property
+    def sigmas(self) -> np.ndarray:
+        """Mismatch sigma of every injection, in injection order."""
+        return np.array([inj.sigma for inj in self.injections])
+
+    @property
+    def keys(self) -> list[tuple[str, str]]:
+        return [inj.key for inj in self.injections]
+
+    def node_waveforms(self, node: str, neg: str | None = None
+                       ) -> np.ndarray:
+        """``(N+1, m)`` sensitivity waveforms of a (differential) node."""
+        c = self.pss.compiled
+        out = self.waveforms[:, c.node_index[node], :]
+        if neg is not None:
+            out = out - self.waveforms[:, c.node_index[neg], :]
+        return out
+
+    def df_dp(self) -> np.ndarray:
+        """Oscillator frequency sensitivities ``df/dp = -dT/dp / T^2``."""
+        if self.dT_dp is None:
+            raise AnalysisError(
+                "frequency sensitivities require an oscillator PSS")
+        return -self.dT_dp / self.pss.period ** 2
+
+
+class PeriodicLinearization:
+    """The factored LPTV operator along one PSS orbit.
+
+    Builds ``G(t_k)`` by re-assembling the Jacobian at every orbit sample
+    (charges are linear so ``C`` is constant), then LU-factors the step
+    matrices once.  Reused by the sensitivity solve, the harmonic-domain
+    noise engine and the monodromy/Floquet utilities.
+    """
+
+    def __init__(self, pss_result: PssResult):
+        self.pss = pss_result
+        compiled = pss_result.compiled
+        state = pss_result.state
+        n = compiled.n
+        n_steps = pss_result.n_steps
+        self.h = pss_result.period / n_steps
+        self.theta = compiled.theta_rows(state, pss_result.method)[:, None]
+
+        _, g_pad, f_pad = compiled.buffers(())
+        self.g_t = np.empty((n_steps + 1, n, n))
+        for k in range(n_steps + 1):
+            x_pad = compiled.pad(pss_result.x[k])
+            compiled.assemble(state, x_pad, float(pss_result.t[k]),
+                              g_pad, f_pad)
+            self.g_t[k] = g_pad[:n, :n]
+
+        self.c = compiled.capacitance(state)[:n, :n]
+        self.c_over_h = self.c / self.h
+        self._lu = [lu_factor(self.c_over_h + self.theta * self.g_t[k])
+                    for k in range(1, n_steps + 1)]
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        return self.pss.compiled
+
+    @property
+    def n_steps(self) -> int:
+        return self.pss.n_steps
+
+    def _b_mat(self, k: int) -> np.ndarray:
+        """``B_k`` uses the Jacobian at the *previous* sample."""
+        return self.c_over_h - (1.0 - self.theta) * self.g_t[k - 1]
+
+    def monodromy(self) -> np.ndarray:
+        """State-transition matrix over one period, ``dPhi/dx0``."""
+        n = self.c.shape[0]
+        z = np.eye(n)
+        for k in range(1, self.n_steps + 1):
+            z = lu_solve(self._lu[k - 1], self._b_mat(k) @ z)
+        return z
+
+    def _rho(self, di: np.ndarray, dq: np.ndarray, k: int) -> np.ndarray:
+        """Step injection ``rho_k`` for the per-row theta scheme,
+        shape ``(n, m)``."""
+        return (self.theta * di[k] + (1.0 - self.theta) * di[k - 1]
+                + (dq[k] - dq[k - 1]) / self.h)
+
+    def solve(self, injections: list[Injection]) -> SensitivitySolution:
+        """Periodic response to a unit constant deviation of every
+        parameter (the 1-Hz pseudo-noise limit)."""
+        if not injections:
+            raise AnalysisError("no injections to solve for")
+        n = self.c.shape[0]
+        m = len(injections)
+        n_steps = self.n_steps
+
+        di = np.stack([inj.di_dp for inj in injections], axis=-1)
+        dq = np.zeros_like(di)
+        for i, inj in enumerate(injections):
+            if inj.dq_dp is not None:
+                dq[:, :, i] = inj.dq_dp
+        if di.shape[0] != n_steps + 1:
+            raise AnalysisError(
+                "injections were not built on this PSS orbit "
+                f"({di.shape[0]} samples vs {n_steps + 1})")
+
+        # pass 1: monodromy and particular solution together
+        z = np.zeros((n, n + m))
+        z[:, :n] = np.eye(n)
+        for k in range(1, n_steps + 1):
+            rhs = self._b_mat(k) @ z
+            rhs[:, n:] -= self._rho(di, dq, k)
+            z = lu_solve(self._lu[k - 1], rhs)
+        mono = z[:, :n]
+        p_n = z[:, n:]
+
+        # close the periodic boundary condition
+        dT_dp = None
+        if self.pss.is_oscillator:
+            a_idx = self.pss.anchor_index
+            big = np.zeros((n + 1, n + 1))
+            big[:n, :n] = np.eye(n) - mono
+            xdot_t = (self.pss.x[-1] - self.pss.x[-2]) / self.h
+            big[:n, n] = -xdot_t
+            big[n, a_idx] = 1.0
+            rhs = np.concatenate([p_n, np.zeros((1, m))], axis=0)
+            sol = np.linalg.solve(big, rhs)
+            dx0 = sol[:n]
+            dT_dp = sol[n]
+        else:
+            dx0 = np.linalg.solve(np.eye(n) - mono, p_n)
+
+        # pass 2: store the full periodic sensitivity waveforms
+        d = np.empty((n_steps + 1, n, m))
+        d[0] = dx0
+        cur = dx0
+        for k in range(1, n_steps + 1):
+            rhs = self._b_mat(k) @ cur - self._rho(di, dq, k)
+            cur = lu_solve(self._lu[k - 1], rhs)
+            d[k] = cur
+        return SensitivitySolution(pss=self.pss, injections=list(injections),
+                                   waveforms=d, dT_dp=dT_dp)
+
+
+def periodic_sensitivities(pss_result: PssResult,
+                           injections: list[Injection] | None = None
+                           ) -> SensitivitySolution:
+    """One-call helper: linearise the orbit and solve all mismatch
+    injections of the circuit."""
+    if injections is None:
+        compiled = pss_result.compiled
+        injections = compiled.mismatch_injections(pss_result.state,
+                                                  pss_result.x)
+    lin = PeriodicLinearization(pss_result)
+    return lin.solve(injections)

@@ -1,0 +1,697 @@
+"""Compiled modified-nodal-analysis (MNA) system.
+
+:func:`compile_circuit` turns a :class:`~repro.circuit.Circuit` into a
+:class:`CompiledCircuit` that evaluates residuals and Jacobians for every
+analysis.  Three design decisions shape this module:
+
+**Unknowns and padding.**  The MNA unknown vector is
+``x = [node voltages..., branch currents...]`` with ground eliminated.
+Internally every gather/scatter runs against *padded* arrays with one extra
+"ground slot" at index ``n``: reads from it give 0 V, writes to it are
+discarded.  This removes all special-casing of grounded terminals from the
+hot loops.
+
+**Batching.**  Every evaluation accepts an optional leading batch axis on
+``x``; device parameters may carry per-batch deltas.  A 1000-point
+Monte-Carlo run therefore assembles and solves stacked ``(1000, n, n)``
+systems with no Python-level per-sample loop, which keeps the paper's MC
+baseline (Table II) honest.
+
+**Linear/nonlinear split.**  All linear elements (R, C, L, sources,
+controlled sources) are stamped once per parameter set into constant
+conductance/capacitance templates; only MOSFETs and behavioral
+transconductors are re-evaluated per Newton iteration.  All charges in the
+bundled element set are linear (``q = C x``), so the reactive matrix is
+constant throughout a run - transient steps and LPTV analyses exploit
+this.
+
+The compiled circuit also builds the paper's central objects: for every
+:class:`~repro.circuit.MismatchDecl` an equivalent *pseudo-noise injection*
+(the exact parameter derivative ``di/dp`` and ``dq/dp`` evaluated along an
+orbit - Section III of the paper), and for every physical noise source its
+(cyclostationary) modulation waveform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.controlled import Vccs, Vcvs
+from ..circuit.elements import (MismatchDecl, NoiseDecl, ParamKey,
+                                PsdShape)
+from ..circuit.mosfet import Mosfet, ekv_ids
+from ..circuit.netlist import GROUND_NAMES, Circuit
+from ..circuit.passives import Capacitor, Inductor, Resistor
+from ..circuit.sources import CurrentSource, Dc, VoltageSource
+from ..constants import BOLTZMANN, CMIN_DEFAULT, T_NOMINAL
+from ..errors import NetlistError
+
+Deltas = dict[ParamKey, "float | np.ndarray"]
+
+
+# ---------------------------------------------------------------------------
+# parameter state
+# ---------------------------------------------------------------------------
+@dataclass
+class ParamState:
+    """Effective parameter values for one run (nominal + deltas).
+
+    ``g_lin``/``c_lin`` are padded ``(n+1, n+1)`` templates, with a leading
+    batch axis when any linear-element or source delta is batched.
+    ``mos``, ``vccs`` hold per-group effective parameter arrays.
+    ``source_values`` maps source names to overriding values (scalar or
+    per-batch array) - used for example by the comparator bisection lanes.
+    """
+
+    batch_shape: tuple[int, ...]
+    g_lin: np.ndarray
+    c_lin: np.ndarray
+    mos: dict[str, np.ndarray]
+    vccs_gm: np.ndarray
+    source_values: dict[str, "float | np.ndarray"] = field(
+        default_factory=dict)
+
+    @property
+    def batched(self) -> bool:
+        return len(self.batch_shape) > 0
+
+
+def _delta_for(deltas: Deltas | None, key: ParamKey):
+    if not deltas:
+        return 0.0
+    return deltas.get(key, 0.0)
+
+
+def _broadcast_dev(nominal: np.ndarray, delta_list: list,
+                   batch: tuple[int, ...]) -> np.ndarray:
+    """Combine per-device nominals with (possibly batched) deltas.
+
+    Returns shape ``(ndev,)`` when nothing is batched, else
+    ``(*batch, ndev)``.
+    """
+    if not any(np.ndim(d) > 0 for d in delta_list) and not batch:
+        return nominal + np.asarray(delta_list, dtype=float)
+    out = np.broadcast_to(nominal, batch + nominal.shape).copy()
+    for i, d in enumerate(delta_list):
+        out[..., i] = nominal[i] + np.asarray(d, dtype=float)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# injections (the paper's pseudo-noise sources / noise modulations)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Injection:
+    """Equivalent pseudo-noise injection of one mismatch parameter.
+
+    For a parameter deviation ``delta p`` the circuit equations change by
+    ``d/dt (dq_dp * delta p) + di_dp * delta p``; these arrays are the
+    derivatives evaluated along the orbit the injection was built for.
+
+    Attributes
+    ----------
+    decl:
+        The mismatch declaration this injection realises.
+    di_dp:
+        Resistive injection, shape ``(N, n)`` (orbit samples x unknowns).
+    dq_dp:
+        Reactive injection, same shape, or ``None`` when absent.
+    """
+
+    decl: MismatchDecl
+    di_dp: np.ndarray
+    dq_dp: np.ndarray | None = None
+
+    @property
+    def key(self) -> ParamKey:
+        return self.decl.key
+
+    @property
+    def sigma(self) -> float:
+        return self.decl.sigma
+
+
+@dataclass(frozen=True)
+class NoiseInjection:
+    """One physical noise source along an orbit.
+
+    The output PSD contribution of this source through a transfer vector
+    ``H`` is ``|H . b|^2 * psd0 * shape(f)`` where ``shape(f)`` is 1 for
+    white sources and ``1/f`` for flicker sources.  ``b`` already contains
+    the cyclostationary modulation (e.g. ``sqrt(gm(t))`` for MOS thermal
+    noise).
+    """
+
+    decl: NoiseDecl
+    b: np.ndarray
+    psd0: float
+
+    @property
+    def shape(self) -> PsdShape:
+        return self.decl.shape
+
+    def psd(self, f: float) -> float:
+        if self.decl.shape is PsdShape.FLICKER:
+            return self.psd0 / f
+        return self.psd0
+
+
+# ---------------------------------------------------------------------------
+# compiled circuit
+# ---------------------------------------------------------------------------
+class CompiledCircuit:
+    """Numerical twin of a :class:`Circuit`.  Build via
+    :func:`compile_circuit`."""
+
+    def __init__(self, circuit: Circuit, cmin: float = CMIN_DEFAULT):
+        circuit.validate()
+        self.circuit = circuit
+        self.cmin = cmin
+
+        self.node_names: list[str] = circuit.nodes()
+        self.node_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)}
+        self.n_nodes = len(self.node_names)
+
+        # branch unknowns, in element order
+        self.branch_index: dict[str, int] = {}
+        nxt = self.n_nodes
+        for el in circuit:
+            if el.n_branch:
+                self.branch_index[el.name] = nxt
+                nxt += el.n_branch
+        self.n = nxt                     #: system size
+        self._ground = self.n            # padded ground slot
+
+        # element partitions
+        self.resistors = [e for e in circuit if isinstance(e, Resistor)]
+        self.capacitors = [e for e in circuit if isinstance(e, Capacitor)]
+        self.inductors = [e for e in circuit if isinstance(e, Inductor)]
+        self.vsources = [e for e in circuit if isinstance(e, VoltageSource)]
+        self.isources = [e for e in circuit if isinstance(e, CurrentSource)]
+        self.vcvs = [e for e in circuit if isinstance(e, Vcvs)]
+        all_vccs = [e for e in circuit if isinstance(e, Vccs)]
+        self.linear_vccs = [e for e in all_vccs if e.is_linear]
+        self.nl_vccs = [e for e in all_vccs if not e.is_linear]
+        self.mosfets = [e for e in circuit if isinstance(e, Mosfet)]
+
+        known = (set(map(id, self.resistors)) | set(map(id, self.capacitors))
+                 | set(map(id, self.inductors)) | set(map(id, self.vsources))
+                 | set(map(id, self.isources)) | set(map(id, self.vcvs))
+                 | set(map(id, all_vccs)) | set(map(id, self.mosfets)))
+        for el in circuit:
+            if id(el) not in known:
+                raise NetlistError(
+                    f"element '{el.name}' of type {type(el).__name__} is not "
+                    "supported by the MNA compiler")
+
+        self._index_mosfets()
+        self._index_nl_vccs()
+        self._nominal_state: ParamState | None = None
+
+    # ------------------------------------------------------------------
+    # indexing helpers
+    # ------------------------------------------------------------------
+    def idx(self, node: str) -> int:
+        """Padded index of *node* (ground maps to the discard slot)."""
+        if node in GROUND_NAMES:
+            return self._ground
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node '{node}'") from None
+
+    def branch(self, element_name: str) -> int:
+        return self.branch_index[element_name]
+
+    def voltage(self, x: np.ndarray, node: str) -> np.ndarray:
+        """Node voltage from an unknown vector (any batch shape)."""
+        i = self.idx(node)
+        if i == self._ground:
+            return np.zeros(np.shape(x)[:-1])
+        return np.asarray(x)[..., i]
+
+    def _index_mosfets(self) -> None:
+        m = self.mosfets
+        self._mos_idx = np.array(
+            [[self.idx(e.d), self.idx(e.g), self.idx(e.s), self.idx(e.b)]
+             for e in m], dtype=int).reshape(len(m), 4)
+        self._mos_sign = np.array([e.sign for e in m])
+        self._mos_vt0 = np.array([e.params.vt0 for e in m])
+        self._mos_beta = np.array([e.beta for e in m])
+        self._mos_n = np.array([e.params.n for e in m])
+        self._mos_lam = np.array([e.lam_eff for e in m])
+        if m:
+            # flattened (row, col) pairs for the 8 Jacobian stamps and the
+            # 2 residual stamps of each device, padded system of width n+1
+            d, g, s, b = (self._mos_idx[:, k] for k in range(4))
+            rows = np.concatenate([d, d, d, d, s, s, s, s])
+            cols = np.concatenate([d, g, s, b, d, g, s, b])
+            self._mos_gflat = rows * (self.n + 1) + cols
+            self._mos_frows = np.concatenate([d, s])
+
+    def _index_nl_vccs(self) -> None:
+        self._nlv_idx = np.array(
+            [[self.idx(e.pos), self.idx(e.neg),
+              self.idx(e.ctrl_pos), self.idx(e.ctrl_neg)]
+             for e in self.nl_vccs], dtype=int).reshape(len(self.nl_vccs), 4)
+
+    # ------------------------------------------------------------------
+    # parameter state construction
+    # ------------------------------------------------------------------
+    def make_state(self, deltas: Deltas | None = None,
+                   source_values: dict[str, "float | np.ndarray"]
+                   | None = None,
+                   batch_shape: tuple[int, ...] | None = None) -> ParamState:
+        """Build the effective parameters for a run.
+
+        Parameters
+        ----------
+        deltas:
+            ``{(element, param): delta}``; values may be scalars or arrays
+            of a common batch shape (one delta per Monte-Carlo sample).
+        source_values:
+            Overrides for source values by element name (scalar or batched).
+        batch_shape:
+            Forces the batch shape when no delta implies one.
+        """
+        deltas = deltas or {}
+        source_values = dict(source_values or {})
+        inferred: tuple[int, ...] = tuple(batch_shape or ())
+        for v in list(deltas.values()) + list(source_values.values()):
+            if np.ndim(v) > 0:
+                shape = np.shape(v)
+                if inferred not in ((), shape):
+                    raise ValueError("inconsistent batch shapes in deltas")
+                inferred = shape
+
+        lin_batched = any(
+            np.ndim(deltas.get((e.name, p), 0.0)) > 0
+            for e, p in self._linear_param_iter())
+        gshape = (inferred if lin_batched else ()) + (self.n + 1, self.n + 1)
+        g_lin = np.zeros(gshape)
+        c_lin = np.zeros(gshape)
+        self._stamp_linear(g_lin, c_lin, deltas)
+
+        mos = {}
+        if self.mosfets:
+            mos["vt0"] = _broadcast_dev(
+                self._mos_vt0,
+                [_delta_for(deltas, (e.name, "vt0")) for e in self.mosfets],
+                inferred)
+            rel = _broadcast_dev(
+                np.zeros(len(self.mosfets)),
+                [_delta_for(deltas, (e.name, "beta_rel"))
+                 for e in self.mosfets], inferred)
+            mos["beta"] = self._mos_beta * (1.0 + rel)
+
+        vccs_gm = np.array([e.gm for e in self.nl_vccs])
+        return ParamState(batch_shape=inferred, g_lin=g_lin, c_lin=c_lin,
+                          mos=mos, vccs_gm=vccs_gm,
+                          source_values=source_values)
+
+    @property
+    def nominal(self) -> ParamState:
+        """Cached parameter state with no deltas."""
+        if self._nominal_state is None:
+            self._nominal_state = self.make_state()
+        return self._nominal_state
+
+    def _linear_param_iter(self):
+        for e in self.resistors:
+            yield e, "r"
+        for e in self.capacitors:
+            yield e, "c"
+        for e in self.inductors:
+            yield e, "l"
+
+    def _stamp_linear(self, g_lin: np.ndarray, c_lin: np.ndarray,
+                      deltas: Deltas) -> None:
+        """Stamp all linear elements into the padded templates."""
+        def add(mat, row, col, val):
+            mat[..., row, col] += val
+
+        for e in self.resistors:
+            p, q = self.idx(e.pos), self.idx(e.neg)
+            g = 1.0 / (e.r + np.asarray(_delta_for(deltas, (e.name, "r"))))
+            add(g_lin, p, p, g), add(g_lin, q, q, g)
+            add(g_lin, p, q, -g), add(g_lin, q, p, -g)
+        for e in self.capacitors:
+            p, q = self.idx(e.pos), self.idx(e.neg)
+            c = e.c + np.asarray(_delta_for(deltas, (e.name, "c")))
+            add(c_lin, p, p, c), add(c_lin, q, q, c)
+            add(c_lin, p, q, -c), add(c_lin, q, p, -c)
+        for e in self.inductors:
+            p, q = self.idx(e.pos), self.idx(e.neg)
+            br = self.branch(e.name)
+            lval = e.l + np.asarray(_delta_for(deltas, (e.name, "l")))
+            add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
+            add(g_lin, br, p, -1.0), add(g_lin, br, q, 1.0)
+            add(c_lin, br, br, lval)
+        for e in self.vsources:
+            p, q = self.idx(e.pos), self.idx(e.neg)
+            br = self.branch(e.name)
+            add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
+            add(g_lin, br, p, 1.0), add(g_lin, br, q, -1.0)
+        for e in self.vcvs:
+            p, q = self.idx(e.pos), self.idx(e.neg)
+            cp, cn = self.idx(e.ctrl_pos), self.idx(e.ctrl_neg)
+            br = self.branch(e.name)
+            add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
+            add(g_lin, br, p, 1.0), add(g_lin, br, q, -1.0)
+            add(g_lin, br, cp, -e.gain), add(g_lin, br, cn, e.gain)
+        for e in self.linear_vccs:
+            p, q = self.idx(e.pos), self.idx(e.neg)
+            cp, cn = self.idx(e.ctrl_pos), self.idx(e.ctrl_neg)
+            add(g_lin, p, cp, e.gm), add(g_lin, p, cn, -e.gm)
+            add(g_lin, q, cp, -e.gm), add(g_lin, q, cn, e.gm)
+        for e in self.mosfets:
+            d, g, s, b = (self.idx(e.d), self.idx(e.g),
+                          self.idx(e.s), self.idx(e.b))
+            for (a, c, val) in ((g, s, e.c_gs), (g, d, e.c_gd),
+                                (d, b, e.c_db), (s, b, e.c_sb)):
+                if val > 0.0:
+                    add(c_lin, a, a, val), add(c_lin, c, c, val)
+                    add(c_lin, a, c, -val), add(c_lin, c, a, -val)
+        # cmin on every true node keeps the system index-1
+        if self.cmin > 0.0:
+            for i in range(self.n_nodes):
+                add(c_lin, i, i, self.cmin)
+        # scrub anything accumulated on the ground slot
+        g_lin[..., self._ground, :] = 0.0
+        g_lin[..., :, self._ground] = 0.0
+        c_lin[..., self._ground, :] = 0.0
+        c_lin[..., :, self._ground] = 0.0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def capacitance(self, state: ParamState) -> np.ndarray:
+        """Constant (padded) capacitance matrix ``dq/dx`` for this state."""
+        return state.c_lin
+
+    def assemble(self, state: ParamState, x_pad: np.ndarray, t: float,
+                 g_pad: np.ndarray, f_pad: np.ndarray,
+                 source_scale: float = 1.0, gmin: float = 0.0) -> None:
+        """Evaluate ``f = i(x, t)`` and ``G = di/dx`` into padded buffers.
+
+        ``x_pad`` has shape ``(*batch, n+1)`` with the last entry 0;
+        ``g_pad``/``f_pad`` are overwritten.  *source_scale* multiplies all
+        independent sources (source-stepping homotopy) and *gmin* adds a
+        conductance from every node to ground (gmin-stepping).
+        """
+        np.copyto(g_pad, state.g_lin)
+        if gmin > 0.0:
+            diag = np.einsum("...ii->...i", g_pad)
+            diag[..., :self.n_nodes] += gmin
+        np.matmul(g_pad, x_pad[..., None], out=f_pad[..., None])
+        self._add_sources(state, t, f_pad, source_scale)
+        if self.mosfets:
+            self._add_mosfets(state, x_pad, g_pad, f_pad)
+        if self.nl_vccs:
+            self._add_nl_vccs(state, x_pad, t, g_pad, f_pad)
+        f_pad[..., self._ground] = 0.0
+
+    def _source_value(self, state: ParamState, el, t):
+        if el.name in state.source_values:
+            override = state.source_values[el.name]
+            if isinstance(el.wave, Dc):
+                return override
+            raise NetlistError(
+                f"source override on non-DC source '{el.name}'")
+        return el.wave(t)
+
+    def _add_sources(self, state: ParamState, t: float, f_pad: np.ndarray,
+                     source_scale: float = 1.0) -> None:
+        for e in self.vsources:
+            br = self.branch(e.name)
+            f_pad[..., br] -= source_scale * self._source_value(state, e, t)
+        for e in self.isources:
+            val = source_scale * self._source_value(state, e, t)
+            f_pad[..., self.idx(e.pos)] += val
+            f_pad[..., self.idx(e.neg)] -= val
+
+    def _mos_eval(self, state: ParamState, x_pad: np.ndarray):
+        """Vectorised EKV evaluation over all devices (and batch)."""
+        idx = self._mos_idx
+        sgn = self._mos_sign
+        vd = sgn * x_pad[..., idx[:, 0]]
+        vg = sgn * x_pad[..., idx[:, 1]]
+        vs = sgn * x_pad[..., idx[:, 2]]
+        vb = sgn * x_pad[..., idx[:, 3]]
+        return ekv_ids(vd, vg, vs, vb, state.mos["vt0"], state.mos["beta"],
+                       self._mos_n, self._mos_lam)
+
+    def _add_mosfets(self, state: ParamState, x_pad: np.ndarray,
+                     g_pad: np.ndarray, f_pad: np.ndarray) -> None:
+        ev = self._mos_eval(state, x_pad)
+        ids_phys = self._mos_sign * ev.ids
+        batch = f_pad.shape[:-1]
+
+        fvals = np.concatenate(
+            np.broadcast_arrays(ids_phys, -ids_phys), axis=-1)
+        gvals = np.concatenate(np.broadcast_arrays(
+            ev.g_d, ev.g_g, ev.g_s, ev.g_b,
+            -ev.g_d, -ev.g_g, -ev.g_s, -ev.g_b), axis=-1)
+
+        gflat = g_pad.reshape(batch + ((self.n + 1) ** 2,))
+        if batch:
+            bidx = np.arange(int(np.prod(batch))).reshape(batch)[..., None]
+            np.add.at(gflat, (bidx, self._mos_gflat), gvals)
+            np.add.at(f_pad, (bidx, self._mos_frows), fvals)
+        else:
+            np.add.at(gflat, self._mos_gflat, gvals)
+            np.add.at(f_pad, self._mos_frows, fvals)
+
+    def _add_nl_vccs(self, state: ParamState, x_pad: np.ndarray, t: float,
+                     g_pad: np.ndarray, f_pad: np.ndarray) -> None:
+        for k, e in enumerate(self.nl_vccs):
+            p, q, cp, cn = self._nlv_idx[k]
+            vc = x_pad[..., cp] - x_pad[..., cn]
+            phi, dphi = e.phi(vc)
+            gate = e.gate_value(t)
+            cur = gate * e.gm * phi
+            gd = gate * e.gm * dphi
+            f_pad[..., p] += cur
+            f_pad[..., q] -= cur
+            g_pad[..., p, cp] += gd
+            g_pad[..., p, cn] -= gd
+            g_pad[..., q, cp] -= gd
+            g_pad[..., q, cn] += gd
+
+    # ------------------------------------------------------------------
+    # operating-point quantities and injections
+    # ------------------------------------------------------------------
+    def mosfet_op(self, state: ParamState, x_pad: np.ndarray
+                  ) -> dict[str, np.ndarray]:
+        """Per-device operating-point arrays along an orbit.
+
+        ``x_pad`` may be ``(N, n+1)`` (orbit) or ``(n+1,)``; returns
+        ``ids`` (signed physical drain current) and ``gm`` with matching
+        leading shape x device axis.
+        """
+        if not self.mosfets:
+            return {"ids": np.zeros(0), "gm": np.zeros(0)}
+        ev = self._mos_eval(state, x_pad)
+        return {"ids": self._mos_sign * ev.ids, "gm": ev.gm,
+                "ids_frame": ev.ids}
+
+    def mismatch_injections(self, state: ParamState, x_orbit: np.ndarray,
+                            decls: Sequence[MismatchDecl] | None = None
+                            ) -> list[Injection]:
+        """Build the pseudo-noise injection of every mismatch parameter.
+
+        Parameters
+        ----------
+        x_orbit:
+            Unpadded orbit samples, shape ``(N, n)`` (one row also works
+            for DC analyses: pass shape ``(1, n)``).
+        decls:
+            Restrict to these declarations (default: all in the circuit).
+
+        Returns
+        -------
+        list of :class:`Injection` in declaration order.
+        """
+        x_orbit = np.atleast_2d(np.asarray(x_orbit, dtype=float))
+        n_t = x_orbit.shape[0]
+        x_pad = np.concatenate(
+            [x_orbit, np.zeros((n_t, 1))], axis=-1)
+        if decls is None:
+            decls = self.circuit.mismatch_decls()
+
+        mos_by_name = {e.name: i for i, e in enumerate(self.mosfets)}
+        mos_op = self.mosfet_op(state, x_pad) if self.mosfets else None
+
+        out: list[Injection] = []
+        for decl in decls:
+            ename, pname = decl.key
+            el = self.circuit[ename]
+            di = np.zeros((n_t, self.n))
+            dq = None
+            if isinstance(el, Mosfet):
+                k = mos_by_name[ename]
+                d, s = self.idx(el.d), self.idx(el.s)
+                if pname == "vt0":
+                    coeff = -el.sign * mos_op["gm"][:, k]
+                elif pname == "beta_rel":
+                    coeff = mos_op["ids"][:, k]
+                else:
+                    raise NetlistError(
+                        f"unknown mosfet mismatch param '{pname}'")
+                self._accum(di, d, coeff)
+                self._accum(di, s, -coeff)
+            elif isinstance(el, Resistor) and pname == "r":
+                p, q = self.idx(el.pos), self.idx(el.neg)
+                v_pn = self._v_of(x_pad, p) - self._v_of(x_pad, q)
+                coeff = -v_pn / (el.r * el.r)
+                self._accum(di, p, coeff)
+                self._accum(di, q, -coeff)
+            elif isinstance(el, Capacitor) and pname == "c":
+                p, q = self.idx(el.pos), self.idx(el.neg)
+                v_pn = self._v_of(x_pad, p) - self._v_of(x_pad, q)
+                dq = np.zeros((n_t, self.n))
+                self._accum(dq, p, v_pn)
+                self._accum(dq, q, -v_pn)
+            elif isinstance(el, Inductor) and pname == "l":
+                br = self.branch(ename)
+                dq = np.zeros((n_t, self.n))
+                dq[:, br] = x_orbit[:, br]
+            else:
+                raise NetlistError(
+                    f"no pseudo-noise mapping for {decl.key}")
+            out.append(Injection(decl=decl, di_dp=di, dq_dp=dq))
+        return out
+
+    def noise_injections(self, state: ParamState, x_orbit: np.ndarray
+                         ) -> list[NoiseInjection]:
+        """Physical (thermal/flicker) noise injections along an orbit."""
+        x_orbit = np.atleast_2d(np.asarray(x_orbit, dtype=float))
+        n_t = x_orbit.shape[0]
+        x_pad = np.concatenate([x_orbit, np.zeros((n_t, 1))], axis=-1)
+        mos_by_name = {e.name: i for i, e in enumerate(self.mosfets)}
+        mos_op = self.mosfet_op(state, x_pad) if self.mosfets else None
+
+        out: list[NoiseInjection] = []
+        for decl in self.circuit.noise_decls():
+            ename, sname = decl.key
+            el = self.circuit[ename]
+            b = np.zeros((n_t, self.n))
+            if isinstance(el, Resistor) and sname == "thermal":
+                p, q = self.idx(el.pos), self.idx(el.neg)
+                self._accum(b, p, np.ones(n_t))
+                self._accum(b, q, -np.ones(n_t))
+                psd0 = 4.0 * BOLTZMANN * T_NOMINAL / el.r
+            elif isinstance(el, Mosfet):
+                k = mos_by_name[ename]
+                gm = np.maximum(mos_op["gm"][:, k], 0.0)
+                d, s = self.idx(el.d), self.idx(el.s)
+                if sname == "thermal":
+                    mod = np.sqrt(gm)
+                    psd0 = el.thermal_psd_coeff
+                elif sname == "flicker":
+                    mod = gm
+                    psd0 = el.flicker_coeff
+                else:
+                    raise NetlistError(f"unknown noise source {decl.key}")
+                self._accum(b, d, mod)
+                self._accum(b, s, -mod)
+            else:
+                raise NetlistError(f"unknown noise source {decl.key}")
+            out.append(NoiseInjection(decl=decl, b=b, psd0=psd0))
+        return out
+
+    def _v_of(self, x_pad: np.ndarray, idx: int) -> np.ndarray:
+        return x_pad[..., idx]
+
+    def _accum(self, arr: np.ndarray, idx: int, vals: np.ndarray) -> None:
+        if idx != self._ground:
+            arr[:, idx] += vals
+
+    def theta_rows(self, state: ParamState, method: str) -> np.ndarray:
+        """Per-equation implicitness ``theta`` for the one-step scheme.
+
+        Trapezoidal averaging of equations that carry no real dynamics
+        creates parasitic alternating error modes (one-period multiplier
+        ``(-1)^N``), which make the shooting matrix ``M - I`` exactly
+        singular for even step counts and pollute branch currents with
+        +/- zigzag.  Those equations are therefore *collocated*
+        (``theta = 1``, i.e. enforced at the step endpoint):
+
+        * rows with no physical charge term (voltage-source/VCVS
+          constraint rows and KCL of purely resistive nodes) - these are
+          instantaneous constraints, so collocation is exact, and
+        * KCL rows that contain an *algebraic branch current* (the
+          current through a voltage source or VCVS has no defining
+          charge equation of its own; collocating the KCL that computes
+          it removes its zigzag mode without touching any differential
+          variable).
+
+        The artificial ``cmin`` node capacitors are excluded from the
+        "physical charge" test - they exist for DAE-index safety, not as
+        dynamics worth trapezoidal treatment.
+        """
+        n = self.n
+        if method == "be":
+            return np.ones(n)
+        c = state.c_lin
+        if c.ndim > 2:
+            c = c[(0,) * (c.ndim - 2)]
+        c_phys = c[:n, :n].copy()
+        if self.cmin > 0.0:
+            idx = np.arange(self.n_nodes)
+            c_phys[idx, idx] -= self.cmin
+            c_phys[idx, idx][np.abs(c_phys[idx, idx]) < 1e-30] = 0.0
+        differential_row = np.any(np.abs(c_phys) > 1e-30, axis=1)
+        algebraic_var = ~np.any(np.abs(c_phys) > 1e-30, axis=0)
+        branch_cols = np.arange(self.n_nodes, n)
+        bad_branch = branch_cols[algebraic_var[branch_cols]]
+        g = state.g_lin
+        if g.ndim > 2:
+            g = g[(0,) * (g.ndim - 2)]
+        touches_bad = np.zeros(n, dtype=bool)
+        if bad_branch.size:
+            touches_bad = np.any(
+                np.abs(g[:n, bad_branch]) > 0.0, axis=1)
+        collocate = (~differential_row) | touches_bad
+        return np.where(collocate, 1.0, 0.5)
+
+    # ------------------------------------------------------------------
+    # buffers
+    # ------------------------------------------------------------------
+    def buffers(self, batch_shape: tuple[int, ...] = ()
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Allocate padded ``(x_pad, g_pad, f_pad)`` work buffers."""
+        n1 = self.n + 1
+        x_pad = np.zeros(batch_shape + (n1,))
+        g_pad = np.zeros(batch_shape + (n1, n1))
+        f_pad = np.zeros(batch_shape + (n1,))
+        return x_pad, g_pad, f_pad
+
+    def pad(self, x: np.ndarray) -> np.ndarray:
+        """Append the ground slot to an unpadded vector."""
+        x = np.asarray(x, dtype=float)
+        return np.concatenate([x, np.zeros(x.shape[:-1] + (1,))], axis=-1)
+
+    def initial_padded(self, batch_shape: tuple[int, ...] = ()
+                       ) -> np.ndarray:
+        """Padded start vector honouring the circuit's ``ic`` entries."""
+        x_pad = np.zeros(batch_shape + (self.n + 1,))
+        for node, v in self.circuit.ic.items():
+            i = self.idx(node)
+            if i != self._ground:
+                x_pad[..., i] = v
+        return x_pad
+
+    def __repr__(self) -> str:
+        return (f"CompiledCircuit({self.circuit.name!r}, n={self.n}, "
+                f"nodes={self.n_nodes}, mosfets={len(self.mosfets)})")
+
+
+def compile_circuit(circuit: Circuit,
+                    cmin: float = CMIN_DEFAULT) -> CompiledCircuit:
+    """Compile *circuit* into a :class:`CompiledCircuit`."""
+    return CompiledCircuit(circuit, cmin=cmin)

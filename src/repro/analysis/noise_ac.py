@@ -1,0 +1,106 @@
+"""Stationary (time-invariant) noise analysis - SPICE ``.NOISE``.
+
+Solves the adjoint system once per frequency and sums
+``|H_i(f)|^2 S_i(f)`` over all physical noise sources, with a per-source
+breakdown.  Two roles in this package:
+
+* baseline for the cyclostationary analysis (the LPTV engines must reduce
+  to this when the steady state is DC), and
+* the DC-match analysis of [8]/[9] is literally this computation with
+  pseudo-noise sources at 1 Hz - see :func:`repro.core.dc_mismatch_analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import TWO_PI
+from ..errors import AnalysisError
+from .ac import _linearize_at_dc
+from .dcop import DcResult, dc_operating_point
+from .mna import CompiledCircuit, NoiseInjection, ParamState
+
+
+@dataclass
+class NoiseResult:
+    """Output noise PSD over frequency with per-source contributions.
+
+    ``psd`` is the total output PSD [V^2/Hz]; ``contributions`` maps
+    source keys to their PSD share at each frequency.
+    """
+
+    compiled: CompiledCircuit
+    freqs: np.ndarray
+    psd: np.ndarray
+    contributions: dict[tuple[str, str], np.ndarray]
+
+    def total_rms(self) -> float:
+        """Integrated RMS noise over the analysed band [V]."""
+        return float(np.sqrt(np.trapezoid(self.psd, self.freqs)))
+
+    def summary(self, at_freq: float | None = None, top: int = 10) -> str:
+        idx = (0 if at_freq is None
+               else int(np.argmin(np.abs(self.freqs - at_freq))))
+        f = self.freqs[idx]
+        rows = sorted(self.contributions.items(),
+                      key=lambda kv: kv[1][idx], reverse=True)
+        lines = [f"output noise at {f:.4g} Hz: "
+                 f"{self.psd[idx]:.4e} V^2/Hz"]
+        for key, vals in rows[:top]:
+            share = vals[idx] / max(self.psd[idx], 1e-300)
+            lines.append(f"  {key[0]}.{key[1]:<10s} {vals[idx]:.4e}  "
+                         f"{share:6.1%}")
+        return "\n".join(lines)
+
+
+def noise_analysis(compiled: CompiledCircuit, output: str,
+                   freqs: np.ndarray,
+                   output_neg: str | None = None,
+                   state: ParamState | None = None,
+                   dc: DcResult | None = None,
+                   injections: list[NoiseInjection] | None = None
+                   ) -> NoiseResult:
+    """Stationary output-referred noise of the circuit at its DC point.
+
+    Parameters
+    ----------
+    output, output_neg:
+        Observed (differential) node.
+    injections:
+        Noise sources to include; defaults to every physical noise
+        declaration in the circuit.
+    """
+    state = state or compiled.nominal
+    if state.batched:
+        raise AnalysisError("noise analysis is batchless")
+    freqs = np.atleast_1d(np.asarray(freqs, dtype=float))
+    dc = dc or dc_operating_point(compiled, state)
+    g, c = _linearize_at_dc(compiled, state, dc)
+    n = compiled.n
+
+    if injections is None:
+        injections = compiled.noise_injections(state, dc.x[None, :])
+    if not injections:
+        raise AnalysisError("circuit declares no noise sources")
+
+    c_vec = np.zeros(n)
+    c_vec[compiled.node_index[output]] = 1.0
+    if output_neg is not None:
+        c_vec[compiled.node_index[output_neg]] -= 1.0
+
+    psd = np.zeros(freqs.size)
+    contributions = {inj.decl.key: np.zeros(freqs.size)
+                     for inj in injections}
+    for i, f in enumerate(freqs):
+        a = g + 1j * TWO_PI * f * c
+        # adjoint: one solve gives the transfer from every injection row
+        lam = np.linalg.solve(a.T, c_vec.astype(complex))
+        for inj in injections:
+            h = lam @ inj.b[0]
+            val = (abs(h) ** 2) * inj.psd(f)
+            contributions[inj.decl.key][i] = val
+            psd[i] += val
+    return NoiseResult(compiled=compiled, freqs=freqs, psd=psd,
+                       contributions=contributions)

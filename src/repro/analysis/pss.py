@@ -1,0 +1,332 @@
+"""Periodic steady-state (PSS) analysis.
+
+The paper's method needs the circuit's periodic steady state before any
+noise/sensitivity analysis can run (Section IV): the LPTV linearisation is
+taken *around that orbit*.  Two engines are provided, mirroring practice
+in RF simulators:
+
+* ``shooting`` - Newton on the one-period map ``Phi(x0) - x0`` using the
+  exact monodromy matrix assembled from the per-step integrator Jacobians
+  (SpectreRF's approach, [16] in the paper).  For oscillators the period
+  is an extra unknown closed by a phase-anchor condition.
+* ``settle`` - brute-force integration until two consecutive periods
+  agree.  Slower but useful as a robustness fallback and as an
+  independent check of the shooting result.
+
+A converged :class:`PssResult` stores the orbit on a uniform grid of
+``n_steps`` points per period; everything downstream (LPTV sensitivities,
+periodic noise, measurements) consumes that grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError, ConvergenceError, MeasurementError
+from ..waveform import Waveform, WaveformSet
+from .dcop import NewtonOptions, dc_operating_point
+from .mna import CompiledCircuit, ParamState
+from .transient import TransientOptions, _newton_step, transient
+
+
+@dataclass
+class PssOptions:
+    """Knobs for :func:`pss` / :func:`pss_oscillator`."""
+
+    n_steps: int = 400
+    method: str = "trap"
+    engine: str = "shooting"          # or "settle"
+    settle_periods: int = 8           # pre-shooting settle length
+    max_iterations: int = 40          # shooting Newton iterations
+    tol: float = 1e-9                 # on max|x(T) - x(0)|
+    settle_max_periods: int = 2000
+    newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(
+        max_step=1.0, max_iterations=50))
+
+
+@dataclass
+class PssResult:
+    """A converged periodic steady state.
+
+    ``x`` holds ``n_steps + 1`` orbit samples (first and last nominally
+    equal); ``t`` are the matching absolute times - absolute because the
+    LPTV linearisation must evaluate time-dependent elements at the same
+    source phase the orbit was computed with.
+    """
+
+    compiled: CompiledCircuit
+    state: ParamState
+    period: float
+    t: np.ndarray
+    x: np.ndarray
+    method: str
+    engine: str
+    is_oscillator: bool = False
+    anchor_index: int | None = None
+    residual: float = 0.0
+
+    @property
+    def n_steps(self) -> int:
+        return self.x.shape[0] - 1
+
+    @property
+    def f0(self) -> float:
+        """Fundamental frequency [Hz]."""
+        return 1.0 / self.period
+
+    def waveset(self) -> WaveformSet:
+        signals = {name: self.x[:, i]
+                   for name, i in self.compiled.node_index.items()}
+        return WaveformSet(self.t, signals)
+
+    def waveform(self, node: str) -> Waveform:
+        return self.waveset()[node]
+
+    def fundamental_amplitude(self, node: str) -> float:
+        """Amplitude of the fundamental of *node*'s steady-state waveform
+        (the carrier amplitude ``Ac`` in the paper's Eqs. 7-9)."""
+        i = self.compiled.node_index[node]
+        spectrum = np.fft.rfft(self.x[:-1, i]) / self.n_steps
+        if spectrum.shape[0] < 2:
+            raise AnalysisError("orbit too short for a fundamental")
+        return float(2.0 * np.abs(spectrum[1]))
+
+
+def integrate_period(compiled: CompiledCircuit, state: ParamState,
+                     x0_pad: np.ndarray, t0: float, period: float,
+                     n_steps: int, method: str,
+                     newton: NewtonOptions,
+                     want_monodromy: bool = False
+                     ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Integrate exactly one period on a uniform grid.
+
+    Returns ``(orbit, monodromy)`` where *orbit* has shape
+    ``(n_steps + 1, n)``; *monodromy* is ``dPhi/dx0`` or ``None``.
+
+    The monodromy matrix is the product of the per-step linearised maps:
+    for the theta scheme, ``A_k dx_k = B_k dx_{k-1}`` with
+    ``A_k = C/h + theta G_k`` and ``B_k = C/h - (1-theta) G_{k-1}``.
+    """
+    n = compiled.n
+    h = period / n_steps
+    _, g_pad, f_pad = compiled.buffers(())
+    j_pad = np.empty_like(g_pad)
+    c_over_h = compiled.capacitance(state) / h
+
+    orbit = np.empty((n_steps + 1, n))
+    x_pad = x0_pad.copy()
+    orbit[0] = x_pad[:-1]
+
+    mono = np.eye(n) if want_monodromy else None
+    theta = np.append(compiled.theta_rows(state, method), 1.0)
+    th_n = theta[:n, None]
+
+    compiled.assemble(state, x_pad, t0, g_pad, f_pad)
+    f_prev = f_pad.copy()
+    g_prev = g_pad.copy() if want_monodromy else None
+    x_prev = x_pad.copy()
+
+    for k in range(1, n_steps + 1):
+        t_k = t0 + k * h
+        _newton_step(compiled, state, x_pad, x_prev, f_prev, t_k, theta,
+                     c_over_h, g_pad, f_pad, j_pad, newton)
+        compiled.assemble(state, x_pad, t_k, g_pad, f_pad)
+        if want_monodromy:
+            a_k = c_over_h[:n, :n] + th_n * g_pad[:n, :n]
+            b_k = c_over_h[:n, :n] - (1.0 - th_n) * g_prev[:n, :n]
+            mono = np.linalg.solve(a_k, b_k @ mono)
+            np.copyto(g_prev, g_pad)
+        np.copyto(f_prev, f_pad)
+        np.copyto(x_prev, x_pad)
+        orbit[k] = x_pad[:-1]
+    return orbit, mono
+
+
+def _settle_start(compiled: CompiledCircuit, state: ParamState,
+                  period: float, opts: PssOptions) -> np.ndarray:
+    """Initial state after a few settling periods (padded)."""
+    if compiled.circuit.ic:
+        x_pad = compiled.initial_padded()
+    else:
+        dc = dc_operating_point(compiled, state, t=0.0)
+        x_pad = compiled.pad(dc.x)
+    if opts.settle_periods > 0:
+        res = transient(
+            compiled, t_stop=opts.settle_periods * period,
+            dt=period / opts.n_steps, state=state, x0_pad=x_pad,
+            options=TransientOptions(method=opts.method, record=[],
+                                     newton=opts.newton))
+        x_pad = res.x_final_pad
+    return x_pad
+
+
+def pss(compiled: CompiledCircuit, period: float,
+        state: ParamState | None = None,
+        options: PssOptions | None = None) -> PssResult:
+    """PSS of a *driven* circuit with known fundamental *period*.
+
+    The testbench must be periodic with this period (all source periods
+    dividing it); see the paper's Section IV examples for how to build
+    such testbenches.
+    """
+    opts = options or PssOptions()
+    state = state or compiled.nominal
+    if state.batched:
+        raise AnalysisError("PSS analyses are batchless")
+    x_pad = _settle_start(compiled, state, period, opts)
+    t0 = opts.settle_periods * period
+
+    if opts.engine == "settle":
+        return _pss_settle(compiled, state, period, x_pad, t0, opts)
+
+    scale = 1.0
+    orbit = None
+    for it in range(opts.max_iterations):
+        orbit, mono = integrate_period(
+            compiled, state, x_pad, t0, period, opts.n_steps, opts.method,
+            opts.newton, want_monodromy=True)
+        res = orbit[-1] - orbit[0]
+        scale = max(float(np.max(np.abs(orbit))), 1.0)
+        worst = float(np.max(np.abs(res)))
+        if worst <= opts.tol * scale:
+            return PssResult(compiled, state, period,
+                             t0 + np.linspace(0.0, period,
+                                              opts.n_steps + 1),
+                             orbit, opts.method, "shooting",
+                             residual=worst)
+        delta = np.linalg.solve(mono - np.eye(compiled.n), -res)
+        x_pad[:-1] = orbit[0] + delta
+    raise ConvergenceError(
+        f"shooting PSS did not converge on '{compiled.circuit.name}' "
+        f"after {opts.max_iterations} iterations "
+        f"(residual {worst:.3e}, scale {scale:.3e})")
+
+
+def _pss_settle(compiled: CompiledCircuit, state: ParamState,
+                period: float, x_pad: np.ndarray, t0: float,
+                opts: PssOptions) -> PssResult:
+    prev = x_pad[:-1].copy()
+    orbit = None
+    for p in range(opts.settle_max_periods):
+        orbit, _ = integrate_period(
+            compiled, state, x_pad, t0 + p * period, period, opts.n_steps,
+            opts.method, opts.newton)
+        x_pad[:-1] = orbit[-1]
+        worst = float(np.max(np.abs(orbit[-1] - prev)))
+        scale = max(float(np.max(np.abs(orbit))), 1.0)
+        if worst <= max(opts.tol * scale * 10.0, 1e-12):
+            return PssResult(
+                compiled, state, period,
+                t0 + p * period + np.linspace(0.0, period,
+                                              opts.n_steps + 1),
+                orbit, opts.method, "settle", residual=worst)
+        prev = orbit[-1].copy()
+    raise ConvergenceError(
+        f"settle PSS did not reach steady state on "
+        f"'{compiled.circuit.name}' within {opts.settle_max_periods} "
+        f"periods (residual {worst:.3e})")
+
+
+def pss_oscillator(compiled: CompiledCircuit, anchor: str,
+                   t_settle: float, dt_settle: float,
+                   state: ParamState | None = None,
+                   options: PssOptions | None = None,
+                   period_guess: float | None = None) -> PssResult:
+    """PSS of an autonomous oscillator; the period is an unknown.
+
+    Parameters
+    ----------
+    anchor:
+        Node used for the phase condition (its ``t=0`` value is pinned) and
+        for the initial period estimate.  Pick a swinging node.
+    t_settle, dt_settle:
+        Free-running transient used to reach the limit cycle and estimate
+        the period from threshold crossings.
+    period_guess:
+        Skip the crossing-based estimate and use this guess instead
+        (the settling transient still runs).
+    """
+    opts = options or PssOptions()
+    state = state or compiled.nominal
+    if state.batched:
+        raise AnalysisError("PSS analyses are batchless")
+
+    settle = transient(
+        compiled, t_stop=t_settle, dt=dt_settle, state=state,
+        options=TransientOptions(method=opts.method, record=[anchor],
+                                 newton=opts.newton))
+    wave = Waveform(settle.t, settle.signal(anchor), anchor)
+    if period_guess is None:
+        try:
+            mid_level = 0.5 * (wave.min() + wave.max())
+            n_cross = len(wave.crossings(mid_level, "rise"))
+            period = wave.period(skip=max(2, n_cross // 2))
+        except MeasurementError as exc:
+            raise AnalysisError(
+                f"could not estimate the oscillation period from node "
+                f"'{anchor}': {exc}") from exc
+    else:
+        period = period_guess
+
+    # march to the next rising mid-level crossing so the anchor starts on
+    # a steep part of the waveform (well-conditioned phase condition)
+    mid = 0.5 * (wave.min() + wave.max())
+    x_pad = settle.x_final_pad.copy()
+    a_idx = compiled.node_index[anchor]
+    t_cur = float(settle.t[-1])
+    x_pad, t_cur = _advance_to_crossing(compiled, state, x_pad, t_cur,
+                                        dt_settle, mid, a_idx, period, opts)
+
+    n = compiled.n
+    t0 = t_cur
+    worst = np.inf
+    for it in range(opts.max_iterations):
+        orbit, mono = integrate_period(
+            compiled, state, x_pad, t0, period, opts.n_steps, opts.method,
+            opts.newton, want_monodromy=True)
+        res = orbit[-1] - orbit[0]
+        scale = max(float(np.max(np.abs(orbit))), 1.0)
+        worst = float(np.max(np.abs(res)))
+        if worst <= opts.tol * scale:
+            return PssResult(compiled, state, period,
+                             t0 + np.linspace(0.0, period,
+                                              opts.n_steps + 1),
+                             orbit, opts.method, "shooting",
+                             is_oscillator=True, anchor_index=a_idx,
+                             residual=worst)
+        h = period / opts.n_steps
+        xdot_t = (orbit[-1] - orbit[-2]) / h
+        jac = np.zeros((n + 1, n + 1))
+        jac[:n, :n] = mono - np.eye(n)
+        jac[:n, n] = xdot_t
+        jac[n, a_idx] = 1.0
+        rhs = np.concatenate([-res, [0.0]])
+        upd = np.linalg.solve(jac, rhs)
+        dT = float(np.clip(upd[n], -0.2 * period, 0.2 * period))
+        x_pad[:-1] = orbit[0] + upd[:n]
+        period += dT
+        if period <= 0.0:
+            raise ConvergenceError("oscillator shooting drove T <= 0")
+    raise ConvergenceError(
+        f"oscillator shooting did not converge on "
+        f"'{compiled.circuit.name}' after {opts.max_iterations} "
+        f"iterations (residual {worst:.3e})")
+
+
+def _advance_to_crossing(compiled, state, x_pad, t_cur, dt, level, a_idx,
+                         period, opts: PssOptions):
+    """Integrate until the anchor crosses *level* rising (max 2 periods)."""
+    res = transient(compiled, t_stop=t_cur + 2.2 * period, dt=dt,
+                    state=state, x0_pad=x_pad, t_start=t_cur,
+                    options=TransientOptions(method=opts.method, record=[],
+                                             newton=opts.newton,
+                                             record_states=True))
+    v = res.states[:, a_idx]
+    for k in range(1, v.shape[0]):
+        if v[k - 1] < level <= v[k] and v[k] > v[k - 1]:
+            x_new = compiled.pad(res.states[k])
+            return x_new, float(res.t[k])
+    # fall back to the final state
+    return res.x_final_pad, float(res.t[-1])

@@ -1,0 +1,226 @@
+"""Transient analysis on a fixed time grid (backward Euler / trapezoidal).
+
+The integrator works on the charge-oriented MNA system
+
+.. math:: \\frac{d}{dt} q(x) + i(x, t) = 0, \\qquad q(x) = C x
+
+(all charges in the bundled element set are linear, see
+:mod:`repro.analysis.mna`).  A *fixed uniform grid* is used deliberately:
+
+* shooting PSS needs the one-period state-transition map, which falls out
+  of the per-step Jacobians only when every Newton step lands on the same
+  grid;
+* the LPTV sensitivity engine reuses the same grid, making the linear
+  analysis exact on the discretisation;
+* batched Monte-Carlo lanes must share time points to be solved as one
+  stacked system.
+
+Trapezoidal is the default (second order, no numerical damping - important
+for oscillator period accuracy); backward Euler is available for heavily
+damped settling runs and is used for the very first step after a raw
+initial condition (it swallows inconsistent ICs within one step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConvergenceError, SingularMatrixError
+from ..waveform import WaveformSet
+from .dcop import NewtonOptions, dc_operating_point
+from .mna import CompiledCircuit, ParamState
+
+Method = str  # "trap" | "be"
+
+
+@dataclass
+class TransientOptions:
+    """Knobs for :func:`transient`."""
+
+    method: Method = "trap"
+    newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(
+        max_step=1.0, max_iterations=50))
+    #: Node names (or voltage-source names prefixed ``i:``) to record.
+    #: ``None`` records every node voltage.
+    record: list[str] | None = None
+    #: Keep every ``stride``-th sample in the recorded signals.
+    stride: int = 1
+    #: Store the full unknown trajectory (needed by PSS; batchless only).
+    record_states: bool = False
+
+
+@dataclass
+class TransientResult:
+    """Output of :func:`transient`.
+
+    ``t`` has ``K+1`` entries (including the start point); recorded signals
+    are arrays of shape ``(K+1, *batch)``.
+    """
+
+    compiled: CompiledCircuit
+    state: ParamState
+    t: np.ndarray
+    signals: dict[str, np.ndarray]
+    x_final_pad: np.ndarray
+    states: np.ndarray | None = None
+
+    def signal(self, name: str) -> np.ndarray:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise KeyError(
+                f"'{name}' was not recorded; available: "
+                f"{sorted(self.signals)}") from None
+
+    def waveset(self) -> WaveformSet:
+        """Recorded signals as a :class:`WaveformSet` (batchless runs)."""
+        for v in self.signals.values():
+            if v.ndim != 1:
+                raise ValueError(
+                    "waveset() is only available for batchless runs; "
+                    "use .signal(name) for batched data")
+        return WaveformSet(self.t, self.signals)
+
+
+def _record_indices(compiled: CompiledCircuit,
+                    record: list[str] | None) -> dict[str, int]:
+    if record is None:
+        return dict(compiled.node_index)
+    out: dict[str, int] = {}
+    for name in record:
+        if name.startswith("i:"):
+            out[name] = compiled.branch(name[2:])
+        else:
+            out[name] = compiled.idx(name)
+            if out[name] == compiled.n:
+                raise ValueError(f"cannot record ground node '{name}'")
+    return out
+
+
+def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
+              state: ParamState | None = None,
+              x0_pad: np.ndarray | None = None,
+              t_start: float = 0.0,
+              options: TransientOptions | None = None,
+              batch_shape: tuple[int, ...] = ()) -> TransientResult:
+    """Integrate the circuit from *t_start* to *t_stop* with step *dt*.
+
+    Starting point, in order of precedence: *x0_pad* (padded state, e.g.
+    the final state of a previous run), the circuit's ``ic`` dictionary
+    (SPICE ``uic`` style, missing nodes start at 0), or - when no ICs are
+    set at all - the DC operating point at *t_start*.
+
+    Raises
+    ------
+    ConvergenceError
+        When a Newton solve fails at some time step.
+    """
+    opts = options or TransientOptions()
+    state = state or compiled.nominal
+    if state.batched:
+        batch_shape = state.batch_shape
+
+    n = compiled.n
+    n_steps = int(round((t_stop - t_start) / dt))
+    if n_steps < 1:
+        raise ValueError("t_stop must exceed t_start by at least one step")
+    t_grid = t_start + dt * np.arange(n_steps + 1)
+
+    if x0_pad is not None:
+        x_pad = np.broadcast_to(
+            x0_pad, batch_shape + (n + 1,)).copy()
+        first_step_be = False
+    elif compiled.circuit.ic:
+        x_pad = compiled.initial_padded(batch_shape)
+        first_step_be = True
+    else:
+        dc = dc_operating_point(compiled, state, t=t_start,
+                                batch_shape=batch_shape)
+        x_pad = compiled.pad(dc.x)
+        first_step_be = False
+
+    rec = _record_indices(compiled, opts.record)
+    kept = range(0, n_steps + 1, opts.stride)
+    n_kept = len(kept)
+    sig_store = {name: np.empty((n_kept,) + batch_shape)
+                 for name in rec}
+    states = (np.empty((n_steps + 1, n)) if opts.record_states else None)
+    if states is not None and batch_shape:
+        raise ValueError("record_states requires a batchless run")
+
+    _, g_pad, f_pad = compiled.buffers(batch_shape)
+    j_pad = np.empty_like(g_pad)
+    c_over_h = compiled.capacitance(state) / dt
+    theta_trap = np.append(compiled.theta_rows(state, opts.method), 1.0)
+    theta_be = np.ones(compiled.n + 1)
+
+    def store(k_idx: int, k: int) -> None:
+        for name, idx in rec.items():
+            sig_store[name][k_idx] = x_pad[..., idx]
+        if states is not None:
+            states[k] = x_pad[..., :n]
+
+    kept_set = {k: i for i, k in enumerate(kept)}
+    if 0 in kept_set:
+        store(0, 0)
+
+    # previous-step static residual, needed by trapezoidal
+    compiled.assemble(state, x_pad, float(t_grid[0]), g_pad, f_pad)
+    f_prev = f_pad.copy()
+    x_prev = x_pad.copy()
+
+    for k in range(1, n_steps + 1):
+        t_k = float(t_grid[k])
+        be_step = opts.method == "be" or (k == 1 and first_step_be)
+        theta = theta_be if be_step else theta_trap
+        _newton_step(compiled, state, x_pad, x_prev, f_prev, t_k, theta,
+                     c_over_h, g_pad, f_pad, j_pad, opts.newton)
+        # refresh f_prev at the accepted point for the next trap step
+        compiled.assemble(state, x_pad, t_k, g_pad, f_pad)
+        np.copyto(f_prev, f_pad)
+        np.copyto(x_prev, x_pad)
+        if k in kept_set:
+            store(kept_set[k], k)
+        elif states is not None:
+            states[k] = x_pad[..., :n]
+
+    return TransientResult(
+        compiled=compiled, state=state, t=t_grid[::opts.stride][:n_kept],
+        signals=sig_store, x_final_pad=x_pad.copy(), states=states)
+
+
+def _newton_step(compiled: CompiledCircuit, state: ParamState,
+                 x_pad: np.ndarray, x_prev: np.ndarray,
+                 f_prev: np.ndarray, t_k: float, theta: np.ndarray,
+                 c_over_h: np.ndarray, g_pad: np.ndarray,
+                 f_pad: np.ndarray, j_pad: np.ndarray,
+                 newton: NewtonOptions) -> None:
+    """One implicit time step solved in place into ``x_pad``.
+
+    *theta* is the per-equation implicitness vector (padded length
+    ``n+1``); see :meth:`CompiledCircuit.theta_rows`.
+    """
+    n = compiled.n
+    for _ in range(newton.max_iterations):
+        compiled.assemble(state, x_pad, t_k, g_pad, f_pad)
+        dx = x_pad - x_prev
+        res = np.matmul(c_over_h, dx[..., None])[..., 0]
+        res += theta * f_pad
+        res += (1.0 - theta) * f_prev
+        np.multiply(g_pad, theta[..., :, None], out=j_pad)
+        j_pad += c_over_h
+        try:
+            delta = np.linalg.solve(j_pad[..., :n, :n],
+                                    res[..., :n, None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular transient Jacobian at t={t_k:.4e}") from exc
+        np.clip(delta, -newton.max_step, newton.max_step, out=delta)
+        x_pad[..., :n] -= delta
+        if float(np.max(np.abs(delta))) <= newton.vntol:
+            return
+    raise ConvergenceError(
+        f"transient Newton failed at t={t_k:.4e} on "
+        f"'{compiled.circuit.name}'")

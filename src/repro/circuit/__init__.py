@@ -1,0 +1,25 @@
+"""Circuit description layer: elements, netlists, technology.
+
+This subpackage is pure description; the numerical engines live in
+:mod:`repro.analysis`.
+"""
+
+from .controlled import GateWindow, Vccs, Vcvs
+from .elements import Element, MismatchDecl, NoiseDecl, ParamKey, PsdShape
+from .mosfet import Mosfet, MosEval, ekv_ids
+from .netlist import GROUND_NAMES, Circuit, merge
+from .passives import Capacitor, Inductor, Resistor
+from .sources import (CurrentSource, Dc, Pwl, Sine, SmoothPulse,
+                      TimeFunction, VoltageSource, smoothstep)
+from .technology import MosParams, Technology, default_technology
+
+__all__ = [
+    "Circuit", "merge", "GROUND_NAMES",
+    "Element", "MismatchDecl", "NoiseDecl", "ParamKey", "PsdShape",
+    "Resistor", "Capacitor", "Inductor",
+    "VoltageSource", "CurrentSource",
+    "Dc", "Sine", "SmoothPulse", "Pwl", "TimeFunction", "smoothstep",
+    "Vccs", "Vcvs", "GateWindow",
+    "Mosfet", "MosEval", "ekv_ids",
+    "Technology", "MosParams", "default_technology",
+]

@@ -1,0 +1,108 @@
+"""Controlled sources and behavioral (Verilog-A substitute) elements.
+
+The paper builds its comparator offset testbench (Fig. 6) from ideal
+behavioral blocks written in Verilog-A: a clocked sampler that senses the
+output difference and an integrator that feeds the accumulated error back
+to the input.  Here the same testbench is composed from:
+
+* :class:`Vccs` with a smooth clock *gate* - the sampler (a transconductor
+  that is only active during a window of each clock period), optionally
+  with a ``tanh`` soft limit so that the feedback loop converges
+  monotonically from any starting point, and
+* a :class:`Vccs` into a grounded capacitor - the ideal integrator.
+
+Both are ordinary MNA elements, so the PSS and LPTV analyses treat the
+testbench exactly like the rest of the circuit, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .elements import Element
+from .sources import smoothstep
+
+
+@dataclass
+class GateWindow:
+    """Smooth periodic gate: 1 inside ``[t_on, t_off]``, 0 outside.
+
+    Transitions take *tau* seconds (cubic smoothstep).  The window must fit
+    within one period, transitions included.
+    """
+
+    t_on: float
+    t_off: float
+    period: float
+    tau: float = 1e-12
+
+    def __post_init__(self):
+        if not (0.0 <= self.t_on < self.t_off <= self.period):
+            raise ValueError("gate window must satisfy 0 <= on < off <= T")
+        if self.t_off + self.tau > self.period:
+            raise ValueError("gate falling transition exceeds the period")
+
+    def __call__(self, t):
+        ph = np.mod(np.asarray(t, dtype=float), self.period)
+        g = smoothstep((ph - self.t_on) / self.tau) \
+            - smoothstep((ph - self.t_off) / self.tau)
+        return g if g.ndim else float(g)
+
+
+@dataclass
+class Vccs(Element):
+    """Voltage-controlled current source ``i = gate(t) gm phi(v_c)``.
+
+    Current flows from *pos* through the source to *neg* (so a positive
+    control voltage with positive *gm* pulls current out of *pos* into
+    *neg*).  ``phi`` is the identity, or ``vlimit * tanh(v / vlimit)``
+    when *vlimit* is set (smooth saturating transconductor).
+    """
+
+    pos: str = "0"
+    neg: str = "0"
+    ctrl_pos: str = "0"
+    ctrl_neg: str = "0"
+    gm: float = 1e-3
+    vlimit: float | None = None
+    gate: GateWindow | None = None
+
+    def nodes(self):
+        return (self.pos, self.neg, self.ctrl_pos, self.ctrl_neg)
+
+    @property
+    def is_linear(self) -> bool:
+        return self.vlimit is None and self.gate is None
+
+    def gate_value(self, t):
+        if self.gate is None:
+            return 1.0 if np.ndim(t) == 0 else np.ones_like(
+                np.asarray(t, dtype=float))
+        return self.gate(t)
+
+    def phi(self, v):
+        """Saturating control law and its derivative ``(phi, dphi/dv)``."""
+        if self.vlimit is None:
+            return v, np.ones_like(np.asarray(v, dtype=float))
+        th = np.tanh(np.asarray(v, dtype=float) / self.vlimit)
+        return self.vlimit * th, 1.0 - th * th
+
+
+@dataclass
+class Vcvs(Element):
+    """Voltage-controlled voltage source ``v(pos,neg) = gain * v_c``
+    (``n_branch=1``)."""
+
+    pos: str = "0"
+    neg: str = "0"
+    ctrl_pos: str = "0"
+    ctrl_neg: str = "0"
+    gain: float = 1.0
+
+    def __post_init__(self):
+        self.n_branch = 1
+
+    def nodes(self):
+        return (self.pos, self.neg, self.ctrl_pos, self.ctrl_neg)

@@ -1,0 +1,105 @@
+"""Element base classes and the mismatch/noise declaration records.
+
+An element is a lightweight description object: it stores its name, node
+names and parameters.  All numerical work happens in the compiled device
+groups (:mod:`repro.analysis.mna`), which stack the parameters of all
+elements of one type into arrays so that model evaluation is vectorised
+over devices *and* over Monte-Carlo samples.
+
+Two declaration records connect elements to the paper's machinery:
+
+* :class:`MismatchDecl` - one scalar random mismatch parameter with its
+  standard deviation.  The compiled circuit turns each declaration into an
+  equivalent *pseudo-noise injection* (paper Section III) for the
+  sensitivity-based analysis, and into a sampled parameter delta for the
+  Monte-Carlo baseline.
+* :class:`NoiseDecl` - one physical noise source (thermal/flicker), used by
+  the stationary and periodic noise analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+
+#: Type alias for the key that identifies one scalar parameter of one
+#: element, e.g. ``("M2", "vt0")``.
+ParamKey = tuple[str, str]
+
+
+class PsdShape(Enum):
+    """Frequency shape of a noise source's power spectral density."""
+
+    #: Flat PSD (thermal noise).
+    WHITE = "white"
+    #: ``1/f`` PSD, specified by its value at 1 Hz.  The paper models DC
+    #: mismatch as exactly this shape so that the high-frequency content
+    #: (and therefore noise folding) is negligible (Section III).
+    FLICKER = "flicker"
+
+
+@dataclass(frozen=True)
+class MismatchDecl:
+    """One random mismatch parameter of one element.
+
+    Attributes
+    ----------
+    key:
+        ``(element_name, parameter_name)``.
+    sigma:
+        Standard deviation of the parameter's distribution, in the
+        parameter's own unit (V for ``vt0``, relative for ``beta_rel``,
+        ohm for ``r``, ...).
+    """
+
+    key: ParamKey
+    sigma: float
+
+    @property
+    def element(self) -> str:
+        return self.key[0]
+
+    @property
+    def param(self) -> str:
+        return self.key[1]
+
+
+@dataclass(frozen=True)
+class NoiseDecl:
+    """One physical noise source of one element.
+
+    Attributes
+    ----------
+    key:
+        ``(element_name, source_name)``, e.g. ``("M2", "thermal")``.
+    shape:
+        PSD shape (white or flicker).
+    """
+
+    key: ParamKey
+    shape: PsdShape
+
+
+@dataclass
+class Element:
+    """Base class for all circuit elements."""
+
+    name: str
+
+    #: Number of auxiliary branch-current unknowns this element adds to the
+    #: MNA system (voltage sources, inductors, VCVS: 1; others: 0).
+    n_branch: int = field(default=0, init=False, repr=False)
+
+    def nodes(self) -> Sequence[str]:
+        """Names of the nodes this element connects to."""
+        raise NotImplementedError
+
+    def mismatch_decls(self) -> list[MismatchDecl]:
+        """Random mismatch parameters of this element (default: none)."""
+        return []
+
+    def noise_decls(self) -> list[NoiseDecl]:
+        """Physical noise sources of this element (default: none)."""
+        return []

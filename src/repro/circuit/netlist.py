@@ -1,0 +1,211 @@
+"""The :class:`Circuit` container: a named collection of elements.
+
+A circuit is pure description - compiling it into a numerical MNA system
+happens in :mod:`repro.analysis.mna`.  Node names are free-form strings;
+``"0"`` and ``"gnd"`` denote ground.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import NetlistError
+from .controlled import GateWindow, Vccs, Vcvs
+from .elements import Element, MismatchDecl, NoiseDecl
+from .mosfet import Mosfet
+from .passives import Capacitor, Inductor, Resistor
+from .sources import (CurrentSource, Dc, Pwl, Sine, SmoothPulse,
+                      TimeFunction, VoltageSource)
+from .technology import Technology
+
+#: Node names treated as the ground/reference node.
+GROUND_NAMES = frozenset({"0", "gnd"})
+
+
+class Circuit:
+    """A netlist: elements, nodes and optional initial conditions.
+
+    Parameters
+    ----------
+    name:
+        Label used in diagnostics.
+
+    Examples
+    --------
+    >>> ckt = Circuit("divider")
+    >>> ckt.add_vsource("VIN", "in", "0", dc=1.0)
+    >>> ckt.add_resistor("R1", "in", "out", 1e3)
+    >>> ckt.add_resistor("R2", "out", "0", 1e3)
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._elements: dict[str, Element] = {}
+        #: Initial node voltages for ``transient(..., use_ic=True)`` [V].
+        self.ic: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # element management
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add *element*; names must be unique within the circuit."""
+        if not element.name:
+            raise NetlistError("elements must be named")
+        if element.name in self._elements:
+            raise NetlistError(
+                f"duplicate element name '{element.name}' in '{self.name}'")
+        for node in element.nodes():
+            if not isinstance(node, str) or not node:
+                raise NetlistError(
+                    f"element '{element.name}' has an invalid node {node!r}")
+        self._elements[element.name] = element
+        return element
+
+    def __getitem__(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise NetlistError(
+                f"no element named '{name}' in '{self.name}'") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def elements(self) -> list[Element]:
+        return list(self._elements.values())
+
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in first-use order."""
+        seen: dict[str, None] = {}
+        for el in self._elements.values():
+            for node in el.nodes():
+                if node not in GROUND_NAMES:
+                    seen.setdefault(node)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`NetlistError`.
+
+        Every element must reference ground somewhere in the circuit and
+        each node should connect at least two element terminals (a single
+        connection means a dangling branch that makes the MNA matrix
+        singular, except for intentionally open control terminals).
+        """
+        if not self._elements:
+            raise NetlistError(f"circuit '{self.name}' is empty")
+        touches_ground = any(
+            node in GROUND_NAMES
+            for el in self._elements.values() for node in el.nodes())
+        if not touches_ground:
+            raise NetlistError(
+                f"circuit '{self.name}' never references ground ('0')")
+
+    # ------------------------------------------------------------------
+    # aggregated declarations
+    # ------------------------------------------------------------------
+    def mismatch_decls(self) -> list[MismatchDecl]:
+        """Every mismatch parameter declared by any element."""
+        out: list[MismatchDecl] = []
+        for el in self._elements.values():
+            out.extend(el.mismatch_decls())
+        return out
+
+    def noise_decls(self) -> list[NoiseDecl]:
+        """Every physical noise source declared by any element."""
+        out: list[NoiseDecl] = []
+        for el in self._elements.values():
+            out.extend(el.noise_decls())
+        return out
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    def add_resistor(self, name: str, pos: str, neg: str, r: float,
+                     sigma_rel: float = 0.0, noisy: bool = True) -> Resistor:
+        return self.add(Resistor(name=name, pos=pos, neg=neg, r=r,
+                                 sigma_rel=sigma_rel, noisy=noisy))
+
+    def add_capacitor(self, name: str, pos: str, neg: str, c: float,
+                      sigma_rel: float = 0.0) -> Capacitor:
+        return self.add(Capacitor(name=name, pos=pos, neg=neg, c=c,
+                                  sigma_rel=sigma_rel))
+
+    def add_inductor(self, name: str, pos: str, neg: str, l: float,
+                     sigma_rel: float = 0.0) -> Inductor:
+        return self.add(Inductor(name=name, pos=pos, neg=neg, l=l,
+                                 sigma_rel=sigma_rel))
+
+    def add_vsource(self, name: str, pos: str, neg: str,
+                    dc: float | None = None,
+                    wave: TimeFunction | None = None) -> VoltageSource:
+        if (dc is None) == (wave is None):
+            raise NetlistError(f"vsource {name}: give exactly one of dc/wave")
+        if wave is None:
+            wave = Dc(dc)
+        return self.add(VoltageSource(name=name, pos=pos, neg=neg, wave=wave))
+
+    def add_isource(self, name: str, pos: str, neg: str,
+                    dc: float | None = None,
+                    wave: TimeFunction | None = None) -> CurrentSource:
+        if (dc is None) == (wave is None):
+            raise NetlistError(f"isource {name}: give exactly one of dc/wave")
+        if wave is None:
+            wave = Dc(dc)
+        return self.add(CurrentSource(name=name, pos=pos, neg=neg, wave=wave))
+
+    def add_vccs(self, name: str, pos: str, neg: str, ctrl_pos: str,
+                 ctrl_neg: str, gm: float, vlimit: float | None = None,
+                 gate: GateWindow | None = None) -> Vccs:
+        return self.add(Vccs(name=name, pos=pos, neg=neg, ctrl_pos=ctrl_pos,
+                             ctrl_neg=ctrl_neg, gm=gm, vlimit=vlimit,
+                             gate=gate))
+
+    def add_vcvs(self, name: str, pos: str, neg: str, ctrl_pos: str,
+                 ctrl_neg: str, gain: float) -> Vcvs:
+        return self.add(Vcvs(name=name, pos=pos, neg=neg, ctrl_pos=ctrl_pos,
+                             ctrl_neg=ctrl_neg, gain=gain))
+
+    def add_mosfet(self, name: str, d: str, g: str, s: str, b: str,
+                   w: float, l: float, tech: Technology,
+                   polarity: str = "n", m: float = 1.0,
+                   noisy: bool = True) -> Mosfet:
+        return self.add(Mosfet.from_tech(name, d, g, s, b, w, l, tech,
+                                         polarity=polarity, m=m, noisy=noisy))
+
+    def set_ic(self, assignments: dict[str, float] | None = None,
+               **nodes: float) -> None:
+        """Set initial node voltages for ``use_ic`` transients."""
+        if assignments:
+            self.ic.update(assignments)
+        self.ic.update(nodes)
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, {len(self._elements)} elements, "
+                f"{len(self.nodes())} nodes)")
+
+
+__all__ = [
+    "Circuit", "GROUND_NAMES",
+    "Resistor", "Capacitor", "Inductor",
+    "VoltageSource", "CurrentSource",
+    "Vccs", "Vcvs", "GateWindow",
+    "Mosfet", "Technology",
+    "Dc", "Sine", "SmoothPulse", "Pwl",
+]
+
+
+def merge(name: str, circuits: Iterable[Circuit]) -> Circuit:
+    """Combine several circuits into one (names must not collide)."""
+    out = Circuit(name)
+    for ckt in circuits:
+        for el in ckt:
+            out.add(el)
+        out.ic.update(ckt.ic)
+    return out

@@ -1,0 +1,107 @@
+"""Passive elements: resistor, capacitor, inductor.
+
+Each passive carries an optional *relative* mismatch sigma.  The paper's
+Fig. 3 gives the equivalent pseudo-noise representation of passive
+mismatch; in this implementation the equivalence is realised exactly as a
+parameter-derivative injection (see ``repro.core.pseudo_noise`` for the
+mapping table and the proof of equivalence):
+
+* resistor ``delta R``: KCL injection ``-I_R(t)/R`` (the paper's series EMF
+  ``I_R * deltaR`` converted to its Norton equivalent),
+* capacitor ``delta C``: reactive injection with charge derivative
+  ``v_C(t)`` (the paper's ``i = d(deltaC v)/dt``),
+* inductor ``delta L``: branch-voltage injection with flux derivative
+  ``i_L(t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .elements import Element, MismatchDecl, NoiseDecl, PsdShape
+
+
+@dataclass
+class Resistor(Element):
+    """Linear resistor between *pos* and *neg*.
+
+    Attributes
+    ----------
+    r:
+        Nominal resistance [ohm].
+    sigma_rel:
+        Relative mismatch sigma (``sigma_R = sigma_rel * r``); 0 disables.
+    noisy:
+        Include the 4kT/R thermal noise source in noise analyses.
+    """
+
+    pos: str = "0"
+    neg: str = "0"
+    r: float = 1e3
+    sigma_rel: float = 0.0
+    noisy: bool = True
+
+    def __post_init__(self):
+        if self.r <= 0.0:
+            raise ValueError(f"resistor {self.name}: r must be positive")
+
+    def nodes(self):
+        return (self.pos, self.neg)
+
+    def mismatch_decls(self):
+        if self.sigma_rel <= 0.0:
+            return []
+        return [MismatchDecl((self.name, "r"), self.sigma_rel * self.r)]
+
+    def noise_decls(self):
+        if not self.noisy:
+            return []
+        return [NoiseDecl((self.name, "thermal"), PsdShape.WHITE)]
+
+
+@dataclass
+class Capacitor(Element):
+    """Linear capacitor between *pos* and *neg*."""
+
+    pos: str = "0"
+    neg: str = "0"
+    c: float = 1e-12
+    sigma_rel: float = 0.0
+
+    def __post_init__(self):
+        if self.c <= 0.0:
+            raise ValueError(f"capacitor {self.name}: c must be positive")
+
+    def nodes(self):
+        return (self.pos, self.neg)
+
+    def mismatch_decls(self):
+        if self.sigma_rel <= 0.0:
+            return []
+        return [MismatchDecl((self.name, "c"), self.sigma_rel * self.c)]
+
+
+@dataclass
+class Inductor(Element):
+    """Linear inductor between *pos* and *neg* (``n_branch=1``).
+
+    The branch unknown is the inductor current flowing *pos* -> *neg*.
+    """
+
+    pos: str = "0"
+    neg: str = "0"
+    l: float = 1e-9
+    sigma_rel: float = 0.0
+
+    def __post_init__(self):
+        if self.l <= 0.0:
+            raise ValueError(f"inductor {self.name}: l must be positive")
+        self.n_branch = 1
+
+    def nodes(self):
+        return (self.pos, self.neg)
+
+    def mismatch_decls(self):
+        if self.sigma_rel <= 0.0:
+            return []
+        return [MismatchDecl((self.name, "l"), self.sigma_rel * self.l)]

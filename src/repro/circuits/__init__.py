@@ -1,0 +1,29 @@
+"""Benchmark circuits and testbenches from the paper's evaluation.
+
+* :mod:`~repro.circuits.comparator` - StrongARM clocked comparator and the
+  Fig. 6 offset-measurement feedback testbench,
+* :mod:`~repro.circuits.logic` - CMOS gates and the Fig. 7 logic path,
+* :mod:`~repro.circuits.oscillator` - the 5-stage ring oscillator,
+* :mod:`~repro.circuits.amplifiers` - five-transistor OTA (DC-match
+  validation),
+* :mod:`~repro.circuits.dac` - resistor-string DAC for the Eq. 13 DNL
+  example.
+"""
+
+from .amplifiers import five_transistor_ota
+from .comparator import (ComparatorTestbench, strongarm_comparator,
+                         strongarm_offset_testbench)
+from .dac import resistor_string_dac
+from .logic import (LogicPathTestbench, add_inverter, add_nand2,
+                    inverter_chain, logic_path_testbench)
+from .oscillator import ring_oscillator
+
+__all__ = [
+    "strongarm_comparator", "strongarm_offset_testbench",
+    "ComparatorTestbench",
+    "add_inverter", "add_nand2", "inverter_chain",
+    "logic_path_testbench", "LogicPathTestbench",
+    "ring_oscillator",
+    "five_transistor_ota",
+    "resistor_string_dac",
+]

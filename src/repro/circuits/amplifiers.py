@@ -1,0 +1,59 @@
+"""Five-transistor OTA - the DC-match validation vehicle.
+
+The paper presents its method as the transient-domain extension of the DC
+sensitivity-based mismatch analysis of Oehm & Schumacher [8] and the
+commercial ``dcmatch`` analyses [9], whose canonical demo is the input
+offset of a differential amplifier.  This circuit exercises that prior
+art inside this package: ``repro.core.dc_mismatch_analysis`` on the OTA
+must agree with Monte-Carlo, which validates the shared
+injection/sensitivity machinery at DC before the LPTV machinery builds
+on it.
+
+By default the OTA is wired as a unity-gain buffer (output fed back to
+the inverting input) so the offset appears *input-referred* at the
+output: ``V_os = v(out) - v(inp)``.  This is the well-conditioned way to
+measure amplifier offset - the open-loop output of a high-gain stage
+rails for microvolt-level input offsets, which makes a linear estimate
+(and indeed the measurement itself) meaningless there.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, Technology
+
+
+def five_transistor_ota(tech: Technology, w_in: float = 4.0e-6,
+                        w_load: float = 2.0e-6, w_tail: float = 4.0e-6,
+                        l: float | None = None, v_cm: float = 0.8,
+                        v_bias: float = 0.55,
+                        unity_gain: bool = True,
+                        name: str = "five_transistor_ota") -> Circuit:
+    """Build a 5T OTA: nMOS diff pair, pMOS mirror load, nMOS tail.
+
+    Nodes: non-inverting input ``inp`` (source ``VIP``), inverting input
+    ``inn``, output ``out``, mirror node ``mir``, tail node ``tail``.
+    With ``unity_gain=True`` (default) the output drives ``inn`` and
+    ``v(out) - v(inp)`` is the input-referred offset; otherwise ``inn``
+    is driven by a source ``VIN`` at the common mode.
+    """
+    l = l or 2.0 * tech.l_min   # analog devices: longer channel
+    ckt = Circuit(name)
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    ckt.add_vsource("VIP", "inp", "0", dc=v_cm)
+    ckt.add_vsource("VB", "bias", "0", dc=v_bias)
+    inn = "out" if unity_gain else "inn"
+    if not unity_gain:
+        ckt.add_vsource("VIN", "inn", "0", dc=v_cm)
+
+    ckt.add_mosfet("MT", "tail", "bias", "0", "0", w_tail, l, tech, "n")
+    # MI1 (mirror/diode side) carries the non-inverting input; MI2
+    # (output side) is inverting - raising its gate pulls ``out`` down -
+    # so the unity-gain feedback goes to MI2's gate
+    ckt.add_mosfet("MI1", "mir", "inp", "tail", "0", w_in, l, tech, "n")
+    ckt.add_mosfet("MI2", "out", inn, "tail", "0", w_in, l, tech, "n")
+    ckt.add_mosfet("ML1", "mir", "mir", "vdd", "vdd", w_load, l, tech, "p")
+    ckt.add_mosfet("ML2", "out", "mir", "vdd", "vdd", w_load, l, tech, "p")
+    ckt.add_capacitor("CL", "out", "0", 50e-15)
+    ckt.set_ic(vdd=tech.vdd, inp=v_cm, out=v_cm, mir=tech.vdd - 0.4,
+               bias=v_bias, tail=0.2)
+    return ckt

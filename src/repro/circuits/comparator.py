@@ -1,0 +1,196 @@
+"""StrongARM clocked comparator and the paper's Fig. 6 offset testbench.
+
+The comparator (paper Fig. 10(a), after [19]) is a clocked regenerative
+latch: during the low clock phase all internal nodes precharge to VDD;
+when the clock rises, the tail turns on, the input pair discharges the
+intermediate nodes proportionally to the differential input, and the
+cross-coupled pairs regenerate the imbalance to full rail.
+
+Its *input-referred offset* cannot be measured by a DC analysis - the
+paper's Section IV-A explains why - so the Fig. 6 testbench turns the
+offset search into a periodic steady state:
+
+* a clocked sampler (gated saturating transconductor) senses the output
+  difference during a window early in the evaluation phase, while the
+  regeneration gain is still moderate;
+* an ideal integrator accumulates the sampled error onto the ``vos``
+  node;
+* ``vos`` is applied differentially back to the comparator input.
+
+At the periodic steady state the sampled output difference is zero: the
+comparator sits at its metastable point and ``v(vos)`` *is* the
+input-referred offset.  Mismatch analysis then reads the variation of
+``vos`` at baseband (paper Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit import Circuit, GateWindow, SmoothPulse, Technology
+
+#: Transistor names of the comparator core, keyed by function.  These are
+#: the devices whose width sensitivities the paper's Fig. 10(b) ranks.
+CORE_DEVICES = {
+    "M1": "tail",
+    "M2": "input+",
+    "M3": "input-",
+    "M4": "nmos latch",
+    "M5": "nmos latch",
+    "M6": "pmos latch",
+    "M7": "pmos latch",
+    "M8": "precharge out-",
+    "M9": "precharge out+",
+    "M10": "precharge mid+",
+    "M11": "precharge mid-",
+}
+
+
+def strongarm_comparator(ckt: Circuit, tech: Technology,
+                         inp: str = "inp", inn: str = "inn",
+                         clk: str = "clk", outp: str = "outp",
+                         outn: str = "outn", vdd_node: str = "vdd",
+                         w_tail: float = 4.0e-6, w_in: float = 2.0e-6,
+                         w_nlatch: float = 1.6e-6, w_platch: float = 1.2e-6,
+                         w_pre: float = 0.6e-6,
+                         l: float | None = None) -> None:
+    """Add the 11-transistor StrongARM latch to *ckt*.
+
+    Internal nodes: ``tail`` (common source of the input pair), ``midp`` /
+    ``midn`` (input-pair drains, sources of the nMOS latch).
+    """
+    l = l or tech.l_min
+    ckt.add_mosfet("M1", "tail", clk, "0", "0", w_tail, l, tech, "n")
+    ckt.add_mosfet("M2", "midp", inp, "tail", "0", w_in, l, tech, "n")
+    ckt.add_mosfet("M3", "midn", inn, "tail", "0", w_in, l, tech, "n")
+    # cross-coupled nMOS: M4 discharges outn when outp stays high, ...
+    ckt.add_mosfet("M4", "outn", outp, "midp", "0", w_nlatch, l, tech, "n")
+    ckt.add_mosfet("M5", "outp", outn, "midn", "0", w_nlatch, l, tech, "n")
+    # cross-coupled pMOS
+    ckt.add_mosfet("M6", "outn", outp, vdd_node, vdd_node, w_platch, l,
+                   tech, "p")
+    ckt.add_mosfet("M7", "outp", outn, vdd_node, vdd_node, w_platch, l,
+                   tech, "p")
+    # precharge switches (active while clk is low)
+    ckt.add_mosfet("M8", "outn", clk, vdd_node, vdd_node, w_pre, l,
+                   tech, "p")
+    ckt.add_mosfet("M9", "outp", clk, vdd_node, vdd_node, w_pre, l,
+                   tech, "p")
+    ckt.add_mosfet("M10", "midp", clk, vdd_node, vdd_node, w_pre, l,
+                   tech, "p")
+    ckt.add_mosfet("M11", "midn", clk, vdd_node, vdd_node, w_pre, l,
+                   tech, "p")
+
+
+@dataclass(frozen=True)
+class ComparatorTestbench:
+    """The Fig. 6 feedback testbench around the StrongARM latch.
+
+    Attributes
+    ----------
+    circuit:
+        Complete netlist (comparator + clock + feedback loop).
+    period:
+        Clock period [s] - the PSS fundamental.
+    vos_node:
+        Node whose steady-state value is the input-referred offset.
+    settle_cycles:
+        Clock cycles the feedback loop needs to converge from a cold
+        start (used by both the PSS settle phase and the Monte-Carlo
+        baseline - this is what makes the comparator the paper's most
+        expensive MC benchmark).
+    """
+
+    circuit: Circuit
+    period: float
+    vos_node: str = "vos"
+    settle_cycles: int = 60
+
+
+def strongarm_offset_testbench(tech: Technology,
+                               period: float = 2e-9,
+                               v_cm: float = 0.9,
+                               c_int: float = 0.5e-12,
+                               loop_gm: float = 600e-6,
+                               v_limit: float = 0.4,
+                               settle_cycles: int = 60,
+                               **sizes) -> ComparatorTestbench:
+    """Build the offset-measurement testbench (paper Fig. 6).
+
+    Parameters
+    ----------
+    period:
+        Clock period; precharge occupies the first half of the cycle,
+        evaluation the second.
+    v_cm:
+        Input common mode [V].
+    c_int, loop_gm, v_limit:
+        Integrator capacitor, sampler transconductance and sampler soft
+        clamp.
+
+    Notes
+    -----
+    The sampler window sits *early in the evaluation phase*
+    (``[0.555, 0.585] x period``), while the latch is still amplifying
+    linearly (window gain ~8 for the default sizing) and before
+    regeneration saturates the outputs.  Two reasons:
+
+    * the feedback then has a *smooth* metastable fixed point - sampling
+      after full regeneration turns the loop into a bang-bang limit
+      cycle that never reaches a period-1 steady state;
+    * the loop gain ``A * gm * t_window / c_int`` is ~0.6 with the
+      defaults, so the loop converges geometrically (factor ~0.4 per
+      cycle) from tens of millivolts down to sub-nanovolt, which is what
+      both the PSS settle phase and the Monte-Carlo lanes rely on.
+
+    The measured ``vos`` is the input that nulls the window-averaged
+    early differential output - to exponential accuracy the same input
+    that leaves the latch metastable, i.e. the paper's offset
+    definition.
+
+    Other parameters
+    ----------------
+    sizes:
+        Forwarded to :func:`strongarm_comparator` (``w_tail=...`` etc.).
+    """
+    ckt = Circuit("strongarm_offset_tb")
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    ckt.add_vsource("VCM", "vcm", "0", dc=v_cm)
+
+    # Clock: precharge while low, evaluate while high.  The evaluation
+    # pulse is kept short - just beyond the sampler window - so that the
+    # regenerative gain accumulated within one cycle stays bounded
+    # (~1e3-1e4).  At the metastable steady state the latch imbalance is
+    # zero, but the *linearised* one-period map amplifies perturbations
+    # by the full regeneration gain; with a rail-to-rail evaluation
+    # phase that gain is e^(T_eval/tau) ~ 1e30+, which no shooting/LPTV
+    # solver can represent in double precision.  Bounding it keeps the
+    # monodromy well conditioned while leaving the offset definition
+    # (null of the window-averaged early differential) untouched.
+    t_edge = 0.05 * period
+    ckt.add_vsource("VCLK", "clk", "0", wave=SmoothPulse(
+        v0=0.0, v1=tech.vdd, delay=0.5 * period, t_rise=t_edge,
+        t_high=0.08 * period, t_fall=t_edge, t_period=period))
+
+    # differential application of the feedback offset: in+ = vcm + vos/2
+    ckt.add_vcvs("EIP", "inp", "vcm", "vos", "0", gain=0.5)
+    ckt.add_vcvs("EIN", "inn", "vcm", "vos", "0", gain=-0.5)
+
+    strongarm_comparator(ckt, tech, **sizes)
+
+    # sampler + integrator: sense (outp - outn) in a window early in the
+    # evaluation phase, integrate onto vos with negative feedback sign
+    t_on = 0.555 * period
+    t_off = 0.585 * period
+    gate = GateWindow(t_on=t_on, t_off=t_off, period=period,
+                      tau=0.01 * period)
+    ckt.add_vccs("GSAMP", "vos", "0", "outp", "outn", gm=loop_gm,
+                 vlimit=v_limit, gate=gate)
+    ckt.add_capacitor("CINT", "vos", "0", c_int)
+
+    # cold-start initial conditions: precharged internal nodes, zero vos
+    ckt.set_ic(vdd=tech.vdd, vcm=v_cm, inp=v_cm, inn=v_cm, vos=0.0,
+               outp=tech.vdd, outn=tech.vdd, midp=tech.vdd, midn=tech.vdd,
+               tail=0.0, clk=0.0)
+    return ComparatorTestbench(circuit=ckt, period=period,
+                               settle_cycles=settle_cycles)

@@ -1,0 +1,47 @@
+"""Resistor-string DAC - the Eq. 13 DNL example.
+
+Section V-D of the paper shows how the covariance between two measured
+variations turns into the variance of a *derived* metric: the DAC
+differential nonlinearity ``DNL_N = (V_{N+1} - V_N) - LSB`` obeys
+
+.. math:: \\sigma_{\\Delta N}^2 = \\sigma_{N+1}^2 + \\sigma_N^2
+          - 2\\,\\sigma_{N+1,N}
+
+(Eq. 13).  Adjacent taps of a resistor string share most of their
+resistors, so their variations are strongly correlated and the DNL sigma
+is far smaller than an uncorrelated estimate would suggest - precisely
+the effect the correlation machinery must capture.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, Technology
+
+
+def resistor_string_dac(tech: Technology, n_bits: int = 3,
+                        r_unit: float = 1e3, sigma_rel: float = 0.01,
+                        name: str = "resistor_string_dac") -> Circuit:
+    """Build a ``2**n_bits``-level resistor-string DAC.
+
+    The string runs from ``vdd`` down to ground through ``2**n_bits``
+    nominally equal resistors; tap ``tap1 ... tap(2^n - 1)`` sits above
+    resistor ``i``.  All taps are observed simultaneously, so a single
+    DC mismatch analysis yields every code voltage's variation *and* all
+    cross-correlations.
+    """
+    n_levels = 2 ** n_bits
+    ckt = Circuit(name)
+    ckt.add_vsource("VREF", "vdd", "0", dc=tech.vdd)
+    top = "vdd"
+    for i in range(n_levels - 1, 0, -1):
+        node = f"tap{i}"
+        ckt.add_resistor(f"R{i + 1}", top, node, r_unit,
+                         sigma_rel=sigma_rel)
+        top = node
+    ckt.add_resistor("R1", top, "0", r_unit, sigma_rel=sigma_rel)
+    return ckt
+
+
+def dac_tap_names(n_bits: int = 3) -> list[str]:
+    """Tap node names from code 1 upward (code 0 is ground)."""
+    return [f"tap{i}" for i in range(1, 2 ** n_bits)]

@@ -1,0 +1,158 @@
+"""CMOS gates and the paper's Fig. 7 logic path.
+
+The logic-path benchmark measures the delays from the rising edges of two
+inputs ``X`` and ``Y`` to the falling edges of two NAND outputs ``A`` and
+``B``, and - the point of Table I - the *correlation* between the two
+delay variations:
+
+* when ``X`` arrives last, both outputs are triggered through the shared
+  buffer gates ``ga``/``gb``, so their delay variations are strongly
+  correlated;
+* when ``Y`` arrives last, ``A`` and ``B`` are triggered through disjoint
+  buffer chains and the correlation collapses.
+
+Setting up the periodic steady state is exactly the paper's recipe
+(Section IV-B): all inputs are periodic pulses with a common period long
+enough for the signals to settle between edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit import Circuit, SmoothPulse, Technology
+
+
+def add_inverter(ckt: Circuit, name: str, inp: str, out: str,
+                 tech: Technology, wn: float = 0.6e-6, wp: float = 1.2e-6,
+                 l: float | None = None, vdd_node: str = "vdd") -> None:
+    """Add a static CMOS inverter built from two MOSFETs."""
+    l = l or tech.l_min
+    ckt.add_mosfet(f"{name}_MN", out, inp, "0", "0", wn, l, tech,
+                   polarity="n")
+    ckt.add_mosfet(f"{name}_MP", out, inp, vdd_node, vdd_node, wp, l, tech,
+                   polarity="p")
+
+
+def add_nand2(ckt: Circuit, name: str, in_a: str, in_b: str, out: str,
+              tech: Technology, wn: float = 1.2e-6, wp: float = 1.2e-6,
+              l: float | None = None, vdd_node: str = "vdd") -> None:
+    """Add a two-input NAND gate (series nMOS stack, parallel pMOS)."""
+    l = l or tech.l_min
+    mid = f"{name}_x"
+    ckt.add_mosfet(f"{name}_MNA", out, in_a, mid, "0", wn, l, tech,
+                   polarity="n")
+    ckt.add_mosfet(f"{name}_MNB", mid, in_b, "0", "0", wn, l, tech,
+                   polarity="n")
+    ckt.add_mosfet(f"{name}_MPA", out, in_a, vdd_node, vdd_node, wp, l,
+                   tech, polarity="p")
+    ckt.add_mosfet(f"{name}_MPB", out, in_b, vdd_node, vdd_node, wp, l,
+                   tech, polarity="p")
+
+
+def inverter_chain(tech: Technology, n_stages: int = 4,
+                   period: float = 4e-9, t_edge: float = 50e-12,
+                   c_load: float = 2e-15,
+                   name: str = "inverter_chain") -> Circuit:
+    """A driven inverter chain ``in -> n1 -> ... -> nN`` (delay testbench).
+
+    The input pulse rises at ``0.25 * period`` and falls at
+    ``0.625 * period``, leaving room for the chain to settle within each
+    half-period.
+    """
+    ckt = Circuit(name)
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    ckt.add_vsource("VIN", "in", "0", wave=SmoothPulse(
+        v0=0.0, v1=tech.vdd, delay=0.25 * period, t_rise=t_edge,
+        t_high=0.375 * period - t_edge, t_fall=t_edge, t_period=period))
+    prev = "in"
+    for i in range(1, n_stages + 1):
+        out = f"n{i}"
+        add_inverter(ckt, f"g{i}", prev, out, tech)
+        if c_load > 0.0:
+            ckt.add_capacitor(f"CL{i}", out, "0", c_load)
+        prev = out
+    return ckt
+
+
+@dataclass(frozen=True)
+class LogicPathTestbench:
+    """The Fig. 7 logic path plus its measurement metadata.
+
+    Attributes
+    ----------
+    circuit:
+        The netlist (periodic pulse sources included).
+    period:
+        Fundamental period of the testbench [s].
+    t_trigger:
+        Rise instant of the *late* input within the period [s].
+    vth:
+        Logic threshold used for all delay measurements [V].
+    late_input:
+        ``"X"`` or ``"Y"`` - which input arrives last (selects which
+        gates lie on the critical paths to ``A`` and ``B``).
+    """
+
+    circuit: Circuit
+    period: float
+    t_trigger: float
+    vth: float
+    late_input: str
+
+
+def logic_path_testbench(tech: Technology, late_input: str = "X",
+                         period: float = 8e-9, t_edge: float = 60e-12,
+                         c_wire: float = 2e-15) -> LogicPathTestbench:
+    """Build the Fig. 7 logic path with a chosen input arrival order.
+
+    Topology::
+
+        X  - ga - gb ----------+-- NAND_A --> A
+                               |
+        Y  - gc - gd ----------+   (A inputs: gb out, gd out)
+        Y  - ge - gf ----------+-- NAND_B --> B
+                               |
+        (B inputs: gb out, gf out)
+
+    Both NAND outputs fall when their *latest* input rises.  With ``X``
+    late the critical paths to A and B share ``ga`` and ``gb`` (paper
+    Table I, first row); with ``Y`` late they run through the disjoint
+    chains ``gc/gd`` and ``ge/gf`` (second row).
+    """
+    if late_input not in ("X", "Y"):
+        raise ValueError("late_input must be 'X' or 'Y'")
+    ckt = Circuit(f"logic_path_{late_input}_late")
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+
+    t_early = 0.15 * period
+    t_late = 0.40 * period
+    t_x = t_late if late_input == "X" else t_early
+    t_y = t_early if late_input == "X" else t_late
+    high = 0.30 * period
+
+    def pulse(delay: float) -> SmoothPulse:
+        return SmoothPulse(v0=0.0, v1=tech.vdd, delay=delay, t_rise=t_edge,
+                           t_high=high, t_fall=t_edge, t_period=period)
+
+    ckt.add_vsource("VX", "X", "0", wave=pulse(t_x))
+    ckt.add_vsource("VY", "Y", "0", wave=pulse(t_y))
+
+    # shared X buffer: ga, gb (non-inverting buffer = two inverters)
+    add_inverter(ckt, "ga", "X", "xa", tech)
+    add_inverter(ckt, "gb", "xa", "xb", tech)
+    # two disjoint Y buffers
+    add_inverter(ckt, "gc", "Y", "ya1", tech)
+    add_inverter(ckt, "gd", "ya1", "ya", tech)
+    add_inverter(ckt, "ge", "Y", "yb1", tech)
+    add_inverter(ckt, "gf", "yb1", "yb", tech)
+    # output NAND gates
+    add_nand2(ckt, "gA", "xb", "ya", "A", tech)
+    add_nand2(ckt, "gB", "xb", "yb", "B", tech)
+
+    for node in ("xa", "xb", "ya1", "ya", "yb1", "yb", "A", "B"):
+        ckt.add_capacitor(f"CW_{node}", node, "0", c_wire)
+
+    return LogicPathTestbench(circuit=ckt, period=period,
+                              t_trigger=t_late + t_edge,
+                              vth=0.5 * tech.vdd, late_input=late_input)

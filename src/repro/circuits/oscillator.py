@@ -1,0 +1,61 @@
+"""Ring oscillator benchmark (paper Sections IV-C, VI, VIII).
+
+A five-stage CMOS inverter ring.  The oscillator is autonomous: its
+fundamental frequency is unknown a priori and shifts with mismatch, which
+is exactly the variation the paper measures (Figs. 11-12 study the
+linear-model error as the mismatch grows).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, Technology
+
+#: Node-name prefix of the ring stages: ``osc1 ... oscN``.
+STAGE_PREFIX = "osc"
+
+
+def ring_oscillator(tech: Technology, n_stages: int = 5,
+                    wn: float = 1.0e-6, wp: float = 2.0e-6,
+                    l: float | None = None,
+                    c_load: float = 5e-15,
+                    name: str = "ring_oscillator") -> Circuit:
+    """Build an *n_stages* inverter ring (odd stage count required).
+
+    Parameters
+    ----------
+    tech:
+        Process technology (supplies, device params, Pelgrom constants).
+    wn, wp, l:
+        Inverter device sizes; *l* defaults to the minimum length.
+    c_load:
+        Extra load capacitance per stage [F] - slows the ring into a
+        cleaner relaxation regime and represents wiring load.
+
+    Returns
+    -------
+    Circuit
+        Stage outputs are ``osc1 ... oscN``; supply node is ``vdd``.
+        Initial conditions kick the ring off its unstable symmetric
+        equilibrium.
+    """
+    if n_stages % 2 == 0 or n_stages < 3:
+        raise ValueError("a ring oscillator needs an odd stage count >= 3")
+    l = l or tech.l_min
+    ckt = Circuit(name)
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    nodes = [f"{STAGE_PREFIX}{i + 1}" for i in range(n_stages)]
+    for i in range(n_stages):
+        inp = nodes[i - 1] if i > 0 else nodes[-1]
+        out = nodes[i]
+        ckt.add_mosfet(f"MN{i + 1}", out, inp, "0", "0", wn, l, tech,
+                       polarity="n")
+        ckt.add_mosfet(f"MP{i + 1}", out, inp, "vdd", "vdd", wp, l, tech,
+                       polarity="p")
+        if c_load > 0.0:
+            ckt.add_capacitor(f"CL{i + 1}", out, "0", c_load)
+    # asymmetric start: alternate high/low so the ring leaves the
+    # metastable all-equal state immediately
+    ckt.set_ic(vdd=tech.vdd)
+    for i, node in enumerate(nodes):
+        ckt.set_ic(**{node: 0.0 if i % 2 == 0 else tech.vdd})
+    return ckt

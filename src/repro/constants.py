@@ -1,0 +1,55 @@
+"""Physical constants and default simulator tolerances.
+
+All quantities are SI.  Temperature-dependent helpers take the temperature
+in kelvin; circuit-level code defaults to :data:`T_NOMINAL`.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default simulation temperature [K] (27 C, the SPICE default).
+T_NOMINAL = 300.15
+
+
+def thermal_voltage(temperature: float = T_NOMINAL) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at *temperature*."""
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE
+
+
+#: Thermal voltage at the nominal temperature [V] (~25.9 mV).
+PHI_T = thermal_voltage()
+
+#: Conductance added from every node to ground during DC solves [S].
+GMIN_DEFAULT = 1e-12
+
+#: Capacitance added from every node to ground [F].  A small grounded
+#: capacitor on every node keeps the MNA system index-1 so that shooting
+#: methods see a well-defined state on every node.  It is far below any
+#: device capacitance used by the bundled circuits.
+CMIN_DEFAULT = 1e-16
+
+#: Newton-Raphson absolute tolerance on KCL residuals [A].
+ABSTOL_DEFAULT = 1e-12
+
+#: Newton-Raphson absolute tolerance on node voltages [V].
+VNTOL_DEFAULT = 1e-9
+
+#: Newton-Raphson relative tolerance.
+RELTOL_DEFAULT = 1e-9
+
+#: Maximum Newton iterations for a single solve.
+MAX_NEWTON_ITERATIONS = 100
+
+#: The paper models mismatch as 1/f pseudo-noise whose PSD equals the
+#: mismatch variance at this frequency [Hz].  The exact value is arbitrary
+#: as long as it is far below the PSS fundamental (paper, Section III).
+PSEUDO_NOISE_FREQUENCY = 1.0
+
+TWO_PI = 2.0 * math.pi

@@ -1,0 +1,48 @@
+"""The paper's contribution: sensitivity-based transient mismatch analysis
+via pseudo-noise + LPTV, with contributions, correlations, design
+sensitivities and the Gaussian-mixture extension."""
+
+from .analysis import (MismatchAnalysisResult, dc_mismatch_analysis,
+                       transient_mismatch_analysis)
+from .contributions import (ContributionRow, ContributionTable, correlation,
+                            correlated_covariance_from_mixing, covariance,
+                            difference_variance,
+                            linear_combination_variance)
+from .design_sensitivity import (WidthSensitivity, sigma_after_resize,
+                                 width_sensitivities,
+                                 width_sensitivity_report)
+from .gaussian_mixture import (MixtureComponent, ProjectedMixture,
+                               project_mixture,
+                               project_mixture_with_background,
+                               split_gaussian)
+from .interpret import (delay_variance_from_psd,
+                        frequency_variance_from_psd,
+                        phase_variance_from_psd, psd_from_delay_variance,
+                        psd_from_frequency_variance, statistical_waveform,
+                        variance_from_baseband_psd)
+from .measures import DcLevel, EdgeDelay, Frequency, Measure
+from .montecarlo import (MonteCarloResult, monte_carlo_dc,
+                         monte_carlo_transient, sample_mismatch)
+from .pseudo_noise import (PseudoNoisePsd, folding_safety_ratio,
+                           injection_table, pseudo_noise_sources)
+
+__all__ = [
+    "transient_mismatch_analysis", "dc_mismatch_analysis",
+    "MismatchAnalysisResult",
+    "ContributionTable", "ContributionRow", "covariance", "correlation",
+    "difference_variance", "linear_combination_variance",
+    "correlated_covariance_from_mixing",
+    "Measure", "DcLevel", "EdgeDelay", "Frequency",
+    "monte_carlo_transient", "monte_carlo_dc", "sample_mismatch",
+    "MonteCarloResult",
+    "statistical_waveform", "variance_from_baseband_psd",
+    "phase_variance_from_psd", "delay_variance_from_psd",
+    "frequency_variance_from_psd", "psd_from_delay_variance",
+    "psd_from_frequency_variance",
+    "width_sensitivities", "width_sensitivity_report", "WidthSensitivity",
+    "sigma_after_resize",
+    "split_gaussian", "project_mixture", "project_mixture_with_background",
+    "MixtureComponent", "ProjectedMixture",
+    "PseudoNoisePsd", "pseudo_noise_sources", "injection_table",
+    "folding_safety_ratio",
+]

@@ -1,0 +1,157 @@
+"""Contribution breakdowns, correlations and derived-metric statistics.
+
+This module implements the post-processing the paper gets "for free" from
+the linear perturbation model (Sections V-D and VII):
+
+* Eq. 10/11 - each metric's variance is the sum of per-source
+  contributions ``(S_i sigma_i)^2`` (the SpectreRF-style noise summary);
+* Eq. 12 - the covariance between two metrics is the inner product of
+  their contribution lists, with no additional simulation;
+* Eq. 13 - variances of derived metrics (e.g. DAC DNL, skew) follow from
+  the covariance matrix;
+* Eq. 6 - correlated mismatch enters as a parameter covariance
+  ``C = A A^T``, turning the diagonal sums into quadratic forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.elements import ParamKey
+
+
+@dataclass(frozen=True)
+class ContributionRow:
+    """One line of a mismatch-contribution summary."""
+
+    key: ParamKey
+    sensitivity: float
+    sigma: float
+
+    @property
+    def contribution(self) -> float:
+        """Variance contribution ``(S_i sigma_i)^2``."""
+        return (self.sensitivity * self.sigma) ** 2
+
+
+class ContributionTable:
+    """Per-source breakdown of one metric's variance (paper Eq. 10)."""
+
+    def __init__(self, metric: str, keys: list[ParamKey],
+                 sensitivities: np.ndarray, sigmas: np.ndarray,
+                 param_covariance: np.ndarray | None = None):
+        if len(keys) != len(sensitivities) or len(keys) != len(sigmas):
+            raise ValueError("keys/sensitivities/sigmas length mismatch")
+        self.metric = metric
+        self.keys = list(keys)
+        self.sensitivities = np.asarray(sensitivities, dtype=float)
+        self.sigmas = np.asarray(sigmas, dtype=float)
+        self.param_covariance = param_covariance
+
+    @property
+    def scaled(self) -> np.ndarray:
+        """``S_i sigma_i`` - the vector whose inner products give
+        covariances (paper Eq. 12)."""
+        return self.sensitivities * self.sigmas
+
+    @property
+    def variance(self) -> float:
+        if self.param_covariance is not None:
+            s = self.sensitivities
+            return float(s @ self.param_covariance @ s)
+        return float(np.sum(self.scaled ** 2))
+
+    @property
+    def sigma(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def rows(self, sort: bool = True) -> list[ContributionRow]:
+        rows = [ContributionRow(k, float(s), float(g))
+                for k, s, g in zip(self.keys, self.sensitivities,
+                                   self.sigmas)]
+        if sort:
+            rows.sort(key=lambda r: r.contribution, reverse=True)
+        return rows
+
+    def fraction_of(self, element: str) -> float:
+        """Fraction of the variance contributed by one element's
+        parameters (independent-mismatch case)."""
+        var = self.variance
+        if var == 0.0:
+            return 0.0
+        mask = np.array([k[0] == element for k in self.keys])
+        return float(np.sum(self.scaled[mask] ** 2) / var)
+
+    def summary(self, top: int | None = 10) -> str:
+        """SpectreRF-style text table, largest contributors first."""
+        lines = [f"mismatch contributions to '{self.metric}' "
+                 f"(sigma = {self.sigma:.6g})",
+                 f"{'parameter':<24s} {'S_i':>13s} {'sigma_i':>11s} "
+                 f"{'(S.sigma)^2':>13s} {'share':>7s}"]
+        var = max(self.variance, 1e-300)
+        for row in self.rows()[:top]:
+            lines.append(
+                f"{row.key[0] + '.' + row.key[1]:<24s} "
+                f"{row.sensitivity:>13.4e} {row.sigma:>11.3e} "
+                f"{row.contribution:>13.4e} "
+                f"{row.contribution / var:>6.1%}")
+        return "\n".join(lines)
+
+
+def covariance(table_a: ContributionTable,
+               table_b: ContributionTable) -> float:
+    """Covariance of two metrics from their contribution lists (Eq. 12).
+
+    Both tables must be built over the same parameter list (same
+    injections in the same order), which is automatic when they come from
+    one mismatch analysis.
+    """
+    if table_a.keys != table_b.keys:
+        raise ValueError("contribution tables cover different parameters")
+    if table_a.param_covariance is not None:
+        c = table_a.param_covariance
+        return float(table_a.sensitivities @ c @ table_b.sensitivities)
+    return float(np.dot(table_a.scaled, table_b.scaled))
+
+
+def correlation(table_a: ContributionTable,
+                table_b: ContributionTable) -> float:
+    """Correlation coefficient ``rho = cov / (sigma_A sigma_B)``."""
+    denom = table_a.sigma * table_b.sigma
+    if denom == 0.0:
+        return 0.0
+    return covariance(table_a, table_b) / denom
+
+
+def difference_variance(table_a: ContributionTable,
+                        table_b: ContributionTable) -> float:
+    """Variance of ``A - B`` (paper Eq. 13, the DNL formula):
+    ``sigma_A^2 + sigma_B^2 - 2 cov(A, B)``."""
+    return (table_a.variance + table_b.variance
+            - 2.0 * covariance(table_a, table_b))
+
+
+def linear_combination_variance(tables: list[ContributionTable],
+                                weights: np.ndarray) -> float:
+    """Variance of ``sum_j w_j P_j`` via the full covariance matrix."""
+    weights = np.asarray(weights, dtype=float)
+    if len(tables) != weights.size:
+        raise ValueError("one weight per table required")
+    total = 0.0
+    for i, ti in enumerate(tables):
+        for j, tj in enumerate(tables):
+            total += weights[i] * weights[j] * covariance(ti, tj)
+    return float(total)
+
+
+def correlated_covariance_from_mixing(a: np.ndarray) -> np.ndarray:
+    """Parameter covariance ``C = A A^T`` from a mixing matrix (Eq. 6).
+
+    Rows of *A* correspond to mismatch parameters, columns to independent
+    unit-variance sources ``X_j``; the paper constructs correlated
+    mismatch exactly this way.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    return a @ a.T

@@ -1,0 +1,123 @@
+"""Design-parameter sensitivities of performance variation (Section VII).
+
+The contribution breakdown already splits a metric's variance into
+per-source terms ``sigma_P,i^2 = (S_i sigma_i)^2``.  Because the Pelgrom
+sigmas depend on device geometry (Eqs. 4-5),
+
+.. math:: \\sigma_{VT}^2 = A_{VT}^2/(W L), \\qquad
+          \\sigma_{\\beta}^2/\\beta^2 = A_\\beta^2/(W L),
+
+the chain rule gives the impact of a transistor's width on the total
+variance at *no additional simulation cost* (Eqs. 14-16):
+
+.. math:: \\frac{\\partial \\sigma_P^2}{\\partial W}
+          = -\\frac{\\sigma_{P,VT}^2 + \\sigma_{P,\\beta}^2}{W}.
+
+(Both mismatch variances scale as ``1/W``, so each contribution's
+derivative is ``-contribution/W``.)  This is the quantity the paper's
+Fig. 10(b) ranks across the StrongARM comparator to show that the input
+pair dominates the offset and should be sized up first.
+
+A caveat the paper also makes: the formula tracks only the *explicit*
+``sigma(W)`` dependence.  Changing a width also moves the bias point and
+thus the sensitivities ``S_i`` themselves; for small sizing steps the
+explicit term dominates, which is what makes the ranking useful during
+design iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.mosfet import Mosfet
+from .contributions import ContributionTable
+
+
+@dataclass(frozen=True)
+class WidthSensitivity:
+    """Impact of one transistor's width on a metric's variance."""
+
+    device: str
+    width: float
+    #: Variance contributed by this device's mismatch parameters.
+    variance_contribution: float
+    #: ``d sigma_P^2 / dW`` [variance unit per metre].
+    dvar_dw: float
+    #: Fractional variance reduction per fractional width increase:
+    #: ``-(W/sigma_P^2) d sigma_P^2/dW`` - the normalised ranking shown
+    #: in the paper's Fig. 10(b).
+    normalized_impact: float
+
+
+def width_sensitivities(table: ContributionTable, circuit
+                        ) -> list[WidthSensitivity]:
+    """Rank every MOSFET's width impact on a metric's variance.
+
+    Parameters
+    ----------
+    table:
+        Contribution table of the metric (from a mismatch analysis).
+    circuit:
+        The :class:`~repro.circuit.Circuit` the table was computed on
+        (supplies device widths).
+
+    Returns
+    -------
+    list of :class:`WidthSensitivity`, largest impact first.
+    """
+    total_var = max(table.variance, 1e-300)
+    per_device: dict[str, float] = {}
+    for key, scaled in zip(table.keys, table.scaled):
+        ename, pname = key
+        if pname in ("vt0", "beta_rel"):
+            per_device[ename] = per_device.get(ename, 0.0) + scaled ** 2
+
+    out = []
+    for ename, var_i in per_device.items():
+        el = circuit[ename]
+        if not isinstance(el, Mosfet):
+            continue
+        dvar_dw = -var_i / el.w
+        out.append(WidthSensitivity(
+            device=ename, width=el.w, variance_contribution=var_i,
+            dvar_dw=dvar_dw,
+            normalized_impact=var_i / total_var))
+    out.sort(key=lambda r: r.normalized_impact, reverse=True)
+    return out
+
+
+def width_sensitivity_report(table: ContributionTable, circuit,
+                             labels: dict[str, str] | None = None) -> str:
+    """Text rendering of the Fig. 10(b) ranking."""
+    rows = width_sensitivities(table, circuit)
+    lines = [f"width sensitivities of var({table.metric}) "
+             f"(sigma = {table.sigma:.4g})",
+             f"{'device':<10s} {'W [um]':>8s} {'d var/dW':>13s} "
+             f"{'share':>7s}  role"]
+    for r in rows:
+        role = (labels or {}).get(r.device, "")
+        lines.append(f"{r.device:<10s} {r.width * 1e6:>8.2f} "
+                     f"{r.dvar_dw:>13.4e} {r.normalized_impact:>6.1%}  "
+                     f"{role}")
+    return "\n".join(lines)
+
+
+def sigma_after_resize(table: ContributionTable, circuit,
+                       new_widths: dict[str, float]) -> float:
+    """Predicted metric sigma after resizing devices (explicit term only).
+
+    Each device's contribution scales as ``W_old / W_new`` (both Pelgrom
+    variances go as ``1/W``); other contributions are unchanged.  Useful
+    for quick what-if sizing during yield optimisation.
+    """
+    var = 0.0
+    for key, scaled in zip(table.keys, table.scaled):
+        ename = key[0]
+        factor = 1.0
+        if ename in new_widths:
+            el = circuit[ename]
+            factor = el.w / new_widths[ename]
+        var += factor * scaled ** 2
+    return float(np.sqrt(var))

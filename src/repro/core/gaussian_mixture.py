@@ -1,0 +1,149 @@
+"""Gaussian-mixture extension for non-Gaussian mismatch (Section VIII).
+
+The linear perturbation model maps Gaussian mismatch to an exactly
+Gaussian performance distribution and cannot represent skew or
+heavy tails.  The paper's Fig. 13 sketches the remedy it discusses:
+split a non-Gaussian (or large-sigma) mismatch distribution into a sum
+of narrow Gaussians, project each component through its *own local*
+linear model (a separate PSS + LPTV solve centred on the component
+mean), and superpose the projected Gaussians.
+
+The cost grows linearly with the number of components - the paper warns
+this escalates quickly with many parameters, which is why it remains an
+extension rather than the default.  Here it is implemented for one (or
+a few) dominant parameters, which is also how a designer would use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..circuit.elements import ParamKey
+from ..stats import gaussian_pdf
+
+
+@dataclass(frozen=True)
+class MixtureComponent:
+    """One Gaussian component of a parameter distribution."""
+
+    weight: float
+    mean: float
+    sigma: float
+
+
+def split_gaussian(sigma: float, n_components: int = 5,
+                   span_sigmas: float = 3.0) -> list[MixtureComponent]:
+    """Split ``N(0, sigma^2)`` into narrow equally spaced components.
+
+    Component means are placed uniformly over ``+/- span_sigmas * sigma``
+    and weighted by the parent PDF; component sigmas equal the grid
+    spacing so the mixture stays smooth.  For moderate ``n_components``
+    this reproduces the parent distribution closely while each component
+    is narrow enough for the local linear model to hold.
+    """
+    if n_components < 2:
+        raise ValueError("need at least two components")
+    centres = np.linspace(-span_sigmas * sigma, span_sigmas * sigma,
+                          n_components)
+    spacing = centres[1] - centres[0]
+    weights = gaussian_pdf(centres, 0.0, sigma)
+    weights = weights / weights.sum()
+    return [MixtureComponent(float(w), float(c), float(spacing / 2.0))
+            for w, c in zip(weights, centres)]
+
+
+@dataclass
+class ProjectedMixture:
+    """Performance distribution as a mixture of projected Gaussians."""
+
+    components: list[MixtureComponent]
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        for c in self.components:
+            out += c.weight * gaussian_pdf(x, c.mean, c.sigma)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return float(sum(c.weight * c.mean for c in self.components))
+
+    @property
+    def variance(self) -> float:
+        mu = self.mean
+        return float(sum(c.weight * (c.sigma ** 2 + (c.mean - mu) ** 2)
+                         for c in self.components))
+
+    @property
+    def sigma(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def skewness(self) -> float:
+        """Standardised third moment of the mixture."""
+        mu, var = self.mean, self.variance
+        third = sum(
+            c.weight * ((c.mean - mu) ** 3
+                        + 3.0 * (c.mean - mu) * c.sigma ** 2)
+            for c in self.components)
+        return float(third / var ** 1.5)
+
+
+def project_mixture(
+        local_model: Callable[[float], tuple[float, float]],
+        components: Sequence[MixtureComponent]) -> ProjectedMixture:
+    """Project a parameter mixture through per-component linear models.
+
+    Parameters
+    ----------
+    local_model:
+        ``local_model(p_centre) -> (metric_value, dmetric_dp)``: the
+        nominal metric and its local sensitivity with the chosen
+        parameter held at ``p_centre`` (one PSS + LPTV solve per call).
+    components:
+        The parameter-space mixture (e.g. from :func:`split_gaussian`).
+
+    Returns
+    -------
+    ProjectedMixture
+        Each component maps to a Gaussian centred at the local metric
+        value with sigma ``|S(p_centre)| * sigma_component`` - the
+        superposition can be arbitrarily non-Gaussian (paper Fig. 13).
+    """
+    projected = []
+    for comp in components:
+        value, slope = local_model(comp.mean)
+        projected.append(MixtureComponent(
+            weight=comp.weight, mean=value,
+            sigma=abs(slope) * comp.sigma))
+    return ProjectedMixture(projected)
+
+
+def project_mixture_with_background(
+        local_model: Callable[[float], tuple[float, float, float]],
+        components: Sequence[MixtureComponent]) -> ProjectedMixture:
+    """Like :func:`project_mixture` but each local model also reports the
+    RMS contribution of all *other* (Gaussian, small) parameters, which
+    is added in quadrature to the component width.
+
+    ``local_model(p_centre) -> (value, dmetric_dp, sigma_background)``.
+    """
+    projected = []
+    for comp in components:
+        value, slope, bg = local_model(comp.mean)
+        width = np.hypot(abs(slope) * comp.sigma, bg)
+        projected.append(MixtureComponent(
+            weight=comp.weight, mean=value, sigma=float(width)))
+    return ProjectedMixture(projected)
+
+
+def mixture_for_param(key: ParamKey, sigma: float,
+                      n_components: int = 7,
+                      span_sigmas: float = 3.0
+                      ) -> tuple[ParamKey, list[MixtureComponent]]:
+    """Convenience: the split of one circuit parameter's distribution."""
+    return key, split_gaussian(sigma, n_components, span_sigmas)

@@ -1,0 +1,160 @@
+"""Performance measures shared by the linear engine and Monte-Carlo.
+
+A :class:`Measure` maps a simulated circuit response to one scalar
+performance number, two ways:
+
+* :meth:`Measure.measure_waveset` extracts the number from waveforms -
+  used on Monte-Carlo transients *and* on the nominal PSS orbit;
+* :meth:`Measure.sensitivities` maps an LPTV sensitivity solution to the
+  vector ``S_i = dP/dp_i`` over all mismatch parameters - the paper's
+  Eq. 2 coefficients, from which every statistic follows.
+
+Keeping both paths inside one object guarantees that the proposed method
+and the MC baseline measure *exactly the same quantity*, which is what
+makes the Table II comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.lptv import SensitivitySolution
+from ..analysis.pss import PssResult
+from ..errors import MeasurementError
+from ..waveform import WaveformSet
+
+
+class Measure:
+    """Base class: one scalar performance metric."""
+
+    name: str
+
+    def measure_waveset(self, ws: WaveformSet) -> float:
+        """Extract the metric from a (steady-state) waveform window."""
+        raise NotImplementedError
+
+    def measure_pss(self, pss: PssResult) -> float:
+        """Nominal metric value on the PSS orbit."""
+        return self.measure_waveset(pss.waveset())
+
+    def sensitivities(self, sens: SensitivitySolution) -> np.ndarray:
+        """``dP/dp_i`` for every injection in *sens* (paper Eq. 2)."""
+        raise NotImplementedError
+
+    def required_nodes(self) -> list[str]:
+        """Node names Monte-Carlo transients must record."""
+        raise NotImplementedError
+
+
+@dataclass
+class DcLevel(Measure):
+    """Period-average of a node voltage (optionally differential).
+
+    This is the reading used for "DC-like" metrics measured from a
+    periodic steady state - the comparator input offset ``VOS`` of the
+    paper's Fig. 6 testbench (Section V-A: the baseband component).
+    """
+
+    name: str
+    node: str
+    neg: str | None = None
+
+    def measure_waveset(self, ws: WaveformSet) -> float:
+        w = ws[self.node] if self.neg is None else ws[self.node, self.neg]
+        return w.mean()
+
+    def sensitivities(self, sens: SensitivitySolution) -> np.ndarray:
+        w = sens.node_waveforms(self.node, self.neg)       # (N+1, m)
+        t = sens.pss.t
+        span = t[-1] - t[0]
+        return np.trapezoid(w, t, axis=0) / span
+
+    def required_nodes(self) -> list[str]:
+        return [self.node] + ([self.neg] if self.neg else [])
+
+
+@dataclass
+class EdgeDelay(Measure):
+    """Delay from a threshold crossing on one node to one on another.
+
+    The variation reading follows the paper's Section V-B: a waveform
+    time-shift maps to ``delta t_c = -delta v(t_c) / vdot(t_c)`` at each
+    crossing, and the delay sensitivity is the difference of the two
+    crossing shifts.  Crossings on ideal source nodes have zero shift
+    automatically (their sensitivity waveforms vanish), matching the
+    usual "input edge is the reference" convention.
+    """
+
+    name: str
+    from_node: str
+    to_node: str
+    threshold: float
+    from_edge: str = "rise"
+    to_edge: str = "fall"
+    from_occurrence: int = 0
+    to_occurrence: int = 0
+
+    def measure_waveset(self, ws: WaveformSet) -> float:
+        c0 = ws[self.from_node].crossing(self.threshold, self.from_edge,
+                                         self.from_occurrence)
+        c1 = ws[self.to_node].crossing(self.threshold, self.to_edge,
+                                       self.to_occurrence, t_start=c0.time)
+        return c1.time - c0.time
+
+    def _crossing_shifts(self, sens: SensitivitySolution, node: str,
+                         edge: str, occurrence: int,
+                         t_start: float | None = None
+                         ) -> tuple[float, np.ndarray]:
+        """Crossing time and its per-parameter shifts on the PSS orbit."""
+        pss = sens.pss
+        wave = pss.waveform(node)
+        c = wave.crossing(self.threshold, edge, occurrence, t_start=t_start)
+        if abs(c.slope) < 1e-30:
+            raise MeasurementError(
+                f"measure '{self.name}': zero slope at the {edge} crossing "
+                f"of '{node}'")
+        w = sens.node_waveforms(node)                       # (N+1, m)
+        frac = (c.time - pss.t[c.index]) / (pss.t[c.index + 1]
+                                            - pss.t[c.index])
+        dv = (1.0 - frac) * w[c.index] + frac * w[c.index + 1]
+        return c.time, -dv / c.slope
+
+    def sensitivities(self, sens: SensitivitySolution) -> np.ndarray:
+        t0, shift0 = self._crossing_shifts(sens, self.from_node,
+                                           self.from_edge,
+                                           self.from_occurrence)
+        _, shift1 = self._crossing_shifts(sens, self.to_node, self.to_edge,
+                                          self.to_occurrence, t_start=t0)
+        return shift1 - shift0
+
+    def required_nodes(self) -> list[str]:
+        return [self.from_node, self.to_node]
+
+
+@dataclass
+class Frequency(Measure):
+    """Oscillation frequency of an autonomous circuit.
+
+    Monte-Carlo lanes measure it from threshold-crossing intervals of
+    *node*; the linear engine reads it from the oscillator period
+    sensitivities ``df/dp = -dT/dp / T^2`` delivered by the bordered
+    shooting solve (paper Section V-C).
+    """
+
+    name: str
+    node: str
+    skip_cycles: int = 2
+
+    def measure_waveset(self, ws: WaveformSet) -> float:
+        return ws[self.node].frequency(skip=self.skip_cycles)
+
+    def measure_pss(self, pss: PssResult) -> float:
+        return pss.f0
+
+    def sensitivities(self, sens: SensitivitySolution) -> np.ndarray:
+        return sens.df_dp()
+
+    def required_nodes(self) -> list[str]:
+        return [self.node]

@@ -1,0 +1,217 @@
+"""Monte-Carlo mismatch analysis - the baseline of the paper's Table II.
+
+Mismatch parameters are sampled from their Gaussian distributions, the
+circuit is re-simulated per sample, and statistics are collected from the
+measured performances.  Two implementation notes:
+
+* **Batched lanes.** All samples integrate simultaneously as one stacked
+  system (see :mod:`repro.analysis.mna`), so the baseline is as fast as
+  dense ``numpy`` allows rather than being handicapped by Python-level
+  looping.  Reported speedups of the sensitivity method are therefore
+  conservative relative to the paper's (which compared against serial
+  SPICE runs).
+* **Identical measurement path.** The same :class:`~repro.core.measures`
+  objects extract metrics from MC waveforms and from the PSS orbit, so
+  method-vs-MC deltas reflect the linear-model error only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.mna import CompiledCircuit
+from ..analysis.transient import TransientOptions, transient
+from ..circuit.elements import ParamKey
+from ..errors import MeasurementError
+from ..stats import SampleStats, describe
+from ..waveform import WaveformSet
+from .analysis import _as_compiled
+from .measures import Measure
+
+
+@dataclass
+class MonteCarloResult:
+    """Samples and summary statistics of one MC run."""
+
+    n: int
+    samples: dict[str, np.ndarray]
+    stats: dict[str, SampleStats]
+    deltas: dict[ParamKey, np.ndarray]
+    runtime_seconds: float = 0.0
+    n_failed: int = 0
+    failed_metrics: dict[str, int] = field(default_factory=dict)
+
+    def sigma(self, metric: str) -> float:
+        return self.stats[metric].std
+
+    def mean(self, metric: str) -> float:
+        return self.stats[metric].mean
+
+    def correlation(self, metric_a: str, metric_b: str) -> float:
+        a, b = self.samples[metric_a], self.samples[metric_b]
+        ok = np.isfinite(a) & np.isfinite(b)
+        return float(np.corrcoef(a[ok], b[ok])[0, 1])
+
+    def report(self) -> str:
+        lines = [f"Monte-Carlo, n = {self.n} "
+                 f"({self.runtime_seconds:.2f} s)"]
+        for name, st in self.stats.items():
+            lines.append(
+                f"  {name}: mean {st.mean:.6g}  sigma {st.std:.6g} "
+                f"(95% CI [{st.std_ci_low:.6g}, {st.std_ci_high:.6g}])  "
+                f"skew {st.skewness:+.3f}")
+        return "\n".join(lines)
+
+
+def sample_mismatch(compiled: CompiledCircuit, n: int,
+                    rng: np.random.Generator,
+                    sigma_scale: float = 1.0,
+                    keys: list[ParamKey] | None = None,
+                    param_covariance: np.ndarray | None = None
+                    ) -> dict[ParamKey, np.ndarray]:
+    """Draw *n* joint samples of the circuit's mismatch parameters.
+
+    With *param_covariance* given (paper Eq. 6: ``C = A A^T``), samples
+    are drawn from the full joint Gaussian; otherwise parameters are
+    independent with their declared sigmas.  *sigma_scale* scales all
+    deviations (the paper's Fig. 11 sweep).
+    """
+    decls = compiled.circuit.mismatch_decls()
+    if keys is not None:
+        by_key = {d.key: d for d in decls}
+        decls = [by_key[k] for k in keys]
+    m = len(decls)
+    if m == 0:
+        raise MeasurementError("circuit declares no mismatch parameters")
+    if param_covariance is not None:
+        cov = np.asarray(param_covariance, dtype=float)
+        if cov.shape != (m, m):
+            raise ValueError("covariance shape does not match parameters")
+        # eigen-factorisation instead of Cholesky: rank-deficient
+        # covariances (C = A A^T with fewer sources than parameters,
+        # paper Eq. 6) are perfectly legitimate here
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        eigvals = np.clip(eigvals, 0.0, None)
+        factor = eigvecs * np.sqrt(eigvals)
+        z = rng.standard_normal((n, m))
+        draws = sigma_scale * (z @ factor.T)
+    else:
+        sig = np.array([d.sigma for d in decls])
+        draws = sigma_scale * sig * rng.standard_normal((n, m))
+    return {d.key: draws[:, j] for j, d in enumerate(decls)}
+
+
+def measure_lanes(t: np.ndarray, signals: dict[str, np.ndarray],
+                  measures: list[Measure],
+                  out: dict[str, np.ndarray], offset: int) -> int:
+    """Apply *measures* to every lane of a batched recording.
+
+    Lanes where a measurement fails (e.g. a missing crossing because the
+    sample pushed the circuit out of its operating regime) record NaN;
+    the count of failures is returned.
+    """
+    n_lanes = next(iter(signals.values())).shape[1]
+    failures = 0
+    for b in range(n_lanes):
+        ws = WaveformSet(t, {k: v[:, b] for k, v in signals.items()})
+        for meas in measures:
+            try:
+                out[meas.name][offset + b] = meas.measure_waveset(ws)
+            except MeasurementError:
+                out[meas.name][offset + b] = np.nan
+                failures += 1
+    return failures
+
+
+def monte_carlo_transient(circuit, measures: list[Measure], n: int,
+                          t_stop: float, dt: float,
+                          window: tuple[float, float] | None = None,
+                          seed: int = 0, sigma_scale: float = 1.0,
+                          param_covariance: np.ndarray | None = None,
+                          chunk_size: int = 250,
+                          method: str = "trap",
+                          extra_record: list[str] | None = None
+                          ) -> MonteCarloResult:
+    """Monte-Carlo over batched transients.
+
+    Parameters
+    ----------
+    t_stop, dt:
+        Transient span and fixed step for every lane.
+    window:
+        Measurement window ``(t0, t1)``; metrics are extracted from this
+        slice only (defaults to the full span).  Use the last period of a
+        settled response, mirroring how the PSS measures.
+    chunk_size:
+        Lanes per stacked solve - bounds peak memory.
+
+    Returns
+    -------
+    MonteCarloResult
+    """
+    compiled = _as_compiled(circuit)
+    rng = np.random.default_rng(seed)
+    record = sorted({node for m in measures for node in m.required_nodes()}
+                    | set(extra_record or []))
+
+    all_deltas = sample_mismatch(compiled, n, rng, sigma_scale,
+                                 param_covariance=param_covariance)
+    out = {m.name: np.empty(n) for m in measures}
+    t_begin = time.perf_counter()
+    failures = 0
+
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        deltas = {k: v[start:stop] for k, v in all_deltas.items()}
+        state = compiled.make_state(deltas=deltas)
+        res = transient(compiled, t_stop=t_stop, dt=dt, state=state,
+                        options=TransientOptions(method=method,
+                                                 record=record))
+        t = res.t
+        sig = res.signals
+        if window is not None:
+            mask = (t >= window[0] - 1e-15) & (t <= window[1] + 1e-15)
+            t = t[mask]
+            sig = {k: v[mask] for k, v in sig.items()}
+        failures += measure_lanes(t, sig, measures, out, start)
+
+    stats = {}
+    failed_metrics = {}
+    for name, vals in out.items():
+        good = vals[np.isfinite(vals)]
+        failed_metrics[name] = int(vals.size - good.size)
+        if good.size < 2:
+            raise MeasurementError(
+                f"Monte-Carlo metric '{name}' failed on almost all lanes")
+        stats[name] = describe(good)
+
+    return MonteCarloResult(
+        n=n, samples=out, stats=stats, deltas=all_deltas,
+        runtime_seconds=time.perf_counter() - t_begin,
+        n_failed=failures, failed_metrics=failed_metrics)
+
+
+def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
+                   n: int, seed: int = 0, sigma_scale: float = 1.0,
+                   param_covariance: np.ndarray | None = None
+                   ) -> MonteCarloResult:
+    """Monte-Carlo over batched DC operating points (dcmatch baseline)."""
+    from ..analysis.dcop import dc_operating_point
+    compiled = _as_compiled(circuit)
+    rng = np.random.default_rng(seed)
+    deltas = sample_mismatch(compiled, n, rng, sigma_scale,
+                             param_covariance=param_covariance)
+    t_begin = time.perf_counter()
+    state = compiled.make_state(deltas=deltas)
+    dc = dc_operating_point(compiled, state)
+    samples = {}
+    for name, spec in outputs.items():
+        pos, neg = (spec if isinstance(spec, tuple) else (spec, "0"))
+        samples[name] = np.asarray(dc.voltage(pos, neg))
+    stats = {name: describe(vals) for name, vals in samples.items()}
+    return MonteCarloResult(
+        n=n, samples=samples, stats=stats, deltas=deltas,
+        runtime_seconds=time.perf_counter() - t_begin)

@@ -1,0 +1,92 @@
+"""Mismatch -> pseudo-noise mapping (paper Section III).
+
+The paper's recipe models a mismatch parameter with variance
+``sigma_p^2`` as a 1/f pseudo-noise source whose PSD equals
+``sigma_p^2`` at 1 Hz - low enough in frequency to look constant over
+any bounded observation, and with negligible high-frequency content so
+LPTV noise folding cannot contaminate the reading.
+
+In this package the pseudo-noise source is realised *exactly* as the
+parameter-derivative injection (:class:`repro.analysis.mna.Injection`):
+a deviation ``delta p`` perturbs the MNA equations by
+
+.. math:: \\frac{d}{dt}\\Big(\\frac{\\partial q}{\\partial p}\\Big)
+          \\delta p + \\frac{\\partial i}{\\partial p}\\, \\delta p,
+
+whose quasi-DC response is what the LPTV solver computes.  Evaluating
+the derivatives along the periodic steady state reproduces the paper's
+bias-dependent modulations (Figs. 3-4):
+
+=====================  =======================================
+mismatch parameter     equivalent injection along the PSS
+=====================  =======================================
+MOS ``VT0``            current ``-gm(t)`` from drain to source
+MOS ``beta_rel``       current ``I_DS(t)`` from drain to source
+resistor ``R``         current ``-I_R(t)/R`` across the resistor
+                       (Norton form of the paper's series EMF
+                       ``I_R delta R``)
+capacitor ``C``        charge ``v_C(t)`` across the capacitor
+inductor ``L``         flux ``i_L(t)`` in the branch equation
+=====================  =======================================
+
+This module provides the PSD-level view of those sources for the
+harmonic-domain noise engine and for documentation/reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.mna import CompiledCircuit, Injection, ParamState
+from ..circuit.elements import PsdShape
+from ..constants import PSEUDO_NOISE_FREQUENCY
+
+
+@dataclass(frozen=True)
+class PseudoNoisePsd:
+    """The 1/f pseudo-noise source equivalent to one mismatch parameter.
+
+    ``psd(f) = sigma^2 * (f_ref / f)``: the paper's flicker-shaped
+    source whose value at ``f_ref`` (1 Hz) is the mismatch variance.
+    """
+
+    key: tuple[str, str]
+    sigma: float
+    f_ref: float = PSEUDO_NOISE_FREQUENCY
+
+    def psd(self, f: float | np.ndarray) -> float | np.ndarray:
+        return self.sigma ** 2 * self.f_ref / np.asarray(f, dtype=float)
+
+    @property
+    def shape(self) -> PsdShape:
+        return PsdShape.FLICKER
+
+
+def pseudo_noise_sources(compiled: CompiledCircuit
+                         ) -> list[PseudoNoisePsd]:
+    """The PSD description of every mismatch parameter in a circuit."""
+    return [PseudoNoisePsd(key=d.key, sigma=d.sigma)
+            for d in compiled.circuit.mismatch_decls()]
+
+
+def injection_table(compiled: CompiledCircuit, state: ParamState,
+                    x_orbit: np.ndarray) -> list[Injection]:
+    """Alias for :meth:`CompiledCircuit.mismatch_injections`, named after
+    the paper's flow diagram (Fig. 2, "convert mismatch to pseudo-noise
+    sources")."""
+    return compiled.mismatch_injections(state, x_orbit)
+
+
+def folding_safety_ratio(f0: float,
+                         f_ref: float = PSEUDO_NOISE_FREQUENCY) -> float:
+    """How much weaker the pseudo-noise is at the first harmonic than at
+    the reading frequency.
+
+    LPTV analysis folds noise from ``k f0 +/- f`` into the reading at
+    ``f``; a 1/f source is weaker there by ``f0 / f_ref``.  The paper's
+    Section III argues this ratio must be large - for a 1 GHz clock and a
+    1 Hz reference it is 1e9, which is why folding is negligible.
+    """
+    return f0 / f_ref

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuits: duplicate names, unknown nodes, ..."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Norm of the final residual, when meaningful.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularMatrixError(ReproError):
+    """Raised when an MNA matrix is singular (floating node, V-loop, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis is asked something it cannot provide."""
+
+
+class MeasurementError(ReproError):
+    """Raised when a waveform measurement cannot be taken
+    (missing crossing, no oscillation, ...)."""

@@ -1,0 +1,296 @@
+"""Waveform container and time-domain measurement helpers.
+
+A :class:`Waveform` holds one scalar signal sampled on a strictly increasing
+time grid and offers the measurements the paper's benchmarks need:
+threshold-crossing times (linearly interpolated), edge-to-edge delays,
+oscillation period/frequency, amplitude of the fundamental, and settling
+checks.  Both the Monte-Carlo baseline and the sensitivity-based engine
+funnel their raw simulator output through this module so that the two
+methods measure performance identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+import numpy as np
+
+from .errors import MeasurementError
+
+EdgeKind = Literal["rise", "fall", "any"]
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """One interpolated threshold crossing.
+
+    Attributes
+    ----------
+    time:
+        Interpolated crossing instant [s].
+    slope:
+        Signal slope at the crossing [units/s]; positive for rising edges.
+    index:
+        Index ``i`` such that the crossing lies in ``(t[i], t[i+1]]``.
+    """
+
+    time: float
+    slope: float
+    index: int
+
+    @property
+    def edge(self) -> str:
+        return "rise" if self.slope >= 0.0 else "fall"
+
+
+class Waveform:
+    """A sampled scalar signal ``v(t)``.
+
+    Parameters
+    ----------
+    t:
+        Strictly increasing sample times [s].
+    v:
+        Sample values, same length as *t*.
+    name:
+        Optional label used in error messages.
+    """
+
+    def __init__(self, t: np.ndarray, v: np.ndarray, name: str = ""):
+        t = np.asarray(t, dtype=float)
+        v = np.asarray(v, dtype=float)
+        if t.ndim != 1 or v.ndim != 1 or t.shape != v.shape:
+            raise ValueError("t and v must be 1-D arrays of equal length")
+        if t.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+        if np.any(np.diff(t) <= 0.0):
+            raise ValueError("time axis must be strictly increasing")
+        self.t = t
+        self.v = v
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.t.size
+
+    def __call__(self, time: float | np.ndarray) -> float | np.ndarray:
+        """Linearly interpolate the waveform at *time*."""
+        return np.interp(time, self.t, self.v)
+
+    @property
+    def duration(self) -> float:
+        return float(self.t[-1] - self.t[0])
+
+    def slice(self, t_start: float, t_stop: float) -> "Waveform":
+        """Return the sub-waveform with ``t_start <= t <= t_stop``."""
+        mask = (self.t >= t_start) & (self.t <= t_stop)
+        if mask.sum() < 2:
+            raise MeasurementError(
+                f"slice [{t_start}, {t_stop}] of '{self.name}' holds fewer "
+                "than two samples")
+        return Waveform(self.t[mask], self.v[mask], self.name)
+
+    def mean(self) -> float:
+        """Time-weighted average (trapezoidal) over the full span."""
+        return float(np.trapezoid(self.v, self.t) / self.duration)
+
+    def min(self) -> float:
+        return float(self.v.min())
+
+    def max(self) -> float:
+        return float(self.v.max())
+
+    def peak_to_peak(self) -> float:
+        return self.max() - self.min()
+
+    def value_at_fraction(self, fraction: float) -> float:
+        """Interpolated value at ``t0 + fraction*(t1 - t0)``."""
+        return float(self(self.t[0] + fraction * self.duration))
+
+    def derivative(self) -> "Waveform":
+        """Centred finite-difference derivative, same grid."""
+        dv = np.gradient(self.v, self.t)
+        return Waveform(self.t, dv, f"d({self.name})/dt")
+
+    # ------------------------------------------------------------------
+    # crossings and edges
+    # ------------------------------------------------------------------
+    def crossings(self, threshold: float, edge: EdgeKind = "any",
+                  t_start: float | None = None,
+                  t_stop: float | None = None) -> list[Crossing]:
+        """Find all interpolated crossings of *threshold*.
+
+        Samples exactly on the threshold are attributed to the interval in
+        which the signal leaves the threshold, which keeps the count stable
+        for waveforms that touch the threshold at a grid point.
+        """
+        t, v = self.t, self.v
+        d = v - threshold
+        sign = np.sign(d)
+        # Treat exact zeros as belonging to the previous sign so that a
+        # single tangential touch does not double count.
+        for i in range(1, sign.size):
+            if sign[i] == 0.0:
+                sign[i] = sign[i - 1]
+        if sign[0] == 0.0:
+            nonzero = np.nonzero(sign)[0]
+            sign[0] = sign[nonzero[0]] if nonzero.size else 1.0
+        idx = np.nonzero(sign[1:] * sign[:-1] < 0.0)[0]
+
+        result: list[Crossing] = []
+        for i in idx:
+            dt = t[i + 1] - t[i]
+            dv = v[i + 1] - v[i]
+            frac = (threshold - v[i]) / dv
+            tc = t[i] + frac * dt
+            slope = dv / dt
+            if t_start is not None and tc < t_start:
+                continue
+            if t_stop is not None and tc > t_stop:
+                continue
+            if edge == "rise" and slope < 0.0:
+                continue
+            if edge == "fall" and slope > 0.0:
+                continue
+            result.append(Crossing(time=float(tc), slope=float(slope),
+                                   index=int(i)))
+        return result
+
+    def crossing(self, threshold: float, edge: EdgeKind = "any",
+                 occurrence: int = 0, t_start: float | None = None,
+                 t_stop: float | None = None) -> Crossing:
+        """Return the *occurrence*-th crossing (negative counts from the end).
+
+        Raises
+        ------
+        MeasurementError
+            If the requested crossing does not exist.
+        """
+        found = self.crossings(threshold, edge, t_start, t_stop)
+        try:
+            return found[occurrence]
+        except IndexError:
+            raise MeasurementError(
+                f"waveform '{self.name}': requested {edge} crossing "
+                f"#{occurrence} of {threshold!r} but found {len(found)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # derived measurements
+    # ------------------------------------------------------------------
+    def delay_to(self, other: "Waveform", threshold_self: float,
+                 threshold_other: float, edge_self: EdgeKind = "rise",
+                 edge_other: EdgeKind = "fall", occurrence_self: int = 0,
+                 occurrence_other: int = 0) -> float:
+        """Delay from a crossing of *self* to a crossing of *other* [s]."""
+        t0 = self.crossing(threshold_self, edge_self, occurrence_self).time
+        c1 = other.crossing(threshold_other, edge_other, occurrence_other,
+                            t_start=t0)
+        return c1.time - t0
+
+    def period(self, threshold: float | None = None,
+               edge: EdgeKind = "rise", skip: int = 1) -> float:
+        """Average oscillation period from successive *edge* crossings.
+
+        Parameters
+        ----------
+        threshold:
+            Crossing level; defaults to the midpoint of the waveform range.
+        skip:
+            Number of initial crossings to discard (startup transient).
+        """
+        if threshold is None:
+            threshold = 0.5 * (self.min() + self.max())
+        times = [c.time for c in self.crossings(threshold, edge)]
+        if len(times) < skip + 2:
+            raise MeasurementError(
+                f"waveform '{self.name}': need at least {skip + 2} {edge} "
+                f"crossings for a period estimate, found {len(times)}")
+        times = np.asarray(times[skip:])
+        periods = np.diff(times)
+        return float(periods.mean())
+
+    def frequency(self, threshold: float | None = None,
+                  edge: EdgeKind = "rise", skip: int = 1) -> float:
+        """``1 / period`` [Hz]."""
+        return 1.0 / self.period(threshold, edge, skip)
+
+    def fundamental_amplitude(self, frequency: float) -> float:
+        """Amplitude of the component at *frequency* via single-bin Fourier
+        projection over an integer number of cycles.
+
+        Used for the carrier amplitude ``Ac`` in the paper's Eqs. 7-9.
+        """
+        n_cycles = int(np.floor(self.duration * frequency))
+        if n_cycles < 1:
+            raise MeasurementError(
+                "waveform shorter than one cycle of the requested frequency")
+        t_stop = self.t[0] + n_cycles / frequency
+        w = self.slice(self.t[0], t_stop)
+        phase = 2.0 * np.pi * frequency * (w.t - w.t[0])
+        span = w.t[-1] - w.t[0]
+        a = 2.0 / span * np.trapezoid(w.v * np.cos(phase), w.t)
+        b = 2.0 / span * np.trapezoid(w.v * np.sin(phase), w.t)
+        return float(np.hypot(a, b))
+
+    def is_settled(self, period: float, reltol: float = 1e-6,
+                   abstol: float = 1e-9) -> bool:
+        """True when the last two periods agree within tolerance."""
+        if self.duration < 2.0 * period:
+            return False
+        t_end = self.t[-1]
+        last = self.slice(t_end - period, t_end)
+        prev = self.slice(t_end - 2.0 * period, t_end - period)
+        v_prev = np.interp(last.t - period, prev.t, prev.v)
+        scale = max(self.peak_to_peak(), abstol)
+        return bool(np.max(np.abs(last.v - v_prev)) <= reltol * scale + abstol)
+
+
+class WaveformSet:
+    """A bundle of named waveforms sharing one time axis.
+
+    Analyses return these; indexing by node name yields a
+    :class:`Waveform`.  Differential signals are available with
+    ``ws["a", "b"]`` which returns the waveform of ``v(a) - v(b)``.
+    """
+
+    def __init__(self, t: np.ndarray, signals: dict[str, np.ndarray]):
+        self.t = np.asarray(t, dtype=float)
+        self._signals = {k: np.asarray(v, dtype=float)
+                         for k, v in signals.items()}
+        for k, v in self._signals.items():
+            if v.shape != self.t.shape:
+                raise ValueError(f"signal '{k}' length mismatch")
+
+    def names(self) -> list[str]:
+        return sorted(self._signals)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signals
+
+    def __getitem__(self, key: str | tuple[str, str]) -> Waveform:
+        if isinstance(key, tuple):
+            pos, neg = key
+            return Waveform(self.t, self.array(pos) - self.array(neg),
+                            f"{pos}-{neg}")
+        return Waveform(self.t, self.array(key), key)
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self._signals[name]
+        except KeyError:
+            raise MeasurementError(
+                f"no signal named '{name}'; available: {self.names()}"
+            ) from None
+
+
+def sine(t: Iterable[float], amplitude: float, frequency: float,
+         phase: float = 0.0, offset: float = 0.0, name: str = "sine"
+         ) -> Waveform:
+    """Convenience constructor for test waveforms."""
+    t = np.asarray(list(t), dtype=float)
+    v = offset + amplitude * np.sin(2.0 * np.pi * frequency * t + phase)
+    return Waveform(t, v, name)

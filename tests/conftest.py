@@ -1,0 +1,91 @@
+"""Shared fixtures: technology, small circuits, cached PSS results.
+
+Expensive fixtures (comparator PSS, oscillator PSS) are session-scoped so
+the integration tests share one solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit, pss, pss_oscillator
+from repro.analysis.pss import PssOptions
+from repro.circuit import Circuit, Sine, default_technology
+from repro.circuits import (logic_path_testbench, ring_oscillator,
+                            strongarm_offset_testbench)
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture()
+def rc_divider():
+    """DC resistive divider with mismatch on both resistors."""
+    ckt = Circuit("divider")
+    ckt.add_vsource("V1", "in", "0", dc=1.2)
+    ckt.add_resistor("R1", "in", "out", 1e3, sigma_rel=0.02)
+    ckt.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+    return ckt
+
+
+@pytest.fixture()
+def rc_lowpass():
+    """Sine-driven RC low-pass with R and C mismatch."""
+    ckt = Circuit("rc_lowpass")
+    ckt.add_vsource("VS", "in", "0",
+                    wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+    ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.05)
+    ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+    return ckt
+
+
+@pytest.fixture(scope="session")
+def cs_amp_pss(tech):
+    """PSS of a sine-driven common-source amplifier (time-varying G)."""
+    ckt = Circuit("cs_amp")
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    ckt.add_vsource("VG", "g", "0",
+                    wave=Sine(amplitude=0.25, freq=1e6, offset=0.7))
+    ckt.add_resistor("RL", "vdd", "d", 2e3, sigma_rel=0.02)
+    ckt.add_mosfet("M1", "d", "g", "0", "0", w=2e-6, l=0.26e-6, tech=tech)
+    ckt.add_capacitor("CL", "d", "0", 20e-15)
+    compiled = compile_circuit(ckt)
+    result = pss(compiled, 1e-6,
+                 options=PssOptions(n_steps=512, settle_periods=4))
+    return compiled, result
+
+
+@pytest.fixture(scope="session")
+def oscillator_pss(tech):
+    """Converged PSS of the 5-stage ring oscillator."""
+    ckt = ring_oscillator(tech)
+    compiled = compile_circuit(ckt)
+    result = pss_oscillator(compiled, anchor="osc1", t_settle=8e-9,
+                            dt_settle=2e-12,
+                            options=PssOptions(n_steps=300))
+    return compiled, result
+
+
+@pytest.fixture(scope="session")
+def comparator_pss(tech):
+    """Converged PSS of the StrongARM offset testbench."""
+    tb = strongarm_offset_testbench(tech)
+    compiled = compile_circuit(tb.circuit)
+    result = pss(compiled, tb.period,
+                 options=PssOptions(n_steps=500, settle_periods=30))
+    return tb, compiled, result
+
+
+@pytest.fixture(scope="session")
+def logic_path_x(tech):
+    return logic_path_testbench(tech, late_input="X")
+
+
+def assert_close(a, b, rtol, msg=""):
+    __tracebackhide__ = True
+    if not np.allclose(a, b, rtol=rtol):
+        raise AssertionError(
+            f"{msg}: {a!r} vs {b!r} (rtol {rtol})")

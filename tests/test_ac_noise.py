@@ -1,0 +1,125 @@
+"""Unit tests for AC analysis and stationary noise (.NOISE).
+
+Includes the classic kT/C check: the integrated thermal noise of an RC
+filter must equal kT/C regardless of R.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, compile_circuit, noise_analysis
+from repro.circuit import Circuit
+from repro.constants import BOLTZMANN, T_NOMINAL
+
+
+def rc_filter(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.add_vsource("VS", "in", "0", dc=0.0)
+    ckt.add_resistor("R", "in", "out", r)
+    ckt.add_capacitor("C", "out", "0", c)
+    return ckt
+
+
+class TestAc:
+    def test_rc_transfer_magnitude_and_phase(self):
+        r, c = 1e3, 1e-9
+        compiled = compile_circuit(rc_filter(r, c))
+        freqs = np.logspace(3, 8, 21)
+        res = ac_analysis(compiled, "VS", freqs)
+        h = res.transfer("out")
+        expected = 1.0 / (1.0 + 2j * np.pi * freqs * r * c)
+        assert np.allclose(np.abs(h), np.abs(expected), rtol=1e-6)
+        assert np.allclose(np.angle(h), np.angle(expected), atol=1e-6)
+
+    def test_corner_frequency(self):
+        r, c = 1e3, 1e-9
+        fc = 1.0 / (2 * np.pi * r * c)
+        compiled = compile_circuit(rc_filter(r, c))
+        res = ac_analysis(compiled, "VS", np.array([fc]))
+        assert abs(res.transfer("out")[0]) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-6)
+
+    def test_current_source_stimulus(self):
+        ckt = Circuit()
+        ckt.add_isource("I1", "0", "a", dc=0.0)
+        ckt.add_resistor("R1", "a", "0", 2e3)
+        compiled = compile_circuit(ckt)
+        res = ac_analysis(compiled, "I1", np.array([1e3]))
+        assert res.transfer("a")[0] == pytest.approx(2e3, rel=1e-6)
+
+    def test_rlc_resonance_peak(self):
+        ckt = Circuit("rlc")
+        ckt.add_vsource("VS", "in", "0", dc=0.0)
+        ckt.add_resistor("R", "in", "mid", 10.0)
+        ckt.add_inductor("L", "mid", "out", 1e-6)
+        ckt.add_capacitor("C", "out", "0", 1e-12)
+        compiled = compile_circuit(ckt)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-12))
+        res = ac_analysis(compiled, "VS", np.array([f0]))
+        q = np.sqrt(1e-6 / 1e-12) / 10.0
+        assert abs(res.transfer("out")[0]) == pytest.approx(q, rel=1e-3)
+
+    def test_gain_of_cs_amplifier(self, tech):
+        """|A_v| of a common-source stage ~ gm*(RL || ro)."""
+        ckt = Circuit()
+        ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+        ckt.add_vsource("VG", "g", "0", dc=0.7)
+        ckt.add_resistor("RL", "vdd", "d", 2e3)
+        ckt.add_mosfet("M1", "d", "g", "0", "0", 2e-6, 0.26e-6, tech)
+        compiled = compile_circuit(ckt)
+        res = ac_analysis(compiled, "VG", np.array([1e3]))
+        gain = abs(res.transfer("d")[0])
+        assert 1.0 < gain < 20.0
+
+
+class TestStationaryNoise:
+    def test_resistor_divider_noise_psd(self):
+        """Two equal resistors: output PSD = 4kT(R/2) at low f."""
+        ckt = Circuit()
+        ckt.add_vsource("VS", "in", "0", dc=0.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_resistor("R2", "out", "0", 1e3)
+        compiled = compile_circuit(ckt)
+        res = noise_analysis(compiled, "out", np.array([1e3]))
+        expected = 4 * BOLTZMANN * T_NOMINAL * 500.0
+        assert res.psd[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_ktc_noise(self):
+        """Integrated RC noise = kT/C, independent of R."""
+        for r in (1e2, 1e4):
+            c = 1e-12
+            compiled = compile_circuit(rc_filter(r, c))
+            fc = 1.0 / (2 * np.pi * r * c)
+            freqs = np.logspace(np.log10(fc) - 4, np.log10(fc) + 4, 4000)
+            res = noise_analysis(compiled, "out", freqs)
+            assert res.total_rms() ** 2 == pytest.approx(
+                BOLTZMANN * T_NOMINAL / c, rel=0.02)
+
+    def test_contributions_sum_to_total(self):
+        ckt = Circuit()
+        ckt.add_vsource("VS", "in", "0", dc=0.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_resistor("R2", "out", "0", 3e3)
+        compiled = compile_circuit(ckt)
+        res = noise_analysis(compiled, "out", np.array([1e3, 1e6]))
+        total = sum(v for v in res.contributions.values())
+        assert np.allclose(total, res.psd, rtol=1e-12)
+
+    def test_mosfet_noise_appears(self, tech):
+        ckt = Circuit()
+        ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+        ckt.add_vsource("VG", "g", "0", dc=0.7)
+        ckt.add_resistor("RL", "vdd", "d", 2e3, noisy=False)
+        ckt.add_mosfet("M1", "d", "g", "0", "0", 2e-6, 0.26e-6, tech)
+        compiled = compile_circuit(ckt)
+        res = noise_analysis(compiled, "d", np.array([1e3, 1e9]))
+        # flicker dominates at 1 kHz, thermal at 1 GHz
+        assert (res.contributions[("M1", "flicker")][0]
+                > res.contributions[("M1", "thermal")][0])
+        assert (res.contributions[("M1", "flicker")][1]
+                < res.contributions[("M1", "thermal")][1])
+
+    def test_summary_renders(self):
+        compiled = compile_circuit(rc_filter())
+        res = noise_analysis(compiled, "out", np.array([1e4]))
+        assert "output noise" in res.summary()

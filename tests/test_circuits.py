@@ -1,0 +1,116 @@
+"""Functional tests for the bundled benchmark circuits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit, transient
+from repro.analysis.transient import TransientOptions
+from repro.circuits import (inverter_chain, logic_path_testbench,
+                            resistor_string_dac, ring_oscillator)
+from repro.circuits.dac import dac_tap_names
+
+
+class TestRingOscillator:
+    def test_free_running_oscillation(self, tech):
+        ckt = ring_oscillator(tech)
+        res = transient(compile_circuit(ckt), t_stop=6e-9, dt=2e-12,
+                        options=TransientOptions(record=["osc1"]))
+        w = res.waveset()["osc1"]
+        assert w.peak_to_peak() > 0.8 * tech.vdd
+        assert 0.5e9 < w.frequency(skip=4) < 10e9
+
+    def test_more_stages_lower_frequency(self, tech):
+        def freq(n):
+            ckt = ring_oscillator(tech, n_stages=n)
+            res = transient(compile_circuit(ckt), t_stop=10e-9, dt=2e-12,
+                            options=TransientOptions(record=["osc1"]))
+            return res.waveset()["osc1"].frequency(skip=4)
+        assert freq(7) < freq(5)
+
+
+class TestInverterChain:
+    def test_signal_propagates_with_delay(self, tech):
+        ckt = inverter_chain(tech, n_stages=4, period=4e-9)
+        c = compile_circuit(ckt)
+        res = transient(c, t_stop=8e-9, dt=2e-12,
+                        options=TransientOptions(record=["in", "n4"]))
+        ws = res.waveset()
+        vth = 0.5 * tech.vdd
+        t_in = ws["in"].crossing(vth, "rise", -1).time
+        t_out = ws["n4"].crossing(vth, "rise", t_start=t_in).time
+        assert 10e-12 < (t_out - t_in) < 500e-12
+
+    def test_even_chain_noninverting(self, tech):
+        ckt = inverter_chain(tech, n_stages=4, period=4e-9)
+        res = transient(compile_circuit(ckt), t_stop=8e-9, dt=2e-12,
+                        options=TransientOptions(record=["n4"]))
+        w = res.waveset()["n4"]
+        assert w.min() < 0.05 * tech.vdd
+        assert w.max() > 0.95 * tech.vdd
+
+
+class TestLogicPath:
+    @pytest.mark.parametrize("late", ["X", "Y"])
+    def test_outputs_fall_after_late_input(self, tech, late):
+        tb = logic_path_testbench(tech, late_input=late)
+        c = compile_circuit(tb.circuit)
+        res = transient(c, t_stop=2 * tb.period, dt=tb.period / 1500,
+                        options=TransientOptions(
+                            record=[late, "A", "B"]))
+        ws = res.waveset()
+        t0 = ws[late].crossing(tb.vth, "rise", -1).time
+        for out in ("A", "B"):
+            tc = ws[out].crossing(tb.vth, "fall", t_start=t0).time
+            assert 0 < tc - t0 < 0.1 * tb.period
+
+    def test_invalid_late_input(self, tech):
+        with pytest.raises(ValueError):
+            logic_path_testbench(tech, late_input="Z")
+
+
+class TestComparatorTestbench:
+    def test_loop_converges_and_tracks_vt_shift(self, tech,
+                                                comparator_pss):
+        tb, compiled, _ = comparator_pss
+        state = compiled.make_state(deltas={("M3", "vt0"): 6e-3})
+        res = transient(compiled, t_stop=40 * tb.period,
+                        dt=tb.period / 400, state=state,
+                        options=TransientOptions(record=["vos"]))
+        vos = res.waveset()["vos"]
+        final = vos(res.t[-1])
+        # VT up on the negative-input device -> offset = -6 mV
+        assert final == pytest.approx(-6e-3, rel=0.05)
+        # converged: last two cycles equal
+        assert abs(final - vos(res.t[-1] - tb.period)) < 2e-6
+
+    def test_decision_polarity(self, tech, comparator_pss):
+        """inp > inn must drive outp high / outn low at evaluation."""
+        tb, compiled, _ = comparator_pss
+        state = compiled.make_state(source_values={})
+        # apply a large offset through the integrator initial condition
+        tb2 = tb.circuit
+        ic = dict(tb2.ic)
+        tb2.ic["vos"] = 0.05
+        res = transient(compiled, t_stop=1.5 * tb.period,
+                        dt=tb.period / 800,
+                        options=TransientOptions(
+                            record=["outp", "outn"]))
+        ws = res.waveset()
+        t_eval = 0.75 * tb.period
+        assert ws["outp"](t_eval) > ws["outn"](t_eval)
+        tb2.ic.update(ic)
+
+
+class TestDac:
+    def test_nominal_ladder_levels(self, tech):
+        dac = resistor_string_dac(tech, n_bits=3)
+        c = compile_circuit(dac)
+        from repro.analysis import dc_operating_point
+        dc = dc_operating_point(c)
+        for i, tap in enumerate(dac_tap_names(3), start=1):
+            assert dc.voltage(tap) == pytest.approx(
+                tech.vdd * i / 8.0, rel=1e-6)
+
+    def test_every_resistor_declares_mismatch(self, tech):
+        dac = resistor_string_dac(tech, n_bits=3, sigma_rel=0.02)
+        assert len(dac.mismatch_decls()) == 8

@@ -1,0 +1,149 @@
+"""Unit and property tests for contribution tables, correlations and
+derived-metric variances (paper Eqs. 6, 10-13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.contributions import (ContributionTable, correlation,
+                                      correlated_covariance_from_mixing,
+                                      covariance, difference_variance,
+                                      linear_combination_variance)
+
+
+def table(metric, s, sig, cov=None):
+    keys = [(f"E{i}", "p") for i in range(len(s))]
+    return ContributionTable(metric, keys, np.asarray(s, float),
+                             np.asarray(sig, float), param_covariance=cov)
+
+
+class TestVariance:
+    def test_rms_sum(self):
+        t = table("m", [1.0, 2.0], [0.1, 0.2])
+        assert t.variance == pytest.approx(0.01 + 0.16)
+        assert t.sigma == pytest.approx(np.sqrt(0.17))
+
+    def test_rows_sorted_by_contribution(self):
+        t = table("m", [1.0, 5.0, 2.0], [1.0, 1.0, 1.0])
+        rows = t.rows()
+        assert [r.sensitivity for r in rows] == [5.0, 2.0, 1.0]
+
+    def test_fraction_of_element(self):
+        t = table("m", [3.0, 4.0], [1.0, 1.0])
+        assert t.fraction_of("E0") == pytest.approx(9.0 / 25.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ContributionTable("m", [("a", "p")], np.zeros(2), np.zeros(2))
+
+    def test_summary_contains_shares(self):
+        t = table("m", [1.0, 1.0], [1.0, 1.0])
+        assert "50.0%" in t.summary()
+
+
+class TestCovarianceAndCorrelation:
+    def test_identical_tables_fully_correlated(self):
+        a = table("a", [1.0, 2.0], [0.3, 0.4])
+        assert correlation(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_support_uncorrelated(self):
+        a = table("a", [1.0, 0.0], [1.0, 1.0])
+        b = table("b", [0.0, 1.0], [1.0, 1.0])
+        assert correlation(a, b) == 0.0
+
+    def test_sign_flip_anticorrelated(self):
+        a = table("a", [1.0, 2.0], [1.0, 1.0])
+        b = table("b", [-1.0, -2.0], [1.0, 1.0])
+        assert correlation(a, b) == pytest.approx(-1.0)
+
+    def test_paper_table1_structure(self):
+        """Shared contributions dominate -> high rho; disjoint -> low."""
+        shared = table("A", [1.0, 1.0, 0.3, 0.0], np.ones(4))
+        shared_b = table("B", [1.0, 1.0, 0.0, 0.3], np.ones(4))
+        assert correlation(shared, shared_b) > 0.8
+        dis_a = table("A", [0.0, 0.0, 1.0, 0.0], np.ones(4))
+        dis_b = table("B", [0.0, 0.0, 0.0, 1.0], np.ones(4))
+        assert abs(correlation(dis_a, dis_b)) < 1e-12
+
+    def test_mismatched_keys_rejected(self):
+        a = table("a", [1.0], [1.0])
+        b = ContributionTable("b", [("X", "q")], np.ones(1), np.ones(1))
+        with pytest.raises(ValueError):
+            covariance(a, b)
+
+    def test_difference_variance_eq13(self):
+        """DNL formula: var(A-B) = varA + varB - 2cov."""
+        a = table("a", [1.0, 1.0], [1.0, 1.0])
+        b = table("b", [1.0, 0.5], [1.0, 1.0])
+        direct = difference_variance(a, b)
+        manual = (a.variance + b.variance - 2 * covariance(a, b))
+        assert direct == pytest.approx(manual)
+        # and equals the variance of the (A-B) sensitivity vector
+        diff = table("d", [0.0, 0.5], [1.0, 1.0])
+        assert direct == pytest.approx(diff.variance)
+
+    def test_linear_combination(self):
+        a = table("a", [1.0, 0.0], [1.0, 1.0])
+        b = table("b", [0.0, 1.0], [1.0, 1.0])
+        v = linear_combination_variance([a, b], np.array([3.0, 4.0]))
+        assert v == pytest.approx(25.0)
+
+
+class TestCorrelatedMismatch:
+    def test_mixing_matrix_covariance(self):
+        a = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        c = correlated_covariance_from_mixing(a)
+        assert c.shape == (3, 3)
+        assert c[0, 1] == pytest.approx(1.0)     # fully shared source
+        assert c[0, 2] == pytest.approx(0.0)
+
+    def test_quadratic_form_variance(self):
+        # two perfectly correlated params with opposite sensitivities
+        # must cancel exactly
+        cov = correlated_covariance_from_mixing(
+            np.array([[1.0], [1.0]]))
+        t = table("m", [1.0, -1.0], [1.0, 1.0], cov=cov)
+        assert t.variance == pytest.approx(0.0, abs=1e-15)
+
+    def test_common_mode_rejection_story(self):
+        """Fully correlated (die-to-die) mismatch cancels in a
+        difference metric; independent mismatch does not - the paper's
+        motivation for modelling correlations (Section III-C)."""
+        s_a = [1.0, 0.0]
+        s_b = [0.0, 1.0]
+        indep = covariance(table("a", s_a, [1, 1]),
+                           table("b", s_b, [1, 1]))
+        cov_m = correlated_covariance_from_mixing(np.array([[1.0], [1.0]]))
+        corr = covariance(table("a", s_a, [1, 1], cov=cov_m),
+                          table("b", s_b, [1, 1], cov=cov_m))
+        assert indep == 0.0 and corr == pytest.approx(1.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(s=arrays(np.float64, 5, elements=st.floats(-10, 10)),
+       g=arrays(np.float64, 5, elements=st.floats(0.01, 10)))
+def test_property_variance_nonnegative_and_consistent(s, g):
+    t = table("m", s, g)
+    assert t.variance >= 0.0
+    assert t.variance == pytest.approx(sum(r.contribution
+                                           for r in t.rows()))
+
+
+@settings(max_examples=100, deadline=None)
+@given(sa=arrays(np.float64, 4, elements=st.floats(-5, 5)),
+       sb=arrays(np.float64, 4, elements=st.floats(-5, 5)),
+       g=arrays(np.float64, 4, elements=st.floats(0.01, 5)))
+def test_property_correlation_bounded(sa, sb, g):
+    a, b = table("a", sa, g), table("b", sb, g)
+    rho = correlation(a, b)
+    assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=arrays(np.float64, (4, 3), elements=st.floats(-3, 3)))
+def test_property_mixing_covariance_psd(a):
+    c = correlated_covariance_from_mixing(a)
+    eig = np.linalg.eigvalsh(c)
+    assert np.all(eig >= -1e-9 * max(1.0, np.max(np.abs(eig))))

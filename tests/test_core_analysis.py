@@ -1,0 +1,145 @@
+"""Tests for the analysis orchestrators: dc_mismatch_analysis (the prior
+art) and transient_mismatch_analysis (the paper's method), plus the
+measure objects and result plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.analysis.pss import PssOptions
+from repro.circuit import Circuit, Sine
+from repro.core import (DcLevel, EdgeDelay, Frequency, dc_mismatch_analysis,
+                        monte_carlo_dc, transient_mismatch_analysis)
+from repro.core.interpret import statistical_waveform
+from repro.errors import AnalysisError
+
+
+class TestDcMismatchAnalysis:
+    def test_divider_sigma_analytic(self, rc_divider):
+        res = dc_mismatch_analysis(rc_divider, {"vout": "out"})
+        r1, r2, v = 1e3, 3e3, 1.2
+        dvdr1 = -v * r2 / (r1 + r2) ** 2
+        dvdr2 = v * r1 / (r1 + r2) ** 2
+        expected = np.hypot(dvdr1 * 0.02 * r1, dvdr2 * 0.02 * r2)
+        assert res.sigma("vout") == pytest.approx(expected, rel=1e-6)
+        assert res.mean("vout") == pytest.approx(0.9, abs=1e-6)
+
+    def test_matches_monte_carlo(self, rc_divider):
+        res = dc_mismatch_analysis(rc_divider, {"vout": "out"})
+        mc = monte_carlo_dc(rc_divider, {"vout": "out"}, n=4000, seed=3)
+        assert res.sigma("vout") == pytest.approx(mc.sigma("vout"),
+                                                  rel=0.06)
+
+    def test_ota_offset_vs_mc(self, tech):
+        """The classic dcmatch demo (the prior art the paper extends):
+        input-referred offset of a unity-gain 5T OTA."""
+        from repro.circuits import five_transistor_ota
+        ota = five_transistor_ota(tech)
+        res = dc_mismatch_analysis(ota, {"vos": ("out", "inp")})
+        mc = monte_carlo_dc(ota, {"vos": ("out", "inp")}, n=1500, seed=5)
+        assert 1e-3 < res.sigma("vos") < 30e-3
+        assert res.sigma("vos") == pytest.approx(mc.sigma("vos"),
+                                                 rel=0.12)
+
+    def test_input_pair_dominates_ota(self, tech):
+        from repro.circuits import five_transistor_ota
+        ota = five_transistor_ota(tech)
+        res = dc_mismatch_analysis(ota, {"vos": ("out", "inp")})
+        t = res.contributions("vos")
+        pair_share = t.fraction_of("MI1") + t.fraction_of("MI2")
+        assert pair_share > 0.3
+
+    def test_no_mismatch_params_raises(self):
+        ckt = Circuit()
+        ckt.add_vsource("V", "a", "0", dc=1.0)
+        ckt.add_resistor("R", "a", "0", 1e3)   # sigma_rel = 0
+        with pytest.raises(AnalysisError):
+            dc_mismatch_analysis(ckt, {"v": "a"})
+
+    def test_unknown_metric_raises(self, rc_divider):
+        res = dc_mismatch_analysis(rc_divider, {"vout": "out"})
+        with pytest.raises(AnalysisError):
+            res.sigma("nope")
+
+    def test_report_renders(self, rc_divider):
+        res = dc_mismatch_analysis(rc_divider, {"vout": "out"})
+        text = res.report()
+        assert "vout" in text and "sigma" in text
+
+
+class TestTransientMismatchAnalysis:
+    def test_requires_a_pss_spec(self, rc_lowpass):
+        with pytest.raises(AnalysisError):
+            transient_mismatch_analysis(rc_lowpass,
+                                        [DcLevel("m", "out")])
+
+    def test_dclevel_on_rc(self, rc_lowpass):
+        """DC component of the RC output: only the divider action of R
+        against the (absent) load matters -> tiny sigma; the fundamental
+        amplitude is the sensitive metric.  This checks plumbing, not
+        physics."""
+        res = transient_mismatch_analysis(
+            rc_lowpass, [DcLevel("vdc", "out")], period=1e-6,
+            pss_options=PssOptions(n_steps=128, settle_periods=2))
+        assert res.sigma("vdc") < 1e-6
+        assert res.mean("vdc") == pytest.approx(0.6, abs=1e-3)
+
+    def test_runtime_breakdown_present(self, rc_lowpass):
+        res = transient_mismatch_analysis(
+            rc_lowpass, [DcLevel("vdc", "out")], period=1e-6,
+            pss_options=PssOptions(n_steps=128, settle_periods=2))
+        assert set(res.runtime_breakdown) == {"pss", "lptv", "measures"}
+        assert res.runtime_seconds > 0.0
+
+    def test_correlation_matrix_shape(self, tech, logic_path_x):
+        tb = logic_path_x
+        res = transient_mismatch_analysis(
+            tb.circuit,
+            [EdgeDelay("dA", "X", "A", tb.vth),
+             EdgeDelay("dB", "X", "B", tb.vth)],
+            period=tb.period,
+            pss_options=PssOptions(n_steps=600, settle_periods=2))
+        names, rho = res.correlation_matrix()
+        assert names == ["dA", "dB"]
+        assert rho[0, 0] == pytest.approx(1.0)
+        assert rho[0, 1] == pytest.approx(rho[1, 0])
+
+    def test_statistical_waveform_band(self, cs_amp_pss):
+        """Fig. 8: the sigma(t) band must be positive and time-varying
+        for a time-varying orbit."""
+        from repro.analysis import periodic_sensitivities
+        compiled, p = cs_amp_pss
+        sens = periodic_sensitivities(p)
+        t, v, sig = statistical_waveform(sens, "d")
+        assert t.shape == v.shape == sig.shape
+        assert np.all(sig >= 0.0)
+        assert sig.max() > 2.0 * sig.min()
+
+
+class TestMeasures:
+    def test_dclevel_required_nodes(self):
+        assert DcLevel("m", "a", "b").required_nodes() == ["a", "b"]
+        assert DcLevel("m", "a").required_nodes() == ["a"]
+
+    def test_edge_delay_on_synthetic_waveset(self):
+        from repro.waveform import WaveformSet
+        t = np.linspace(0.0, 1.0, 1001)
+        ws = WaveformSet(t, {
+            "x": np.clip((t - 0.2) * 20, 0, 1),
+            "y": 1.0 - np.clip((t - 0.45) * 20, 0, 1)})
+        m = EdgeDelay("d", "x", "y", 0.5)
+        assert m.measure_waveset(ws) == pytest.approx(0.25, abs=2e-3)
+
+    def test_frequency_measure_on_synthetic(self):
+        from repro.waveform import WaveformSet
+        t = np.linspace(0, 1e-5, 20001)
+        ws = WaveformSet(t, {"osc": np.sin(2 * np.pi * 1e6 * t)})
+        m = Frequency("f", "osc")
+        assert m.measure_waveset(ws) == pytest.approx(1e6, rel=1e-5)
+
+    def test_frequency_sensitivities_need_oscillator(self, cs_amp_pss):
+        from repro.analysis import periodic_sensitivities
+        compiled, p = cs_amp_pss
+        sens = periodic_sensitivities(p)
+        with pytest.raises(AnalysisError):
+            Frequency("f", "d").sensitivities(sens)

@@ -1,0 +1,81 @@
+"""Tests for design-parameter (width) sensitivities - paper Section VII,
+Eqs. 14-16 and Fig. 10."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, default_technology
+from repro.core import dc_mismatch_analysis
+from repro.core.design_sensitivity import (sigma_after_resize,
+                                           width_sensitivities,
+                                           width_sensitivity_report)
+
+
+@pytest.fixture(scope="module")
+def ota_result():
+    tech = default_technology()
+    from repro.circuits import five_transistor_ota
+    ota = five_transistor_ota(tech)
+    res = dc_mismatch_analysis(ota, {"vos": ("out", "inp")})
+    return ota, res
+
+
+class TestWidthSensitivities:
+    def test_chain_rule_value(self, ota_result):
+        """d var/dW = -var_i/W exactly, since both Pelgrom variances
+        scale as 1/W (Eqs. 14-16)."""
+        ota, res = ota_result
+        rows = width_sensitivities(res.contributions("vos"), ota)
+        for r in rows:
+            assert r.dvar_dw == pytest.approx(
+                -r.variance_contribution / r.width)
+
+    def test_shares_sum_to_one(self, ota_result):
+        ota, res = ota_result
+        rows = width_sensitivities(res.contributions("vos"), ota)
+        assert sum(r.normalized_impact for r in rows) == pytest.approx(
+            1.0, abs=1e-9)
+
+    def test_sorted_descending(self, ota_result):
+        ota, res = ota_result
+        rows = width_sensitivities(res.contributions("vos"), ota)
+        impacts = [r.normalized_impact for r in rows]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_widening_dominant_device_shrinks_sigma(self, ota_result):
+        """Doubling the W of the top contributor must reduce the
+        predicted sigma; its own contribution halves in variance."""
+        ota, res = ota_result
+        t = res.contributions("vos")
+        top = width_sensitivities(t, ota)[0]
+        new = sigma_after_resize(t, ota, {top.device: 2.0 * top.width})
+        assert new < t.sigma
+        expected_var = t.variance - 0.5 * top.variance_contribution
+        assert new == pytest.approx(np.sqrt(expected_var), rel=1e-9)
+
+    def test_resize_all_halves_sigma(self, ota_result):
+        """Quadrupling every W divides every sigma_i by 2 -> sigma/2,
+        when all contributions come from MOSFETs."""
+        ota, res = ota_result
+        t = res.contributions("vos")
+        widths = {r.device: 4.0 * r.width
+                  for r in width_sensitivities(t, ota)}
+        new = sigma_after_resize(t, ota, widths)
+        assert new == pytest.approx(0.5 * t.sigma, rel=1e-9)
+
+    def test_report_renders_with_labels(self, ota_result):
+        ota, res = ota_result
+        text = width_sensitivity_report(res.contributions("vos"), ota,
+                                        labels={"MI1": "input+"})
+        assert "input+" in text and "W [um]" in text
+
+    def test_non_mosfet_contributions_ignored(self):
+        tech = default_technology()
+        ckt = Circuit()
+        ckt.add_vsource("V", "in", "0", dc=1.0)
+        ckt.add_resistor("R1", "in", "out", 1e3, sigma_rel=0.01)
+        ckt.add_resistor("R2", "out", "0", 1e3, sigma_rel=0.01)
+        ckt.add_mosfet("M1", "out", "in", "0", "0", 1e-6, 0.26e-6, tech)
+        res = dc_mismatch_analysis(ckt, {"v": "out"})
+        rows = width_sensitivities(res.contributions("v"), ckt)
+        assert all(r.device == "M1" for r in rows)

@@ -1,0 +1,63 @@
+"""Smoke tests: the bundled examples must run end to end.
+
+The heavyweight examples (Monte-Carlo flags, the Gaussian-mixture sweep)
+are exercised in reduced form or skipped here; the benchmark suite
+covers their full-scale equivalents.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def run_example(name: str, argv: list[str] | None = None,
+                monkeypatch=None, tmp_path=None) -> None:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "ring oscillator" in out
+    assert "analytic sigma" in out
+
+
+def test_logic_path_skew(capsys):
+    run_example("logic_path_skew.py")
+    out = capsys.readouterr().out
+    assert "correlation rho(A, B)" in out
+    assert "skew sigma(A-B)" in out
+
+
+def test_dac_dnl(capsys):
+    run_example("dac_dnl.py")
+    out = capsys.readouterr().out
+    assert "Eq.13" in out
+
+
+def test_statistical_waveform(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_example("statistical_waveform.py")
+    out = capsys.readouterr().out
+    assert "sigma(t)" in out
+    assert (tmp_path / "statistical_waveform.csv").exists()
+
+
+def test_comparator_offset_no_mc(capsys):
+    run_example("comparator_offset.py", argv=[])
+    out = capsys.readouterr().out
+    assert "StrongARM comparator input offset" in out
+    assert "width sensitivities" in out

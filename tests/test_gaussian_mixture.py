@@ -1,0 +1,77 @@
+"""Tests for the Gaussian-mixture extension (paper Section VIII,
+Fig. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian_mixture import (ProjectedMixture, project_mixture,
+                                         project_mixture_with_background,
+                                         split_gaussian)
+from repro.stats import gaussian_pdf
+
+
+class TestSplitGaussian:
+    def test_weights_normalised(self):
+        comps = split_gaussian(1.0, n_components=7)
+        assert sum(c.weight for c in comps) == pytest.approx(1.0)
+
+    def test_mixture_reproduces_parent_moments(self):
+        comps = split_gaussian(2.0, n_components=15, span_sigmas=4.0)
+        mix = ProjectedMixture(list(comps))
+        assert mix.mean == pytest.approx(0.0, abs=1e-9)
+        assert mix.sigma == pytest.approx(2.0, rel=0.05)
+        assert abs(mix.skewness) < 1e-9
+
+    def test_mixture_pdf_close_to_parent(self):
+        comps = split_gaussian(1.0, n_components=21, span_sigmas=4.5)
+        mix = ProjectedMixture(list(comps))
+        x = np.linspace(-3, 3, 301)
+        assert np.max(np.abs(mix.pdf(x) - gaussian_pdf(x, 0, 1))) < 0.02
+
+    def test_needs_two_components(self):
+        with pytest.raises(ValueError):
+            split_gaussian(1.0, n_components=1)
+
+
+class TestProjection:
+    def test_linear_model_projects_to_gaussian(self):
+        """With a globally linear model the mixture must reproduce the
+        plain linear result: mean P0, sigma |S| sigma_p."""
+        comps = split_gaussian(0.5, n_components=15, span_sigmas=4.0)
+        mix = project_mixture(lambda p: (2.0 + 3.0 * p, 3.0), comps)
+        assert mix.mean == pytest.approx(2.0, abs=1e-9)
+        assert mix.sigma == pytest.approx(1.5, rel=0.05)
+        assert abs(mix.skewness) < 1e-6
+
+    def test_quadratic_model_produces_skew(self):
+        """A convex response (P = p^2-ish) must yield positive skew -
+        the non-Gaussian shape the plain linear analysis cannot give
+        (the point of Fig. 13)."""
+        comps = split_gaussian(1.0, n_components=21, span_sigmas=4.0)
+        mix = project_mixture(
+            lambda p: (p + 0.3 * p * p, 1.0 + 0.6 * p), comps)
+        assert mix.skewness > 0.1
+
+    def test_pdf_integrates_to_one(self):
+        comps = split_gaussian(1.0, n_components=9)
+        mix = project_mixture(lambda p: (p, 1.0), comps)
+        x = np.linspace(-8, 8, 4001)
+        assert np.trapezoid(mix.pdf(x), x) == pytest.approx(1.0, abs=1e-4)
+
+    def test_background_widens_components(self):
+        comps = split_gaussian(1.0, n_components=5)
+        narrow = project_mixture(lambda p: (p, 1.0), comps)
+        wide = project_mixture_with_background(
+            lambda p: (p, 1.0, 2.0), comps)
+        assert wide.sigma > narrow.sigma
+        assert wide.sigma == pytest.approx(
+            np.hypot(narrow.sigma, 2.0), rel=0.02)
+
+    def test_saturating_model_compresses_tail(self):
+        """A saturating response maps a Gaussian to a left-compressed
+        distribution with negative skew - the ring-oscillator behaviour
+        of Fig. 12."""
+        comps = split_gaussian(1.0, n_components=21, span_sigmas=4.0)
+        sat = lambda p: (np.tanh(p), 1.0 / np.cosh(p) ** 2)
+        mix = project_mixture(sat, comps)
+        assert mix.sigma < 1.0

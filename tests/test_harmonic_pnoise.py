@@ -1,0 +1,103 @@
+"""Tests for the frequency-domain LPTV engine and periodic noise.
+
+The decisive check: the harmonic conversion-matrix engine and the
+time-domain shooting engine are two independent implementations of the
+same LPTV operator - their quasi-DC responses must coincide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (HarmonicLptv, compile_circuit,
+                            periodic_sensitivities, pnoise, pss)
+from repro.analysis.pss import PssOptions
+from repro.circuit import Circuit, Sine
+from repro.core.interpret import variance_from_baseband_psd
+from repro.core.measures import DcLevel
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def small_pss(request):
+    ckt = Circuit("rc")
+    ckt.add_vsource("VS", "in", "0",
+                    wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+    ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.05)
+    ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+    compiled = compile_circuit(ckt)
+    return compiled, pss(compiled, 1e-6,
+                         options=PssOptions(n_steps=256, settle_periods=3))
+
+
+class TestEngineAgreement:
+    def test_rc_waveforms_agree(self, small_pss):
+        compiled, p = small_pss
+        sens = periodic_sensitivities(p)
+        engine = HarmonicLptv(p, n_harmonics=12)
+        injections = compiled.mismatch_injections(p.state, p.x)
+        for i, inj in enumerate(injections):
+            resp = engine.solve_injection(inj, 1.0)
+            w_h = engine.time_domain_waveform(resp, "out")
+            w_s = sens.node_waveforms("out")[:, i]
+            scale = max(np.max(np.abs(w_s)), 1e-30)
+            assert np.max(np.abs(w_h - w_s)) / scale < 1e-3, inj.key
+
+    def test_mosfet_stage_waveforms_agree(self, cs_amp_pss):
+        compiled, p = cs_amp_pss
+        sens = periodic_sensitivities(p)
+        engine = HarmonicLptv(p, n_harmonics=24)
+        injections = compiled.mismatch_injections(p.state, p.x)
+        for i, inj in enumerate(injections):
+            resp = engine.solve_injection(inj, 1.0)
+            w_h = engine.time_domain_waveform(resp, "d")
+            w_s = sens.node_waveforms("d")[:, i]
+            scale = max(np.max(np.abs(w_s)), 1e-30)
+            assert np.max(np.abs(w_h - w_s)) / scale < 1e-3, inj.key
+
+    def test_truncation_guard(self, small_pss):
+        compiled, p = small_pss
+        with pytest.raises(AnalysisError):
+            HarmonicLptv(p, n_harmonics=100)
+
+
+class TestPNoise:
+    def test_baseband_reading_matches_time_domain(self, cs_amp_pss):
+        """PNOISE baseband PSD at 1 Hz == variance of the DC component
+        computed from the shooting sensitivities (paper Section V-A)."""
+        compiled, p = cs_amp_pss
+        pn = pnoise(p, "d", sidebands=(0,), n_harmonics=24)
+        sens = periodic_sensitivities(p)
+        s = DcLevel("d_mean", "d").sensitivities(sens)
+        var_td = float(np.sum((s * sens.sigmas) ** 2))
+        var_pn = variance_from_baseband_psd(pn.psd[0])
+        assert var_pn == pytest.approx(var_td, rel=0.02)
+
+    def test_contributions_sum_to_total(self, cs_amp_pss):
+        compiled, p = cs_amp_pss
+        pn = pnoise(p, "d", sidebands=(0, 1), n_harmonics=16)
+        for sb in (0, 1):
+            assert sum(pn.contributions[sb].values()) == pytest.approx(
+                pn.psd[sb], rel=1e-9)
+
+    def test_physical_noise_included_separately(self, cs_amp_pss):
+        compiled, p = cs_amp_pss
+        pn = pnoise(p, "d", sidebands=(0,), n_harmonics=16,
+                    include_pseudo=True, include_physical=True)
+        keys = set(pn.contributions[0])
+        assert ("M1", "vt0") in keys            # pseudo
+        assert ("M1", "thermal") in keys        # physical
+        # at 1 Hz the mismatch pseudo-noise dwarfs device noise
+        assert (pn.contributions[0][("M1", "vt0")]
+                > 100 * pn.contributions[0][("M1", "thermal")])
+
+    def test_unanalysed_sideband_raises(self, cs_amp_pss):
+        compiled, p = cs_amp_pss
+        pn = pnoise(p, "d", sidebands=(0,), n_harmonics=16)
+        with pytest.raises(AnalysisError):
+            pn.sideband_psd(3)
+
+    def test_summary_renders(self, cs_amp_pss):
+        compiled, p = cs_amp_pss
+        pn = pnoise(p, "d", sidebands=(0, 1), n_harmonics=16)
+        text = pn.summary()
+        assert "sideband N=+1" in text and "sideband N=+0" in text

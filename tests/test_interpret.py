@@ -1,0 +1,124 @@
+"""Tests for the PSD-interpretation layer (paper Eqs. 7-9, Section V).
+
+The decisive consistency check: the delay variance obtained through the
+paper's PSD route (P1 at 1 Hz offset from the fundamental, Eq. 8) must
+match the variance computed directly from the time-domain crossing
+shifts, on a circuit where the variation is a pure time shift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (compile_circuit, periodic_sensitivities, pnoise,
+                            pss)
+from repro.analysis.pss import PssOptions
+from repro.circuit import Circuit, Sine
+from repro.constants import TWO_PI
+from repro.core.interpret import (delay_variance_from_psd,
+                                  frequency_variance_from_psd,
+                                  phase_variance_from_psd,
+                                  psd_from_delay_variance,
+                                  psd_from_frequency_variance,
+                                  variance_from_baseband_psd)
+
+
+class TestConversionAlgebra:
+    def test_baseband_identity(self):
+        assert variance_from_baseband_psd(8.24e-4) == pytest.approx(
+            8.24e-4)
+        # the paper's example: sigma = 28.7 mV
+        assert np.sqrt(variance_from_baseband_psd(8.24e-4)) \
+            == pytest.approx(28.7e-3, rel=0.01)
+
+    def test_delay_roundtrip(self):
+        var = (3e-12) ** 2
+        p1 = psd_from_delay_variance(var, 1e9, 0.6)
+        assert delay_variance_from_psd(p1, 1e9, 0.6) == pytest.approx(var)
+
+    def test_frequency_roundtrip(self):
+        var = (5e6) ** 2
+        p1 = psd_from_frequency_variance(var, 0.6)
+        assert frequency_variance_from_psd(p1, 0.6) == pytest.approx(var)
+
+    def test_phase_delay_consistency(self):
+        """sigma_D = sigma_phi / (2 pi f0) for any P1, Ac."""
+        p1, f0, ac = 2.5e-7, 2e9, 0.55
+        s_phi = np.sqrt(phase_variance_from_psd(p1, ac))
+        s_d = np.sqrt(delay_variance_from_psd(p1, f0, ac))
+        assert s_d == pytest.approx(s_phi / (TWO_PI * f0))
+
+    def test_paper_convention_factor(self):
+        p1, ac = 1e-6, 1.0
+        ours = phase_variance_from_psd(p1, ac, convention="repro")
+        paper = phase_variance_from_psd(p1, ac, convention="paper")
+        assert ours == pytest.approx(2.0 * paper)
+
+
+class TestPsdRouteVsTimeDomain:
+    """Build a circuit whose mismatch produces (almost) a pure time
+    shift of a sinusoid: an RC phase shifter driven well above its
+    corner.  Then Eq. 8's PSD reading must equal the direct crossing-
+    shift variance."""
+
+    @pytest.fixture(scope="class")
+    def shifter(self):
+        f0 = 1e6
+        ckt = Circuit("shifter")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=Sine(amplitude=0.5, freq=f0, offset=0.0))
+        # corner well below f0: output phase ~ -90deg, amplitude ~ A/(wRC)
+        ckt.add_resistor("R", "in", "out", 10e3, sigma_rel=0.01)
+        ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.01)
+        compiled = compile_circuit(ckt)
+        p = pss(compiled, 1 / f0,
+                options=PssOptions(n_steps=512, settle_periods=6))
+        return compiled, p
+
+    def test_delay_sigma_from_p1_matches_crossing_shift(self, shifter):
+        compiled, p = shifter
+        # time-domain: crossing shift of the output mid-level crossing
+        sens = periodic_sensitivities(p)
+        from repro.core.measures import EdgeDelay
+        delay = EdgeDelay("d", "in", "out", 0.0, from_edge="rise",
+                          to_edge="rise")
+        s = delay.sensitivities(sens)
+        var_td = float(np.sum((s * sens.sigmas) ** 2))
+
+        # PSD route: P1 at 1 Hz from the fundamental (Eq. 8)
+        pn = pnoise(p, "out", sidebands=(0, 1), n_harmonics=10)
+        ac = p.fundamental_amplitude("out")
+        var_psd = delay_variance_from_psd(pn.psd[1], p.f0, ac)
+        # the shift is not a *pure* time translation (amplitude also
+        # moves), so allow a modest tolerance
+        assert var_psd == pytest.approx(var_td, rel=0.2)
+
+    def test_p1_scales_with_sigma_squared(self, shifter):
+        compiled, p = shifter
+        inj = compiled.mismatch_injections(p.state, p.x)
+        pn1 = pnoise(p, "out", sidebands=(1,), n_harmonics=10,
+                     pseudo_injections=inj)
+        # doubling every sigma quadruples the PSD
+        from dataclasses import replace
+        from repro.circuit.elements import MismatchDecl
+        inj2 = [replace(i, decl=MismatchDecl(i.decl.key,
+                                             2.0 * i.decl.sigma))
+                for i in inj]
+        pn2 = pnoise(p, "out", sidebands=(1,), n_harmonics=10,
+                     pseudo_injections=inj2)
+        assert pn2.psd[1] == pytest.approx(4.0 * pn1.psd[1], rel=1e-9)
+
+
+class TestOscillatorPsdRoute:
+    def test_frequency_sigma_via_eq9(self, oscillator_pss):
+        """sigma_f from the adjoint, pushed through Eq. 9 to a P1 and
+        back, must round-trip; and the synthesised P1 must be positive
+        and finite."""
+        compiled, p = oscillator_pss
+        sens = periodic_sensitivities(p)
+        dfdp = sens.df_dp()
+        var_f = float(np.sum((dfdp * sens.sigmas) ** 2))
+        ac = p.fundamental_amplitude("osc1")
+        p1 = psd_from_frequency_variance(var_f, ac)
+        assert p1 > 0.0 and np.isfinite(p1)
+        assert frequency_variance_from_psd(p1, ac) == pytest.approx(
+            var_f, rel=1e-12)

@@ -1,0 +1,169 @@
+"""Unit tests for the compiled MNA layer: indexing, stamping structure,
+injection construction, and the per-row theta scheme."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.circuit import Circuit, default_technology
+from repro.constants import BOLTZMANN, T_NOMINAL
+from repro.errors import NetlistError
+
+
+@pytest.fixture()
+def mixed_circuit(tech):
+    ckt = Circuit("mixed")
+    ckt.add_vsource("V1", "a", "0", dc=1.0)
+    ckt.add_resistor("R1", "a", "b", 1e3, sigma_rel=0.01)
+    ckt.add_capacitor("C1", "b", "0", 1e-12, sigma_rel=0.01)
+    ckt.add_inductor("L1", "b", "c", 1e-9, sigma_rel=0.01)
+    ckt.add_resistor("R2", "c", "0", 1e3, sigma_rel=0.01)
+    ckt.add_mosfet("M1", "c", "a", "0", "0", 1e-6, 0.26e-6, tech)
+    return ckt
+
+
+class TestIndexing:
+    def test_unknown_layout(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        assert c.n_nodes == 3
+        assert c.n == 5           # 3 nodes + V branch + L branch
+        assert c.branch("V1") == 3
+        assert c.branch("L1") == 4
+
+    def test_ground_maps_to_discard_slot(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        assert c.idx("0") == c.n
+        assert c.idx("gnd") == c.n
+
+    def test_voltage_of_ground_is_zero(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        x = np.arange(float(c.n + 1))
+        assert c.voltage(x, "0") == 0.0
+
+    def test_pad_appends_zero(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        x = np.ones((4, c.n))
+        xp = c.pad(x)
+        assert xp.shape == (4, c.n + 1)
+        assert np.all(xp[:, -1] == 0.0)
+
+
+class TestAssembleStructure:
+    def test_linear_residual_is_g_times_x(self, mixed_circuit):
+        """With MOSFET off (x=0) and no sources, f = G_lin @ x."""
+        c = compile_circuit(mixed_circuit)
+        state = c.nominal
+        x_pad, g_pad, f_pad = c.buffers(())
+        rng = np.random.default_rng(0)
+        x_pad[:-1] = 0.0
+        c.assemble(state, x_pad, 0.0, g_pad, f_pad)
+        # residual at x=0: sources only
+        f0 = f_pad.copy()
+        assert f0[c.branch("V1")] == pytest.approx(-1.0)
+
+    def test_jacobian_matches_fd(self, mixed_circuit):
+        """The assembled Jacobian equals finite differences of f."""
+        c = compile_circuit(mixed_circuit)
+        state = c.nominal
+        x_pad, g_pad, f_pad = c.buffers(())
+        rng = np.random.default_rng(1)
+        x_pad[:-1] = rng.uniform(0.0, 1.0, c.n)
+        c.assemble(state, x_pad, 0.0, g_pad, f_pad)
+        jac = g_pad[:c.n, :c.n].copy()
+        f0 = f_pad[:c.n].copy()
+        h = 1e-7
+        for j in range(c.n):
+            xp = x_pad.copy()
+            xp[j] += h
+            c.assemble(state, xp, 0.0, g_pad, f_pad)
+            fd = (f_pad[:c.n] - f0) / h
+            assert np.allclose(jac[:, j], fd, rtol=1e-4,
+                               atol=1e-9), f"column {j}"
+
+    def test_ground_row_scrubbed(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        state = c.nominal
+        assert np.all(state.g_lin[c.n, :] == 0.0)
+        assert np.all(state.g_lin[:, c.n] == 0.0)
+
+
+class TestThetaRows:
+    def test_be_is_all_ones(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        assert np.all(c.theta_rows(c.nominal, "be") == 1.0)
+
+    def test_trap_collocates_algebraic_and_source_rows(self,
+                                                       mixed_circuit):
+        c = compile_circuit(mixed_circuit)
+        th = c.theta_rows(c.nominal, "trap")
+        # V-source constraint row: collocated
+        assert th[c.branch("V1")] == 1.0
+        # node 'a' KCL contains the algebraic V1 branch current
+        assert th[c.node_index["a"]] == 1.0
+        # node 'b' has a real capacitor and no algebraic branch: trap
+        assert th[c.node_index["b"]] == 0.5
+        # inductor branch is differential (its own flux equation)
+        assert th[c.branch("L1")] == 0.5
+
+
+class TestInjections:
+    def test_resistor_injection_value(self, rc_divider):
+        c = compile_circuit(rc_divider)
+        from repro.analysis import dc_operating_point
+        dc = dc_operating_point(c)
+        injections = c.mismatch_injections(c.nominal, dc.x[None, :])
+        by_key = {inj.key: inj for inj in injections}
+        inj = by_key[("R1", "r")]
+        # dI/dR = -(v_in - v_out)/R^2 = -0.3/1e6 at the 'in' node row
+        i_in = c.node_index["in"]
+        i_out = c.node_index["out"]
+        assert inj.di_dp[0, i_in] == pytest.approx(-0.3e-6, rel=1e-6)
+        assert inj.di_dp[0, i_out] == pytest.approx(+0.3e-6, rel=1e-6)
+
+    def test_capacitor_injection_is_reactive(self, tech):
+        ckt = Circuit()
+        ckt.add_vsource("V", "a", "0", dc=0.7)
+        ckt.add_capacitor("C1", "a", "0", 1e-12, sigma_rel=0.01)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        c = compile_circuit(ckt)
+        x = np.array([[0.7, -0.0007]])
+        (inj,) = c.mismatch_injections(c.nominal, x)
+        assert inj.dq_dp is not None
+        assert inj.dq_dp[0, c.node_index["a"]] == pytest.approx(0.7)
+        assert np.all(inj.di_dp == 0.0)
+
+    def test_mosfet_vt_injection_equals_minus_gm(self, tech):
+        ckt = Circuit()
+        ckt.add_vsource("VD", "d", "0", dc=1.2)
+        ckt.add_vsource("VG", "g", "0", dc=0.9)
+        ckt.add_mosfet("M1", "d", "g", "0", "0", 2e-6, 0.13e-6, tech)
+        c = compile_circuit(ckt)
+        from repro.analysis import dc_operating_point
+        dc = dc_operating_point(c)
+        op = c.mosfet_op(c.nominal, c.pad(dc.x))
+        injections = c.mismatch_injections(c.nominal, dc.x[None, :])
+        by_key = {inj.key: inj for inj in injections}
+        i_d = c.node_index["d"]
+        assert by_key[("M1", "vt0")].di_dp[0, i_d] == pytest.approx(
+            -float(op["gm"][0]), rel=1e-12)
+        assert by_key[("M1", "beta_rel")].di_dp[0, i_d] == pytest.approx(
+            float(op["ids"][0]), rel=1e-12)
+
+    def test_noise_injection_psd_values(self, tech):
+        ckt = Circuit()
+        ckt.add_vsource("V", "a", "0", dc=1.0)
+        ckt.add_resistor("R1", "a", "0", 2e3)
+        c = compile_circuit(ckt)
+        x = np.array([[1.0, -0.0005]])
+        (thermal,) = c.noise_injections(c.nominal, x)
+        assert thermal.psd0 == pytest.approx(
+            4 * BOLTZMANN * T_NOMINAL / 2e3)
+        assert thermal.psd(123.0) == thermal.psd0   # white
+
+    def test_unknown_injection_param_rejected(self, rc_divider):
+        from repro.circuit.elements import MismatchDecl
+        c = compile_circuit(rc_divider)
+        with pytest.raises(NetlistError):
+            c.mismatch_injections(
+                c.nominal, np.zeros((1, c.n)),
+                decls=[MismatchDecl(("R1", "bogus"), 1.0)])

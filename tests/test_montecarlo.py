@@ -1,0 +1,109 @@
+"""Tests for the batched Monte-Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.circuit import Circuit, Sine
+from repro.core import DcLevel, monte_carlo_transient, sample_mismatch
+from repro.core.contributions import correlated_covariance_from_mixing
+from repro.errors import MeasurementError
+
+
+class TestSampling:
+    def test_sample_shapes_and_sigmas(self, rc_divider):
+        c = compile_circuit(rc_divider)
+        rng = np.random.default_rng(0)
+        deltas = sample_mismatch(c, 20_000, rng)
+        assert set(deltas) == {("R1", "r"), ("R2", "r")}
+        assert deltas[("R1", "r")].std() == pytest.approx(20.0, rel=0.03)
+        assert deltas[("R2", "r")].std() == pytest.approx(60.0, rel=0.03)
+
+    def test_sigma_scale(self, rc_divider):
+        c = compile_circuit(rc_divider)
+        rng = np.random.default_rng(0)
+        deltas = sample_mismatch(c, 20_000, rng, sigma_scale=2.5)
+        assert deltas[("R1", "r")].std() == pytest.approx(50.0, rel=0.03)
+
+    def test_correlated_sampling(self, rc_divider):
+        c = compile_circuit(rc_divider)
+        rng = np.random.default_rng(1)
+        # perfectly correlated draws via C = A A^T with A = [s1; s2]
+        mix = np.array([[20.0], [60.0]])
+        cov = correlated_covariance_from_mixing(mix)
+        deltas = sample_mismatch(c, 20_000, rng, param_covariance=cov)
+        r = np.corrcoef(deltas[("R1", "r")], deltas[("R2", "r")])[0, 1]
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+    def test_key_subset(self, rc_divider):
+        c = compile_circuit(rc_divider)
+        rng = np.random.default_rng(2)
+        deltas = sample_mismatch(c, 10, rng, keys=[("R2", "r")])
+        assert list(deltas) == [("R2", "r")]
+
+    def test_wrong_covariance_shape(self, rc_divider):
+        c = compile_circuit(rc_divider)
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            sample_mismatch(c, 10, rng, param_covariance=np.eye(3))
+
+
+class TestTransientMc:
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+        ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.03)
+        ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.01)
+        return ckt
+
+    def test_chunking_is_transparent(self):
+        ckt = self._rc()
+        common = dict(measures=[DcLevel("v", "out")], n=40,
+                      t_stop=4e-6, dt=1e-8, window=(3e-6, 4e-6), seed=9)
+        a = monte_carlo_transient(ckt, chunk_size=40, **common)
+        b = monte_carlo_transient(ckt, chunk_size=7, **common)
+        assert np.allclose(a.samples["v"], b.samples["v"], rtol=1e-12)
+
+    def test_seed_reproducibility(self):
+        ckt = self._rc()
+        common = dict(measures=[DcLevel("v", "out")], n=16,
+                      t_stop=4e-6, dt=1e-8, window=(3e-6, 4e-6))
+        a = monte_carlo_transient(ckt, seed=11, **common)
+        b = monte_carlo_transient(ckt, seed=11, **common)
+        c = monte_carlo_transient(ckt, seed=12, **common)
+        assert np.array_equal(a.samples["v"], b.samples["v"])
+        assert not np.array_equal(a.samples["v"], c.samples["v"])
+
+    def test_partial_lane_failure_records_nan(self):
+        """A lane whose measurement fails records NaN and is counted;
+        the other lanes survive."""
+        from repro.core import EdgeDelay
+        from repro.core.montecarlo import measure_lanes
+        t = np.linspace(0.0, 1.0, 101)
+        good = np.clip((t - 0.3) * 10, 0, 1)
+        bad = np.zeros_like(t)                    # never crosses
+        signals = {"a": np.stack([good, bad], axis=1),
+                   "b": np.stack([1 - good, 1 - good], axis=1)}
+        out = {"d": np.empty(2)}
+        failures = measure_lanes(
+            t, signals, [EdgeDelay("d", "a", "b", 0.5)], out, 0)
+        assert failures == 1
+        assert np.isfinite(out["d"][0])
+        assert np.isnan(out["d"][1])
+
+    def test_all_failed_raises(self):
+        from repro.core import EdgeDelay
+        ckt = self._rc()
+        with pytest.raises(MeasurementError):
+            monte_carlo_transient(
+                ckt, [EdgeDelay("d", "out", "out", 5.0)],
+                n=4, t_stop=2e-6, dt=1e-8, seed=1)
+
+    def test_report_renders(self):
+        ckt = self._rc()
+        mc = monte_carlo_transient(ckt, [DcLevel("v", "out")], n=8,
+                                   t_stop=3e-6, dt=1e-8,
+                                   window=(2e-6, 3e-6), seed=4)
+        text = mc.report()
+        assert "Monte-Carlo" in text and "sigma" in text

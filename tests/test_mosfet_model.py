@@ -1,0 +1,162 @@
+"""Unit and property tests for the EKV-style MOSFET model.
+
+The model's exact derivatives feed every analysis (Newton, LPTV,
+adjoint), so the derivative checks here are load-bearing for the whole
+package.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import default_technology
+from repro.circuit.mosfet import ekv_ids
+from repro.constants import PHI_T
+
+TECH = default_technology()
+P = TECH.nmos
+
+
+def eval_nmos(vd, vg, vs, vb=0.0, w=2e-6, l=0.13e-6):
+    beta = P.kp * w / l
+    lam = P.lam * P.l_ref / l
+    return ekv_ids(vd, vg, vs, vb, P.vt0, beta, P.n, lam)
+
+
+class TestRegions:
+    def test_off_device_leaks_little(self):
+        ev = eval_nmos(1.2, 0.0, 0.0)
+        assert 0.0 < ev.ids < 1e-7
+
+    def test_saturation_square_law(self):
+        # deep strong inversion, lambda ~ 0 via L-scaled coefficient
+        beta = P.kp * 2e-6 / 0.13e-6
+        ev = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0, beta, P.n, 0.0)
+        expected = beta * (1.0 - P.vt0) ** 2 / (2.0 * P.n)
+        assert ev.ids == pytest.approx(expected, rel=0.05)
+
+    def test_subthreshold_slope(self):
+        # deep subthreshold: one n*phi_t*ln(10) of VGS is one decade
+        i1 = eval_nmos(1.2, 0.08, 0.0).ids
+        i2 = eval_nmos(1.2, 0.08 + P.n * PHI_T * np.log(10), 0.0).ids
+        assert i2 / i1 == pytest.approx(10.0, rel=0.05)
+
+    def test_triode_linear_in_small_vds(self):
+        i1 = eval_nmos(0.01, 1.0, 0.0).ids
+        i2 = eval_nmos(0.02, 1.0, 0.0).ids
+        assert i2 / i1 == pytest.approx(2.0, rel=0.05)
+
+    def test_drain_source_antisymmetry(self):
+        """Swapping D and S must flip the current (channel symmetry)."""
+        beta = P.kp * 2e-6 / 0.13e-6
+        fwd = ekv_ids(0.3, 1.0, 0.1, 0.0, P.vt0, beta, P.n, 0.0).ids
+        rev = ekv_ids(0.1, 1.0, 0.3, 0.0, P.vt0, beta, P.n, 0.0).ids
+        assert fwd == pytest.approx(-rev, rel=1e-9)
+
+    def test_zero_vds_zero_current(self):
+        assert eval_nmos(0.4, 1.0, 0.4).ids == pytest.approx(0.0, abs=1e-18)
+
+    def test_clm_increases_current(self):
+        beta = P.kp * 2e-6 / 0.13e-6
+        without = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0, beta, P.n, 0.0).ids
+        with_clm = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0, beta, P.n, 0.2).ids
+        assert with_clm > without
+
+
+class TestDerivatives:
+    """Analytic partials vs central finite differences."""
+
+    @pytest.mark.parametrize("vd,vg,vs,vb", [
+        (1.2, 1.0, 0.0, 0.0),     # saturation
+        (0.05, 1.0, 0.0, 0.0),    # triode
+        (1.2, 0.3, 0.0, 0.0),     # subthreshold
+        (0.6, 0.9, 0.2, 0.0),     # stacked device bias
+        (0.1, 0.8, 0.3, 0.0),     # reverse-ish
+    ])
+    def test_partials_match_fd(self, vd, vg, vs, vb):
+        h = 1e-7
+        ev = eval_nmos(vd, vg, vs, vb)
+        for g_name, idx in (("g_d", 0), ("g_g", 1), ("g_s", 2),
+                            ("g_b", 3)):
+            args = [vd, vg, vs, vb]
+            args_p = list(args)
+            args_m = list(args)
+            args_p[idx] += h
+            args_m[idx] -= h
+            fd = (eval_nmos(*args_p).ids - eval_nmos(*args_m).ids) / (2 * h)
+            assert getattr(ev, g_name) == pytest.approx(fd, rel=1e-5,
+                                                        abs=1e-12), g_name
+
+    def test_translation_invariance(self):
+        """Shifting every terminal by the same voltage changes nothing."""
+        ev = eval_nmos(1.0, 0.9, 0.2, 0.0)
+        total = ev.g_d + ev.g_g + ev.g_s + ev.g_b
+        assert abs(total) < 1e-9 * max(abs(ev.g_g), 1e-12)
+        shifted = eval_nmos(1.3, 1.2, 0.5, 0.3)
+        assert shifted.ids == pytest.approx(ev.ids, rel=1e-9)
+
+    def test_vt_derivative_is_minus_gm(self):
+        """The threshold pseudo-noise modulation (paper Fig. 4)."""
+        h = 1e-7
+        beta = P.kp * 2e-6 / 0.13e-6
+        base = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0, beta, P.n, 0.1)
+        up = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0 + h, beta, P.n, 0.1)
+        fd = (up.ids - base.ids) / h
+        assert fd == pytest.approx(-base.gm, rel=1e-4)
+
+    def test_beta_derivative_is_ids(self):
+        """The current-factor pseudo-noise modulation (paper Fig. 4)."""
+        beta = P.kp * 2e-6 / 0.13e-6
+        base = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0, beta, P.n, 0.1)
+        up = ekv_ids(1.2, 1.0, 0.0, 0.0, P.vt0, beta * (1 + 1e-7),
+                     P.n, 0.1)
+        fd = (up.ids - base.ids) / 1e-7
+        assert fd == pytest.approx(base.ids, rel=1e-4)
+
+
+class TestVectorisation:
+    def test_broadcast_over_devices_and_batch(self):
+        vg = np.linspace(0.2, 1.2, 7)[:, None] * np.ones((1, 3))
+        beta = P.kp * np.array([1e-6, 2e-6, 4e-6]) / 0.13e-6
+        ev = ekv_ids(1.2, vg, 0.0, 0.0, P.vt0, beta, P.n, 0.1)
+        assert ev.ids.shape == (7, 3)
+        assert np.all(np.diff(ev.ids, axis=0) > 0)       # monotone in VG
+        assert np.all(np.diff(ev.ids, axis=1) > 0)       # monotone in W
+
+    def test_scalar_matches_vector(self):
+        scalar = eval_nmos(1.2, 1.0, 0.0).ids
+        vec = eval_nmos(np.array([1.2]), np.array([1.0]),
+                        np.array([0.0])).ids
+        assert scalar == pytest.approx(float(vec[0]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(vd=st.floats(0.0, 1.32), vg=st.floats(0.0, 1.32),
+       vs=st.floats(0.0, 0.6))
+def test_property_current_finite_and_gate_drive_strengthens(vd, vg, vs):
+    """Anywhere in the supply cube: finite current, and more gate drive
+    never weakens conduction (``gm`` has the sign of ``I_DS``, which is
+    negative in reverse operation)."""
+    ev = eval_nmos(vd, vg, vs)
+    assert np.isfinite(ev.ids)
+    assert ev.g_g * np.sign(ev.ids) >= -1e-15
+
+
+@settings(max_examples=200, deadline=None)
+@given(vg=st.floats(0.0, 1.32), vs=st.floats(0.0, 0.6),
+       d1=st.floats(0.0, 1.32), d2=st.floats(0.0, 1.32))
+def test_property_current_monotone_in_vd(vg, vs, d1, d2):
+    """With CLM >= 0 the drain current is non-decreasing in VD."""
+    lo, hi = min(d1, d2), max(d1, d2)
+    i_lo = eval_nmos(lo, vg, vs).ids
+    i_hi = eval_nmos(hi, vg, vs).ids
+    assert i_hi >= i_lo - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(vg=st.floats(0.3, 1.2))
+def test_property_overflow_safety_extreme_bias(vg):
+    """Large biases far outside the supply must not overflow."""
+    ev = eval_nmos(50.0, 40.0 * vg, 0.0)
+    assert np.isfinite(ev.ids) and np.isfinite(ev.g_g)

@@ -1,0 +1,163 @@
+"""Unit tests for circuit construction and element declarations."""
+
+import math
+
+import pytest
+
+from repro.circuit import (Circuit, GateWindow, Mosfet, PsdShape,
+                           SmoothPulse, default_technology, merge)
+from repro.circuit.netlist import GROUND_NAMES
+from repro.errors import NetlistError
+
+
+class TestCircuit:
+    def test_duplicate_names_rejected(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        with pytest.raises(NetlistError):
+            ckt.add_resistor("R1", "b", "0", 1e3)
+
+    def test_nodes_exclude_ground(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "gnd", 1e3)
+        ckt.add_resistor("R2", "a", "0", 1e3)
+        assert ckt.nodes() == ["a"]
+        assert "gnd" in GROUND_NAMES and "0" in GROUND_NAMES
+
+    def test_lookup_and_contains(self):
+        ckt = Circuit()
+        r = ckt.add_resistor("R1", "a", "0", 1e3)
+        assert ckt["R1"] is r
+        assert "R1" in ckt and "R2" not in ckt
+        with pytest.raises(NetlistError):
+            ckt["R2"]
+
+    def test_validate_empty(self):
+        with pytest.raises(NetlistError):
+            Circuit().validate()
+
+    def test_validate_no_ground(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "b", 1e3)
+        with pytest.raises(NetlistError):
+            ckt.validate()
+
+    def test_vsource_needs_exactly_one_spec(self):
+        ckt = Circuit()
+        with pytest.raises(NetlistError):
+            ckt.add_vsource("V1", "a", "0")
+        with pytest.raises(NetlistError):
+            ckt.add_vsource("V2", "a", "0", dc=1.0,
+                            wave=SmoothPulse())
+
+    def test_merge(self):
+        a = Circuit("a")
+        a.add_resistor("R1", "x", "0", 1.0)
+        b = Circuit("b")
+        b.add_resistor("R2", "y", "0", 1.0)
+        m = merge("ab", [a, b])
+        assert len(m) == 2
+
+    def test_merge_collision(self):
+        a = Circuit("a")
+        a.add_resistor("R1", "x", "0", 1.0)
+        b = Circuit("b")
+        b.add_resistor("R1", "y", "0", 1.0)
+        with pytest.raises(NetlistError):
+            merge("ab", [a, b])
+
+    def test_set_ic(self):
+        ckt = Circuit()
+        ckt.set_ic({"a": 1.0}, b=2.0)
+        assert ckt.ic == {"a": 1.0, "b": 2.0}
+
+
+class TestDeclarations:
+    def test_resistor_mismatch_decl(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 2e3, sigma_rel=0.01)
+        (decl,) = ckt.mismatch_decls()
+        assert decl.key == ("R1", "r")
+        assert decl.sigma == pytest.approx(20.0)
+
+    def test_quiet_resistor_declares_nothing(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 2e3, noisy=False)
+        assert ckt.mismatch_decls() == []
+        assert ckt.noise_decls() == []
+
+    def test_mosfet_pelgrom_sigmas(self):
+        tech = default_technology()
+        ckt = Circuit()
+        m = ckt.add_mosfet("M1", "d", "g", "0", "0", 2e-6, 0.13e-6, tech)
+        decls = {d.key[1]: d.sigma for d in m.mismatch_decls()}
+        wl = 2e-6 * 0.13e-6
+        assert decls["vt0"] == pytest.approx(tech.avt / math.sqrt(wl))
+        assert decls["beta_rel"] == pytest.approx(
+            tech.abeta / math.sqrt(wl))
+
+    def test_mosfet_multiplier_scales_sigma(self):
+        tech = default_technology()
+        a = Mosfet.from_tech("Ma", "d", "g", "0", "0", 2e-6, 0.13e-6,
+                             tech, m=4.0)
+        b = Mosfet.from_tech("Mb", "d", "g", "0", "0", 2e-6, 0.13e-6,
+                             tech, m=1.0)
+        assert a.sigma_vt == pytest.approx(b.sigma_vt / 2.0)
+        assert a.beta == pytest.approx(4.0 * b.beta)
+
+    def test_mosfet_noise_decls(self):
+        tech = default_technology()
+        ckt = Circuit()
+        ckt.add_mosfet("M1", "d", "g", "0", "0", 2e-6, 0.13e-6, tech)
+        shapes = {d.key[1]: d.shape for d in ckt.noise_decls()}
+        assert shapes == {"thermal": PsdShape.WHITE,
+                          "flicker": PsdShape.FLICKER}
+
+    def test_invalid_polarity(self):
+        tech = default_technology()
+        with pytest.raises(ValueError):
+            Mosfet("Mx", "d", "g", "0", "0", polarity="x",
+                   params=tech.nmos)
+
+    def test_positive_value_checks(self):
+        ckt = Circuit()
+        with pytest.raises(ValueError):
+            ckt.add_resistor("R", "a", "0", -1.0)
+        with pytest.raises(ValueError):
+            ckt.add_capacitor("C", "a", "0", 0.0)
+        with pytest.raises(ValueError):
+            ckt.add_inductor("L", "a", "0", -1e-9)
+
+
+class TestTimeFunctions:
+    def test_smooth_pulse_levels(self):
+        p = SmoothPulse(v0=0.0, v1=1.2, delay=0.0, t_rise=1e-9,
+                        t_high=3e-9, t_fall=1e-9, t_period=10e-9)
+        assert p(0.0) == pytest.approx(0.0)
+        assert p(0.5e-9) == pytest.approx(0.6)     # mid-rise
+        assert p(2e-9) == pytest.approx(1.2)
+        assert p(4.5e-9) == pytest.approx(0.6)     # mid-fall
+        assert p(8e-9) == pytest.approx(0.0)
+
+    def test_smooth_pulse_periodicity(self):
+        p = SmoothPulse(t_rise=1e-9, t_high=2e-9, t_fall=1e-9,
+                        t_period=8e-9)
+        assert p(1.5e-9) == pytest.approx(p(1.5e-9 + 3 * 8e-9))
+
+    def test_smooth_pulse_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            SmoothPulse(t_rise=5e-9, t_high=5e-9, t_fall=5e-9,
+                        t_period=10e-9)
+
+    def test_gate_window_shape(self):
+        g = GateWindow(t_on=2e-9, t_off=4e-9, period=10e-9, tau=0.5e-9)
+        assert g(1e-9) == pytest.approx(0.0)
+        assert g(3e-9) == pytest.approx(1.0)
+        assert g(5e-9) == pytest.approx(0.0)
+        assert g(13e-9) == pytest.approx(1.0)   # periodic
+
+    def test_gate_window_validation(self):
+        with pytest.raises(ValueError):
+            GateWindow(t_on=4e-9, t_off=2e-9, period=10e-9)
+        with pytest.raises(ValueError):
+            GateWindow(t_on=1e-9, t_off=9.9e-9, period=10e-9, tau=0.5e-9)

@@ -1,0 +1,114 @@
+"""Property-based tests on randomly generated linear networks.
+
+On a linear resistive network the mismatch propagation is exactly
+linear, so three independent computations must agree for *any* network:
+
+1. the adjoint DC mismatch analysis (paper's Eq. 1),
+2. exact first-order perturbation via finite differences,
+3. Monte-Carlo at small sigma.
+
+Hypothesis generates random ladder/mesh topologies and values; this is
+the package's strongest guard against stamping/adjoint sign errors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compile_circuit, dc_operating_point
+from repro.circuit import Circuit
+from repro.core import dc_mismatch_analysis, monte_carlo_dc
+
+
+def ladder_circuit(r_values, v_in=1.0, sigma_rel=0.01):
+    """Series/shunt resistor ladder: R1 series, R2 shunt, R3 series..."""
+    ckt = Circuit("ladder")
+    ckt.add_vsource("V1", "n0", "0", dc=v_in)
+    prev = "n0"
+    node = 0
+    for i, r in enumerate(r_values):
+        if i % 2 == 0:
+            node += 1
+            ckt.add_resistor(f"R{i}", prev, f"n{node}", r,
+                             sigma_rel=sigma_rel)
+            prev = f"n{node}"
+        else:
+            ckt.add_resistor(f"R{i}", prev, "0", r, sigma_rel=sigma_rel)
+    if len(r_values) % 2 == 1:
+        # terminate to ground so the last node is well defined
+        ckt.add_resistor("Rterm", prev, "0", 1e4, sigma_rel=sigma_rel)
+    return ckt, prev
+
+
+resistor_values = st.lists(
+    st.floats(min_value=50.0, max_value=5e4), min_size=2, max_size=9)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(r_values=resistor_values)
+def test_property_adjoint_matches_finite_difference(r_values):
+    ckt, out = ladder_circuit(r_values)
+    compiled = compile_circuit(ckt)
+    res = dc_mismatch_analysis(compiled, {"v": out})
+    t = res.contributions("v")
+
+    for key, s_adj in zip(t.keys, t.sensitivities):
+        ename = key[0]
+        r0 = ckt[ename].r
+        h = 1e-6 * r0
+        dc_p = dc_operating_point(
+            compiled, compiled.make_state(deltas={key: h}))
+        dc_m = dc_operating_point(
+            compiled, compiled.make_state(deltas={key: -h}))
+        fd = (dc_p.voltage(out) - dc_m.voltage(out)) / (2 * h)
+        assert s_adj == pytest.approx(fd, rel=1e-4, abs=1e-12)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(r_values=resistor_values)
+def test_property_sigma_matches_monte_carlo(r_values):
+    ckt, out = ladder_circuit(r_values)
+    res = dc_mismatch_analysis(ckt, {"v": out})
+    mc = monte_carlo_dc(ckt, {"v": out}, n=3000, seed=17)
+    sigma = res.sigma("v")
+    if sigma < 1e-12:
+        assert mc.sigma("v") < 1e-6
+    else:
+        assert mc.sigma("v") == pytest.approx(sigma, rel=0.12)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(r_values=resistor_values,
+       scale=st.floats(min_value=0.25, max_value=4.0))
+def test_property_sigma_scales_linearly(r_values, scale):
+    """sigma_out is exactly linear in the mismatch sigmas."""
+    ckt1, out = ladder_circuit(r_values, sigma_rel=0.01)
+    ckt2, _ = ladder_circuit(r_values, sigma_rel=0.01 * scale)
+    s1 = dc_mismatch_analysis(ckt1, {"v": out}).sigma("v")
+    s2 = dc_mismatch_analysis(ckt2, {"v": out}).sigma("v")
+    assert s2 == pytest.approx(scale * s1, rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(r_values=resistor_values)
+def test_property_full_correlation_vs_ratiometric_output(r_values):
+    """With one global random factor on every resistor (rho = 1), any
+    ratiometric output voltage is invariant: the correlated variance
+    must vanish while the independent one generally does not."""
+    from repro.core.contributions import (ContributionTable,
+                                          correlated_covariance_from_mixing)
+    ckt, out = ladder_circuit(r_values)
+    res = dc_mismatch_analysis(ckt, {"v": out})
+    t = res.contributions("v")
+    sig = t.sigmas
+    # rho=1 with sigma_i proportional to R_i == one global scale factor
+    mix = sig[:, None].copy()
+    cov = correlated_covariance_from_mixing(mix)
+    corr_table = ContributionTable("v", t.keys, t.sensitivities, sig,
+                                   param_covariance=cov)
+    assert corr_table.variance <= 1e-10 * max(t.variance, 1e-20) + 1e-24

@@ -1,0 +1,98 @@
+"""Property test: the transient integrator vs the exact linear solution.
+
+For any linear RC network the MNA system reduces to a linear ODE whose
+step response is computable with a matrix exponential.  Hypothesis
+generates random RC ladder networks; the trapezoidal integrator must
+track ``expm`` to discretisation accuracy.  This guards the integrator,
+the stamping and the per-row theta scheme all at once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.analysis import compile_circuit, transient
+from repro.circuit import Circuit
+
+
+def build_ladder(rs, cs, v_in=1.0):
+    """Series-R / shunt-C ladder with len(rs) == len(cs) stages."""
+    ckt = Circuit("ladder")
+    ckt.add_vsource("V1", "n0", "0", dc=v_in)
+    prev = "n0"
+    for i, (r, c) in enumerate(zip(rs, cs), start=1):
+        ckt.add_resistor(f"R{i}", prev, f"n{i}", r)
+        ckt.add_capacitor(f"C{i}", f"n{i}", "0", c)
+        prev = f"n{i}"
+    return ckt
+
+
+def exact_response(rs, cs, t, v_in=1.0):
+    """Node voltages of the ladder at time *t*, from rest, via expm.
+
+    State = capacitor voltages v_k; C_k dv_k/dt = (v_{k-1} - v_k)/R_k
+    - (v_k - v_{k+1})/R_{k+1}.
+    """
+    n = len(rs)
+    a = np.zeros((n, n))
+    b = np.zeros(n)
+    for k in range(n):
+        a[k, k] -= 1.0 / (rs[k] * cs[k])
+        if k > 0:
+            a[k, k - 1] += 1.0 / (rs[k] * cs[k])
+        else:
+            b[k] = v_in / (rs[k] * cs[k])
+        if k + 1 < n:
+            a[k, k] -= 1.0 / (rs[k + 1] * cs[k])
+            a[k, k + 1] += 1.0 / (rs[k + 1] * cs[k])
+    # x(t) = expm(a t) x0 + a^-1 (expm(a t) - I) b, x0 = 0
+    ea = expm(a * t)
+    return np.linalg.solve(a, (ea - np.eye(n)) @ b)
+
+
+stage_values = st.lists(
+    st.tuples(st.floats(100.0, 1e4), st.floats(1e-12, 1e-10)),
+    min_size=1, max_size=5)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stages=stage_values)
+def test_property_ladder_step_response_matches_expm(stages):
+    rs = [s[0] for s in stages]
+    cs = [s[1] for s in stages]
+    ckt = build_ladder(rs, cs)
+    ckt.set_ic(n0=1.0, **{f"n{i}": 0.0 for i in range(1, len(rs) + 1)})
+    compiled = compile_circuit(ckt)
+
+    tau_min = min(r * c for r, c in stages)
+    tau_max = sum(r * c for r, c in stages)
+    t_stop = 2.0 * tau_max
+    dt = min(tau_min / 20.0, t_stop / 200.0)
+    res = transient(compiled, t_stop=t_stop, dt=dt)
+
+    exact = exact_response(rs, cs, t_stop)
+    for i in range(1, len(rs) + 1):
+        got = res.signals[f"n{i}"][-1]
+        assert got == pytest.approx(exact[i - 1], abs=5e-3), f"node n{i}"
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stages=stage_values)
+def test_property_dc_gain_is_unity(stages):
+    """At t >> tau every ladder node must reach the source voltage."""
+    rs = [s[0] for s in stages]
+    cs = [s[1] for s in stages]
+    ckt = build_ladder(rs, cs)
+    ckt.set_ic(n0=1.0, **{f"n{i}": 0.0 for i in range(1, len(rs) + 1)})
+    compiled = compile_circuit(ckt)
+    # Elmore constant bounds the slowest mode of an RC ladder
+    tau_elmore = sum(c * sum(rs[:k + 1]) for k, (r, c) in
+                     enumerate(stages))
+    res = transient(compiled, t_stop=25.0 * tau_elmore,
+                    dt=tau_elmore / 10.0)
+    for i in range(1, len(rs) + 1):
+        assert res.signals[f"n{i}"][-1] == pytest.approx(1.0, abs=2e-3)

@@ -1,0 +1,138 @@
+"""Tests for the periodic steady-state engines (driven and oscillator)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit, pss, pss_oscillator
+from repro.analysis.pss import PssOptions
+from repro.circuit import Circuit, Sine
+from repro.errors import AnalysisError
+
+
+class TestDrivenPss:
+    def test_rc_matches_phasor_solution(self, rc_lowpass):
+        f0, r, cv = 1e6, 1e3, 1e-9
+        compiled = compile_circuit(rc_lowpass)
+        res = pss(compiled, 1 / f0,
+                  options=PssOptions(n_steps=400, settle_periods=2))
+        assert res.residual < 1e-8
+        h = 1.0 / (1.0 + 2j * np.pi * f0 * r * cv)
+        amp = res.fundamental_amplitude("out")
+        assert amp == pytest.approx(0.3 * abs(h), rel=1e-3)
+        # DC component passes through unattenuated
+        assert res.waveform("out").mean() == pytest.approx(0.6, abs=1e-3)
+
+    def test_orbit_endpoints_match(self, rc_lowpass):
+        compiled = compile_circuit(rc_lowpass)
+        res = pss(compiled, 1e-6, options=PssOptions(n_steps=128,
+                                                     settle_periods=1))
+        assert np.max(np.abs(res.x[-1] - res.x[0])) < 1e-8
+
+    def test_settle_engine_agrees_with_shooting(self, rc_lowpass):
+        compiled = compile_circuit(rc_lowpass)
+        shoot = pss(compiled, 1e-6, options=PssOptions(n_steps=200))
+        settle = pss(compiled, 1e-6,
+                     options=PssOptions(n_steps=200, engine="settle",
+                                        settle_periods=2))
+        iout = compiled.node_index["out"]
+        assert np.allclose(shoot.x[:, iout], settle.x[:, iout], atol=1e-6)
+
+    def test_nonlinear_stage_pss(self, cs_amp_pss):
+        compiled, res = cs_amp_pss
+        assert res.residual < 1e-8
+        # output swings below VDD around a sensible bias
+        w = res.waveform("d")
+        assert 0.1 < w.min() < w.max() < 1.25
+
+    def test_batched_state_rejected(self, rc_lowpass):
+        compiled = compile_circuit(rc_lowpass)
+        state = compiled.make_state(deltas={("R", "r"): np.zeros(2)})
+        with pytest.raises(AnalysisError):
+            pss(compiled, 1e-6, state=state)
+
+    def test_waveset_has_all_nodes(self, rc_lowpass):
+        compiled = compile_circuit(rc_lowpass)
+        res = pss(compiled, 1e-6, options=PssOptions(n_steps=64,
+                                                     settle_periods=1))
+        ws = res.waveset()
+        assert set(ws.names()) == {"in", "out"}
+
+
+class TestOscillatorPss:
+    def test_ring_oscillator_period(self, oscillator_pss):
+        compiled, res = oscillator_pss
+        assert res.is_oscillator
+        assert res.residual < 1e-7
+        # sanity band for the default ring: a few GHz
+        assert 0.5e9 < res.f0 < 10e9
+
+    def test_period_matches_transient_estimate(self, oscillator_pss, tech):
+        from repro.analysis import transient
+        from repro.analysis.transient import TransientOptions
+        compiled, res = oscillator_pss
+        tr = transient(compiled, t_stop=8e-9, dt=1e-12,
+                       options=TransientOptions(record=["osc1"]))
+        f_tr = tr.waveset()["osc1"].frequency(skip=5)
+        assert res.f0 == pytest.approx(f_tr, rel=2e-3)
+
+    def test_orbit_swings_rail_to_rail(self, oscillator_pss, tech):
+        compiled, res = oscillator_pss
+        w = res.waveform("osc3")
+        assert w.min() < 0.1 * tech.vdd
+        assert w.max() > 0.9 * tech.vdd
+
+    def test_all_stages_same_waveform_shifted(self, oscillator_pss):
+        """In a symmetric ring all stages see the same orbit, phase
+        shifted by T/N per stage pair."""
+        compiled, res = oscillator_pss
+        w1 = res.waveform("osc1")
+        w3 = res.waveform("osc3")
+        assert w1.peak_to_peak() == pytest.approx(w3.peak_to_peak(),
+                                                  rel=1e-3)
+
+    def test_anchor_is_pinned(self, oscillator_pss):
+        compiled, res = oscillator_pss
+        assert res.anchor_index == compiled.node_index["osc1"]
+
+    def test_period_guess_shortcut(self, tech):
+        from repro.circuits import ring_oscillator
+        compiled = compile_circuit(ring_oscillator(tech, n_stages=3,
+                                                   c_load=10e-15))
+        res = pss_oscillator(compiled, anchor="osc1", t_settle=6e-9,
+                             dt_settle=2e-12,
+                             options=PssOptions(n_steps=200))
+        res2 = pss_oscillator(compiled, anchor="osc1", t_settle=6e-9,
+                              dt_settle=2e-12,
+                              options=PssOptions(n_steps=200),
+                              period_guess=res.period)
+        assert res2.period == pytest.approx(res.period, rel=1e-6)
+
+    def test_even_stage_count_rejected(self, tech):
+        from repro.circuits import ring_oscillator
+        with pytest.raises(ValueError):
+            ring_oscillator(tech, n_stages=4)
+
+
+class TestComparatorPss:
+    def test_metastable_steady_state(self, comparator_pss):
+        tb, compiled, res = comparator_pss
+        assert res.residual < 1e-8
+        # nominal circuit is symmetric: offset is (numerically) zero
+        assert abs(res.waveform("vos").mean()) < 1e-6
+
+    def test_outputs_precharged_at_cycle_start(self, comparator_pss, tech):
+        tb, compiled, res = comparator_pss
+        assert res.waveform("outp")(res.t[0]) == pytest.approx(
+            tech.vdd, abs=0.05)
+        assert res.waveform("outn")(res.t[0]) == pytest.approx(
+            tech.vdd, abs=0.05)
+
+    def test_injected_vt_shift_moves_offset_one_to_one(self, comparator_pss,
+                                                       tech):
+        """A VT shift on one input device must appear 1:1 in vos."""
+        tb, compiled, _ = comparator_pss
+        state = compiled.make_state(deltas={("M2", "vt0"): 5e-3})
+        res = pss(compiled, tb.period,
+                  options=PssOptions(n_steps=400, settle_periods=40),
+                  state=state)
+        assert res.waveform("vos").mean() == pytest.approx(5e-3, rel=0.03)

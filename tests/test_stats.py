@@ -1,0 +1,98 @@
+"""Unit tests for the statistics helpers, including the paper's
+confidence-interval numbers (Section VI / VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (ascii_histogram, describe, gaussian_pdf,
+                         histogram_against_gaussian, normalized_skewness,
+                         sigma_confidence_interval,
+                         sigma_relative_ci_halfwidth)
+
+
+class TestDescribe:
+    def test_gaussian_sample_moments(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(2.0, 0.5, 200_000)
+        st = describe(x)
+        assert st.mean == pytest.approx(2.0, abs=0.01)
+        assert st.std == pytest.approx(0.5, rel=0.01)
+        assert abs(st.skewness) < 0.02
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            describe(np.array([1.0]))
+
+    def test_ci_contains_truth_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(50):
+            x = rng.normal(0.0, 1.0, 400)
+            st = describe(x)
+            hits += st.std_ci_low <= 1.0 <= st.std_ci_high
+        assert hits >= 42   # ~95 % coverage, generous slack
+
+
+class TestPaperConfidenceNumbers:
+    """The paper quotes +/-14 %, +/-4.5 %, +/-1.4 % for n = 100, 1000,
+    10000 (Sections VI and VIII)."""
+
+    @pytest.mark.parametrize("n,expected", [(100, 0.14), (1000, 0.045),
+                                            (10000, 0.014)])
+    def test_relative_halfwidth(self, n, expected):
+        assert sigma_relative_ci_halfwidth(n) == pytest.approx(
+            expected, rel=0.05)
+
+    def test_chi2_interval_matches_asymptotics(self):
+        lo, hi = sigma_confidence_interval(1.0, 10000)
+        assert 0.5 * (hi - lo) == pytest.approx(0.014, rel=0.03)
+
+    def test_interval_ordering(self):
+        lo, hi = sigma_confidence_interval(2.0, 50)
+        assert lo < 2.0 < hi
+
+
+class TestSkewness:
+    def test_symmetric_sample_has_tiny_skew(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(5.0, 1.0, 100_000)
+        assert abs(normalized_skewness(x)) < 0.05
+
+    def test_paper_definition_sign(self):
+        # right-skewed distribution around a positive mean -> positive
+        rng = np.random.default_rng(3)
+        x = 5.0 + rng.exponential(1.0, 100_000)
+        assert normalized_skewness(x) > 0.0
+
+    def test_cube_root_scaling(self):
+        # mu3^(1/3)/mu: scaling x by c scales the metric by c/c = 1
+        rng = np.random.default_rng(4)
+        x = 5.0 + rng.exponential(1.0, 50_000)
+        a = normalized_skewness(x)
+        b = normalized_skewness(3.0 * x)
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestHistogramHelpers:
+    def test_pdf_normalisation(self):
+        x = np.linspace(-6, 6, 10001)
+        p = gaussian_pdf(x, 0.0, 1.0)
+        assert np.trapezoid(p, x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_histogram_density_integrates_to_one(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, 20000)
+        centres, density, pdf = histogram_against_gaussian(x, 0.0, 1.0,
+                                                           bins=40)
+        width = centres[1] - centres[0]
+        assert np.sum(density) * width == pytest.approx(1.0, rel=1e-6)
+        assert pdf.max() == pytest.approx(gaussian_pdf(
+            np.array([0.0]), 0.0, 1.0)[0], rel=0.05)
+
+    def test_ascii_histogram_renders(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(0, 1, 5000)
+        art = ascii_histogram(x, 0.0, 1.0, bins=15, label="offset")
+        assert "offset" in art
+        assert art.count("\n") == 15
+        assert "*" in art and "#" in art

@@ -1,0 +1,161 @@
+"""Unit tests for the waveform container and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.waveform import Waveform, WaveformSet, sine
+
+
+def ramp(t0=0.0, t1=1.0, v0=0.0, v1=1.0, n=101):
+    t = np.linspace(t0, t1, n)
+    return Waveform(t, v0 + (v1 - v0) * (t - t0) / (t1 - t0), "ramp")
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Waveform(np.arange(3), np.arange(4))
+
+    def test_rejects_non_monotonic_time(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+    def test_interpolation(self):
+        w = ramp()
+        assert w(0.5) == pytest.approx(0.5)
+        assert w(0.25) == pytest.approx(0.25)
+
+
+class TestBasics:
+    def test_mean_of_ramp(self):
+        assert ramp().mean() == pytest.approx(0.5)
+
+    def test_min_max_ptp(self):
+        w = sine(np.linspace(0, 1, 2001), amplitude=2.0, frequency=3.0)
+        assert w.max() == pytest.approx(2.0, abs=1e-4)
+        assert w.min() == pytest.approx(-2.0, abs=1e-4)
+        assert w.peak_to_peak() == pytest.approx(4.0, abs=2e-4)
+
+    def test_slice_bounds(self):
+        w = ramp(n=101)
+        s = w.slice(0.2, 0.8)
+        assert s.t[0] >= 0.2 and s.t[-1] <= 0.8
+
+    def test_slice_too_narrow_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp(n=11).slice(0.501, 0.549)
+
+    def test_value_at_fraction(self):
+        assert ramp().value_at_fraction(0.75) == pytest.approx(0.75)
+
+    def test_derivative_of_ramp_is_constant(self):
+        d = ramp().derivative()
+        assert np.allclose(d.v, 1.0)
+
+
+class TestCrossings:
+    def test_single_rise(self):
+        c = ramp().crossing(0.5, "rise")
+        assert c.time == pytest.approx(0.5)
+        assert c.slope == pytest.approx(1.0)
+        assert c.edge == "rise"
+
+    def test_no_fall_in_ramp(self):
+        assert ramp().crossings(0.5, "fall") == []
+
+    def test_missing_crossing_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().crossing(2.0)
+
+    def test_sine_crossing_count(self):
+        # phase offset keeps the boundary samples off the threshold
+        w = sine(np.linspace(0, 1, 4001), amplitude=1.0, frequency=5.0,
+                 phase=0.1)
+        assert len(w.crossings(0.0, "rise")) == 5
+        assert len(w.crossings(0.0, "fall")) == 5
+
+    def test_crossing_interpolation_accuracy(self):
+        t = np.linspace(0, 1, 101)
+        w = Waveform(t, np.sin(2 * np.pi * t))
+        c = w.crossing(0.0, "fall")
+        assert c.time == pytest.approx(0.5, abs=1e-3)
+
+    def test_occurrence_indexing(self):
+        w = sine(np.linspace(0, 1, 4001), amplitude=1.0, frequency=4.0)
+        rises = w.crossings(0.0, "rise")
+        assert w.crossing(0.0, "rise", 2).time == rises[2].time
+        assert w.crossing(0.0, "rise", -1).time == rises[-1].time
+
+    def test_time_window_filter(self):
+        w = sine(np.linspace(0, 1, 4001), amplitude=1.0, frequency=4.0)
+        found = w.crossings(0.0, "rise", t_start=0.5)
+        assert all(c.time >= 0.5 for c in found)
+
+    def test_touching_threshold_not_double_counted(self):
+        t = np.linspace(0, 4, 401)
+        v = np.abs(np.sin(np.pi * t / 2))    # touches zero, never crosses
+        w = Waveform(t, v)
+        assert w.crossings(0.0) == []
+
+
+class TestPeriodAndFrequency:
+    def test_period_of_sine(self):
+        w = sine(np.linspace(0, 10e-6, 20001), amplitude=1.0,
+                 frequency=1e6)
+        assert w.period() == pytest.approx(1e-6, rel=1e-6)
+        assert w.frequency() == pytest.approx(1e6, rel=1e-6)
+
+    def test_period_needs_enough_crossings(self):
+        w = sine(np.linspace(0, 1.2e-6, 1201), amplitude=1.0,
+                 frequency=1e6)
+        with pytest.raises(MeasurementError):
+            w.period(skip=2)
+
+    def test_fundamental_amplitude(self):
+        w = sine(np.linspace(0, 8e-6, 8001), amplitude=0.7,
+                 frequency=1e6, offset=0.3)
+        assert w.fundamental_amplitude(1e6) == pytest.approx(0.7, rel=1e-3)
+
+    def test_delay_to(self):
+        t = np.linspace(0, 1, 1001)
+        a = Waveform(t, np.clip((t - 0.2) * 10, 0, 1))
+        b = Waveform(t, 1.0 - np.clip((t - 0.5) * 10, 0, 1))
+        d = a.delay_to(b, 0.5, 0.5, "rise", "fall")
+        assert d == pytest.approx(0.3, abs=1e-3)
+
+    def test_is_settled_on_periodic_signal(self):
+        w = sine(np.linspace(0, 10e-6, 20001), amplitude=1.0,
+                 frequency=1e6)
+        assert w.is_settled(1e-6, reltol=1e-6)
+
+    def test_is_settled_false_on_decaying_signal(self):
+        t = np.linspace(0, 10e-6, 20001)
+        v = np.exp(-t / 3e-6) * np.sin(2 * np.pi * 1e6 * t)
+        assert not Waveform(t, v).is_settled(1e-6, reltol=1e-6)
+
+
+class TestWaveformSet:
+    def test_differential_access(self):
+        t = np.linspace(0, 1, 11)
+        ws = WaveformSet(t, {"a": t, "b": 2 * t})
+        assert np.allclose(ws["a", "b"].v, -t)
+
+    def test_missing_signal_raises(self):
+        ws = WaveformSet(np.linspace(0, 1, 11),
+                         {"a": np.zeros(11)})
+        with pytest.raises(MeasurementError):
+            ws["nope"]
+
+    def test_names_sorted(self):
+        t = np.linspace(0, 1, 3)
+        ws = WaveformSet(t, {"z": t, "a": t})
+        assert ws.names() == ["a", "z"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WaveformSet(np.linspace(0, 1, 3), {"a": np.zeros(4)})
