@@ -1,0 +1,159 @@
+"""Linear-solver backend shoot-out on the paper's workloads.
+
+Compares the ``dense`` (seed behaviour: factor from scratch every
+Newton iteration), ``cached`` (dense LU / batched inverse with
+modified-Newton factorization reuse) and ``sparse`` (CSR + splu)
+backends of :mod:`repro.linalg` on:
+
+* the Table II clocked-comparator Monte-Carlo transient (the dominant
+  cost of the paper's MC baseline) - the cached backend must be at
+  least 1.5x faster than the seed dense path;
+* a resistor-string DAC settling transient (linear: one factorization
+  serves the whole run);
+* the ring-oscillator Monte-Carlo transient (strongly nonlinear, the
+  hardest case for factorization reuse);
+* a 240-section synthetic RC ladder (>= 240 nodes), where dense LU's
+  O(n^3) loses to SuperLU on the near-tridiagonal MNA structure.
+
+``REPRO_BENCH_MC`` scales the Monte-Carlo sample counts (default here:
+60 lanes - timings scale linearly and one chunk already saturates the
+batched solver).
+"""
+
+import numpy as np
+
+from repro.analysis import compile_circuit
+from repro.analysis.transient import TransientOptions, transient
+from repro.circuit import Circuit, SmoothPulse, Sine
+from repro.circuits import ring_oscillator, strongarm_offset_testbench
+from repro.circuits.dac import dac_tap_names, resistor_string_dac
+from repro.core import DcLevel, Frequency, monte_carlo_transient
+
+from conftest import WallClock, mc_samples, publish
+
+HEADER = (f"{'workload':<28s} {'backend':>8s} {'wall [s]':>9s} "
+          f"{'vs dense':>9s} {'sigma check':>12s}")
+
+
+def _row(workload, backend, wall, wall_dense, sigma):
+    speedup = wall_dense / wall
+    return (f"{workload:<28s} {backend:>8s} {wall:>9.2f} "
+            f"{speedup:>8.2f}x {sigma:>12.4g}")
+
+
+def _mc_per_backend(circuit, measures, backends, metric, **kw):
+    """Run the same MC per backend; returns {backend: (wall, result)}."""
+    out = {}
+    for be in backends:
+        with WallClock() as wc:
+            mc = monte_carlo_transient(circuit, measures, backend=be, **kw)
+        out[be] = (wc.seconds, mc)
+    ref = out[backends[0]][1].sigma(metric)
+    for _, mc in out.values():
+        np.testing.assert_allclose(mc.sigma(metric), ref, rtol=1e-6)
+    return out
+
+
+def test_backends_comparator_mc(tech, results_dir):
+    """Table II row 1 workload: batched comparator-offset MC."""
+    tb = strongarm_offset_testbench(tech)
+    vos = DcLevel("vos", tb.vos_node)
+    n_cyc = tb.settle_cycles
+    n = mc_samples(60)
+    out = _mc_per_backend(
+        tb.circuit, [vos], ["dense", "cached"], "vos", n=n,
+        t_stop=(n_cyc - 24) * tb.period, dt=tb.period / 400,
+        window=((n_cyc - 25) * tb.period, (n_cyc - 24) * tb.period),
+        seed=201)
+    wd = out["dense"][0]
+    lines = [f"backend shoot-out: comparator VOS MC (n={n})", HEADER]
+    lines += [_row("comparator MC transient", be, w, wd, mc.sigma("vos"))
+              for be, (w, mc) in out.items()]
+    publish(results_dir, "backends_comparator", "\n".join(lines))
+    # acceptance: factorization reuse >= 1.5x over the seed dense path
+    assert wd / out["cached"][0] >= 1.5
+
+
+def dac_settling_testbench(tech, c_load=1e-12):
+    """Resistor-string DAC whose reference ramps up at t=0, with a
+    capacitive load per tap - the paper's DNL circuit as a transient."""
+    dac = resistor_string_dac(tech, n_bits=3)
+    # replace the DC reference with a smooth turn-on
+    ckt = Circuit("dac_settling")
+    for el in dac:
+        if el.name == "VREF":
+            ckt.add_vsource("VREF", "vdd", "0", wave=SmoothPulse(
+                v0=0.0, v1=tech.vdd, t_rise=5e-9, t_high=1e-3,
+                t_fall=1e-9, t_period=2e-3))
+        else:
+            ckt.add(el)
+    for tap in dac_tap_names(3):
+        ckt.add_capacitor(f"CL_{tap}", tap, "0", c_load)
+    return ckt
+
+
+def test_backends_dac_settling_mc(tech, results_dir):
+    """Linear DAC settling: the whole run reuses one factorization."""
+    ckt = dac_settling_testbench(tech)
+    taps = [DcLevel(f"v_{t}", t) for t in dac_tap_names(3)[:2]]
+    n = mc_samples(60)
+    out = _mc_per_backend(
+        ckt, taps, ["dense", "cached"], taps[0].name, n=n,
+        t_stop=200e-9, dt=0.25e-9, window=(150e-9, 200e-9), seed=7)
+    wd = out["dense"][0]
+    lines = [f"backend shoot-out: DAC settling MC (n={n})", HEADER]
+    lines += [_row("DAC settling MC", be, w, wd, mc.sigma(taps[0].name))
+              for be, (w, mc) in out.items()]
+    publish(results_dir, "backends_dac", "\n".join(lines))
+    assert wd / out["cached"][0] >= 1.5
+
+
+def test_backends_oscillator_mc(tech, results_dir):
+    """Ring-oscillator frequency MC: the worst case for reuse (every
+    device swings through its full operating range every period)."""
+    osc = ring_oscillator(tech)
+    f = Frequency("f", "osc1")
+    n = mc_samples(40)
+    out = _mc_per_backend(
+        osc, [f], ["dense", "cached"], "f", n=n, t_stop=10e-9,
+        dt=2e-12, window=(2e-9, 10e-9), seed=24)
+    wd = out["dense"][0]
+    lines = [f"backend shoot-out: oscillator frequency MC (n={n})",
+             HEADER]
+    lines += [_row("oscillator MC transient", be, w, wd, mc.sigma("f"))
+              for be, (w, mc) in out.items()]
+    publish(results_dir, "backends_oscillator", "\n".join(lines))
+    assert out["cached"][0] < wd
+
+
+def rc_ladder(n_sections):
+    ckt = Circuit(f"ladder{n_sections}")
+    ckt.add_vsource("VIN", "n0", "0",
+                    wave=Sine(amplitude=0.5, freq=5e6, offset=0.5))
+    for k in range(1, n_sections + 1):
+        ckt.add_resistor(f"R{k}", f"n{k-1}", f"n{k}", 100.0)
+        ckt.add_capacitor(f"C{k}", f"n{k}", "0", 1e-12)
+    return ckt
+
+
+def test_backends_sparse_ladder(results_dir):
+    """A 241-node synthetic netlist: sparse must beat dense clearly."""
+    n_sections = 240
+    walls = {}
+    last = {}
+    for be in ("dense", "sparse", "cached"):
+        compiled = compile_circuit(rc_ladder(n_sections), backend=be)
+        with WallClock() as wc:
+            res = transient(compiled, t_stop=1e-6, dt=1e-9,
+                            options=TransientOptions(
+                                record=[f"n{n_sections}"]))
+        walls[be] = wc.seconds
+        last[be] = res.signal(f"n{n_sections}")[-1]
+    lines = [f"backend shoot-out: {n_sections}-section RC ladder "
+             f"transient ({n_sections + 1} nodes)", HEADER]
+    lines += [_row("RC ladder transient", be, w, walls["dense"], last[be])
+              for be, w in walls.items()]
+    publish(results_dir, "backends_ladder", "\n".join(lines))
+    np.testing.assert_allclose(last["sparse"], last["dense"], atol=1e-9)
+    np.testing.assert_allclose(last["cached"], last["dense"], atol=1e-9)
+    assert walls["sparse"] < walls["dense"]

@@ -19,6 +19,9 @@ from .circuit import (Circuit, Technology, default_technology,
                       Dc, Sine, SmoothPulse, Pwl, GateWindow)
 from .analysis import (compile_circuit, dc_operating_point, dc_sweep,
                        transient)
+from .linalg import (LinearSolverBackend, DenseBackend,
+                     CachedDenseBackend, SparseBackend,
+                     available_backends, resolve_backend)
 from .analysis.pss import PssOptions, pss, pss_oscillator
 from .analysis.lptv import periodic_sensitivities
 from .core import (transient_mismatch_analysis, dc_mismatch_analysis,
@@ -36,6 +39,8 @@ __all__ = [
     "Circuit", "Technology", "default_technology",
     "Dc", "Sine", "SmoothPulse", "Pwl", "GateWindow",
     "compile_circuit", "dc_operating_point", "dc_sweep", "transient",
+    "LinearSolverBackend", "DenseBackend", "CachedDenseBackend",
+    "SparseBackend", "available_backends", "resolve_backend",
     "pss", "pss_oscillator", "PssOptions", "periodic_sensitivities",
     "transient_mismatch_analysis", "dc_mismatch_analysis",
     "DcLevel", "EdgeDelay", "Frequency",

@@ -16,6 +16,7 @@ import numpy as np
 from ..constants import (ABSTOL_DEFAULT, GMIN_DEFAULT,
                          MAX_NEWTON_ITERATIONS, VNTOL_DEFAULT)
 from ..errors import ConvergenceError, SingularMatrixError
+from ..linalg import FactorizationCache
 from .mna import CompiledCircuit, ParamState
 
 
@@ -64,7 +65,11 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
                  gmin: float = GMIN_DEFAULT) -> np.ndarray:
     """Run Newton on the static system ``i(x, t) = 0``; returns ``x_pad``.
 
-    *x_pad* is used as the initial guess and modified in place.
+    *x_pad* is used as the initial guess and modified in place.  Linear
+    solves run on ``compiled.backend``; backends with a reuse policy
+    keep one Jacobian factorization across iterations (modified Newton,
+    see :mod:`repro.linalg`) - the final ``abstol`` residual check below
+    is what guarantees this cannot degrade the accepted solution.
 
     Raises
     ------
@@ -75,14 +80,28 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
     n = compiled.n
     batch = x_pad.shape[:-1]
     _, g_pad, f_pad = compiled.buffers(batch)
+    backend = compiled.backend
+    cache = (FactorizationCache(backend,
+                                jac_constant=not compiled.has_nonlinear)
+             if backend.policy.reuse else None)
+    jac = g_pad[..., :n, :n]
+
+    def jac_fresh() -> np.ndarray:
+        # cache re-factor: assemble the Jacobian at the current iterate
+        compiled.assemble(state, x_pad, t, g_pad, f_pad,
+                          source_scale=source_scale, gmin=gmin)
+        return jac
 
     for it in range(opts.max_iterations):
         compiled.assemble(state, x_pad, t, g_pad, f_pad,
-                          source_scale=source_scale, gmin=gmin)
-        jac = g_pad[..., :n, :n]
+                          source_scale=source_scale, gmin=gmin,
+                          jacobian=cache is None)
         res = f_pad[..., :n]
         try:
-            delta = np.linalg.solve(jac, res[..., None])[..., 0]
+            if cache is not None:
+                delta = cache.solve(res, jac_fresh)
+            else:
+                delta = backend.solve(jac, res)
         except np.linalg.LinAlgError as exc:
             raise SingularMatrixError(
                 f"singular DC Jacobian for '{compiled.circuit.name}' "
@@ -92,7 +111,8 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
         worst = float(np.max(np.abs(delta))) if delta.size else 0.0
         if worst <= opts.vntol:
             compiled.assemble(state, x_pad, t, g_pad, f_pad,
-                              source_scale=source_scale, gmin=gmin)
+                              source_scale=source_scale, gmin=gmin,
+                              jacobian=False)
             worst_f = float(np.max(np.abs(f_pad[..., :n])))
             if worst_f <= opts.abstol:
                 return x_pad

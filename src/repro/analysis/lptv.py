@@ -37,7 +37,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
 
 from ..errors import AnalysisError
 from .mna import CompiledCircuit, Injection
@@ -104,9 +103,11 @@ class PeriodicLinearization:
     """The factored LPTV operator along one PSS orbit.
 
     Builds ``G(t_k)`` by re-assembling the Jacobian at every orbit sample
-    (charges are linear so ``C`` is constant), then LU-factors the step
-    matrices once.  Reused by the sensitivity solve, the harmonic-domain
-    noise engine and the monodromy/Floquet utilities.
+    (charges are linear so ``C`` is constant), then factors the step
+    matrices ``A_k`` once through the circuit's linear-solver backend
+    (:mod:`repro.linalg` - dense LU or sparse splu).  Reused by the
+    sensitivity solve, the harmonic-domain noise engine and the
+    monodromy/Floquet utilities.
     """
 
     def __init__(self, pss_result: PssResult):
@@ -128,8 +129,9 @@ class PeriodicLinearization:
 
         self.c = compiled.capacitance(state)[:n, :n]
         self.c_over_h = self.c / self.h
-        self._lu = [lu_factor(self.c_over_h + self.theta * self.g_t[k])
-                    for k in range(1, n_steps + 1)]
+        self._lu = [compiled.backend.factor(
+            self.c_over_h + self.theta * self.g_t[k])
+            for k in range(1, n_steps + 1)]
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -148,7 +150,7 @@ class PeriodicLinearization:
         n = self.c.shape[0]
         z = np.eye(n)
         for k in range(1, self.n_steps + 1):
-            z = lu_solve(self._lu[k - 1], self._b_mat(k) @ z)
+            z = self._lu[k - 1].solve(self._b_mat(k) @ z)
         return z
 
     def _rho(self, di: np.ndarray, dq: np.ndarray, k: int) -> np.ndarray:
@@ -182,7 +184,7 @@ class PeriodicLinearization:
         for k in range(1, n_steps + 1):
             rhs = self._b_mat(k) @ z
             rhs[:, n:] -= self._rho(di, dq, k)
-            z = lu_solve(self._lu[k - 1], rhs)
+            z = self._lu[k - 1].solve(rhs)
         mono = z[:, :n]
         p_n = z[:, n:]
 
@@ -208,7 +210,7 @@ class PeriodicLinearization:
         cur = dx0
         for k in range(1, n_steps + 1):
             rhs = self._b_mat(k) @ cur - self._rho(di, dq, k)
-            cur = lu_solve(self._lu[k - 1], rhs)
+            cur = self._lu[k - 1].solve(rhs)
             d[k] = cur
         return SensitivitySolution(pss=self.pss, injections=list(injections),
                                    waveforms=d, dT_dp=dT_dp)

@@ -48,6 +48,7 @@ from ..circuit.passives import Capacitor, Inductor, Resistor
 from ..circuit.sources import CurrentSource, Dc, VoltageSource
 from ..constants import BOLTZMANN, CMIN_DEFAULT, T_NOMINAL
 from ..errors import NetlistError
+from ..linalg import LinearSolverBackend, resolve_backend
 
 Deltas = dict[ParamKey, "float | np.ndarray"]
 
@@ -166,7 +167,8 @@ class CompiledCircuit:
     """Numerical twin of a :class:`Circuit`.  Build via
     :func:`compile_circuit`."""
 
-    def __init__(self, circuit: Circuit, cmin: float = CMIN_DEFAULT):
+    def __init__(self, circuit: Circuit, cmin: float = CMIN_DEFAULT,
+                 backend: "str | LinearSolverBackend | None" = None):
         circuit.validate()
         self.circuit = circuit
         self.cmin = cmin
@@ -211,6 +213,15 @@ class CompiledCircuit:
         self._index_mosfets()
         self._index_nl_vccs()
         self._nominal_state: ParamState | None = None
+        #: Linear-solver backend used by every analysis on this circuit
+        #: (see :mod:`repro.linalg`); change it with :meth:`set_backend`.
+        self.backend = resolve_backend(backend, self.n)
+
+    def set_backend(self, backend: "str | LinearSolverBackend | None"
+                    ) -> "CompiledCircuit":
+        """Switch the linear-solver backend in place; returns ``self``."""
+        self.backend = resolve_backend(backend, self.n)
+        return self
 
     # ------------------------------------------------------------------
     # indexing helpers
@@ -314,6 +325,12 @@ class CompiledCircuit:
                           source_values=source_values)
 
     @property
+    def has_nonlinear(self) -> bool:
+        """True when the Jacobian ``G`` depends on the state ``x``
+        (MOSFETs or behavioral transconductors present)."""
+        return bool(self.mosfets or self.nl_vccs)
+
+    @property
     def nominal(self) -> ParamState:
         """Cached parameter state with no deltas."""
         if self._nominal_state is None:
@@ -395,24 +412,36 @@ class CompiledCircuit:
 
     def assemble(self, state: ParamState, x_pad: np.ndarray, t: float,
                  g_pad: np.ndarray, f_pad: np.ndarray,
-                 source_scale: float = 1.0, gmin: float = 0.0) -> None:
+                 source_scale: float = 1.0, gmin: float = 0.0,
+                 jacobian: bool = True) -> None:
         """Evaluate ``f = i(x, t)`` and ``G = di/dx`` into padded buffers.
 
         ``x_pad`` has shape ``(*batch, n+1)`` with the last entry 0;
         ``g_pad``/``f_pad`` are overwritten.  *source_scale* multiplies all
         independent sources (source-stepping homotopy) and *gmin* adds a
         conductance from every node to ground (gmin-stepping).
+
+        With ``jacobian=False`` only the residual ``f`` is evaluated
+        and ``g_pad`` is left untouched - modified-Newton iterations on
+        a cached factorization (:mod:`repro.linalg`) skip the device
+        derivative evaluation and Jacobian scatter entirely, which is
+        most of the assembly cost.
         """
-        np.copyto(g_pad, state.g_lin)
-        if gmin > 0.0:
-            diag = np.einsum("...ii->...i", g_pad)
-            diag[..., :self.n_nodes] += gmin
-        np.matmul(g_pad, x_pad[..., None], out=f_pad[..., None])
+        if jacobian:
+            np.copyto(g_pad, state.g_lin)
+            if gmin > 0.0:
+                diag = np.einsum("...ii->...i", g_pad)
+                diag[..., :self.n_nodes] += gmin
+            np.matmul(g_pad, x_pad[..., None], out=f_pad[..., None])
+        else:
+            np.matmul(state.g_lin, x_pad[..., None], out=f_pad[..., None])
+            if gmin > 0.0:
+                f_pad[..., :self.n_nodes] += gmin * x_pad[..., :self.n_nodes]
         self._add_sources(state, t, f_pad, source_scale)
         if self.mosfets:
-            self._add_mosfets(state, x_pad, g_pad, f_pad)
+            self._add_mosfets(state, x_pad, g_pad, f_pad, jacobian)
         if self.nl_vccs:
-            self._add_nl_vccs(state, x_pad, t, g_pad, f_pad)
+            self._add_nl_vccs(state, x_pad, t, g_pad, f_pad, jacobian)
         f_pad[..., self._ground] = 0.0
 
     def _source_value(self, state: ParamState, el, t):
@@ -434,7 +463,8 @@ class CompiledCircuit:
             f_pad[..., self.idx(e.pos)] += val
             f_pad[..., self.idx(e.neg)] -= val
 
-    def _mos_eval(self, state: ParamState, x_pad: np.ndarray):
+    def _mos_eval(self, state: ParamState, x_pad: np.ndarray,
+                  derivatives: bool = True):
         """Vectorised EKV evaluation over all devices (and batch)."""
         idx = self._mos_idx
         sgn = self._mos_sign
@@ -443,40 +473,49 @@ class CompiledCircuit:
         vs = sgn * x_pad[..., idx[:, 2]]
         vb = sgn * x_pad[..., idx[:, 3]]
         return ekv_ids(vd, vg, vs, vb, state.mos["vt0"], state.mos["beta"],
-                       self._mos_n, self._mos_lam)
+                       self._mos_n, self._mos_lam, derivatives=derivatives)
 
     def _add_mosfets(self, state: ParamState, x_pad: np.ndarray,
-                     g_pad: np.ndarray, f_pad: np.ndarray) -> None:
-        ev = self._mos_eval(state, x_pad)
+                     g_pad: np.ndarray, f_pad: np.ndarray,
+                     jacobian: bool = True) -> None:
+        ev = self._mos_eval(state, x_pad, derivatives=jacobian)
         ids_phys = self._mos_sign * ev.ids
         batch = f_pad.shape[:-1]
 
         fvals = np.concatenate(
             np.broadcast_arrays(ids_phys, -ids_phys), axis=-1)
+        bidx = None
+        if batch:
+            bidx = np.arange(int(np.prod(batch))).reshape(batch)[..., None]
+            np.add.at(f_pad, (bidx, self._mos_frows), fvals)
+        else:
+            np.add.at(f_pad, self._mos_frows, fvals)
+        if not jacobian:
+            return
+
         gvals = np.concatenate(np.broadcast_arrays(
             ev.g_d, ev.g_g, ev.g_s, ev.g_b,
             -ev.g_d, -ev.g_g, -ev.g_s, -ev.g_b), axis=-1)
-
         gflat = g_pad.reshape(batch + ((self.n + 1) ** 2,))
         if batch:
-            bidx = np.arange(int(np.prod(batch))).reshape(batch)[..., None]
             np.add.at(gflat, (bidx, self._mos_gflat), gvals)
-            np.add.at(f_pad, (bidx, self._mos_frows), fvals)
         else:
             np.add.at(gflat, self._mos_gflat, gvals)
-            np.add.at(f_pad, self._mos_frows, fvals)
 
     def _add_nl_vccs(self, state: ParamState, x_pad: np.ndarray, t: float,
-                     g_pad: np.ndarray, f_pad: np.ndarray) -> None:
+                     g_pad: np.ndarray, f_pad: np.ndarray,
+                     jacobian: bool = True) -> None:
         for k, e in enumerate(self.nl_vccs):
             p, q, cp, cn = self._nlv_idx[k]
             vc = x_pad[..., cp] - x_pad[..., cn]
             phi, dphi = e.phi(vc)
             gate = e.gate_value(t)
             cur = gate * e.gm * phi
-            gd = gate * e.gm * dphi
             f_pad[..., p] += cur
             f_pad[..., q] -= cur
+            if not jacobian:
+                continue
+            gd = gate * e.gm * dphi
             g_pad[..., p, cp] += gd
             g_pad[..., p, cn] -= gd
             g_pad[..., q, cp] -= gd
@@ -691,7 +730,13 @@ class CompiledCircuit:
                 f"nodes={self.n_nodes}, mosfets={len(self.mosfets)})")
 
 
-def compile_circuit(circuit: Circuit,
-                    cmin: float = CMIN_DEFAULT) -> CompiledCircuit:
-    """Compile *circuit* into a :class:`CompiledCircuit`."""
-    return CompiledCircuit(circuit, cmin=cmin)
+def compile_circuit(circuit: Circuit, cmin: float = CMIN_DEFAULT,
+                    backend: "str | LinearSolverBackend | None" = None
+                    ) -> CompiledCircuit:
+    """Compile *circuit* into a :class:`CompiledCircuit`.
+
+    *backend* selects the linear-solver backend (``"dense"``,
+    ``"cached"``, ``"sparse"`` or an instance); the default ``"auto"``
+    picks by circuit size - see :mod:`repro.linalg`.
+    """
+    return CompiledCircuit(circuit, cmin=cmin, backend=backend)

@@ -136,7 +136,7 @@ def integrate_period(compiled: CompiledCircuit, state: ParamState,
         if want_monodromy:
             a_k = c_over_h[:n, :n] + th_n * g_pad[:n, :n]
             b_k = c_over_h[:n, :n] - (1.0 - th_n) * g_prev[:n, :n]
-            mono = np.linalg.solve(a_k, b_k @ mono)
+            mono = compiled.backend.factor(a_k).solve(b_k @ mono)
             np.copyto(g_prev, g_pad)
         np.copyto(f_prev, f_pad)
         np.copyto(x_prev, x_pad)
@@ -196,6 +196,8 @@ def pss(compiled: CompiledCircuit, period: float,
                                               opts.n_steps + 1),
                              orbit, opts.method, "shooting",
                              residual=worst)
+        # the shooting map is structurally dense whatever the MNA
+        # backend, so the update always solves densely
         delta = np.linalg.solve(mono - np.eye(compiled.n), -res)
         x_pad[:-1] = orbit[0] + delta
     raise ConvergenceError(

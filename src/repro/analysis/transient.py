@@ -19,6 +19,20 @@ Trapezoidal is the default (second order, no numerical damping - important
 for oscillator period accuracy); backward Euler is available for heavily
 damped settling runs and is used for the very first step after a raw
 initial condition (it swallows inconsistent ICs within one step).
+
+Linear solves go through the circuit's pluggable backend
+(:mod:`repro.linalg`).  Backends whose policy allows factorization reuse
+switch the integrator to a modified-Newton loop that keeps one Jacobian
+factorization alive across iterations *and* time steps, re-factoring
+only when the update norm stops contracting; on a fixed grid with a
+constant capacitance matrix this removes almost every O(n^3) factor from
+the hot path (linear circuits factor exactly once per run).
+
+Batched runs can additionally *isolate lane failures*
+(:attr:`TransientOptions.isolate_lanes`): a Monte-Carlo sample whose
+Newton iteration diverges or whose Jacobian goes singular is frozen and
+reported in :attr:`TransientResult.failed_lanes` instead of killing the
+remaining lanes.
 """
 
 from __future__ import annotations
@@ -28,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConvergenceError, SingularMatrixError
+from ..linalg import FactorizationCache, mark_singular_lanes
 from ..waveform import WaveformSet
 from .dcop import NewtonOptions, dc_operating_point
 from .mna import CompiledCircuit, ParamState
@@ -49,6 +64,11 @@ class TransientOptions:
     stride: int = 1
     #: Store the full unknown trajectory (needed by PSS; batchless only).
     record_states: bool = False
+    #: On batched runs, freeze lanes whose Newton solve diverges or goes
+    #: singular (recorded as NaN in their signals and flagged in
+    #: :attr:`TransientResult.failed_lanes`) instead of raising and
+    #: killing the healthy lanes.  Ignored on batchless runs.
+    isolate_lanes: bool = False
 
 
 @dataclass
@@ -65,6 +85,9 @@ class TransientResult:
     signals: dict[str, np.ndarray]
     x_final_pad: np.ndarray
     states: np.ndarray | None = None
+    #: Boolean mask of lanes frozen by :attr:`TransientOptions.isolate_lanes`
+    #: (``None`` when isolation was off or the run was batchless).
+    failed_lanes: np.ndarray | None = None
 
     def signal(self, name: str) -> np.ndarray:
         try:
@@ -99,6 +122,75 @@ def _record_indices(compiled: CompiledCircuit,
     return out
 
 
+class _LaneGuard:
+    """Tracks and quarantines failed lanes of a batched Newton solve.
+
+    A failed lane keeps its last accepted state during the rest of the
+    run (so its residuals stay finite and its Jacobian rows are replaced
+    by identity) and is NaN-ed out of the recorded signals at the end.
+    """
+
+    def __init__(self, batch_shape: tuple[int, ...], n: int):
+        self.failed = np.zeros(batch_shape, dtype=bool)
+        self.n = n
+
+    @property
+    def any(self) -> bool:
+        return bool(self.failed.any())
+
+    def scrub_rhs(self, rhs: np.ndarray) -> None:
+        if self.any:
+            rhs[self.failed] = 0.0
+
+    def patch_jac(self, jac: np.ndarray) -> None:
+        if self.any:
+            jac[self.failed] = np.eye(self.n)
+
+    def quarantine(self, mask: np.ndarray, x_pad: np.ndarray,
+                   x_prev: np.ndarray) -> None:
+        """Mark *mask* lanes failed and roll them back to ``x_prev``."""
+        mask = mask & ~self.failed
+        if mask.any():
+            self.failed |= mask
+            x_pad[mask] = x_prev[mask]
+
+    def absorb_bad_delta(self, delta: np.ndarray, x_pad: np.ndarray,
+                         x_prev: np.ndarray) -> None:
+        """Quarantine lanes whose update is non-finite; zero their delta."""
+        bad = ~np.all(np.isfinite(delta), axis=-1)
+        if bad.any():
+            self.quarantine(bad, x_pad, x_prev)
+            delta[self.failed] = 0.0
+
+    def worst(self, delta: np.ndarray) -> float:
+        """Batch-max update norm over the healthy lanes."""
+        per_lane = np.max(np.abs(delta), axis=-1)
+        if self.any:
+            per_lane = np.where(self.failed, 0.0, per_lane)
+        return float(np.max(per_lane))
+
+
+def _solve_isolated(solve, jac_builder, rhs: np.ndarray,
+                    guard: _LaneGuard | None, t_k: float,
+                    circuit_name: str) -> np.ndarray:
+    """Run *solve* (rhs -> delta), isolating singular lanes on failure."""
+    try:
+        return solve(rhs)
+    except np.linalg.LinAlgError as exc:
+        if guard is None:
+            raise SingularMatrixError(
+                f"singular transient Jacobian at t={t_k:.4e} on "
+                f"'{circuit_name}'") from exc
+        jac = jac_builder()
+        if mark_singular_lanes(jac, guard.failed) == 0:
+            raise SingularMatrixError(
+                f"singular transient Jacobian at t={t_k:.4e} on "
+                f"'{circuit_name}' (no offending lane found)") from exc
+        guard.patch_jac(jac)
+        guard.scrub_rhs(rhs)
+        return solve(rhs)
+
+
 def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
               state: ParamState | None = None,
               x0_pad: np.ndarray | None = None,
@@ -112,10 +204,16 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
     (SPICE ``uic`` style, missing nodes start at 0), or - when no ICs are
     set at all - the DC operating point at *t_start*.
 
+    Linear systems are solved by ``compiled.backend``; see
+    :mod:`repro.linalg` for backend selection and the factorization
+    reuse policy.
+
     Raises
     ------
     ConvergenceError
-        When a Newton solve fails at some time step.
+        When a Newton solve fails at some time step (unless the failure
+        is confined to isolated lanes, see
+        :attr:`TransientOptions.isolate_lanes`).
     """
     opts = options or TransientOptions()
     state = state or compiled.nominal
@@ -156,6 +254,13 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
     theta_trap = np.append(compiled.theta_rows(state, opts.method), 1.0)
     theta_be = np.ones(compiled.n + 1)
 
+    reuse = compiled.backend.policy.reuse
+    cache = (FactorizationCache(compiled.backend,
+                                jac_constant=not compiled.has_nonlinear)
+             if reuse else None)
+    guard = (_LaneGuard(batch_shape, n)
+             if opts.isolate_lanes and batch_shape else None)
+
     def store(k_idx: int, k: int) -> None:
         for name, idx in rec.items():
             sig_store[name][k_idx] = x_pad[..., idx]
@@ -167,28 +272,67 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
         store(0, 0)
 
     # previous-step static residual, needed by trapezoidal
-    compiled.assemble(state, x_pad, float(t_grid[0]), g_pad, f_pad)
+    compiled.assemble(state, x_pad, float(t_grid[0]), g_pad, f_pad,
+                      jacobian=False)
     f_prev = f_pad.copy()
     x_prev = x_pad.copy()
+    x_prev2 = x_pad.copy()      # one more step back, for the predictor
 
+    last_theta: np.ndarray | None = None
     for k in range(1, n_steps + 1):
         t_k = float(t_grid[k])
         be_step = opts.method == "be" or (k == 1 and first_step_be)
         theta = theta_be if be_step else theta_trap
-        _newton_step(compiled, state, x_pad, x_prev, f_prev, t_k, theta,
-                     c_over_h, g_pad, f_pad, j_pad, opts.newton)
-        # refresh f_prev at the accepted point for the next trap step
-        compiled.assemble(state, x_pad, t_k, g_pad, f_pad)
+        if cache is not None:
+            if theta is not last_theta:
+                cache.invalidate()    # theta change => new step matrix
+            if k >= 2:
+                # linear extrapolation predictor: start Newton from
+                # x_prev + (x_prev - x_prev2), cheap and second-order
+                x_pad += x_prev
+                x_pad -= x_prev2
+                if guard is not None and guard.any:
+                    x_pad[guard.failed] = x_prev[guard.failed]
+            _newton_step_reuse(compiled, state, x_pad, x_prev, f_prev,
+                               t_k, theta, c_over_h, g_pad, f_pad,
+                               cache, opts.newton, guard)
+            # the reuse loop accepts with f_pad already assembled at the
+            # accepted state - no refresh assembly needed
+        else:
+            _newton_step(compiled, state, x_pad, x_prev, f_prev, t_k,
+                         theta, c_over_h, g_pad, f_pad, j_pad,
+                         opts.newton, guard=guard)
+            # refresh f_prev at the accepted point for the next trap
+            # step (residual only - the Jacobian is rebuilt next step)
+            compiled.assemble(state, x_pad, t_k, g_pad, f_pad,
+                              jacobian=False)
+        last_theta = theta
         np.copyto(f_prev, f_pad)
+        np.copyto(x_prev2, x_prev)
         np.copyto(x_prev, x_pad)
         if k in kept_set:
             store(kept_set[k], k)
         elif states is not None:
             states[k] = x_pad[..., :n]
 
+    failed = guard.failed if guard is not None else None
+    x_final = x_pad.copy()
+    if failed is not None and failed.any():
+        for sig in sig_store.values():
+            sig[:, failed] = np.nan
+        x_final[failed] = np.nan
     return TransientResult(
         compiled=compiled, state=state, t=t_grid[::opts.stride][:n_kept],
-        signals=sig_store, x_final_pad=x_pad.copy(), states=states)
+        signals=sig_store, x_final_pad=x_final, states=states,
+        failed_lanes=failed)
+
+
+def _residual(x_pad, x_prev, f_pad, f_prev, theta, c_over_h):
+    dx = x_pad - x_prev
+    res = np.matmul(c_over_h, dx[..., None])[..., 0]
+    res += theta * f_pad
+    res += (1.0 - theta) * f_prev
+    return res
 
 
 def _newton_step(compiled: CompiledCircuit, state: ParamState,
@@ -196,31 +340,100 @@ def _newton_step(compiled: CompiledCircuit, state: ParamState,
                  f_prev: np.ndarray, t_k: float, theta: np.ndarray,
                  c_over_h: np.ndarray, g_pad: np.ndarray,
                  f_pad: np.ndarray, j_pad: np.ndarray,
-                 newton: NewtonOptions) -> None:
+                 newton: NewtonOptions,
+                 guard: _LaneGuard | None = None) -> None:
     """One implicit time step solved in place into ``x_pad``.
 
-    *theta* is the per-equation implicitness vector (padded length
-    ``n+1``); see :meth:`CompiledCircuit.theta_rows`.
+    Full Newton: the Jacobian is rebuilt and factored every iteration
+    (the backend still provides the solver).  *theta* is the
+    per-equation implicitness vector (padded length ``n+1``); see
+    :meth:`CompiledCircuit.theta_rows`.
     """
     n = compiled.n
+    backend = compiled.backend
     for _ in range(newton.max_iterations):
         compiled.assemble(state, x_pad, t_k, g_pad, f_pad)
-        dx = x_pad - x_prev
-        res = np.matmul(c_over_h, dx[..., None])[..., 0]
-        res += theta * f_pad
-        res += (1.0 - theta) * f_prev
+        res = _residual(x_pad, x_prev, f_pad, f_prev, theta, c_over_h)
         np.multiply(g_pad, theta[..., :, None], out=j_pad)
         j_pad += c_over_h
-        try:
-            delta = np.linalg.solve(j_pad[..., :n, :n],
-                                    res[..., :n, None])[..., 0]
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular transient Jacobian at t={t_k:.4e}") from exc
+        jac = j_pad[..., :n, :n]
+        rhs = res[..., :n]
+        if guard is not None:
+            guard.patch_jac(jac)
+            guard.scrub_rhs(rhs)
+        delta = _solve_isolated(lambda b: backend.solve(jac, b),
+                                lambda: jac, rhs, guard, t_k,
+                                compiled.circuit.name)
         np.clip(delta, -newton.max_step, newton.max_step, out=delta)
+        if guard is not None:
+            guard.absorb_bad_delta(delta, x_pad, x_prev)
         x_pad[..., :n] -= delta
-        if float(np.max(np.abs(delta))) <= newton.vntol:
+        worst = (guard.worst(delta) if guard is not None
+                 else float(np.max(np.abs(delta))))
+        if worst <= newton.vntol:
             return
+    if guard is not None:
+        guard.quarantine(np.max(np.abs(delta), axis=-1) > newton.vntol,
+                         x_pad, x_prev)
+        return
+    raise ConvergenceError(
+        f"transient Newton failed at t={t_k:.4e} on "
+        f"'{compiled.circuit.name}'")
+
+
+def _newton_step_reuse(compiled: CompiledCircuit, state: ParamState,
+                       x_pad: np.ndarray, x_prev: np.ndarray,
+                       f_prev: np.ndarray, t_k: float, theta: np.ndarray,
+                       c_over_h: np.ndarray, g_pad: np.ndarray,
+                       f_pad: np.ndarray, cache: FactorizationCache,
+                       newton: NewtonOptions,
+                       guard: _LaneGuard | None = None) -> None:
+    """One implicit time step with modified-Newton factorization reuse.
+
+    Differences from :func:`_newton_step`:
+
+    * the step matrix is only materialised when the cache re-factors
+      (policy in :mod:`repro.linalg`), every other iteration is a
+      back-substitution against the cached factorization;
+    * on acceptance ``f_pad`` is left at the last *assembled* iterate,
+      which trails the accepted state by the final sub-``vntol``
+      update.  The resulting ``f_prev`` error is O(G * vntol) - orders
+      of magnitude below the Newton tolerance - and skipping the
+      refresh assembly removes one full device evaluation per step,
+      the single largest cost of batched Monte-Carlo transients.
+    """
+    n = compiled.n
+
+    def jac() -> np.ndarray:
+        # only called when the cache re-factors: one full assembly
+        # (with device derivatives) at the current iterate
+        compiled.assemble(state, x_pad, t_k, g_pad, f_pad)
+        j = theta[:n, None] * g_pad[..., :n, :n] + c_over_h[..., :n, :n]
+        if guard is not None:
+            guard.patch_jac(j)
+        return j
+
+    cache.new_sequence()
+    for _ in range(newton.max_iterations):
+        compiled.assemble(state, x_pad, t_k, g_pad, f_pad, jacobian=False)
+        res = _residual(x_pad, x_prev, f_pad, f_prev, theta, c_over_h)
+        rhs = res[..., :n]
+        if guard is not None:
+            guard.scrub_rhs(rhs)
+        delta = _solve_isolated(lambda b: cache.solve(b, jac), jac, rhs,
+                                guard, t_k, compiled.circuit.name)
+        np.clip(delta, -newton.max_step, newton.max_step, out=delta)
+        if guard is not None:
+            guard.absorb_bad_delta(delta, x_pad, x_prev)
+        x_pad[..., :n] -= delta
+        worst = (guard.worst(delta) if guard is not None
+                 else float(np.max(np.abs(delta))))
+        if worst <= newton.vntol:
+            return
+    if guard is not None:
+        guard.quarantine(np.max(np.abs(delta), axis=-1) > newton.vntol,
+                         x_pad, x_prev)
+        return
     raise ConvergenceError(
         f"transient Newton failed at t={t_k:.4e} on "
         f"'{compiled.circuit.name}'")

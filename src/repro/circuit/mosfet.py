@@ -61,16 +61,18 @@ def _logistic(x: np.ndarray) -> np.ndarray:
     return out
 
 
-def _interp_f(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _interp_f(u: np.ndarray, derivative: bool = True
+              ) -> tuple[np.ndarray, np.ndarray | None]:
     """EKV interpolation ``F(u) = ln^2(1+e^{u/2})`` and its derivative."""
     sp = _softplus(0.5 * u)
-    return sp * sp, sp * _logistic(0.5 * u)
+    return sp * sp, sp * _logistic(0.5 * u) if derivative else None
 
 
-def _smooth_abs(v: np.ndarray, phi_t: float) -> tuple[np.ndarray, np.ndarray]:
+def _smooth_abs(v: np.ndarray, phi_t: float, derivative: bool = True
+                ) -> tuple[np.ndarray, np.ndarray | None]:
     """Smooth ``|v|`` (zero at v=0) and its derivative ``tanh(v/2 phi_t)``."""
     a = phi_t * (_softplus(v / phi_t) + _softplus(-v / phi_t) - 2.0 * _LN2)
-    return a, np.tanh(0.5 * v / phi_t)
+    return a, np.tanh(0.5 * v / phi_t) if derivative else None
 
 
 @dataclass(frozen=True)
@@ -79,16 +81,17 @@ class MosEval:
 
     ``ids`` is the drain-to-source channel current; the ``g*`` entries are
     its partial derivatives with respect to the *primed* (NMOS-frame)
-    terminal voltages.  ``gm`` additionally serves as the threshold
+    terminal voltages (``None`` for current-only evaluations, see
+    :func:`ekv_ids`).  ``gm`` additionally serves as the threshold
     pseudo-noise modulation (``dIds/dVT0 = -gm``) and ``ids`` as the
     relative-beta modulation (paper Fig. 4).
     """
 
     ids: np.ndarray
-    g_d: np.ndarray
-    g_g: np.ndarray
-    g_s: np.ndarray
-    g_b: np.ndarray
+    g_d: np.ndarray | None
+    g_g: np.ndarray | None
+    g_s: np.ndarray | None
+    g_b: np.ndarray | None
 
     @property
     def gm(self) -> np.ndarray:
@@ -96,25 +99,30 @@ class MosEval:
 
 
 def ekv_ids(vd, vg, vs, vb, vt0, beta, n, lam_eff,
-            phi_t: float = PHI_T) -> MosEval:
+            phi_t: float = PHI_T, derivatives: bool = True) -> MosEval:
     """Evaluate the EKV-style drain current and its terminal derivatives.
 
     All voltage arguments are NMOS-frame node voltages (PMOS callers negate
     voltages first and the sign of the current afterwards).  Parameters
-    broadcast against the voltages.
+    broadcast against the voltages.  With ``derivatives=False`` only
+    ``ids`` is computed (the ``g*`` fields are ``None``) - used by
+    residual-only assemblies when a Newton loop reuses a cached Jacobian
+    factorization.
     """
     vd, vg, vs, vb = (np.asarray(a, dtype=float) for a in (vd, vg, vs, vb))
     vp = (vg - vb - vt0) / n
-    f_f, df_f = _interp_f((vp - (vs - vb)) / phi_t)
-    f_r, df_r = _interp_f((vp - (vd - vb)) / phi_t)
+    f_f, df_f = _interp_f((vp - (vs - vb)) / phi_t, derivatives)
+    f_r, df_r = _interp_f((vp - (vd - vb)) / phi_t, derivatives)
 
     i_core = 2.0 * n * beta * phi_t * phi_t * (f_f - f_r)
     vds = vd - vs
-    sabs, dsabs = _smooth_abs(vds, phi_t)
+    sabs, dsabs = _smooth_abs(vds, phi_t, derivatives)
     m = 1.0 + lam_eff * sabs
-    dm = lam_eff * dsabs
 
     ids = i_core * m
+    if not derivatives:
+        return MosEval(ids=ids, g_d=None, g_g=None, g_s=None, g_b=None)
+    dm = lam_eff * dsabs
     gm = 2.0 * beta * phi_t * (df_f - df_r) * m
     g_d = 2.0 * n * beta * phi_t * df_r * m + i_core * dm
     g_s = -2.0 * n * beta * phi_t * df_f * m - i_core * dm

@@ -116,12 +116,22 @@ class MismatchAnalysisResult:
                 f"{sorted(self.tables)}") from None
 
 
-def _as_compiled(circuit) -> CompiledCircuit:
+def _as_compiled(circuit, backend=None) -> CompiledCircuit:
+    """Compile *circuit* if needed; *backend* (name or instance, see
+    :mod:`repro.linalg`) overrides the linear-solver backend.
+
+    A ``CompiledCircuit`` passed with a backend override is shallow-
+    copied so the per-call override never mutates the caller's object
+    (use :meth:`CompiledCircuit.set_backend` for a persistent switch).
+    """
     if isinstance(circuit, CompiledCircuit):
-        return circuit
+        if backend is None:
+            return circuit
+        import copy
+        return copy.copy(circuit).set_backend(backend)
     if isinstance(circuit, Circuit):
         from ..analysis.mna import compile_circuit
-        return compile_circuit(circuit)
+        return compile_circuit(circuit, backend=backend)
     raise TypeError("expected a Circuit or CompiledCircuit")
 
 
@@ -136,6 +146,7 @@ def transient_mismatch_analysis(
         injections: list[Injection] | None = None,
         param_covariance: np.ndarray | None = None,
         precomputed_pss: PssResult | None = None,
+        backend: str | None = None,
 ) -> MismatchAnalysisResult:
     """Run the paper's sensitivity-based transient mismatch analysis.
 
@@ -155,12 +166,16 @@ def transient_mismatch_analysis(
     param_covariance:
         Full mismatch covariance matrix for correlated mismatch
         (paper Eq. 6); defaults to independent parameters.
+    backend:
+        Linear-solver backend name or instance (``"dense"``,
+        ``"cached"``, ``"sparse"``; see :mod:`repro.linalg`); default
+        auto-selects by circuit size.
 
     Returns
     -------
     MismatchAnalysisResult
     """
-    compiled = _as_compiled(circuit)
+    compiled = _as_compiled(circuit, backend=backend)
     state = state or compiled.nominal
     t_start = time.perf_counter()
 
@@ -215,6 +230,7 @@ def dc_mismatch_analysis(circuit,
                          outputs: dict[str, str | tuple[str, str]],
                          state: ParamState | None = None,
                          param_covariance: np.ndarray | None = None,
+                         backend: str | None = None,
                          ) -> MismatchAnalysisResult:
     """DC mismatch (dcmatch / [8]) analysis - the method the paper extends.
 
@@ -228,9 +244,11 @@ def dc_mismatch_analysis(circuit,
     -----
     Uses one adjoint solve per output: with ``G dx = -di/dp``, the output
     sensitivity is ``S_i = -(G^-T c)^T (di/dp)_i`` (the generalised
-    adjoint network of Director & Rohrer, [25] in the paper).
+    adjoint network of Director & Rohrer, [25] in the paper).  ``G`` is
+    factored once through the circuit's linear-solver backend and the
+    factorization is reused (transposed) across all outputs.
     """
-    compiled = _as_compiled(circuit)
+    compiled = _as_compiled(circuit, backend=backend)
     state = state or compiled.nominal
     t_start = time.perf_counter()
 
@@ -251,6 +269,7 @@ def dc_mismatch_analysis(circuit,
     nominal: dict[str, float] = {}
     tables: dict[str, ContributionTable] = {}
     measures: list[Measure] = []
+    g_fact = compiled.backend.factor(g)
     from .measures import DcLevel
     for name, spec in outputs.items():
         pos, neg = (spec if isinstance(spec, tuple) else (spec, None))
@@ -258,7 +277,7 @@ def dc_mismatch_analysis(circuit,
         c_vec[compiled.node_index[pos]] = 1.0
         if neg is not None:
             c_vec[compiled.node_index[neg]] -= 1.0
-        lam = np.linalg.solve(g.T, c_vec)
+        lam = g_fact.solve(c_vec, trans=True)
         s = -(lam @ di)
         nominal[name] = float(c_vec @ dc.x)
         tables[name] = ContributionTable(name, keys, s, sigmas,

@@ -41,6 +41,8 @@ class MonteCarloResult:
     stats: dict[str, SampleStats]
     deltas: dict[ParamKey, np.ndarray]
     runtime_seconds: float = 0.0
+    #: Number of *distinct* lanes with at least one failed measure
+    #: (per-metric failure counts live in ``failed_metrics``).
     n_failed: int = 0
     failed_metrics: dict[str, int] = field(default_factory=dict)
 
@@ -104,26 +106,46 @@ def sample_mismatch(compiled: CompiledCircuit, n: int,
     return {d.key: draws[:, j] for j, d in enumerate(decls)}
 
 
+def measurement_window_mask(t: np.ndarray, window: tuple[float, float],
+                            dt: float) -> np.ndarray:
+    """Samples of grid *t* inside *window*, with half-a-step tolerance.
+
+    The tolerance must scale with the grid: a fixed absolute epsilon
+    (the old ``1e-15``) silently dropped grid-edge samples as soon as
+    ``t_stop`` reached the seconds range, because ``k * dt`` accumulates
+    rounding of order ``t * eps`` - far above any fixed epsilon while
+    always far below ``dt / 2``.
+    """
+    tol = 0.5 * dt
+    return (t >= window[0] - tol) & (t <= window[1] + tol)
+
+
 def measure_lanes(t: np.ndarray, signals: dict[str, np.ndarray],
                   measures: list[Measure],
                   out: dict[str, np.ndarray], offset: int) -> int:
     """Apply *measures* to every lane of a batched recording.
 
-    Lanes where a measurement fails (e.g. a missing crossing because the
-    sample pushed the circuit out of its operating regime) record NaN;
-    the count of failures is returned.
+    Measurements that fail (a missing crossing because the sample pushed
+    the circuit out of its operating regime, or a non-finite result from
+    a lane the transient froze) record NaN.  The return value counts
+    *distinct failed lanes*, not failed measures - a lane failing two
+    measures is still one failed sample of the Monte-Carlo run.
     """
     n_lanes = next(iter(signals.values())).shape[1]
-    failures = 0
+    failed_lanes = 0
     for b in range(n_lanes):
         ws = WaveformSet(t, {k: v[:, b] for k, v in signals.items()})
+        lane_failed = False
         for meas in measures:
             try:
-                out[meas.name][offset + b] = meas.measure_waveset(ws)
+                val = meas.measure_waveset(ws)
             except MeasurementError:
-                out[meas.name][offset + b] = np.nan
-                failures += 1
-    return failures
+                val = np.nan
+            out[meas.name][offset + b] = val
+            if not np.isfinite(val):
+                lane_failed = True
+        failed_lanes += lane_failed
+    return failed_lanes
 
 
 def monte_carlo_transient(circuit, measures: list[Measure], n: int,
@@ -133,9 +155,14 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
                           param_covariance: np.ndarray | None = None,
                           chunk_size: int = 250,
                           method: str = "trap",
-                          extra_record: list[str] | None = None
+                          extra_record: list[str] | None = None,
+                          backend: str | None = None
                           ) -> MonteCarloResult:
     """Monte-Carlo over batched transients.
+
+    Lanes whose Newton iteration diverges or whose Jacobian goes
+    singular are isolated and frozen (NaN) instead of aborting the run;
+    they are reported through ``n_failed`` / ``failed_metrics``.
 
     Parameters
     ----------
@@ -147,12 +174,14 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         settled response, mirroring how the PSS measures.
     chunk_size:
         Lanes per stacked solve - bounds peak memory.
+    backend:
+        Linear-solver backend override (see :mod:`repro.linalg`).
 
     Returns
     -------
     MonteCarloResult
     """
-    compiled = _as_compiled(circuit)
+    compiled = _as_compiled(circuit, backend=backend)
     rng = np.random.default_rng(seed)
     record = sorted({node for m in measures for node in m.required_nodes()}
                     | set(extra_record or []))
@@ -169,11 +198,12 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         state = compiled.make_state(deltas=deltas)
         res = transient(compiled, t_stop=t_stop, dt=dt, state=state,
                         options=TransientOptions(method=method,
-                                                 record=record))
+                                                 record=record,
+                                                 isolate_lanes=True))
         t = res.t
         sig = res.signals
         if window is not None:
-            mask = (t >= window[0] - 1e-15) & (t <= window[1] + 1e-15)
+            mask = measurement_window_mask(t, window, dt)
             t = t[mask]
             sig = {k: v[mask] for k, v in sig.items()}
         failures += measure_lanes(t, sig, measures, out, start)
@@ -196,11 +226,12 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
 
 def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
                    n: int, seed: int = 0, sigma_scale: float = 1.0,
-                   param_covariance: np.ndarray | None = None
+                   param_covariance: np.ndarray | None = None,
+                   backend: str | None = None
                    ) -> MonteCarloResult:
     """Monte-Carlo over batched DC operating points (dcmatch baseline)."""
     from ..analysis.dcop import dc_operating_point
-    compiled = _as_compiled(circuit)
+    compiled = _as_compiled(circuit, backend=backend)
     rng = np.random.default_rng(seed)
     deltas = sample_mismatch(compiled, n, rng, sigma_scale,
                              param_covariance=param_covariance)

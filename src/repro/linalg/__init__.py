@@ -1,0 +1,89 @@
+"""Pluggable linear-solver backends for the MNA solver stack.
+
+Every inner loop of the reproduction - transient Newton steps, DC
+homotopy, PSS shooting, the LPTV per-step factorizations - reduces to
+"factor an MNA-structured matrix, then solve against one or many
+right-hand sides".  This subpackage makes that operation pluggable and,
+crucially, *reusable*: the dominant cost of both the paper's LPTV method
+and the Monte-Carlo baseline it is benchmarked against (Table II) is
+re-factoring near-identical Jacobians thousands of times.
+
+Backend selection
+-----------------
+Three backends are registered (:func:`available_backends`):
+
+``"dense"``
+    Plain dense solves: every request factors from scratch
+    (``numpy.linalg.solve`` semantics).  This is the seed behaviour and
+    the reference implementation the parity tests compare against.
+``"cached"``
+    Dense LU with factorization reuse.  Batchless systems are factored
+    with :func:`scipy.linalg.lu_factor` and solved with ``lu_solve``;
+    batched Monte-Carlo stacks pre-invert once (``numpy.linalg.inv``)
+    so every subsequent solve is a single batched mat-vec.  The modified
+    Newton policy below decides when to re-factor.
+``"sparse"``
+    CSR + ``scipy.sparse.linalg.splu``.  The MNA Jacobian is converted
+    to CSR on factorization and solved through SuperLU; batched systems
+    factor lane-by-lane.  This is the right choice beyond a few hundred
+    unknowns, where dense LU's O(n^3) dominates.
+
+Pass a backend (name or instance) to
+:func:`repro.analysis.mna.compile_circuit`, or leave the default
+``"auto"``: circuits with fewer than
+:data:`~repro.linalg.backends.SPARSE_AUTO_THRESHOLD` unknowns get the
+cached dense backend, larger ones the sparse backend.
+
+Modified-Newton re-factor policy
+--------------------------------
+:class:`FactorizationCache` implements the reuse policy shared by the
+transient integrator and the DC solver:
+
+* the first solve after a (re-)factorization is a *true* Newton step
+  and is always trusted;
+* subsequent solves reuse the stale factorization (a "modified Newton"
+  or chord step) as long as the update norm keeps contracting by at
+  least ``rho_refactor`` (default 0.5) per iteration.  A stale step
+  that fails the contraction test triggers an immediate re-factor *and
+  re-solve in the same iteration*, so the iteration count never
+  degrades below classical Newton by more than the one trial solve;
+* a Newton sequence that runs long on a stale factorization
+  (``stale_iteration_limit``) forces a re-factor, and every
+  factorization is retired after ``max_age`` solves outright (unless
+  the caller declared the Jacobian constant) - sequences that accept
+  on their first iteration never exercise the contraction test, so
+  staleness must also be bounded by age;
+* a singular factorization (``numpy.linalg.LinAlgError``, raised
+  uniformly by all backends) invalidates the cache; callers either
+  re-raise as :class:`~repro.errors.SingularMatrixError` or - in
+  lane-isolated Monte-Carlo transients - disable the offending lanes
+  and re-factor the remainder.
+
+Because the accepted update must still pass the caller's ``vntol``
+test, and a stale acceptance beyond the first iteration of a sequence
+requires a contraction factor below 0.5 (with the age bound limiting
+how stale that first-iteration trust can get), the converged state
+differs from full Newton by O(vntol) - the same order of guarantee the
+seed solver documented.
+
+Caching across *time steps* falls out of the same policy: the transient
+integrator simply keeps one cache for the whole run and lets the
+contraction test decide when the Jacobian has drifted too far.  For
+linear circuits this collapses the entire run to a single
+factorization.
+"""
+
+from __future__ import annotations
+
+from .backends import (SPARSE_AUTO_THRESHOLD, CachedDenseBackend,
+                       DenseBackend, Factorization, LinearSolverBackend,
+                       NewtonPolicy, SparseBackend, available_backends,
+                       resolve_backend)
+from .reuse import FactorizationCache, mark_singular_lanes
+
+__all__ = [
+    "LinearSolverBackend", "Factorization", "NewtonPolicy",
+    "DenseBackend", "CachedDenseBackend", "SparseBackend",
+    "resolve_backend", "available_backends", "SPARSE_AUTO_THRESHOLD",
+    "FactorizationCache", "mark_singular_lanes",
+]
