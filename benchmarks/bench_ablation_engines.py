@@ -78,7 +78,11 @@ def test_ablation_lptv_engines(benchmark, tech, results_dir):
         "  -> the engines agree to truncation level; shooting scales to "
         "larger circuits (O(N n^3) vs O((nK)^3))",
     ])
-    publish(results_dir, "ablation_lptv_engines", text)
+    publish(results_dir, "ablation_lptv_engines", text, data={
+        "workload": "lptv_engines_cs_stage",
+        "n_injections": len(injections),
+        "wall_seconds": {"harmonic_k24": wc_h.seconds},
+        "max_relative_deviation": worst})
     assert worst < 1e-3
 
 
@@ -109,6 +113,11 @@ def test_ablation_pss_engines(benchmark, results_dir):
         "time; brute-force settling pays per time constant (the paper's "
         "argument for PSS-based analysis, Fig. 5)",
     ])
-    publish(results_dir, "ablation_pss_engines", text)
+    publish(results_dir, "ablation_pss_engines", text, data={
+        "workload": "pss_engines_slow_rc",
+        "wall_seconds": {"shooting": wc_shoot.seconds,
+                         "settle": wc_settle.seconds},
+        "speedup_shooting_vs_settle": wc_settle.seconds / wc_shoot.seconds,
+        "orbit_deviation_volts": dev})
     assert dev < 1e-5
     assert wc_shoot.seconds < wc_settle.seconds

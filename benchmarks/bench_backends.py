@@ -20,6 +20,8 @@ backends of :mod:`repro.linalg` on:
 batched solver).
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis import compile_circuit
@@ -69,9 +71,64 @@ def test_backends_comparator_mc(tech, results_dir):
     lines = [f"backend shoot-out: comparator VOS MC (n={n})", HEADER]
     lines += [_row("comparator MC transient", be, w, wd, mc.sigma("vos"))
               for be, (w, mc) in out.items()]
-    publish(results_dir, "backends_comparator", "\n".join(lines))
+    publish(results_dir, "backends_comparator", "\n".join(lines), data={
+        "workload": "comparator_mc_transient", "n_samples": n,
+        "wall_seconds": {be: w for be, (w, _) in out.items()},
+        "speedup_vs_dense": {be: wd / w for be, (w, _) in out.items()},
+        "sigma_vos": out["cached"][1].sigma("vos")})
     # acceptance: factorization reuse >= 1.5x over the seed dense path
     assert wd / out["cached"][0] >= 1.5
+
+
+def test_backends_comparator_mc_parallel(tech, results_dir):
+    """Process-parallel MC sharding on the Table II comparator run.
+
+    ``n_workers=4`` fans the (independent) chunks out over worker
+    processes; the merged samples must be bit-for-bit identical to the
+    serial run at the same chunk size, and the wall clock must show a
+    measurable speedup over the serial cached run.
+    """
+    tb = strongarm_offset_testbench(tech)
+    vos = DcLevel("vos", tb.vos_node)
+    n_cyc = tb.settle_cycles
+    n = mc_samples(60)
+    n_workers = 4
+    kw = dict(
+        n=n, t_stop=(n_cyc - 24) * tb.period, dt=tb.period / 400,
+        window=((n_cyc - 25) * tb.period, (n_cyc - 24) * tb.period),
+        seed=201, chunk_size=-(-n // n_workers), backend="cached")
+    with WallClock() as wc_serial:
+        serial = monte_carlo_transient(tb.circuit, [vos], **kw)
+    with WallClock() as wc_par:
+        par = monte_carlo_transient(tb.circuit, [vos],
+                                    n_workers=n_workers, **kw)
+    np.testing.assert_array_equal(serial.samples["vos"],
+                                  par.samples["vos"])
+    assert serial.n_failed == par.n_failed
+    speedup = wc_serial.seconds / wc_par.seconds
+    try:
+        n_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:   # non-Linux
+        n_cpus = os.cpu_count() or 1
+    lines = [f"parallel MC sharding: comparator VOS MC (n={n}, "
+             f"{n_workers} workers, {n_cpus} cpus)", HEADER,
+             _row("comparator MC serial", "cached", wc_serial.seconds,
+                  wc_serial.seconds, serial.sigma("vos")),
+             _row(f"comparator MC x{n_workers}", "cached", wc_par.seconds,
+                  wc_serial.seconds, par.sigma("vos"))]
+    publish(results_dir, "backends_comparator_parallel",
+            "\n".join(lines), data={
+                "workload": "comparator_mc_parallel", "n_samples": n,
+                "n_workers": n_workers, "n_cpus": n_cpus,
+                "wall_seconds": {"serial": wc_serial.seconds,
+                                 "parallel": wc_par.seconds},
+                "speedup_parallel": speedup,
+                "identical_to_serial": True})
+    # acceptance: identical samples (checked above, unconditionally)
+    # plus measurable speedup - which only physics allows when the
+    # machine actually has cores to fan out to
+    if n_cpus >= 2:
+        assert speedup > 1.2
 
 
 def dac_settling_testbench(tech, c_load=1e-12):
@@ -104,7 +161,10 @@ def test_backends_dac_settling_mc(tech, results_dir):
     lines = [f"backend shoot-out: DAC settling MC (n={n})", HEADER]
     lines += [_row("DAC settling MC", be, w, wd, mc.sigma(taps[0].name))
               for be, (w, mc) in out.items()]
-    publish(results_dir, "backends_dac", "\n".join(lines))
+    publish(results_dir, "backends_dac", "\n".join(lines), data={
+        "workload": "dac_settling_mc", "n_samples": n,
+        "wall_seconds": {be: w for be, (w, _) in out.items()},
+        "speedup_vs_dense": {be: wd / w for be, (w, _) in out.items()}})
     assert wd / out["cached"][0] >= 1.5
 
 
@@ -122,7 +182,10 @@ def test_backends_oscillator_mc(tech, results_dir):
              HEADER]
     lines += [_row("oscillator MC transient", be, w, wd, mc.sigma("f"))
               for be, (w, mc) in out.items()]
-    publish(results_dir, "backends_oscillator", "\n".join(lines))
+    publish(results_dir, "backends_oscillator", "\n".join(lines), data={
+        "workload": "oscillator_mc_transient", "n_samples": n,
+        "wall_seconds": {be: w for be, (w, _) in out.items()},
+        "speedup_vs_dense": {be: wd / w for be, (w, _) in out.items()}})
     assert out["cached"][0] < wd
 
 
@@ -137,23 +200,39 @@ def rc_ladder(n_sections):
 
 
 def test_backends_sparse_ladder(results_dir):
-    """A 241-node synthetic netlist: sparse must beat dense clearly."""
+    """A 241-node synthetic netlist: the native-CSR sparse path (no
+    densify, pattern-reusing splu) must clearly beat both the dense
+    and the cached-dense backends."""
     n_sections = 240
     walls = {}
     last = {}
+    # best-of-3 per backend: the sparse run is well under 0.1 s, so a
+    # single sample is at the mercy of scheduler noise on shared CI
+    # runners and the 2x acceptance gate below must not flake
     for be in ("dense", "sparse", "cached"):
         compiled = compile_circuit(rc_ladder(n_sections), backend=be)
-        with WallClock() as wc:
-            res = transient(compiled, t_stop=1e-6, dt=1e-9,
-                            options=TransientOptions(
-                                record=[f"n{n_sections}"]))
-        walls[be] = wc.seconds
+        best = np.inf
+        for _ in range(3):
+            with WallClock() as wc:
+                res = transient(compiled, t_stop=1e-6, dt=1e-9,
+                                options=TransientOptions(
+                                    record=[f"n{n_sections}"]))
+            best = min(best, wc.seconds)
+        walls[be] = best
         last[be] = res.signal(f"n{n_sections}")[-1]
     lines = [f"backend shoot-out: {n_sections}-section RC ladder "
              f"transient ({n_sections + 1} nodes)", HEADER]
     lines += [_row("RC ladder transient", be, w, walls["dense"], last[be])
               for be, w in walls.items()]
-    publish(results_dir, "backends_ladder", "\n".join(lines))
+    publish(results_dir, "backends_ladder", "\n".join(lines), data={
+        "workload": "rc_ladder_transient", "n_nodes": n_sections + 1,
+        "wall_seconds": walls,
+        "speedup_vs_dense": {be: walls["dense"] / w
+                             for be, w in walls.items()},
+        "speedup_sparse_vs_cached": walls["cached"] / walls["sparse"]})
     np.testing.assert_allclose(last["sparse"], last["dense"], atol=1e-9)
     np.testing.assert_allclose(last["cached"], last["dense"], atol=1e-9)
     assert walls["sparse"] < walls["dense"]
+    # acceptance: native CSR >= 2x over the cached-dense numbers that
+    # the factorization-reuse PR left on this workload
+    assert walls["cached"] / walls["sparse"] >= 2.0

@@ -46,7 +46,13 @@ def test_fig10_width_sensitivities(benchmark, tech, results_dir):
         f"doubling the input pair W: sigma {table.sigma * 1e3:.2f} mV "
         f"-> {resized * 1e3:.2f} mV (predicted, no re-simulation)",
     ])
-    publish(results_dir, "fig10_width_sensitivity", text)
+    publish(results_dir, "fig10_width_sensitivity", text, data={
+        "workload": "fig10_width_sensitivity",
+        "wall_seconds": {"proposed": res.runtime_seconds},
+        "sigma_vos": table.sigma,
+        "sigma_after_doubling_input_pair": resized,
+        "normalized_impact": {r.device: r.normalized_impact
+                              for r in rows}})
 
     # the input pair must rank highest (paper's conclusion)
     top_two = {rows[0].device, rows[1].device}

@@ -84,7 +84,12 @@ def test_fig11_error_and_skewness_vs_mismatch(benchmark, tech,
         "  paper shape: |error| reaches ~10 % once 3sig(dI) > ~39 %, "
         "skewness grows with mismatch",
     ])
-    publish(results_dir, "fig11_error_vs_mismatch", text)
+    publish(results_dir, "fig11_error_vs_mismatch", text, data={
+        "workload": "fig11_error_vs_mismatch",
+        "n_mc_samples_per_level": n, "scales": list(SCALES),
+        "sigma_errors": errors, "skewness": skews,
+        "wall_seconds": {"mc_all_levels": wc.seconds,
+                         "proposed": res.runtime_seconds}})
 
     # shape assertions (MC noise-tolerant): small error at nominal,
     # larger |error| and |skew| at the top of the sweep

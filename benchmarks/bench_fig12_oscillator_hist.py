@@ -68,7 +68,13 @@ def test_fig12_large_mismatch_histogram(benchmark, tech, results_dir):
         "",
         art,
     ])
-    publish(results_dir, "fig12_oscillator_hist", text)
+    publish(results_dir, "fig12_oscillator_hist", text, data={
+        "workload": "fig12_oscillator_hist", "n_mc_samples": n,
+        "mismatch_scale": SCALE, "f0_hz": f0,
+        "sigma_linear": sigma_lin, "sigma_mc": sigma_mc,
+        "sigma_deviation": underestimate, "mc_skewness": skew,
+        "wall_seconds": {"proposed": res.runtime_seconds,
+                         "mc_batched": wc.seconds}})
 
     # shape: the distribution departs from Gaussian at this mismatch
     assert sigma_mc > 0

@@ -65,7 +65,13 @@ def test_fig9_offset_histogram(benchmark, tech, results_dir):
         "bin table (density units 1/V):",
         table,
     ])
-    publish(results_dir, "fig9_comparator_hist", text)
+    publish(results_dir, "fig9_comparator_hist", text, data={
+        "workload": "fig9_comparator_hist", "n_mc_samples": n,
+        "mean_proposed": mean_lin, "sigma_proposed": sigma_lin,
+        "mean_mc": st.mean, "sigma_mc": st.std,
+        "mc_skewness": st.skewness,
+        "wall_seconds": {"proposed": res.runtime_seconds,
+                         "mc_batched": wc.seconds}})
 
     assert sigma_lin == pytest.approx(st.std, rel=0.25)
     assert abs(st.skewness) < 0.5

@@ -60,7 +60,16 @@ def test_table1_delay_correlation(benchmark, tech, results_dir,
         f"  runtime: proposed {res.runtime_seconds:.1f} s, "
         f"batched MC-{n} {wc.seconds:.1f} s",
     ]
-    publish(results_dir, f"table1_{late_input}_late", "\n".join(lines))
+    publish(results_dir, f"table1_{late_input}_late", "\n".join(lines),
+            data={
+                "workload": "table1_delay_correlation",
+                "late_input": late_input, "n_mc_samples": n,
+                "rho_proposed": rho, "rho_mc": rho_mc,
+                "rho_paper": paper_rho,
+                "sigma_delay_a": res.sigma("delay_A"),
+                "sigma_delay_b": res.sigma("delay_B"),
+                "wall_seconds": {"proposed": res.runtime_seconds,
+                                 "mc_batched": wc.seconds}})
 
     # shape assertions: high correlation with shared gates, low without
     if late_input == "X":

@@ -47,6 +47,21 @@ HEADER = (f"{'benchmark':<22s} {'nominal':>9s} {'sig_prop':>9s} "
           f"{'vs_batch':>8s} {'vs_serial':>8s}")
 
 
+def _payload(res, mc, metric, wc_mc, t_one, n):
+    """Machine-readable summary of one Table II row."""
+    return {
+        "metric": metric, "n_mc_samples": n,
+        "nominal": res.mean(metric),
+        "sigma_proposed": res.sigma(metric),
+        "sigma_mc": mc.sigma(metric),
+        "wall_seconds": {"proposed": res.runtime_seconds,
+                         "mc_batched": wc_mc,
+                         "mc_serial_equivalent": n * t_one},
+        "speedup_vs_batched_mc": wc_mc / res.runtime_seconds,
+        "speedup_vs_serial_mc": n * t_one / res.runtime_seconds,
+    }
+
+
 def _single_sample_time(circuit, t_stop, dt, record):
     """Wall clock of ONE serial transient (the paper's MC unit cost)."""
     from repro.analysis.transient import TransientOptions, transient
@@ -85,7 +100,8 @@ def test_table2_comparator_offset(benchmark, tech, results_dir):
              t_one, n),
         f"(paper: sigma 28.7 mV; speedup 100-1000x vs MC-1000)",
     ])
-    publish(results_dir, "table2_comparator", text)
+    publish(results_dir, "table2_comparator", text,
+            data=_payload(res, mc, "vos", wc.seconds, t_one, n))
     assert res.sigma("vos") == pytest.approx(mc.sigma("vos"), rel=0.25)
 
 
@@ -113,7 +129,8 @@ def test_table2_logic_path_delay(benchmark, tech, results_dir):
         _row("logic path delay", "ps", 1e12, res, "delay_A", mc,
              wc.seconds, t_one, n),
     ])
-    publish(results_dir, "table2_logic_path", text)
+    publish(results_dir, "table2_logic_path", text,
+            data=_payload(res, mc, "delay_A", wc.seconds, t_one, n))
     assert res.sigma("delay_A") == pytest.approx(mc.sigma("delay_A"),
                                                  rel=0.20)
 
@@ -143,6 +160,7 @@ def test_table2_oscillator_frequency(benchmark, tech, results_dir):
         f"{res.sigma('f_osc') / res.mean('f_osc'):.2%}, "
         f"MC {mc.sigma('f_osc') / mc.mean('f_osc'):.2%})",
     ])
-    publish(results_dir, "table2_oscillator", text)
+    publish(results_dir, "table2_oscillator", text,
+            data=_payload(res, mc, "f_osc", wc.seconds, t_one, n))
     assert res.sigma("f_osc") == pytest.approx(mc.sigma("f_osc"),
                                                rel=0.20)

@@ -20,6 +20,7 @@ which is what the paper's 100-1000x numbers compare against.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -46,11 +47,25 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def publish(results_dir: Path, name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def publish(results_dir: Path, name: str, text: str,
+            data: dict | None = None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    *data* (when given) is additionally written as machine-readable
+    ``BENCH_<name>.json`` so the performance trajectory can be tracked
+    across PRs and consumed by CI without parsing the text tables.
+    Every payload gets the benchmark name and the ``REPRO_BENCH_MC``
+    scaling in effect; benchmarks put wall times (seconds), speedups
+    and workload sizes in the remaining keys.
+    """
     banner = "=" * 72
     print(f"\n{banner}\n{text}\n{banner}")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = {"bench": name, "mc_samples_env": mc_samples(), **data}
+        (results_dir / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=float)
+            + "\n")
 
 
 class WallClock:

@@ -79,23 +79,43 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
     opts = options or NewtonOptions()
     n = compiled.n
     batch = x_pad.shape[:-1]
-    _, g_pad, f_pad = compiled.buffers(batch)
     backend = compiled.backend
     cache = (FactorizationCache(backend,
                                 jac_constant=not compiled.has_nonlinear)
              if backend.policy.reuse else None)
-    jac = g_pad[..., :n, :n]
 
-    def jac_fresh() -> np.ndarray:
-        # cache re-factor: assemble the Jacobian at the current iterate
-        compiled.assemble(state, x_pad, t, g_pad, f_pad,
-                          source_scale=source_scale, gmin=gmin)
-        return jac
+    # native-CSR path: batchless solves on a wants_csr backend stamp
+    # onto the circuit's sparsity plan instead of dense buffers
+    use_csr = (cache is not None and backend.wants_csr and not batch
+               and not state.batched)
+    if use_csr:
+        asm = compiled.csr_assembler(state)
+        f_pad = np.zeros(n + 1)
+        jac = None
+
+        def assemble(jacobian: bool) -> None:
+            asm.assemble(x_pad, t, f_pad, source_scale=source_scale,
+                         gmin=gmin, jacobian=jacobian)
+
+        def jac_fresh():
+            assemble(True)
+            return asm.jac_matrix()
+    else:
+        _, g_pad, f_pad = compiled.buffers(batch)
+        jac = g_pad[..., :n, :n]
+
+        def assemble(jacobian: bool) -> None:
+            compiled.assemble(state, x_pad, t, g_pad, f_pad,
+                              source_scale=source_scale, gmin=gmin,
+                              jacobian=jacobian)
+
+        def jac_fresh():
+            # cache re-factor: assemble at the current iterate
+            assemble(True)
+            return jac
 
     for it in range(opts.max_iterations):
-        compiled.assemble(state, x_pad, t, g_pad, f_pad,
-                          source_scale=source_scale, gmin=gmin,
-                          jacobian=cache is None)
+        assemble(cache is None)
         res = f_pad[..., :n]
         try:
             if cache is not None:
@@ -110,9 +130,7 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
         x_pad[..., :n] -= delta
         worst = float(np.max(np.abs(delta))) if delta.size else 0.0
         if worst <= opts.vntol:
-            compiled.assemble(state, x_pad, t, g_pad, f_pad,
-                              source_scale=source_scale, gmin=gmin,
-                              jacobian=False)
+            assemble(False)
             worst_f = float(np.max(np.abs(f_pad[..., :n])))
             if worst_f <= opts.abstol:
                 return x_pad

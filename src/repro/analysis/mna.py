@@ -25,6 +25,15 @@ bundled element set are linear (``q = C x``), so the reactive matrix is
 constant throughout a run - transient steps and LPTV analyses exploit
 this.
 
+**Compile-time stamp plans.**  Every element family is lowered to flat
+COO index/value arrays at construction (:mod:`repro.analysis.stamps`),
+so template building and the per-iteration source/MOSFET/VCCS stamping
+are vectorised gathers plus ``np.add.at`` scatters - no per-element
+Python loops in any hot path.  On a ``wants_csr`` backend, batchless
+runs go further and assemble natively on the circuit's sparsity
+pattern (:class:`CsrAssembler`), never materialising a dense
+``(n+1)^2`` buffer.
+
 The compiled circuit also builds the paper's central objects: for every
 :class:`~repro.circuit.MismatchDecl` an equivalent *pseudo-noise injection*
 (the exact parameter derivative ``di/dp`` and ``dq/dp`` evaluated along an
@@ -45,10 +54,12 @@ from ..circuit.elements import (MismatchDecl, NoiseDecl, ParamKey,
 from ..circuit.mosfet import Mosfet, ekv_ids
 from ..circuit.netlist import GROUND_NAMES, Circuit
 from ..circuit.passives import Capacitor, Inductor, Resistor
-from ..circuit.sources import CurrentSource, Dc, VoltageSource
+from ..circuit.sources import CurrentSource, VoltageSource
 from ..constants import BOLTZMANN, CMIN_DEFAULT, T_NOMINAL
 from ..errors import NetlistError
 from ..linalg import LinearSolverBackend, resolve_backend
+from ..linalg.sparsity import CsrPlan
+from .stamps import LinearStampPlan, NlVccsPlan, SourcePlan
 
 Deltas = dict[ParamKey, "float | np.ndarray"]
 
@@ -65,6 +76,11 @@ class ParamState:
     ``mos``, ``vccs`` hold per-group effective parameter arrays.
     ``source_values`` maps source names to overriding values (scalar or
     per-batch array) - used for example by the comparator bisection lanes.
+    Overrides are consumed into a cached static source vector on the
+    first assembly, so treat ``source_values`` as frozen once the state
+    has been used; to sweep a source value, build a new state per value
+    (or one batched state, as :func:`~repro.analysis.dcop.dc_sweep`
+    does).
     """
 
     batch_shape: tuple[int, ...]
@@ -74,6 +90,18 @@ class ParamState:
     vccs_gm: np.ndarray
     source_values: dict[str, "float | np.ndarray"] = field(
         default_factory=dict)
+    #: Cached static (DC) source vector - see
+    #: :class:`~repro.analysis.stamps.SourcePlan`.
+    src_static: "np.ndarray | None" = field(
+        default=None, repr=False, compare=False)
+    #: Cached combined source vector ``(t, vector)`` for the last
+    #: evaluated time point.
+    src_cache: "tuple[float, np.ndarray] | None" = field(
+        default=None, repr=False, compare=False)
+    #: Linear G/C templates gathered onto the circuit's CSR pattern
+    #: (batchless states on a ``wants_csr`` backend only).
+    csr_lin: "tuple[np.ndarray, np.ndarray] | None" = field(
+        default=None, repr=False, compare=False)
 
     @property
     def batched(self) -> bool:
@@ -211,7 +239,19 @@ class CompiledCircuit:
                     "supported by the MNA compiler")
 
         self._index_mosfets()
-        self._index_nl_vccs()
+
+        # compile-time stamp plans (see :mod:`repro.analysis.stamps`):
+        # every hot assembly loop below is a gather/scatter over these
+        self._lin_plan = LinearStampPlan(self)
+        self._src_plan = SourcePlan(self)
+        self._nlv_plan = NlVccsPlan(self, self.nl_vccs)
+        #: per-batch-shape flat scatter index columns (satellite of the
+        #: stamp-plan work: rebuilt once per shape, not per assemble)
+        self._bidx_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._csr_plan: "CsrPlan | None" = None
+        self._mos_gpos: "np.ndarray | None" = None
+        self._nlv_gpos: "np.ndarray | None" = None
+
         self._nominal_state: ParamState | None = None
         #: Linear-solver backend used by every analysis on this circuit
         #: (see :mod:`repro.linalg`); change it with :meth:`set_backend`.
@@ -264,11 +304,17 @@ class CompiledCircuit:
             self._mos_gflat = rows * (self.n + 1) + cols
             self._mos_frows = np.concatenate([d, s])
 
-    def _index_nl_vccs(self) -> None:
-        self._nlv_idx = np.array(
-            [[self.idx(e.pos), self.idx(e.neg),
-              self.idx(e.ctrl_pos), self.idx(e.ctrl_neg)]
-             for e in self.nl_vccs], dtype=int).reshape(len(self.nl_vccs), 4)
+    def _bidx(self, batch: tuple[int, ...]) -> np.ndarray:
+        """Flattened-batch scatter index column for ``np.add.at``.
+
+        Cached per batch shape: Monte-Carlo chunks of a common size
+        reuse one index array instead of rebuilding it per assemble.
+        """
+        b = self._bidx_cache.get(batch)
+        if b is None:
+            b = np.arange(int(np.prod(batch))).reshape(batch)[..., None]
+            self._bidx_cache[batch] = b
+        return b
 
     # ------------------------------------------------------------------
     # parameter state construction
@@ -302,10 +348,9 @@ class CompiledCircuit:
         lin_batched = any(
             np.ndim(deltas.get((e.name, p), 0.0)) > 0
             for e, p in self._linear_param_iter())
-        gshape = (inferred if lin_batched else ()) + (self.n + 1, self.n + 1)
-        g_lin = np.zeros(gshape)
-        c_lin = np.zeros(gshape)
-        self._stamp_linear(g_lin, c_lin, deltas)
+        tshape = inferred if lin_batched else ()
+        g_lin, c_lin = self._lin_plan.build(
+            deltas, tshape, self._bidx(tshape) if tshape else None)
 
         mos = {}
         if self.mosfets:
@@ -345,64 +390,6 @@ class CompiledCircuit:
         for e in self.inductors:
             yield e, "l"
 
-    def _stamp_linear(self, g_lin: np.ndarray, c_lin: np.ndarray,
-                      deltas: Deltas) -> None:
-        """Stamp all linear elements into the padded templates."""
-        def add(mat, row, col, val):
-            mat[..., row, col] += val
-
-        for e in self.resistors:
-            p, q = self.idx(e.pos), self.idx(e.neg)
-            g = 1.0 / (e.r + np.asarray(_delta_for(deltas, (e.name, "r"))))
-            add(g_lin, p, p, g), add(g_lin, q, q, g)
-            add(g_lin, p, q, -g), add(g_lin, q, p, -g)
-        for e in self.capacitors:
-            p, q = self.idx(e.pos), self.idx(e.neg)
-            c = e.c + np.asarray(_delta_for(deltas, (e.name, "c")))
-            add(c_lin, p, p, c), add(c_lin, q, q, c)
-            add(c_lin, p, q, -c), add(c_lin, q, p, -c)
-        for e in self.inductors:
-            p, q = self.idx(e.pos), self.idx(e.neg)
-            br = self.branch(e.name)
-            lval = e.l + np.asarray(_delta_for(deltas, (e.name, "l")))
-            add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
-            add(g_lin, br, p, -1.0), add(g_lin, br, q, 1.0)
-            add(c_lin, br, br, lval)
-        for e in self.vsources:
-            p, q = self.idx(e.pos), self.idx(e.neg)
-            br = self.branch(e.name)
-            add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
-            add(g_lin, br, p, 1.0), add(g_lin, br, q, -1.0)
-        for e in self.vcvs:
-            p, q = self.idx(e.pos), self.idx(e.neg)
-            cp, cn = self.idx(e.ctrl_pos), self.idx(e.ctrl_neg)
-            br = self.branch(e.name)
-            add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
-            add(g_lin, br, p, 1.0), add(g_lin, br, q, -1.0)
-            add(g_lin, br, cp, -e.gain), add(g_lin, br, cn, e.gain)
-        for e in self.linear_vccs:
-            p, q = self.idx(e.pos), self.idx(e.neg)
-            cp, cn = self.idx(e.ctrl_pos), self.idx(e.ctrl_neg)
-            add(g_lin, p, cp, e.gm), add(g_lin, p, cn, -e.gm)
-            add(g_lin, q, cp, -e.gm), add(g_lin, q, cn, e.gm)
-        for e in self.mosfets:
-            d, g, s, b = (self.idx(e.d), self.idx(e.g),
-                          self.idx(e.s), self.idx(e.b))
-            for (a, c, val) in ((g, s, e.c_gs), (g, d, e.c_gd),
-                                (d, b, e.c_db), (s, b, e.c_sb)):
-                if val > 0.0:
-                    add(c_lin, a, a, val), add(c_lin, c, c, val)
-                    add(c_lin, a, c, -val), add(c_lin, c, a, -val)
-        # cmin on every true node keeps the system index-1
-        if self.cmin > 0.0:
-            for i in range(self.n_nodes):
-                add(c_lin, i, i, self.cmin)
-        # scrub anything accumulated on the ground slot
-        g_lin[..., self._ground, :] = 0.0
-        g_lin[..., :, self._ground] = 0.0
-        c_lin[..., self._ground, :] = 0.0
-        c_lin[..., :, self._ground] = 0.0
-
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
@@ -427,6 +414,7 @@ class CompiledCircuit:
         derivative evaluation and Jacobian scatter entirely, which is
         most of the assembly cost.
         """
+        batch = f_pad.shape[:-1]
         if jacobian:
             np.copyto(g_pad, state.g_lin)
             if gmin > 0.0:
@@ -438,30 +426,27 @@ class CompiledCircuit:
             if gmin > 0.0:
                 f_pad[..., :self.n_nodes] += gmin * x_pad[..., :self.n_nodes]
         self._add_sources(state, t, f_pad, source_scale)
+        gflat = (g_pad.reshape(batch + ((self.n + 1) ** 2,))
+                 if jacobian else None)
         if self.mosfets:
-            self._add_mosfets(state, x_pad, g_pad, f_pad, jacobian)
+            self._add_mosfets(state, x_pad, f_pad, jacobian,
+                              gflat, self._mos_gflat, batch)
         if self.nl_vccs:
-            self._add_nl_vccs(state, x_pad, t, g_pad, f_pad, jacobian)
+            self._add_nl_vccs(state, x_pad, t, f_pad, jacobian,
+                              gflat, self._nlv_plan.g_idx, batch)
         f_pad[..., self._ground] = 0.0
-
-    def _source_value(self, state: ParamState, el, t):
-        if el.name in state.source_values:
-            override = state.source_values[el.name]
-            if isinstance(el.wave, Dc):
-                return override
-            raise NetlistError(
-                f"source override on non-DC source '{el.name}'")
-        return el.wave(t)
 
     def _add_sources(self, state: ParamState, t: float, f_pad: np.ndarray,
                      source_scale: float = 1.0) -> None:
-        for e in self.vsources:
-            br = self.branch(e.name)
-            f_pad[..., br] -= source_scale * self._source_value(state, e, t)
-        for e in self.isources:
-            val = source_scale * self._source_value(state, e, t)
-            f_pad[..., self.idx(e.pos)] += val
-            f_pad[..., self.idx(e.neg)] -= val
+        """Add the (cached) combined source vector - no per-element loop;
+        see :class:`~repro.analysis.stamps.SourcePlan`."""
+        if self._src_plan.empty:
+            return
+        vec = self._src_plan.combined(state, t)
+        if source_scale == 1.0:
+            f_pad += vec
+        else:
+            f_pad += source_scale * vec
 
     def _mos_eval(self, state: ParamState, x_pad: np.ndarray,
                   derivatives: bool = True):
@@ -476,17 +461,22 @@ class CompiledCircuit:
                        self._mos_n, self._mos_lam, derivatives=derivatives)
 
     def _add_mosfets(self, state: ParamState, x_pad: np.ndarray,
-                     g_pad: np.ndarray, f_pad: np.ndarray,
-                     jacobian: bool = True) -> None:
+                     f_pad: np.ndarray, jacobian: bool,
+                     gflat: "np.ndarray | None", gidx: np.ndarray,
+                     batch: tuple[int, ...]) -> None:
+        """Scatter all MOSFET stamps at once.
+
+        *gflat* is the flat Jacobian target: the reshaped dense padded
+        buffer (with *gidx* the precomputed flat positions) or a CSR
+        data array (with *gidx* the plan-mapped slots).
+        """
         ev = self._mos_eval(state, x_pad, derivatives=jacobian)
         ids_phys = self._mos_sign * ev.ids
-        batch = f_pad.shape[:-1]
 
         fvals = np.concatenate(
             np.broadcast_arrays(ids_phys, -ids_phys), axis=-1)
-        bidx = None
         if batch:
-            bidx = np.arange(int(np.prod(batch))).reshape(batch)[..., None]
+            bidx = self._bidx(batch)
             np.add.at(f_pad, (bidx, self._mos_frows), fvals)
         else:
             np.add.at(f_pad, self._mos_frows, fvals)
@@ -496,30 +486,39 @@ class CompiledCircuit:
         gvals = np.concatenate(np.broadcast_arrays(
             ev.g_d, ev.g_g, ev.g_s, ev.g_b,
             -ev.g_d, -ev.g_g, -ev.g_s, -ev.g_b), axis=-1)
-        gflat = g_pad.reshape(batch + ((self.n + 1) ** 2,))
         if batch:
-            np.add.at(gflat, (bidx, self._mos_gflat), gvals)
+            np.add.at(gflat, (bidx, gidx), gvals)
         else:
-            np.add.at(gflat, self._mos_gflat, gvals)
+            np.add.at(gflat, gidx, gvals)
 
     def _add_nl_vccs(self, state: ParamState, x_pad: np.ndarray, t: float,
-                     g_pad: np.ndarray, f_pad: np.ndarray,
-                     jacobian: bool = True) -> None:
-        for k, e in enumerate(self.nl_vccs):
-            p, q, cp, cn = self._nlv_idx[k]
-            vc = x_pad[..., cp] - x_pad[..., cn]
-            phi, dphi = e.phi(vc)
-            gate = e.gate_value(t)
-            cur = gate * e.gm * phi
-            f_pad[..., p] += cur
-            f_pad[..., q] -= cur
-            if not jacobian:
-                continue
-            gd = gate * e.gm * dphi
-            g_pad[..., p, cp] += gd
-            g_pad[..., p, cn] -= gd
-            g_pad[..., q, cp] -= gd
-            g_pad[..., q, cn] += gd
+                     f_pad: np.ndarray, jacobian: bool,
+                     gflat: "np.ndarray | None", gidx: np.ndarray,
+                     batch: tuple[int, ...]) -> None:
+        """Scatter all behavioral-VCCS stamps at once (see
+        :class:`~repro.analysis.stamps.NlVccsPlan` for the vectorised
+        gate/limiter evaluation); *gflat*/*gidx* as in
+        :meth:`_add_mosfets`."""
+        plan = self._nlv_plan
+        vc = x_pad[..., plan.cp] - x_pad[..., plan.cn]
+        phi, dphi = plan.phi(vc)
+        gg = plan.gate_values(t) * state.vccs_gm
+        cur = gg * phi
+        fvals = np.concatenate(np.broadcast_arrays(cur, -cur), axis=-1)
+        if batch:
+            bidx = self._bidx(batch)
+            np.add.at(f_pad, (bidx, plan.f_idx), fvals)
+        else:
+            np.add.at(f_pad, plan.f_idx, fvals)
+        if not jacobian:
+            return
+        gd = gg * dphi
+        gvals = np.concatenate(
+            np.broadcast_arrays(gd, -gd, -gd, gd), axis=-1)
+        if batch:
+            np.add.at(gflat, (bidx, gidx), gvals)
+        else:
+            np.add.at(gflat, gidx, gvals)
 
     # ------------------------------------------------------------------
     # operating-point quantities and injections
@@ -699,6 +698,38 @@ class CompiledCircuit:
         return np.where(collocate, 1.0, 0.5)
 
     # ------------------------------------------------------------------
+    # native CSR assembly
+    # ------------------------------------------------------------------
+    @property
+    def csr_plan(self) -> CsrPlan:
+        """Fixed sparsity pattern of this circuit's MNA system.
+
+        Built lazily (only ``wants_csr`` backends pay for it) from the
+        union of every stamp-plan COO entry - linear G and C stamps,
+        MOSFET Jacobian stamps, behavioral-VCCS Jacobian stamps - plus
+        the full main diagonal (gmin stepping, pivot safety).
+        """
+        if self._csr_plan is None:
+            g_idx, c_idx = self._lin_plan.coo_indices()
+            entries = [g_idx, c_idx]
+            if self.mosfets:
+                entries.append(self._mos_gflat)
+            if self.nl_vccs:
+                entries.append(self._nlv_plan.g_idx)
+            plan = CsrPlan(self.n, self.n + 1, np.concatenate(entries))
+            self._csr_plan = plan
+            if self.mosfets:
+                self._mos_gpos = plan.pos_of(self._mos_gflat)
+            if self.nl_vccs:
+                self._nlv_gpos = plan.pos_of(self._nlv_plan.g_idx)
+        return self._csr_plan
+
+    def csr_assembler(self, state: ParamState) -> "CsrAssembler":
+        """Native-CSR assembly workspace for a batchless run on
+        *state* (see :class:`CsrAssembler`)."""
+        return CsrAssembler(self, state)
+
+    # ------------------------------------------------------------------
     # buffers
     # ------------------------------------------------------------------
     def buffers(self, batch_shape: tuple[int, ...] = ()
@@ -728,6 +759,93 @@ class CompiledCircuit:
     def __repr__(self) -> str:
         return (f"CompiledCircuit({self.circuit.name!r}, n={self.n}, "
                 f"nodes={self.n_nodes}, mosfets={len(self.mosfets)})")
+
+
+class CsrAssembler:
+    """Native-CSR assembly workspace for one batchless run.
+
+    The per-state linear G/C templates are gathered once onto the
+    circuit's :class:`~repro.linalg.sparsity.CsrPlan` (and cached on
+    the state); afterwards every residual is a CSR mat-vec and every
+    Jacobian a device-value scatter over the fixed pattern - no dense
+    ``(n+1)^2`` buffer exists anywhere between stamping and ``splu``.
+
+    Used by the transient integrator and the DC Newton solver whenever
+    the circuit's backend sets
+    :attr:`~repro.linalg.LinearSolverBackend.wants_csr` and the run is
+    batchless; batched Monte-Carlo stacks keep the dense batched path.
+    """
+
+    def __init__(self, compiled: CompiledCircuit, state: ParamState):
+        if state.batched:
+            raise ValueError("native CSR assembly requires a batchless "
+                             "parameter state")
+        self.compiled = compiled
+        self.state = state
+        self.plan = compiled.csr_plan
+        nnz = self.plan.nnz
+        if state.csr_lin is None:
+            g = np.zeros(nnz + 1)
+            c = np.zeros(nnz + 1)
+            g[:nnz] = state.g_lin[self.plan.rows, self.plan.cols]
+            c[:nnz] = state.c_lin[self.plan.rows, self.plan.cols]
+            state.csr_lin = (g, c)
+        #: Linear-template value arrays over the pattern (+ trash slot).
+        self.g_lin_data, self.c_lin_data = state.csr_lin
+        #: Scratch for the assembled Jacobian values.
+        self.g_data = self.g_lin_data.copy()
+        # keyed by id(theta) *and* holding the key array alive, so a
+        # freed theta whose address is reused can never alias a stale
+        # entry
+        self._theta_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def assemble(self, x_pad: np.ndarray, t: float, f_pad: np.ndarray,
+                 source_scale: float = 1.0, gmin: float = 0.0,
+                 jacobian: bool = True) -> None:
+        """CSR-native equivalent of :meth:`CompiledCircuit.assemble`.
+
+        Fills ``f_pad`` with the static residual; with *jacobian* the
+        current ``G`` values are left in :attr:`g_data` (retrieve an
+        operand via :meth:`jac_matrix` / :meth:`step_matrix`).
+        """
+        c = self.compiled
+        n = c.n
+        self.plan.matvec(self.g_lin_data, x_pad[:n], f_pad[:n])
+        if gmin > 0.0:
+            f_pad[:c.n_nodes] += gmin * x_pad[:c.n_nodes]
+        f_pad[n] = 0.0
+        c._add_sources(self.state, t, f_pad, source_scale)
+        if jacobian:
+            np.copyto(self.g_data, self.g_lin_data)
+            if gmin > 0.0:
+                self.g_data[self.plan.diag_pos[:c.n_nodes]] += gmin
+        gflat = self.g_data if jacobian else None
+        if c.mosfets:
+            c._add_mosfets(self.state, x_pad, f_pad, jacobian,
+                           gflat, c._mos_gpos, ())
+        if c.nl_vccs:
+            c._add_nl_vccs(self.state, x_pad, t, f_pad, jacobian,
+                           gflat, c._nlv_gpos, ())
+        f_pad[n] = 0.0
+
+    def jac_matrix(self):
+        """Factorable CSC matrix of the assembled ``G`` (DC Newton)."""
+        return self.plan.csc_matrix(self.g_data)
+
+    def theta_data(self, theta: np.ndarray) -> np.ndarray:
+        """Per-data-slot row implicitness, cached per theta vector."""
+        hit = self._theta_cache.get(id(theta))
+        if hit is not None and hit[0] is theta:
+            return hit[1]
+        td = np.ascontiguousarray(theta[self.plan.rows])
+        self._theta_cache[id(theta)] = (theta, td)
+        return td
+
+    def step_matrix(self, theta: np.ndarray, coh_data: np.ndarray):
+        """Factorable CSC of ``diag(theta) @ G + C/h`` over the plan."""
+        nnz = self.plan.nnz
+        jd = self.theta_data(theta) * self.g_data[:nnz] + coh_data[:nnz]
+        return self.plan.csc_matrix(jd)
 
 
 def compile_circuit(circuit: Circuit, cmin: float = CMIN_DEFAULT,

@@ -248,9 +248,6 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
     if states is not None and batch_shape:
         raise ValueError("record_states requires a batchless run")
 
-    _, g_pad, f_pad = compiled.buffers(batch_shape)
-    j_pad = np.empty_like(g_pad)
-    c_over_h = compiled.capacitance(state) / dt
     theta_trap = np.append(compiled.theta_rows(state, opts.method), 1.0)
     theta_be = np.ones(compiled.n + 1)
 
@@ -260,6 +257,22 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
              if reuse else None)
     guard = (_LaneGuard(batch_shape, n)
              if opts.isolate_lanes and batch_shape else None)
+
+    # native-CSR path: batchless runs on a wants_csr backend assemble
+    # straight onto the circuit's sparsity plan - residuals are CSR
+    # mat-vecs and the dense (n+1)^2 buffers are never touched
+    use_csr = (cache is not None and compiled.backend.wants_csr
+               and not batch_shape)
+    if use_csr:
+        asm = compiled.csr_assembler(state)
+        coh_data = asm.c_lin_data / dt
+        g_pad = j_pad = c_over_h = None
+        f_pad = np.zeros(n + 1)
+    else:
+        asm = coh_data = None
+        _, g_pad, f_pad = compiled.buffers(batch_shape)
+        j_pad = np.empty_like(g_pad)
+        c_over_h = compiled.capacitance(state) / dt
 
     def store(k_idx: int, k: int) -> None:
         for name, idx in rec.items():
@@ -272,8 +285,11 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
         store(0, 0)
 
     # previous-step static residual, needed by trapezoidal
-    compiled.assemble(state, x_pad, float(t_grid[0]), g_pad, f_pad,
-                      jacobian=False)
+    if use_csr:
+        asm.assemble(x_pad, float(t_grid[0]), f_pad, jacobian=False)
+    else:
+        compiled.assemble(state, x_pad, float(t_grid[0]), g_pad, f_pad,
+                          jacobian=False)
     f_prev = f_pad.copy()
     x_prev = x_pad.copy()
     x_prev2 = x_pad.copy()      # one more step back, for the predictor
@@ -293,9 +309,14 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
                 x_pad -= x_prev2
                 if guard is not None and guard.any:
                     x_pad[guard.failed] = x_prev[guard.failed]
-            _newton_step_reuse(compiled, state, x_pad, x_prev, f_prev,
-                               t_k, theta, c_over_h, g_pad, f_pad,
-                               cache, opts.newton, guard)
+            if use_csr:
+                _newton_step_reuse_csr(compiled, asm, x_pad, x_prev,
+                                       f_prev, t_k, theta, coh_data,
+                                       f_pad, cache, opts.newton)
+            else:
+                _newton_step_reuse(compiled, state, x_pad, x_prev,
+                                   f_prev, t_k, theta, c_over_h, g_pad,
+                                   f_pad, cache, opts.newton, guard)
             # the reuse loop accepts with f_pad already assembled at the
             # accepted state - no refresh assembly needed
         else:
@@ -376,6 +397,51 @@ def _newton_step(compiled: CompiledCircuit, state: ParamState,
         guard.quarantine(np.max(np.abs(delta), axis=-1) > newton.vntol,
                          x_pad, x_prev)
         return
+    raise ConvergenceError(
+        f"transient Newton failed at t={t_k:.4e} on "
+        f"'{compiled.circuit.name}'")
+
+
+def _newton_step_reuse_csr(compiled: CompiledCircuit, asm, x_pad, x_prev,
+                           f_prev, t_k: float, theta: np.ndarray,
+                           coh_data, f_pad: np.ndarray,
+                           cache: FactorizationCache,
+                           newton: NewtonOptions) -> None:
+    """One implicit time step on the native-CSR assembly path.
+
+    Semantically identical to :func:`_newton_step_reuse` (modified
+    Newton against the factorization cache, ``f_pad`` left at the last
+    assembled iterate), but every residual is a CSR mat-vec over the
+    circuit's sparsity plan and the step matrix is assembled by value
+    scatter - no dense ``(n+1)^2`` buffer exists on this path.
+    Batchless only (batched Monte-Carlo stacks keep the dense path),
+    so no lane guard is threaded through.
+    """
+    n = compiled.n
+    thn = theta[:n]
+    one_minus = 1.0 - thn
+
+    def jac():
+        asm.assemble(x_pad, t_k, f_pad)
+        return asm.step_matrix(theta, coh_data)
+
+    cache.new_sequence()
+    plan = asm.plan
+    for _ in range(newton.max_iterations):
+        asm.assemble(x_pad, t_k, f_pad, jacobian=False)
+        rhs = plan.matvec(coh_data, x_pad[:n] - x_prev[:n])
+        rhs += thn * f_pad[:n]
+        rhs += one_minus * f_prev[:n]
+        try:
+            delta = cache.solve(rhs, jac)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular transient Jacobian at t={t_k:.4e} on "
+                f"'{compiled.circuit.name}'") from exc
+        delta.clip(-newton.max_step, newton.max_step, out=delta)
+        x_pad[:n] -= delta
+        if float(np.abs(delta).max()) <= newton.vntol:
+            return
     raise ConvergenceError(
         f"transient Newton failed at t={t_k:.4e} on "
         f"'{compiled.circuit.name}'")

@@ -18,6 +18,7 @@ measured performances.  Two implementation notes:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -148,6 +149,37 @@ def measure_lanes(t: np.ndarray, signals: dict[str, np.ndarray],
     return failed_lanes
 
 
+def _transient_chunk(circuit, measures: list[Measure], record: list[str],
+                     t_stop: float, dt: float,
+                     window: tuple[float, float] | None, method: str,
+                     deltas: dict[ParamKey, np.ndarray], n_lanes: int
+                     ) -> tuple[dict[str, np.ndarray], int]:
+    """Simulate and measure one chunk of Monte-Carlo lanes.
+
+    Module-level so that :class:`~concurrent.futures.
+    ProcessPoolExecutor` workers can run it; both the serial loop and
+    the workers receive the already-compiled circuit (workers get it
+    pickled), so every chunk runs the identical compiled object.
+    Results depend only on the chunk's deltas, so a shard executed in a
+    worker process is bit-for-bit identical to the same chunk executed
+    serially.
+    """
+    compiled = _as_compiled(circuit)
+    state = compiled.make_state(deltas=deltas)
+    res = transient(compiled, t_stop=t_stop, dt=dt, state=state,
+                    options=TransientOptions(method=method, record=record,
+                                             isolate_lanes=True))
+    t = res.t
+    sig = res.signals
+    if window is not None:
+        mask = measurement_window_mask(t, window, dt)
+        t = t[mask]
+        sig = {k: v[mask] for k, v in sig.items()}
+    vals = {m.name: np.empty(n_lanes) for m in measures}
+    failures = measure_lanes(t, sig, measures, vals, 0)
+    return vals, failures
+
+
 def monte_carlo_transient(circuit, measures: list[Measure], n: int,
                           t_stop: float, dt: float,
                           window: tuple[float, float] | None = None,
@@ -156,7 +188,8 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
                           chunk_size: int = 250,
                           method: str = "trap",
                           extra_record: list[str] | None = None,
-                          backend: str | None = None
+                          backend: str | None = None,
+                          n_workers: int | None = None
                           ) -> MonteCarloResult:
     """Monte-Carlo over batched transients.
 
@@ -173,9 +206,17 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         slice only (defaults to the full span).  Use the last period of a
         settled response, mirroring how the PSS measures.
     chunk_size:
-        Lanes per stacked solve - bounds peak memory.
+        Lanes per stacked solve - bounds peak memory and sets the shard
+        granularity for parallel runs.
     backend:
         Linear-solver backend override (see :mod:`repro.linalg`).
+    n_workers:
+        Fan the (independent) chunks out over this many worker
+        *processes*.  All deltas are drawn up front from the single
+        seeded generator and sliced per chunk, and results are merged
+        in chunk order, so ``samples``/``n_failed`` are bit-for-bit
+        identical to the serial run at the same *chunk_size*.
+        ``None``/1 keeps the serial in-process loop.
 
     Returns
     -------
@@ -192,21 +233,27 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
     t_begin = time.perf_counter()
     failures = 0
 
-    for start in range(0, n, chunk_size):
-        stop = min(start + chunk_size, n)
-        deltas = {k: v[start:stop] for k, v in all_deltas.items()}
-        state = compiled.make_state(deltas=deltas)
-        res = transient(compiled, t_stop=t_stop, dt=dt, state=state,
-                        options=TransientOptions(method=method,
-                                                 record=record,
-                                                 isolate_lanes=True))
-        t = res.t
-        sig = res.signals
-        if window is not None:
-            mask = measurement_window_mask(t, window, dt)
-            t = t[mask]
-            sig = {k: v[mask] for k, v in sig.items()}
-        failures += measure_lanes(t, sig, measures, out, start)
+    spans = [(start, min(start + chunk_size, n))
+             for start in range(0, n, chunk_size)]
+
+    def chunk_args(span):
+        start, stop = span
+        return (compiled, measures, record, t_stop, dt, window, method,
+                {k: v[start:stop] for k, v in all_deltas.items()},
+                stop - start)
+
+    if n_workers is not None and n_workers > 1 and len(spans) > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(_transient_chunk, *chunk_args(span))
+                       for span in spans]
+            # merge in submission (= serial) order
+            results = [fut.result() for fut in futures]
+    else:
+        results = [_transient_chunk(*chunk_args(span)) for span in spans]
+    for (start, stop), (vals, chunk_failures) in zip(spans, results):
+        failures += chunk_failures
+        for name, v in vals.items():
+            out[name][start:stop] = v
 
     stats = {}
     failed_metrics = {}
@@ -224,24 +271,71 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         n_failed=failures, failed_metrics=failed_metrics)
 
 
-def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
-                   n: int, seed: int = 0, sigma_scale: float = 1.0,
-                   param_covariance: np.ndarray | None = None,
-                   backend: str | None = None
-                   ) -> MonteCarloResult:
-    """Monte-Carlo over batched DC operating points (dcmatch baseline)."""
+def _dc_chunk(circuit, outputs: dict[str, "str | tuple[str, str]"],
+              deltas: dict[ParamKey, np.ndarray]
+              ) -> dict[str, np.ndarray]:
+    """One batched DC operating-point chunk (worker-safe)."""
     from ..analysis.dcop import dc_operating_point
-    compiled = _as_compiled(circuit, backend=backend)
-    rng = np.random.default_rng(seed)
-    deltas = sample_mismatch(compiled, n, rng, sigma_scale,
-                             param_covariance=param_covariance)
-    t_begin = time.perf_counter()
+    compiled = _as_compiled(circuit)
     state = compiled.make_state(deltas=deltas)
     dc = dc_operating_point(compiled, state)
     samples = {}
     for name, spec in outputs.items():
         pos, neg = (spec if isinstance(spec, tuple) else (spec, "0"))
         samples[name] = np.asarray(dc.voltage(pos, neg))
+    return samples
+
+
+def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
+                   n: int, seed: int = 0, sigma_scale: float = 1.0,
+                   param_covariance: np.ndarray | None = None,
+                   backend: str | None = None,
+                   chunk_size: int | None = None,
+                   n_workers: int | None = None
+                   ) -> MonteCarloResult:
+    """Monte-Carlo over batched DC operating points (dcmatch baseline).
+
+    *chunk_size* splits the batch into independent stacked solves
+    (default: one batch with all *n* lanes, the historical behaviour);
+    *n_workers* fans the chunks out over worker processes.  Because the
+    batched Newton loop iterates until the *worst* lane of a chunk
+    converges, results are bit-for-bit reproducible only across runs
+    with the same chunk boundaries - so when ``n_workers > 1`` and no
+    *chunk_size* is given, chunking defaults to an even
+    ``ceil(n / n_workers)`` split, and a serial run with that same
+    *chunk_size* reproduces the parallel samples exactly.
+    """
+    compiled = _as_compiled(circuit, backend=backend)
+    rng = np.random.default_rng(seed)
+    deltas = sample_mismatch(compiled, n, rng, sigma_scale,
+                             param_covariance=param_covariance)
+    t_begin = time.perf_counter()
+    parallel = n_workers is not None and n_workers > 1
+    if chunk_size is None:
+        chunk_size = -(-n // n_workers) if parallel else n
+    spans = [(start, min(start + chunk_size, n))
+             for start in range(0, n, chunk_size)]
+
+    samples = {name: np.empty(n) for name in outputs}
+
+    def merge(span, vals):
+        start, stop = span
+        for name, v in vals.items():
+            samples[name][start:stop] = v
+
+    if parallel and len(spans) > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_dc_chunk, compiled, outputs,
+                            {k: v[start:stop] for k, v in deltas.items()})
+                for start, stop in spans]
+            for span, fut in zip(spans, futures):
+                merge(span, fut.result())
+    else:
+        for start, stop in spans:
+            merge((start, stop), _dc_chunk(
+                compiled, outputs,
+                {k: v[start:stop] for k, v in deltas.items()}))
     stats = {name: describe(vals) for name, vals in samples.items()}
     return MonteCarloResult(
         n=n, samples=samples, stats=stats, deltas=deltas,

@@ -23,16 +23,54 @@ Three backends are registered (:func:`available_backends`):
     so every subsequent solve is a single batched mat-vec.  The modified
     Newton policy below decides when to re-factor.
 ``"sparse"``
-    CSR + ``scipy.sparse.linalg.splu``.  The MNA Jacobian is converted
-    to CSR on factorization and solved through SuperLU; batched systems
-    factor lane-by-lane.  This is the right choice beyond a few hundred
-    unknowns, where dense LU's O(n^3) dominates.
+    Native CSR + ``scipy.sparse.linalg.splu``.  Batchless Newton loops
+    assemble straight onto the circuit's precomputed sparsity pattern
+    (``wants_csr``, see below) and solve through SuperLU; dense and
+    batched operands are still accepted (PSS monodromy products factor
+    densely, batched Monte-Carlo stacks lane-by-lane).  This is the
+    right choice beyond a few hundred unknowns, where dense LU's
+    O(n^3) dominates.
 
 Pass a backend (name or instance) to
 :func:`repro.analysis.mna.compile_circuit`, or leave the default
 ``"auto"``: circuits with fewer than
 :data:`~repro.linalg.backends.SPARSE_AUTO_THRESHOLD` unknowns get the
 cached dense backend, larger ones the sparse backend.
+
+Performance architecture
+------------------------
+Three layers cooperate to keep the hot loops off Python bytecode and
+off O(n^2) scratch memory; each is independently pluggable:
+
+**Compile-time stamp plans** (:mod:`repro.analysis.stamps`).  At
+:class:`~repro.analysis.mna.CompiledCircuit` construction every element
+family is lowered to flat COO index/value arrays.  Template
+construction (`make_state`), source evaluation, MOSFET stamping and
+behavioral-VCCS stamping are all vectorised gathers plus ``np.add.at``
+scatters - the per-iteration assembly does no per-element Python work.
+Static (DC) source vectors are cached per parameter state and combined
+source vectors per time point, so a Newton iteration at a fixed step
+adds one precomputed vector.
+
+**Native CSR assembly** (:class:`~repro.linalg.sparsity.CsrPlan` +
+:class:`~repro.analysis.mna.CsrAssembler`).  A backend that sets
+:attr:`LinearSolverBackend.wants_csr` receives operands assembled
+directly on the circuit's fixed sparsity pattern: residuals are CSR
+mat-vecs, Jacobians are value scatters onto precomputed data slots,
+and factorizations consume a CSC view produced by a precomputed
+permutation.  No dense ``(n+1)^2`` buffer exists anywhere between
+stamping and ``splu``, which is what lets large netlists scale with
+``nnz`` instead of ``n^2`` per iteration.
+
+**Process-parallel Monte-Carlo sharding**
+(:func:`repro.core.montecarlo.monte_carlo_transient` /
+``monte_carlo_dc`` with ``n_workers``).  Monte-Carlo chunks are
+independent stacked solves with purely local solver state, so they fan
+out over a :class:`~concurrent.futures.ProcessPoolExecutor`.  All
+mismatch deltas are drawn up front from the single seeded generator
+and sliced per chunk; shards are merged in chunk order, making the
+parallel ``samples``/``n_failed`` bit-for-bit identical to the serial
+run at the same chunk size.
 
 Modified-Newton re-factor policy
 --------------------------------
@@ -80,10 +118,11 @@ from .backends import (SPARSE_AUTO_THRESHOLD, CachedDenseBackend,
                        NewtonPolicy, SparseBackend, available_backends,
                        resolve_backend)
 from .reuse import FactorizationCache, mark_singular_lanes
+from .sparsity import CsrPlan
 
 __all__ = [
     "LinearSolverBackend", "Factorization", "NewtonPolicy",
     "DenseBackend", "CachedDenseBackend", "SparseBackend",
     "resolve_backend", "available_backends", "SPARSE_AUTO_THRESHOLD",
-    "FactorizationCache", "mark_singular_lanes",
+    "FactorizationCache", "mark_singular_lanes", "CsrPlan",
 ]

@@ -119,7 +119,9 @@ class SparseLuFactorization(Factorization):
 
     def __init__(self, a):
         if scipy.sparse.issparse(a):
-            mat = a.tocsc()
+            if not np.all(np.isfinite(a.data)):
+                raise np.linalg.LinAlgError("non-finite matrix entries")
+            mat = a if a.format == "csc" else a.tocsc()
         else:
             a = np.asarray(a)
             if not np.all(np.isfinite(a)):
@@ -133,7 +135,7 @@ class SparseLuFactorization(Factorization):
     def solve(self, rhs: np.ndarray, trans: bool = False) -> np.ndarray:
         out = self._lu.solve(np.asarray(rhs, dtype=float),
                              trans="T" if trans else "N")
-        if not np.all(np.isfinite(out)):
+        if not np.isfinite(out).all():
             raise np.linalg.LinAlgError("singular matrix")
         return out
 
@@ -158,6 +160,11 @@ class LinearSolverBackend(ABC):
 
     name: str = "?"
     policy: NewtonPolicy
+    #: True when the backend prefers operands assembled natively on a
+    #: precomputed CSR pattern (:class:`~repro.linalg.sparsity.CsrPlan`)
+    #: instead of dense ``(n, n)`` buffers.  Batchless Newton loops
+    #: switch to the no-densify assembly path when set.
+    wants_csr: bool = False
 
     @abstractmethod
     def factor(self, a: np.ndarray) -> Factorization:
@@ -212,9 +219,18 @@ class CachedDenseBackend(LinearSolverBackend):
 
 
 class SparseBackend(LinearSolverBackend):
-    """CSR assembly + SuperLU, with factorization reuse."""
+    """CSR assembly + SuperLU, with factorization reuse.
+
+    Batchless Newton loops assemble natively on the circuit's
+    :class:`~repro.linalg.sparsity.CsrPlan` (``wants_csr``): values are
+    scattered straight into the fixed pattern and no dense ``(n+1)^2``
+    buffer is materialised between assembly and factorization.  Dense
+    and batched operands are still accepted (PSS monodromy products,
+    lane-by-lane Monte-Carlo factors).
+    """
 
     name = "sparse"
+    wants_csr = True
 
     def __init__(self, policy: NewtonPolicy | None = None):
         self.policy = policy or NewtonPolicy(reuse=True)

@@ -1,0 +1,413 @@
+"""Parity tests for the compile-time stamp plans and native CSR path.
+
+The vectorized assembler (:mod:`repro.analysis.stamps`) must reproduce
+the seed's per-element stamping loops to numerical round-off, for every
+element family, across scalar and batched states; the native-CSR
+assembly must match the dense assembly on the same states; and the
+process-parallel Monte-Carlo sharding must reproduce the serial run
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.analysis.transient import TransientOptions, transient
+from repro.circuit import (Circuit, Dc, GateWindow, Sine, SmoothPulse,
+                           default_technology)
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.passives import Capacitor, Inductor, Resistor
+from repro.circuits import (five_transistor_ota, logic_path_testbench,
+                            resistor_string_dac, ring_oscillator,
+                            strongarm_offset_testbench)
+from repro.core import DcLevel, monte_carlo_dc, monte_carlo_transient
+from repro.errors import NetlistError
+
+
+# ---------------------------------------------------------------------------
+# reference implementation: the seed's per-element loops
+# ---------------------------------------------------------------------------
+def reference_templates(compiled, deltas, batch):
+    """Seed-style per-element linear stamping (g_lin, c_lin)."""
+    deltas = deltas or {}
+    n1 = compiled.n + 1
+    g_lin = np.zeros(batch + (n1, n1))
+    c_lin = np.zeros(batch + (n1, n1))
+
+    def dfor(key):
+        return deltas.get(key, 0.0)
+
+    def add(mat, row, col, val):
+        mat[..., row, col] += val
+
+    for e in compiled.resistors:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        g = 1.0 / (e.r + np.asarray(dfor((e.name, "r"))))
+        add(g_lin, p, p, g), add(g_lin, q, q, g)
+        add(g_lin, p, q, -g), add(g_lin, q, p, -g)
+    for e in compiled.capacitors:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        c = e.c + np.asarray(dfor((e.name, "c")))
+        add(c_lin, p, p, c), add(c_lin, q, q, c)
+        add(c_lin, p, q, -c), add(c_lin, q, p, -c)
+    for e in compiled.inductors:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        br = compiled.branch(e.name)
+        lval = e.l + np.asarray(dfor((e.name, "l")))
+        add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
+        add(g_lin, br, p, -1.0), add(g_lin, br, q, 1.0)
+        add(c_lin, br, br, lval)
+    for e in compiled.vsources:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        br = compiled.branch(e.name)
+        add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
+        add(g_lin, br, p, 1.0), add(g_lin, br, q, -1.0)
+    for e in compiled.vcvs:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        cp, cn = compiled.idx(e.ctrl_pos), compiled.idx(e.ctrl_neg)
+        br = compiled.branch(e.name)
+        add(g_lin, p, br, 1.0), add(g_lin, q, br, -1.0)
+        add(g_lin, br, p, 1.0), add(g_lin, br, q, -1.0)
+        add(g_lin, br, cp, -e.gain), add(g_lin, br, cn, e.gain)
+    for e in compiled.linear_vccs:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        cp, cn = compiled.idx(e.ctrl_pos), compiled.idx(e.ctrl_neg)
+        add(g_lin, p, cp, e.gm), add(g_lin, p, cn, -e.gm)
+        add(g_lin, q, cp, -e.gm), add(g_lin, q, cn, e.gm)
+    for e in compiled.mosfets:
+        d, g, s, b = (compiled.idx(e.d), compiled.idx(e.g),
+                      compiled.idx(e.s), compiled.idx(e.b))
+        for (a, c, val) in ((g, s, e.c_gs), (g, d, e.c_gd),
+                            (d, b, e.c_db), (s, b, e.c_sb)):
+            if val > 0.0:
+                add(c_lin, a, a, val), add(c_lin, c, c, val)
+                add(c_lin, a, c, -val), add(c_lin, c, a, -val)
+    if compiled.cmin > 0.0:
+        for i in range(compiled.n_nodes):
+            add(c_lin, i, i, compiled.cmin)
+    for m in (g_lin, c_lin):
+        m[..., compiled.n, :] = 0.0
+        m[..., :, compiled.n] = 0.0
+    return g_lin, c_lin
+
+
+def reference_assemble(compiled, state, x_pad, t, source_scale=1.0,
+                       gmin=0.0):
+    """Seed-style residual/Jacobian assembly (per-element loops)."""
+    g_pad = np.array(np.broadcast_to(
+        state.g_lin, x_pad.shape[:-1] + state.g_lin.shape[-2:]))
+    if gmin > 0.0:
+        diag = np.einsum("...ii->...i", g_pad)
+        diag[..., :compiled.n_nodes] += gmin
+    f_pad = np.matmul(g_pad, x_pad[..., None])[..., 0]
+
+    def source_value(el):
+        if el.name in state.source_values:
+            return state.source_values[el.name]
+        return el.wave(t)
+
+    for e in compiled.vsources:
+        br = compiled.branch(e.name)
+        f_pad[..., br] -= source_scale * source_value(e)
+    for e in compiled.isources:
+        val = source_scale * source_value(e)
+        f_pad[..., compiled.idx(e.pos)] += val
+        f_pad[..., compiled.idx(e.neg)] -= val
+
+    if compiled.mosfets:
+        ev = compiled._mos_eval(state, x_pad)
+        ids_phys = compiled._mos_sign * ev.ids
+        for k, e in enumerate(compiled.mosfets):
+            d, s = compiled.idx(e.d), compiled.idx(e.s)
+            f_pad[..., d] += ids_phys[..., k]
+            f_pad[..., s] -= ids_phys[..., k]
+            g = compiled.idx(e.g)
+            b = compiled.idx(e.b)
+            for col, gv in ((d, ev.g_d), (g, ev.g_g), (s, ev.g_s),
+                            (b, ev.g_b)):
+                g_pad[..., d, col] += gv[..., k]
+                g_pad[..., s, col] -= gv[..., k]
+
+    for e in compiled.nl_vccs:
+        p, q = compiled.idx(e.pos), compiled.idx(e.neg)
+        cp, cn = compiled.idx(e.ctrl_pos), compiled.idx(e.ctrl_neg)
+        vc = x_pad[..., cp] - x_pad[..., cn]
+        phi, dphi = e.phi(vc)
+        gate = e.gate_value(t)
+        cur = gate * e.gm * phi
+        f_pad[..., p] += cur
+        f_pad[..., q] -= cur
+        gd = gate * e.gm * dphi
+        g_pad[..., p, cp] += gd
+        g_pad[..., p, cn] -= gd
+        g_pad[..., q, cp] -= gd
+        g_pad[..., q, cn] += gd
+    f_pad[..., compiled.n] = 0.0
+    return g_pad, f_pad
+
+
+# ---------------------------------------------------------------------------
+# circuits under test
+# ---------------------------------------------------------------------------
+def all_elements_circuit():
+    """Synthetic netlist touching every supported element family."""
+    tech = default_technology()
+    ckt = Circuit("everything")
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    ckt.add_vsource("VIN", "in", "0",
+                    wave=Sine(amplitude=0.2, freq=1e6, offset=0.8))
+    ckt.add_isource("IB", "vdd", "nb", dc=20e-6)
+    ckt.add_isource("IP", "nb", "0",
+                    wave=SmoothPulse(v0=0.0, v1=5e-6, t_rise=1e-9,
+                                     t_high=0.3e-6, t_fall=1e-9,
+                                     t_period=1e-6))
+    ckt.add_resistor("R1", "in", "a", 1e3, sigma_rel=0.05)
+    ckt.add_resistor("R2", "a", "0", 2e3, sigma_rel=0.05)
+    ckt.add_capacitor("C1", "a", "0", 1e-12, sigma_rel=0.05)
+    ckt.add_inductor("L1", "a", "b", 1e-6, sigma_rel=0.05)
+    ckt.add_resistor("R3", "b", "0", 500.0)
+    ckt.add_vcvs("E1", "c", "0", "a", "0", gain=2.0)
+    ckt.add_resistor("R4", "c", "0", 1e4)
+    ckt.add_vccs("GLIN", "nb", "0", "a", "0", gm=1e-4)
+    ckt.add_vccs("GLIM", "c", "0", "b", "0", gm=2e-4, vlimit=0.3)
+    ckt.add_vccs("GGATE", "a", "0", "c", "0", gm=1e-4, vlimit=0.5,
+                 gate=GateWindow(t_on=0.1e-6, t_off=0.4e-6,
+                                 period=1e-6, tau=10e-9))
+    ckt.add_mosfet("M1", "nb", "a", "0", "0", w=2e-6, l=0.26e-6,
+                   tech=tech)
+    ckt.add_mosfet("M2", "vdd", "c", "nb", "vdd", w=4e-6, l=0.26e-6,
+                   tech=tech, polarity="p")
+    return ckt
+
+
+def builtin_circuits():
+    tech = default_technology()
+    return {
+        "ota": five_transistor_ota(tech),
+        "comparator_tb": strongarm_offset_testbench(tech).circuit,
+        "logic_path": logic_path_testbench(tech).circuit,
+        "ring_osc": ring_oscillator(tech),
+        "dac": resistor_string_dac(tech, n_bits=3),
+        "everything": all_elements_circuit(),
+    }
+
+
+def random_linear_deltas(compiled, rng, batch=()):
+    """Random deltas for every linear parameter and mismatch decl."""
+    deltas = {}
+    for e in compiled.resistors:
+        deltas[(e.name, "r")] = rng.normal(0.0, 0.01 * e.r, batch or None)
+    for e in compiled.capacitors:
+        deltas[(e.name, "c")] = rng.normal(0.0, 0.01 * e.c, batch or None)
+    for e in compiled.inductors:
+        deltas[(e.name, "l")] = rng.normal(0.0, 0.01 * e.l, batch or None)
+    for e in compiled.mosfets:
+        deltas[(e.name, "vt0")] = rng.normal(0.0, 2e-3, batch or None)
+        deltas[(e.name, "beta_rel")] = rng.normal(0.0, 0.01, batch or None)
+    return deltas
+
+
+CIRCUITS = builtin_circuits()
+
+
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+@pytest.mark.parametrize("batch", [(), (5,)])
+class TestStampPlanParity:
+    def test_linear_templates(self, name, batch):
+        compiled = compile_circuit(CIRCUITS[name])
+        rng = np.random.default_rng(hash(name) % 2**32)
+        deltas = random_linear_deltas(compiled, rng, batch)
+        state = compiled.make_state(deltas=deltas)
+        g_ref, c_ref = reference_templates(compiled, deltas, batch)
+        assert state.g_lin.shape == g_ref.shape
+        np.testing.assert_allclose(state.g_lin, g_ref, rtol=1e-12,
+                                   atol=1e-12 * np.abs(g_ref).max())
+        np.testing.assert_allclose(state.c_lin, c_ref, rtol=1e-12,
+                                   atol=1e-12 * max(np.abs(c_ref).max(),
+                                                    1e-30))
+
+    def test_assemble(self, name, batch):
+        compiled = compile_circuit(CIRCUITS[name])
+        rng = np.random.default_rng((hash(name) + 1) % 2**32)
+        deltas = random_linear_deltas(compiled, rng, batch)
+        state = compiled.make_state(deltas=deltas)
+        x_pad = np.zeros(batch + (compiled.n + 1,))
+        x_pad[..., :compiled.n] = rng.uniform(
+            0.0, 1.5, batch + (compiled.n,))
+        for t in (0.0, 0.37e-6):
+            for scale, gmin in ((1.0, 0.0), (0.35, 1e-3)):
+                _, g_pad, f_pad = compiled.buffers(batch)
+                compiled.assemble(state, x_pad, t, g_pad, f_pad,
+                                  source_scale=scale, gmin=gmin)
+                g_ref, f_ref = reference_assemble(
+                    compiled, state, x_pad, t, source_scale=scale,
+                    gmin=gmin)
+                scale_g = max(np.abs(g_ref).max(), 1.0)
+                scale_f = max(np.abs(f_ref).max(), 1.0)
+                np.testing.assert_allclose(g_pad, g_ref,
+                                           atol=1e-12 * scale_g)
+                np.testing.assert_allclose(f_pad, f_ref,
+                                           atol=1e-12 * scale_f)
+
+    def test_residual_only_matches_jacobian_run(self, name, batch):
+        compiled = compile_circuit(CIRCUITS[name])
+        rng = np.random.default_rng((hash(name) + 2) % 2**32)
+        state = compiled.make_state()
+        x_pad = np.zeros(batch + (compiled.n + 1,))
+        x_pad[..., :compiled.n] = rng.uniform(
+            0.0, 1.2, batch + (compiled.n,))
+        _, g_pad, f_full = compiled.buffers(batch)
+        compiled.assemble(state, x_pad, 0.2e-6, g_pad, f_full)
+        _, _, f_only = compiled.buffers(batch)
+        compiled.assemble(state, x_pad, 0.2e-6, g_pad, f_only,
+                          jacobian=False)
+        np.testing.assert_allclose(f_only, f_full, rtol=0, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+class TestCsrParity:
+    def test_csr_assemble_matches_dense(self, name):
+        compiled = compile_circuit(CIRCUITS[name], backend="sparse")
+        rng = np.random.default_rng((hash(name) + 3) % 2**32)
+        deltas = random_linear_deltas(compiled, rng)
+        state = compiled.make_state(deltas=deltas)
+        asm = compiled.csr_assembler(state)
+        plan = compiled.csr_plan
+        x_pad = np.zeros(compiled.n + 1)
+        x_pad[:compiled.n] = rng.uniform(0.0, 1.5, compiled.n)
+        f_csr = np.zeros(compiled.n + 1)
+        for t, scale, gmin in ((0.0, 1.0, 0.0), (0.43e-6, 0.7, 1e-4)):
+            asm.assemble(x_pad, t, f_csr, source_scale=scale, gmin=gmin)
+            _, g_pad, f_pad = compiled.buffers(())
+            compiled.assemble(state, x_pad, t, g_pad, f_pad,
+                              source_scale=scale, gmin=gmin)
+            g_dense = plan.densify(asm.g_data)
+            np.testing.assert_allclose(
+                g_dense, g_pad[:compiled.n, :compiled.n],
+                atol=1e-12 * max(np.abs(g_pad).max(), 1.0))
+            np.testing.assert_allclose(
+                f_csr, f_pad, atol=1e-12 * max(np.abs(f_pad).max(), 1.0))
+
+    def test_csr_pattern_covers_dense(self, name):
+        """Every structurally possible dense entry is in the pattern."""
+        compiled = compile_circuit(CIRCUITS[name], backend="sparse")
+        state = compiled.nominal
+        plan = compiled.csr_plan
+        n = compiled.n
+        dense_g = np.abs(state.g_lin[:n, :n]) > 0
+        dense_c = np.abs(state.c_lin[:n, :n]) > 0
+        pattern = np.zeros((n, n), dtype=bool)
+        pattern[plan.rows, plan.cols] = True
+        assert not (dense_g & ~pattern).any()
+        assert not (dense_c & ~pattern).any()
+
+
+class TestCsrTransientParity:
+    @pytest.mark.parametrize("name", ["everything", "ring_osc"])
+    def test_transient_matches_dense_backend(self, name):
+        record = {"everything": "a", "ring_osc": "osc1"}[name]
+        res = {}
+        for be in ("dense", "sparse"):
+            compiled = compile_circuit(CIRCUITS[name], backend=be)
+            res[be] = transient(
+                compiled, t_stop=2e-8, dt=2e-11,
+                options=TransientOptions(record=[record]))
+        np.testing.assert_allclose(res["sparse"].signal(record),
+                                   res["dense"].signal(record),
+                                   atol=5e-9)
+
+
+class TestSourcePlan:
+    def test_static_vector_cached_and_correct(self):
+        ckt = all_elements_circuit()
+        compiled = compile_circuit(ckt)
+        state = compiled.make_state()
+        _, g_pad, f1 = compiled.buffers(())
+        x_pad = np.zeros(compiled.n + 1)
+        compiled.assemble(state, x_pad, 0.1e-6, g_pad, f1)
+        assert state.src_static is not None
+        # second time point must re-evaluate the time-varying waves
+        _, _, f2 = compiled.buffers(())
+        compiled.assemble(state, x_pad, 0.6e-6, g_pad, f2)
+        _, ref1 = reference_assemble(compiled, state, x_pad, 0.1e-6)
+        _, ref2 = reference_assemble(compiled, state, x_pad, 0.6e-6)
+        np.testing.assert_allclose(f1, ref1, atol=1e-12)
+        np.testing.assert_allclose(f2, ref2, atol=1e-12)
+        assert not np.allclose(f1, f2)   # the pulse/sine moved
+
+    def test_override_on_time_varying_source_raises(self):
+        ckt = Circuit("bad_override")
+        ckt.add_vsource("VS", "a", "0",
+                        wave=Sine(amplitude=1.0, freq=1e6))
+        ckt.add_resistor("R", "a", "0", 1e3)
+        compiled = compile_circuit(ckt)
+        state = compiled.make_state(source_values={"VS": 1.0})
+        _, g_pad, f_pad = compiled.buffers(())
+        with pytest.raises(NetlistError):
+            compiled.assemble(state, np.zeros(compiled.n + 1), 0.0,
+                              g_pad, f_pad)
+
+    def test_batched_dc_override(self):
+        ckt = Circuit("override")
+        ckt.add_vsource("VS", "a", "0", dc=1.0)
+        ckt.add_resistor("Ra", "a", "b", 1e3)
+        ckt.add_resistor("Rb", "b", "0", 1e3)
+        compiled = compile_circuit(ckt)
+        vals = np.array([0.5, 1.0, 2.0])
+        state = compiled.make_state(source_values={"VS": vals},
+                                    batch_shape=vals.shape)
+        x_pad = np.zeros(vals.shape + (compiled.n + 1,))
+        _, g_pad, f_pad = compiled.buffers(vals.shape)
+        compiled.assemble(state, x_pad, 0.0, g_pad, f_pad)
+        br = compiled.branch("VS")
+        np.testing.assert_allclose(f_pad[:, br], -vals)
+
+
+class TestBidxCache:
+    def test_cached_per_batch_shape(self):
+        compiled = compile_circuit(CIRCUITS["ota"])
+        state = compiled.make_state(batch_shape=(4,))
+        x_pad = np.zeros((4, compiled.n + 1))
+        _, g_pad, f_pad = compiled.buffers((4,))
+        compiled.assemble(state, x_pad, 0.0, g_pad, f_pad)
+        compiled.assemble(state, x_pad, 0.0, g_pad, f_pad)
+        assert (4,) in compiled._bidx_cache
+        first = compiled._bidx_cache[(4,)]
+        compiled.assemble(state, x_pad, 0.0, g_pad, f_pad)
+        assert compiled._bidx_cache[(4,)] is first
+
+
+class TestParallelMonteCarlo:
+    def _testbench(self):
+        tech = default_technology()
+        return five_transistor_ota(tech), [DcLevel("vout", "out")]
+
+    def test_transient_workers_bitwise_identical(self):
+        ckt, meas = self._testbench()
+        kw = dict(n=12, t_stop=2e-8, dt=1e-10, seed=11, chunk_size=4)
+        serial = monte_carlo_transient(ckt, meas, **kw)
+        parallel = monte_carlo_transient(ckt, meas, n_workers=3, **kw)
+        for name in serial.samples:
+            np.testing.assert_array_equal(serial.samples[name],
+                                          parallel.samples[name])
+        assert serial.n_failed == parallel.n_failed
+        assert serial.failed_metrics == parallel.failed_metrics
+
+    def test_dc_workers_bitwise_identical(self):
+        ckt, _ = self._testbench()
+        kw = dict(n=10, seed=7, chunk_size=5)
+        serial = monte_carlo_dc(ckt, {"vout": "out"}, **kw)
+        parallel = monte_carlo_dc(ckt, {"vout": "out"}, n_workers=2, **kw)
+        for name in serial.samples:
+            np.testing.assert_array_equal(serial.samples[name],
+                                          parallel.samples[name])
+
+    def test_dc_single_batch_unchanged_without_workers(self):
+        """Default chunking must stay one batch (seed behaviour)."""
+        ckt, _ = self._testbench()
+        a = monte_carlo_dc(ckt, {"vout": "out"}, n=8, seed=3)
+        b = monte_carlo_dc(ckt, {"vout": "out"}, n=8, seed=3, chunk_size=8)
+        np.testing.assert_array_equal(a.samples["vout"],
+                                      b.samples["vout"])
