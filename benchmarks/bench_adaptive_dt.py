@@ -1,0 +1,139 @@
+"""Adaptive vs fixed time stepping on the paper's transient workloads.
+
+The transient solves dominate both the Monte-Carlo baseline and the
+sensitivity method's orbit construction (paper Tables I-II), and a
+fixed ``dt`` forces the whole run to the smallest step any event needs.
+This shoot-out runs the two stiff clocked/autonomous workloads:
+
+* the Table II StrongARM comparator-offset testbench (one mismatch
+  sample): clocked regeneration with long precharge stretches - the
+  classic case for LTE control.  The fixed ``period/400`` grid from the
+  backend benchmarks is the baseline; a ``period/1600`` (``/800`` on
+  smoke runs) grid provides the accuracy reference;
+* the ring oscillator (Figs. 11-12): always switching, the *hardest*
+  case for adaptive stepping - the win is small by design and the
+  check is that accuracy holds without a step-count regression.
+
+Acceptance: adaptive takes *fewer accepted steps* than the fixed
+baseline at matched (here: strictly better) accuracy on the comparator,
+and stays at least at parity on the oscillator.  Results go to
+``results/BENCH_adaptive_dt.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import compile_circuit, transient
+from repro.analysis.transient import TransientOptions
+from repro.circuits import ring_oscillator, strongarm_offset_testbench
+from repro.core.montecarlo import measurement_window_mask, sample_mismatch
+
+from conftest import mc_samples, publish
+
+HEADER = (f"{'workload':<26s} {'stepper':>14s} {'steps':>7s} "
+          f"{'rej':>5s} {'wall [s]':>9s} {'metric':>13s} {'err':>9s}")
+
+
+def _row(workload, stepper, steps, rej, wall, metric, err):
+    return (f"{workload:<26s} {stepper:>14s} {steps:>7d} {rej:>5d} "
+            f"{wall:>9.2f} {metric:>13.6g} {err:>9.2e}")
+
+
+def _timed(compiled, state, t_stop, dt, opts):
+    t0 = time.perf_counter()
+    res = transient(compiled, t_stop=t_stop, dt=dt, state=state,
+                    options=opts)
+    return time.perf_counter() - t0, res
+
+
+def test_adaptive_vs_fixed(tech, results_dir):
+    smoke = mc_samples() < 100      # CI smoke: cheaper reference grid
+    lines = [f"adaptive vs fixed dt (smoke={smoke})", HEADER]
+    data = {}
+
+    # ----- comparator offset (one mismatch sample, full settling) -----
+    tb = strongarm_offset_testbench(tech)
+    compiled = compile_circuit(tb.circuit)
+    rng = np.random.default_rng(11)
+    deltas = sample_mismatch(compiled, 1, rng)
+    state = compiled.make_state(
+        deltas={k: float(v[0]) for k, v in deltas.items()})
+    n_cyc = tb.settle_cycles
+    t_stop = n_cyc * tb.period
+    win = ((n_cyc - 1) * tb.period, n_cyc * tb.period)
+
+    def vos_of(res):
+        mask = measurement_window_mask(res.t, win)
+        return float(np.mean(res.signal(tb.vos_node)[mask]))
+
+    ref_div = 800 if smoke else 1600
+    _, ref = _timed(compiled, state, t_stop, tb.period / ref_div,
+                    TransientOptions(record=[tb.vos_node]))
+    v_ref = vos_of(ref)
+    w_f, fixed = _timed(compiled, state, t_stop, tb.period / 400,
+                        TransientOptions(record=[tb.vos_node]))
+    w_a, adapt = _timed(
+        compiled, state, t_stop, tb.period / 400,
+        TransientOptions(record=[tb.vos_node], adaptive=True,
+                         rtol=1e-3, atol=1e-6, t_out=list(win)))
+    v_f, v_a = vos_of(fixed), vos_of(adapt)
+    lines += [
+        _row("comparator vos", f"fixed T/{ref_div}", ref.n_accepted, 0,
+             0.0, v_ref, 0.0),
+        _row("comparator vos", "fixed T/400", fixed.n_accepted, 0, w_f,
+             v_f, abs(v_f - v_ref)),
+        _row("comparator vos", "adaptive 1e-3", adapt.n_accepted,
+             adapt.n_rejected, w_a, v_a, abs(v_a - v_ref))]
+    data["comparator"] = {
+        "steps_fixed": fixed.n_accepted, "steps_adaptive": adapt.n_accepted,
+        "steps_rejected": adapt.n_rejected,
+        "step_ratio": fixed.n_accepted / adapt.n_accepted,
+        "wall_seconds": {"fixed": w_f, "adaptive": w_a},
+        "vos": {"reference": v_ref, "fixed": v_f, "adaptive": v_a},
+        "vos_err": {"fixed": abs(v_f - v_ref),
+                    "adaptive": abs(v_a - v_ref)}}
+
+    # acceptance: fewer accepted steps at matched-or-better accuracy
+    assert adapt.n_accepted < fixed.n_accepted
+    assert abs(v_a - v_ref) <= abs(v_f - v_ref) + 1e-4
+
+    # ----- ring oscillator (nominal, frequency) -----
+    osc = compile_circuit(ring_oscillator(tech))
+    t_stop = 10e-9
+
+    def freq_of(res):
+        return res.waveset()["osc1"].frequency(skip=3)
+
+    _, ref = _timed(osc, None, t_stop, 0.5e-12,
+                    TransientOptions(record=["osc1"]))
+    f_ref = freq_of(ref)
+    w_f, fixed = _timed(osc, None, t_stop, 2e-12,
+                        TransientOptions(record=["osc1"]))
+    w_a, adapt = _timed(osc, None, t_stop, 2e-12,
+                        TransientOptions(record=["osc1"], adaptive=True,
+                                         rtol=3e-3, atol=1e-6))
+    f_f, f_a = freq_of(fixed), freq_of(adapt)
+    lines += [
+        _row("oscillator freq", "fixed 0.5ps", ref.n_accepted, 0, 0.0,
+             f_ref, 0.0),
+        _row("oscillator freq", "fixed 2ps", fixed.n_accepted, 0, w_f,
+             f_f, abs(f_f - f_ref) / f_ref),
+        _row("oscillator freq", "adaptive 3e-3", adapt.n_accepted,
+             adapt.n_rejected, w_a, f_a, abs(f_a - f_ref) / f_ref)]
+    data["oscillator"] = {
+        "steps_fixed": fixed.n_accepted, "steps_adaptive": adapt.n_accepted,
+        "steps_rejected": adapt.n_rejected,
+        "step_ratio": fixed.n_accepted / adapt.n_accepted,
+        "wall_seconds": {"fixed": w_f, "adaptive": w_a},
+        "freq": {"reference": f_ref, "fixed": f_f, "adaptive": f_a},
+        "freq_relerr": {"fixed": abs(f_f - f_ref) / f_ref,
+                        "adaptive": abs(f_a - f_ref) / f_ref}}
+
+    # the always-switching oscillator is the worst case: require
+    # parity on steps and matched accuracy (both within 0.1% of ref)
+    assert adapt.n_accepted < fixed.n_accepted
+    assert abs(f_a - f_ref) / f_ref < 1e-3
+    assert abs(f_f - f_ref) / f_ref < 1e-3
+
+    publish(results_dir, "adaptive_dt", "\n".join(lines), data=data)

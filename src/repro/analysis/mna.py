@@ -832,6 +832,21 @@ class CsrAssembler:
         """Factorable CSC matrix of the assembled ``G`` (DC Newton)."""
         return self.plan.csc_matrix(self.g_data)
 
+    def c_over_h_data(self, h: float,
+                      out: "np.ndarray | None" = None) -> np.ndarray:
+        """``C / h`` value array over the plan (+ trash slot).
+
+        The capacitance template never changes during a run, so a step
+        size change on the CSR path costs exactly this O(nnz) vector
+        rescale - the cheap per-step hook adaptive time stepping relies
+        on (the factorization cache re-keys on ``(theta, h)`` and
+        re-factors, but nothing is re-gathered or densified).
+        """
+        if out is None:
+            out = np.empty_like(self.c_lin_data)
+        np.multiply(self.c_lin_data, 1.0 / h, out=out)
+        return out
+
     def theta_data(self, theta: np.ndarray) -> np.ndarray:
         """Per-data-slot row implicitness, cached per theta vector."""
         hit = self._theta_cache.get(id(theta))

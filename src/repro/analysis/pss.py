@@ -320,7 +320,11 @@ def pss_oscillator(compiled: CompiledCircuit, anchor: str,
 def _advance_to_crossing(compiled, state, x_pad, t_cur, dt, level, a_idx,
                          period, opts: PssOptions):
     """Integrate until the anchor crosses *level* rising (max 2 periods)."""
-    res = transient(compiled, t_stop=t_cur + 2.2 * period, dt=dt,
+    # a whole number of steps: the ~2.2-period horizon is a heuristic,
+    # so round it up rather than have the integrator snap (and warn
+    # about) a shortened final step on every oscillator PSS
+    n_adv = max(1, int(np.ceil(2.2 * period / dt - 1e-9)))
+    res = transient(compiled, t_stop=t_cur + n_adv * dt, dt=dt,
                     state=state, x0_pad=x_pad, t_start=t_cur,
                     options=TransientOptions(method=opts.method, record=[],
                                              newton=opts.newton,

@@ -1,46 +1,82 @@
-"""Transient analysis on a fixed time grid (backward Euler / trapezoidal).
+"""Transient analysis: fixed-grid and adaptive (LTE-controlled) stepping.
 
 The integrator works on the charge-oriented MNA system
 
 .. math:: \\frac{d}{dt} q(x) + i(x, t) = 0, \\qquad q(x) = C x
 
 (all charges in the bundled element set are linear, see
-:mod:`repro.analysis.mna`).  A *fixed uniform grid* is used deliberately:
+:mod:`repro.analysis.mna`).  Two step drivers share one per-step solver:
 
-* shooting PSS needs the one-period state-transition map, which falls out
-  of the per-step Jacobians only when every Newton step lands on the same
-  grid;
-* the LPTV sensitivity engine reuses the same grid, making the linear
-  analysis exact on the discretisation;
-* batched Monte-Carlo lanes must share time points to be solved as one
-  stacked system.
+**Fixed uniform grid** (the default).  Shooting PSS needs the one-period
+state-transition map, which falls out of the per-step Jacobians only
+when every Newton step lands on the same grid; the LPTV sensitivity
+engine reuses the same grid, making the linear analysis exact on the
+discretisation; and batched Monte-Carlo lanes must share time points to
+be solved as one stacked system.  When ``t_stop - t_start`` is not an
+integer multiple of ``dt`` the final step is *shortened to land exactly
+on* ``t_stop`` (with a warning) instead of silently truncating or
+overshooting the span.
 
-Trapezoidal is the default (second order, no numerical damping - important
-for oscillator period accuracy); backward Euler is available for heavily
-damped settling runs and is used for the very first step after a raw
-initial condition (it swallows inconsistent ICs within one step).
+**Adaptive stepping** (:attr:`TransientOptions.adaptive`).  A
+local-truncation-error controller grows and shrinks the step within
+``[dt_min, dt_max]``: every corrected solution is compared against an
+embedded extrapolation predictor that costs no extra solves.  On
+trapezoidal steps the predictor is the quadratic through the last three
+accepted points - itself third-order, so the scaled difference isolates
+trapezoidal's own O(h^3) truncation term (the classic
+predictor-corrector estimate, step growing as ``rtol^(1/3)``); backward
+Euler steps and the start-up phase fall back to the linear predictor
+and the O(h^2) first-order estimate.  Steps whose estimate exceeds
+``rtol``/``atol`` are rejected and retried smaller - as are steps whose
+Newton iteration fails outright.  The stepper lands *exactly* on ``t_stop`` and on every
+requested :attr:`TransientOptions.t_out` time (measurement-window
+edges), so measurements never interpolate across a step boundary.
+Batched Monte-Carlo lanes share one step sequence per stacked solve
+(the controller takes the worst lane), which keeps chunked runs
+deterministic and mergeable: a chunk's time grid depends only on the
+chunk's own lanes.  The resulting :attr:`TransientResult.t` is
+non-uniform; every consumer downstream (:class:`~repro.waveform.
+Waveform` measurements, window masks) interpolates or uses local grid
+spacing, so no uniformity assumption survives outside the PSS/LPTV
+engines - which require the fixed grid and refuse ``adaptive``.
+
+Trapezoidal is the default (second order, no numerical damping -
+important for oscillator period accuracy); backward Euler is available
+for heavily damped settling runs and is used for the very first step
+after a raw initial condition (it swallows inconsistent ICs within one
+step).
 
 Linear solves go through the circuit's pluggable backend
-(:mod:`repro.linalg`).  Backends whose policy allows factorization reuse
-switch the integrator to a modified-Newton loop that keeps one Jacobian
-factorization alive across iterations *and* time steps, re-factoring
-only when the update norm stops contracting; on a fixed grid with a
-constant capacitance matrix this removes almost every O(n^3) factor from
-the hot path (linear circuits factor exactly once per run).
+(:mod:`repro.linalg`).  Backends whose policy allows factorization
+reuse switch the integrator to a modified-Newton loop that keeps one
+Jacobian factorization alive across iterations *and* time steps.  The
+factorization cache is keyed on the *content* of the step-matrix
+ingredients ``(theta, dt)`` (:meth:`~repro.linalg.FactorizationCache.
+set_key`), so a changing step size can never be answered by a stale LU;
+on the native-CSR path a ``dt`` change costs one ``c_lin_data / dt``
+vector rescale (:meth:`~repro.analysis.mna.CsrAssembler.c_over_h_data`)
+plus the re-factor itself.
 
 Batched runs can additionally *isolate lane failures*
 (:attr:`TransientOptions.isolate_lanes`): a Monte-Carlo sample whose
 Newton iteration diverges or whose Jacobian goes singular is frozen and
 reported in :attr:`TransientResult.failed_lanes` instead of killing the
-remaining lanes.
+remaining lanes.  On the adaptive grid a Newton failure first rejects
+the step; lanes are only quarantined once the step floor is reached, so
+healthy lanes never freeze just because the controller tried an
+ambitious step.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from ..circuit.controlled import GateWindow
+from ..circuit.sources import SmoothPulse
 from ..errors import ConvergenceError, SingularMatrixError
 from ..linalg import FactorizationCache, mark_singular_lanes
 from ..waveform import WaveformSet
@@ -48,6 +84,11 @@ from .dcop import NewtonOptions, dc_operating_point
 from .mna import CompiledCircuit, ParamState
 
 Method = str  # "trap" | "be"
+
+#: Step-controller constants (classic I-controller with safety margin).
+_SAFETY = 0.9
+_GROW_MAX = 2.0
+_SHRINK_MIN = 0.2
 
 
 @dataclass
@@ -60,23 +101,63 @@ class TransientOptions:
     #: Node names (or voltage-source names prefixed ``i:``) to record.
     #: ``None`` records every node voltage.
     record: list[str] | None = None
-    #: Keep every ``stride``-th sample in the recorded signals.
+    #: Keep every ``stride``-th sample in the recorded signals
+    #: (fixed grid only).
     stride: int = 1
-    #: Store the full unknown trajectory (needed by PSS; batchless only).
+    #: Store the full unknown trajectory (needed by PSS; batchless,
+    #: fixed grid only).
     record_states: bool = False
     #: On batched runs, freeze lanes whose Newton solve diverges or goes
     #: singular (recorded as NaN in their signals and flagged in
     #: :attr:`TransientResult.failed_lanes`) instead of raising and
     #: killing the healthy lanes.  Ignored on batchless runs.
     isolate_lanes: bool = False
+    #: Switch from the fixed uniform grid to LTE-controlled adaptive
+    #: stepping.  The ``dt`` argument of :func:`transient` becomes a
+    #: *ceiling on the initial step* (the controller starts at
+    #: ``min(dt, span/1000)`` - the first step carries no error test -
+    #: and ramps up from there); :attr:`rtol`/:attr:`atol` set the
+    #: per-step error target, the step stays within
+    #: ``[dt_min, dt_max]``, and the resulting
+    #: :attr:`TransientResult.t` is non-uniform.
+    adaptive: bool = False
+    #: Relative local-error target per accepted step (adaptive only).
+    rtol: float = 1e-3
+    #: Absolute local-error floor [V or A] per unknown (adaptive only).
+    atol: float = 1e-6
+    #: Smallest step the controller may take.  ``None``: ``dt * 1e-9``.
+    #: An error-test failure at the floor is accepted (nothing smaller
+    #: exists); a Newton failure at the floor raises.
+    dt_min: float | None = None
+    #: Largest step the controller may take.  ``None``: an eighth of the
+    #: span, further capped to 1/16 of the fastest periodic source or
+    #: gate period - the LTE test only sees source activity *after*
+    #: stepping over it, so the cap is what prevents aliasing a whole
+    #: clock cycle away.
+    dt_max: float | None = None
+    #: Abort (``ConvergenceError``) after this many consecutive
+    #: rejections of one step.
+    max_rejections: int = 50
+    #: Time points the adaptive stepper must land on *exactly* (e.g.
+    #: measurement-window edges).  Points outside ``(t_start, t_stop)``
+    #: are ignored; ``t_stop`` is always landed on.  Requires
+    #: :attr:`adaptive` (the fixed grid cannot honour it and refuses).
+    t_out: Sequence[float] | None = None
 
 
 @dataclass
 class TransientResult:
     """Output of :func:`transient`.
 
-    ``t`` has ``K+1`` entries (including the start point); recorded signals
-    are arrays of shape ``(K+1, *batch)``.
+    ``t`` has ``K+1`` entries (including the start point); recorded
+    signals are arrays of shape ``(K+1, *batch)``.  On a fixed-grid run
+    ``t`` is uniform except possibly for a shortened final step (span
+    not an integer multiple of ``dt``); on an adaptive run ``t`` is the
+    accepted step sequence and generally non-uniform - consumers must
+    use local spacing (as :func:`~repro.core.montecarlo.
+    measurement_window_mask` does) or interpolate (as every
+    :class:`~repro.waveform.Waveform` measurement does), never assume
+    ``t[1] - t[0]`` holds globally.
     """
 
     compiled: CompiledCircuit
@@ -88,6 +169,12 @@ class TransientResult:
     #: Boolean mask of lanes frozen by :attr:`TransientOptions.isolate_lanes`
     #: (``None`` when isolation was off or the run was batchless).
     failed_lanes: np.ndarray | None = None
+    #: Accepted integration steps (``len(t) - 1``, except on strided
+    #: fixed-grid runs where ``t`` keeps every ``stride``-th sample).
+    n_accepted: int = 0
+    #: Steps rejected and retried by the adaptive controller (0 on the
+    #: fixed grid).
+    n_rejected: int = 0
 
     def signal(self, name: str) -> np.ndarray:
         try:
@@ -98,7 +185,11 @@ class TransientResult:
                 f"{sorted(self.signals)}") from None
 
     def waveset(self) -> WaveformSet:
-        """Recorded signals as a :class:`WaveformSet` (batchless runs)."""
+        """Recorded signals as a :class:`WaveformSet` (batchless runs).
+
+        Valid for adaptive runs too: waveform measurements interpolate
+        on the (then non-uniform) time axis.
+        """
         for v in self.signals.values():
             if v.ndim != 1:
                 raise ValueError(
@@ -191,13 +282,141 @@ def _solve_isolated(solve, jac_builder, rhs: np.ndarray,
         return solve(rhs)
 
 
+class _StepSolver:
+    """One implicit time step, behind the linear-solver-backend seam.
+
+    Owns the per-run work buffers of whichever assembly path the
+    backend selects (dense, dense with factorization reuse, or native
+    CSR) and the step-size-dependent operands: :meth:`set_step` rescales
+    ``C/h`` and re-keys the factorization cache on ``(theta, h)``, so
+    both step drivers - fixed grid and adaptive - stay ignorant of the
+    backend underneath.
+    """
+
+    def __init__(self, compiled: CompiledCircuit, state: ParamState,
+                 opts: TransientOptions, batch_shape: tuple[int, ...],
+                 theta_trap: np.ndarray, theta_be: np.ndarray):
+        self.compiled = compiled
+        self.state = state
+        self.opts = opts
+        self.batch_shape = batch_shape
+        n = compiled.n
+        self._thetas = {False: (theta_trap, theta_trap.tobytes()),
+                        True: (theta_be, theta_be.tobytes())}
+        self.theta = theta_trap
+
+        reuse = compiled.backend.policy.reuse
+        self.cache = (FactorizationCache(
+            compiled.backend, jac_constant=not compiled.has_nonlinear)
+            if reuse else None)
+        self.guard = (_LaneGuard(batch_shape, n)
+                      if opts.isolate_lanes and batch_shape else None)
+
+        # native-CSR path: batchless runs on a wants_csr backend assemble
+        # straight onto the circuit's sparsity plan - residuals are CSR
+        # mat-vecs and the dense (n+1)^2 buffers are never touched
+        self.use_csr = (self.cache is not None
+                        and compiled.backend.wants_csr and not batch_shape)
+        if self.use_csr:
+            self.asm = compiled.csr_assembler(state)
+            self.coh_data = np.empty_like(self.asm.c_lin_data)
+            self.g_pad = self.j_pad = self.c_over_h = None
+            self.f_pad = np.zeros(n + 1)
+        else:
+            self.asm = self.coh_data = None
+            _, self.g_pad, self.f_pad = compiled.buffers(batch_shape)
+            self.j_pad = (np.empty_like(self.g_pad)
+                          if self.cache is None else None)
+            self._c_mat = compiled.capacitance(state)
+            self.c_over_h = np.empty_like(self._c_mat)
+        self.h: float | None = None
+
+    def set_step(self, be_step: bool, h: float) -> None:
+        """Select the scheme and step size for the next :meth:`step`.
+
+        A changed *h* rescales the ``C/h`` operand (a vector rescale on
+        the CSR path, see :meth:`~repro.analysis.mna.CsrAssembler.
+        c_over_h_data`); the factorization cache is keyed on the
+        *content* pair ``(theta, h)`` so a stale LU can never serve a
+        changed step matrix - and an unchanged one is never re-factored
+        just because a theta array was rebuilt.
+        """
+        theta, fingerprint = self._thetas[be_step]
+        self.theta = theta
+        h = float(h)
+        if h != self.h:
+            if self.use_csr:
+                self.asm.c_over_h_data(h, out=self.coh_data)
+            else:
+                np.multiply(self._c_mat, 1.0 / h, out=self.c_over_h)
+            self.h = h
+        if self.cache is not None:
+            self.cache.set_key((fingerprint, h))
+
+    def residual_only(self, x_pad: np.ndarray, t: float) -> None:
+        """Assemble the static residual ``f(x, t)`` into ``f_pad``."""
+        if self.use_csr:
+            self.asm.assemble(x_pad, t, self.f_pad, jacobian=False)
+        else:
+            self.compiled.assemble(self.state, x_pad, t, self.g_pad,
+                                   self.f_pad, jacobian=False)
+
+    def step(self, x_pad: np.ndarray, x_prev: np.ndarray,
+             f_prev: np.ndarray, t_k: float,
+             guard: _LaneGuard | None) -> None:
+        """One implicit step ``x_prev -> x_pad`` at the configured
+        ``(theta, h)``; leaves ``f_pad`` at the accepted residual."""
+        if self.cache is not None:
+            if self.use_csr:
+                _newton_step_reuse_csr(self.compiled, self.asm, x_pad,
+                                       x_prev, f_prev, t_k, self.theta,
+                                       self.coh_data, self.f_pad,
+                                       self.cache, self.opts.newton)
+            else:
+                _newton_step_reuse(self.compiled, self.state, x_pad,
+                                   x_prev, f_prev, t_k, self.theta,
+                                   self.c_over_h, self.g_pad, self.f_pad,
+                                   self.cache, self.opts.newton, guard)
+            # the reuse loop accepts with f_pad already assembled at the
+            # accepted state - no refresh assembly needed
+        else:
+            _newton_step(self.compiled, self.state, x_pad, x_prev,
+                         f_prev, t_k, self.theta, self.c_over_h,
+                         self.g_pad, self.f_pad, self.j_pad,
+                         self.opts.newton, guard=guard)
+            # refresh f_pad at the accepted point for the next trap
+            # step (residual only - the Jacobian is rebuilt next step)
+            self.residual_only(x_pad, t_k)
+
+
+def _initial_state(compiled: CompiledCircuit, state: ParamState,
+                   x0_pad: np.ndarray | None, t_start: float,
+                   batch_shape: tuple[int, ...]
+                   ) -> tuple[np.ndarray, bool]:
+    """Starting point and whether the first step must be backward Euler."""
+    n = compiled.n
+    if x0_pad is not None:
+        return np.broadcast_to(x0_pad, batch_shape + (n + 1,)).copy(), False
+    if compiled.circuit.ic:
+        return compiled.initial_padded(batch_shape), True
+    dc = dc_operating_point(compiled, state, t=t_start,
+                            batch_shape=batch_shape)
+    return compiled.pad(dc.x), False
+
+
 def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
               state: ParamState | None = None,
               x0_pad: np.ndarray | None = None,
               t_start: float = 0.0,
               options: TransientOptions | None = None,
               batch_shape: tuple[int, ...] = ()) -> TransientResult:
-    """Integrate the circuit from *t_start* to *t_stop* with step *dt*.
+    """Integrate the circuit from *t_start* to *t_stop*.
+
+    On the default fixed grid *dt* is the uniform step; with
+    :attr:`TransientOptions.adaptive` it is a ceiling on the initial
+    step of the LTE controller, which then floats within
+    ``[dt_min, dt_max]`` and lands exactly on ``t_stop`` and every
+    :attr:`TransientOptions.t_out` point.
 
     Starting point, in order of precedence: *x0_pad* (padded state, e.g.
     the final state of a previous run), the circuit's ``ic`` dictionary
@@ -208,38 +427,113 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
     :mod:`repro.linalg` for backend selection and the factorization
     reuse policy.
 
+    Warns
+    -----
+    UserWarning
+        On the fixed grid, when ``t_stop - t_start`` is not an integer
+        multiple of *dt*: the final step is shortened to land exactly
+        on *t_stop* (the seed behaviour silently rounded the span).
+
     Raises
     ------
     ConvergenceError
         When a Newton solve fails at some time step (unless the failure
         is confined to isolated lanes, see
-        :attr:`TransientOptions.isolate_lanes`).
+        :attr:`TransientOptions.isolate_lanes`), or when the adaptive
+        controller cannot find an acceptable step above ``dt_min``.
     """
     opts = options or TransientOptions()
     state = state or compiled.nominal
     if state.batched:
         batch_shape = state.batch_shape
-
-    n = compiled.n
-    n_steps = int(round((t_stop - t_start) / dt))
-    if n_steps < 1:
+    if dt <= 0.0:
+        raise ValueError("dt must be positive")
+    if t_stop - t_start <= 0.0:
         raise ValueError("t_stop must exceed t_start by at least one step")
-    t_grid = t_start + dt * np.arange(n_steps + 1)
+    if opts.adaptive:
+        if opts.record_states:
+            raise ValueError(
+                "record_states requires the fixed grid (PSS/LPTV need "
+                "uniform steps); disable adaptive")
+        if opts.stride != 1:
+            raise ValueError("stride requires the fixed grid")
+    elif opts.t_out:
+        raise ValueError(
+            "t_out requires adaptive=True: the fixed grid cannot land "
+            "on arbitrary times (its spacing is the contract)")
 
-    if x0_pad is not None:
-        x_pad = np.broadcast_to(
-            x0_pad, batch_shape + (n + 1,)).copy()
-        first_step_be = False
-    elif compiled.circuit.ic:
-        x_pad = compiled.initial_padded(batch_shape)
-        first_step_be = True
-    else:
-        dc = dc_operating_point(compiled, state, t=t_start,
-                                batch_shape=batch_shape)
-        x_pad = compiled.pad(dc.x)
-        first_step_be = False
-
+    x_pad, first_step_be = _initial_state(compiled, state, x0_pad,
+                                          t_start, batch_shape)
     rec = _record_indices(compiled, opts.record)
+    theta_trap = np.append(compiled.theta_rows(state, opts.method), 1.0)
+    theta_be = np.ones(compiled.n + 1)
+    solver = _StepSolver(compiled, state, opts, batch_shape,
+                         theta_trap, theta_be)
+
+    if opts.adaptive:
+        return _adaptive_loop(compiled, state, opts, solver, x_pad,
+                              first_step_be, t_start, t_stop, dt, rec)
+    return _fixed_loop(compiled, state, opts, solver, x_pad,
+                       first_step_be, t_start, t_stop, dt, rec,
+                       batch_shape)
+
+
+def _finalize(compiled: CompiledCircuit, state: ParamState,
+              solver: _StepSolver, t: np.ndarray,
+              sig_store: dict[str, np.ndarray], x_pad: np.ndarray,
+              states: np.ndarray | None, n_accepted: int,
+              n_rejected: int) -> TransientResult:
+    failed = solver.guard.failed if solver.guard is not None else None
+    x_final = x_pad.copy()
+    if failed is not None and failed.any():
+        for sig in sig_store.values():
+            sig[:, failed] = np.nan
+        x_final[failed] = np.nan
+    return TransientResult(
+        compiled=compiled, state=state, t=t, signals=sig_store,
+        x_final_pad=x_final, states=states, failed_lanes=failed,
+        n_accepted=n_accepted, n_rejected=n_rejected)
+
+
+# ---------------------------------------------------------------------------
+# fixed-grid driver
+# ---------------------------------------------------------------------------
+def _fixed_grid(t_start: float, t_stop: float, dt: float,
+                circuit_name: str) -> tuple[np.ndarray, float]:
+    """Uniform grid from *t_start* to *t_stop*; the final step is
+    shortened (with a warning) when the span is not an integer multiple
+    of *dt*.  Returns ``(t_grid, h_last)``."""
+    span = t_stop - t_start
+    ratio = span / dt
+    n_steps = int(round(ratio))
+    if n_steps >= 1 and abs(ratio - n_steps) <= 1e-9 * ratio:
+        t_grid = t_start + dt * np.arange(n_steps + 1)
+        t_grid[-1] = t_stop     # absorb accumulated rounding
+        return t_grid, dt
+    n_steps = int(np.floor(ratio * (1.0 + 1e-12))) + 1
+    t_grid = t_start + dt * np.arange(n_steps + 1)
+    t_grid[-1] = t_stop
+    h_last = float(t_stop - t_grid[-2])
+    warnings.warn(
+        f"transient span {span:.6e} s on '{circuit_name}' is not an "
+        f"integer multiple of dt={dt:.6e} s; the final step is "
+        f"shortened to {h_last:.6e} s to land exactly on t_stop "
+        f"(the seed integrator silently rounded the span)",
+        UserWarning, stacklevel=4)
+    return t_grid, h_last
+
+
+def _fixed_loop(compiled: CompiledCircuit, state: ParamState,
+                opts: TransientOptions, solver: _StepSolver,
+                x_pad: np.ndarray, first_step_be: bool, t_start: float,
+                t_stop: float, dt: float, rec: dict[str, int],
+                batch_shape: tuple[int, ...]) -> TransientResult:
+    n = compiled.n
+    t_grid, h_last = _fixed_grid(t_start, t_stop, dt,
+                                 compiled.circuit.name)
+    n_steps = len(t_grid) - 1
+    guard = solver.guard
+
     kept = range(0, n_steps + 1, opts.stride)
     n_kept = len(kept)
     sig_store = {name: np.empty((n_kept,) + batch_shape)
@@ -247,32 +541,6 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
     states = (np.empty((n_steps + 1, n)) if opts.record_states else None)
     if states is not None and batch_shape:
         raise ValueError("record_states requires a batchless run")
-
-    theta_trap = np.append(compiled.theta_rows(state, opts.method), 1.0)
-    theta_be = np.ones(compiled.n + 1)
-
-    reuse = compiled.backend.policy.reuse
-    cache = (FactorizationCache(compiled.backend,
-                                jac_constant=not compiled.has_nonlinear)
-             if reuse else None)
-    guard = (_LaneGuard(batch_shape, n)
-             if opts.isolate_lanes and batch_shape else None)
-
-    # native-CSR path: batchless runs on a wants_csr backend assemble
-    # straight onto the circuit's sparsity plan - residuals are CSR
-    # mat-vecs and the dense (n+1)^2 buffers are never touched
-    use_csr = (cache is not None and compiled.backend.wants_csr
-               and not batch_shape)
-    if use_csr:
-        asm = compiled.csr_assembler(state)
-        coh_data = asm.c_lin_data / dt
-        g_pad = j_pad = c_over_h = None
-        f_pad = np.zeros(n + 1)
-    else:
-        asm = coh_data = None
-        _, g_pad, f_pad = compiled.buffers(batch_shape)
-        j_pad = np.empty_like(g_pad)
-        c_over_h = compiled.capacitance(state) / dt
 
     def store(k_idx: int, k: int) -> None:
         for name, idx in rec.items():
@@ -285,50 +553,32 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
         store(0, 0)
 
     # previous-step static residual, needed by trapezoidal
-    if use_csr:
-        asm.assemble(x_pad, float(t_grid[0]), f_pad, jacobian=False)
-    else:
-        compiled.assemble(state, x_pad, float(t_grid[0]), g_pad, f_pad,
-                          jacobian=False)
-    f_prev = f_pad.copy()
+    solver.residual_only(x_pad, float(t_grid[0]))
+    f_prev = solver.f_pad.copy()
     x_prev = x_pad.copy()
     x_prev2 = x_pad.copy()      # one more step back, for the predictor
 
-    last_theta: np.ndarray | None = None
     for k in range(1, n_steps + 1):
         t_k = float(t_grid[k])
+        h = dt if k < n_steps else h_last
         be_step = opts.method == "be" or (k == 1 and first_step_be)
-        theta = theta_be if be_step else theta_trap
-        if cache is not None:
-            if theta is not last_theta:
-                cache.invalidate()    # theta change => new step matrix
-            if k >= 2:
-                # linear extrapolation predictor: start Newton from
-                # x_prev + (x_prev - x_prev2), cheap and second-order
+        solver.set_step(be_step, h)
+        if solver.cache is not None and k >= 2:
+            # extrapolation predictor: start Newton from
+            # x_prev + r*(x_prev - x_prev2), cheap and second-order
+            # (r != 1 only on a shortened final step)
+            r = h / dt
+            if r == 1.0:
                 x_pad += x_prev
                 x_pad -= x_prev2
-                if guard is not None and guard.any:
-                    x_pad[guard.failed] = x_prev[guard.failed]
-            if use_csr:
-                _newton_step_reuse_csr(compiled, asm, x_pad, x_prev,
-                                       f_prev, t_k, theta, coh_data,
-                                       f_pad, cache, opts.newton)
             else:
-                _newton_step_reuse(compiled, state, x_pad, x_prev,
-                                   f_prev, t_k, theta, c_over_h, g_pad,
-                                   f_pad, cache, opts.newton, guard)
-            # the reuse loop accepts with f_pad already assembled at the
-            # accepted state - no refresh assembly needed
-        else:
-            _newton_step(compiled, state, x_pad, x_prev, f_prev, t_k,
-                         theta, c_over_h, g_pad, f_pad, j_pad,
-                         opts.newton, guard=guard)
-            # refresh f_prev at the accepted point for the next trap
-            # step (residual only - the Jacobian is rebuilt next step)
-            compiled.assemble(state, x_pad, t_k, g_pad, f_pad,
-                              jacobian=False)
-        last_theta = theta
-        np.copyto(f_prev, f_pad)
+                np.subtract(x_prev, x_prev2, out=x_pad)
+                x_pad *= r
+                x_pad += x_prev
+            if guard is not None and guard.any:
+                x_pad[guard.failed] = x_prev[guard.failed]
+        solver.step(x_pad, x_prev, f_prev, t_k, guard)
+        np.copyto(f_prev, solver.f_pad)
         np.copyto(x_prev2, x_prev)
         np.copyto(x_prev, x_pad)
         if k in kept_set:
@@ -336,16 +586,223 @@ def transient(compiled: CompiledCircuit, t_stop: float, dt: float,
         elif states is not None:
             states[k] = x_pad[..., :n]
 
-    failed = guard.failed if guard is not None else None
-    x_final = x_pad.copy()
-    if failed is not None and failed.any():
-        for sig in sig_store.values():
-            sig[:, failed] = np.nan
-        x_final[failed] = np.nan
-    return TransientResult(
-        compiled=compiled, state=state, t=t_grid[::opts.stride][:n_kept],
-        signals=sig_store, x_final_pad=x_final, states=states,
-        failed_lanes=failed)
+    return _finalize(compiled, state, solver,
+                     t_grid[::opts.stride][:n_kept], sig_store, x_pad,
+                     states, n_steps, 0)
+
+
+# ---------------------------------------------------------------------------
+# adaptive driver
+# ---------------------------------------------------------------------------
+def _default_dt_max(compiled: CompiledCircuit, span: float) -> float:
+    """Largest step the controller may try without external guidance.
+
+    An eighth of the span, capped to 1/16 of the fastest periodic
+    source or VCCS-gate period *and* to the narrowest pulse/gate active
+    width: the LTE test only sees what a step did to the *solution*, so
+    it can reject a step that crossed a clock edge but cannot see a
+    step that silently jumped over an entire pulse.  The period cap
+    bounds how much of a cycle one step may cover; the half-active-width
+    cap guarantees some step *endpoint* samples the interior of every
+    low-duty-cycle pulse (endpoints one full width apart can phase-lock
+    onto the two near-zero pulse edges and skip the middle), and the
+    solution kick at that sample then drives refinement.  Aperiodic sources (DC, one-shot PWL) impose no cap;
+    pass an explicit ``dt_max`` when such a source carries fast
+    activity.
+    """
+    cap = span / 8.0
+    waves = [el.wave for el in compiled.vsources + compiled.isources]
+    # a gated Vccs is never in linear_vccs (is_linear requires no gate)
+    waves += [el.gate for el in compiled.nl_vccs if el.gate is not None]
+    for w in waves:
+        p = getattr(w, "period", None)
+        if p:
+            cap = min(cap, p / 16.0)
+        if isinstance(w, SmoothPulse):
+            cap = min(cap, 0.5 * (w.t_rise + w.t_high + w.t_fall))
+        elif isinstance(w, GateWindow):
+            cap = min(cap, 0.5 * (w.t_off - w.t_on + 2.0 * w.tau))
+    return cap
+
+
+def _scaled_mismatch(x_new: np.ndarray, x_pred: np.ndarray,
+                     x_prev: np.ndarray, n: int, rtol: float,
+                     atol: float, guard: _LaneGuard | None) -> float:
+    """Worst corrector-minus-predictor component over scale (healthy
+    lanes only) - the raw ingredient of both LTE estimates below."""
+    d = x_new[..., :n] - x_pred[..., :n]
+    scale = atol + rtol * np.maximum(np.abs(x_new[..., :n]),
+                                     np.abs(x_prev[..., :n]))
+    ratio = np.abs(d) / scale
+    if guard is not None and guard.any:
+        ratio[guard.failed] = 0.0
+    return float(np.max(ratio))
+
+
+def _adaptive_loop(compiled: CompiledCircuit, state: ParamState,
+                   opts: TransientOptions, solver: _StepSolver,
+                   x_pad: np.ndarray, first_step_be: bool,
+                   t_start: float, t_stop: float, dt: float,
+                   rec: dict[str, int]) -> TransientResult:
+    n = compiled.n
+    span = t_stop - t_start
+    dt_min = opts.dt_min if opts.dt_min is not None else dt * 1e-9
+    dt_max = (opts.dt_max if opts.dt_max is not None
+              else _default_dt_max(compiled, span))
+    if dt_min > dt_max:
+        raise ValueError(f"dt_min={dt_min:.3e} exceeds dt_max={dt_max:.3e}")
+    guard = solver.guard
+
+    targets = [float(t_stop)]
+    if opts.t_out:
+        pts = {float(tp) for tp in opts.t_out
+               if t_start < float(tp) < t_stop}
+        targets = sorted(pts | {float(t_stop)})
+
+    times = [t_start]
+    store: dict[str, list[np.ndarray]] = {
+        name: [x_pad[..., idx].copy()] for name, idx in rec.items()}
+
+    solver.residual_only(x_pad, t_start)
+    f_prev = solver.f_pad.copy()
+    x_prev = x_pad.copy()       # accepted solution at t
+    x_prev2 = x_pad.copy()      # ... one step back
+    x_prev3 = x_pad.copy()      # ... two steps back
+    x_pred = np.empty_like(x_pad)
+    x_tmp = np.empty_like(x_pad)    # predictor scratch (no per-step allocs)
+    h1 = h2 = 0.0               # the last two accepted step sizes
+
+    t = t_start
+    # the first step is accepted without an error test (no predictor
+    # history exists), so it must not be allowed to bake a large error
+    # into the start of the waveform: begin at a conservative fraction
+    # of the span and let the controller ramp up (it doubles per
+    # accepted step, so a timid start costs ~10 cheap steps)
+    h = float(min(max(min(dt, span / 1000.0), dt_min), dt_max))
+    n_acc = n_rej = 0
+    ti = 0
+    while ti < len(targets):
+        target = targets[ti]
+        rejections = 0
+        while True:                     # attempts at the next step
+            rem = target - t
+            land = False
+            h_step = h
+            # stretch (a little, never past dt_max) or split so the
+            # approach to a landing time never leaves a sliver step
+            if rem <= min(1.25 * h_step, dt_max):
+                h_step, land = rem, True
+            elif rem <= 2.0 * h_step:
+                h_step = 0.5 * rem
+            h_floor = max(dt_min,
+                          4.0 * np.spacing(max(abs(t), abs(target))))
+            at_floor = h_step <= h_floor * (1.0 + 1e-9)
+            t_k = target if land else t + h_step
+
+            be_step = opts.method == "be" or (n_acc == 0 and first_step_be)
+            solver.set_step(be_step, h_step)
+
+            # embedded predictor: extrapolate the accepted history to
+            # t_k.  Quadratic (through three points) once trapezoidal
+            # has the history - its own error is O(h^3), matching the
+            # corrector, so the difference isolates the trap LTE;
+            # linear otherwise (first-order embedded result).
+            if n_acc >= 2 and not be_step:
+                a, b, c = h_step, h_step + h1, h_step + h1 + h2
+                w1 = b * c / (h1 * (h1 + h2))
+                w2 = -a * c / (h1 * h2)
+                w3 = a * b / (h2 * (h1 + h2))
+                np.multiply(x_prev, w1, out=x_pred)
+                np.multiply(x_prev2, w2, out=x_tmp)
+                x_pred += x_tmp
+                np.multiply(x_prev3, w3, out=x_tmp)
+                x_pred += x_tmp
+                lte_frac = h_step ** 3 / (2.0 * a * b * c + h_step ** 3)
+                exp = 1.0 / 3.0
+            elif n_acc >= 1:
+                np.subtract(x_prev, x_prev2, out=x_pred)
+                x_pred *= h_step / h1
+                x_pred += x_prev
+                lte_frac = h_step / (h_step + h1)
+                exp = 0.5
+            else:
+                np.copyto(x_pred, x_prev)
+                lte_frac = 0.0          # first step: accepted on faith
+                exp = 0.5
+            if guard is not None and guard.any:
+                x_pred[guard.failed] = x_prev[guard.failed]
+            np.copyto(x_pad, x_pred)
+
+            # off the floor, a Newton failure rejects the step (healthy
+            # lanes must not freeze over an ambitious h); lanes already
+            # quarantined stay guarded so their rows remain patched,
+            # but any *new* quarantine off the floor is rolled back
+            # into a step rejection below
+            use_guard = (guard if guard is not None
+                         and (at_floor or guard.any) else None)
+            prior_failed = (use_guard.failed.copy()
+                            if use_guard is not None and not at_floor
+                            else None)
+            try:
+                solver.step(x_pad, x_prev, f_prev, t_k, use_guard)
+            except (ConvergenceError, SingularMatrixError) as exc:
+                n_rej += 1
+                rejections += 1
+                if at_floor or rejections > opts.max_rejections:
+                    raise ConvergenceError(
+                        f"adaptive transient on '{compiled.circuit.name}'"
+                        f": Newton kept failing down to the step floor "
+                        f"({h_step:.3e} s) at t={t:.6e}") from exc
+                h = max(h_floor, 0.25 * h_step)
+                continue
+            if prior_failed is not None \
+                    and np.any(use_guard.failed != prior_failed):
+                np.copyto(use_guard.failed, prior_failed)
+                n_rej += 1
+                rejections += 1
+                if rejections > opts.max_rejections:
+                    raise ConvergenceError(
+                        f"adaptive transient on '{compiled.circuit.name}'"
+                        f": lanes kept failing at t={t:.6e} above the "
+                        f"step floor ({h_step:.3e} s)")
+                h = max(h_floor, 0.25 * h_step)
+                continue
+
+            err = lte_frac * _scaled_mismatch(
+                x_pad, x_pred, x_prev, n, opts.rtol, opts.atol,
+                use_guard) if lte_frac else 0.0
+            if err <= 1.0 or at_floor:
+                break                   # accepted
+            n_rej += 1
+            rejections += 1
+            if rejections > opts.max_rejections:
+                raise ConvergenceError(
+                    f"adaptive transient on '{compiled.circuit.name}': "
+                    f"{opts.max_rejections} consecutive rejections at "
+                    f"t={t:.6e} (last h={h_step:.3e} s, err={err:.3g})")
+            fac = (0.1 if not np.isfinite(err)
+                   else max(0.1, min(0.5, _SAFETY * err ** -exp)))
+            h = max(h_floor, fac * h_step)
+
+        n_acc += 1
+        np.copyto(f_prev, solver.f_pad)
+        np.copyto(x_prev3, x_prev2)
+        np.copyto(x_prev2, x_prev)
+        np.copyto(x_prev, x_pad)
+        h2, h1 = h1, h_step
+        t = t_k
+        times.append(t)
+        for name, idx in rec.items():
+            store[name].append(x_pad[..., idx].copy())
+        if land:
+            ti += 1
+        fac = (_GROW_MAX if err == 0.0 else
+               min(_GROW_MAX, max(_SHRINK_MIN, _SAFETY * err ** -exp)))
+        h = float(min(dt_max, max(dt_min, h_step * fac)))
+
+    sig_store = {name: np.stack(vals) for name, vals in store.items()}
+    return _finalize(compiled, state, solver, np.asarray(times),
+                     sig_store, x_pad, None, n_acc, n_rej)
 
 
 def _residual(x_pad, x_prev, f_pad, f_prev, theta, c_over_h):

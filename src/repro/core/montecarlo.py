@@ -108,16 +108,34 @@ def sample_mismatch(compiled: CompiledCircuit, n: int,
 
 
 def measurement_window_mask(t: np.ndarray, window: tuple[float, float],
-                            dt: float) -> np.ndarray:
+                            dt: float | None = None) -> np.ndarray:
     """Samples of grid *t* inside *window*, with half-a-step tolerance.
 
     The tolerance must scale with the grid: a fixed absolute epsilon
     (the old ``1e-15``) silently dropped grid-edge samples as soon as
     ``t_stop`` reached the seconds range, because ``k * dt`` accumulates
     rounding of order ``t * eps`` - far above any fixed epsilon while
-    always far below ``dt / 2``.
+    always far below half a step.
+
+    And it must scale with the *local* grid: adaptive transients return
+    non-uniform time axes, where a single global ``dt / 2`` (the nominal
+    step) is wrong in both directions - orders of magnitude too wide
+    where the controller refined (selecting samples far outside the
+    window) and too narrow where it coarsened (dropping the edge sample
+    again).  Each sample therefore gets half its *smaller adjacent
+    spacing* as tolerance, which reduces exactly to ``dt / 2`` on a
+    uniform grid.  Pass *dt* to force the uniform-grid scalar tolerance
+    (legacy call sites on known-uniform grids).
     """
-    tol = 0.5 * dt
+    t = np.asarray(t, dtype=float)
+    if dt is not None:
+        tol: "float | np.ndarray" = 0.5 * dt
+    elif t.size >= 2:
+        gaps = np.diff(t)
+        tol = 0.5 * np.minimum(np.concatenate(([gaps[0]], gaps)),
+                               np.concatenate((gaps, [gaps[-1]])))
+    else:
+        tol = 0.0
     return (t >= window[0] - tol) & (t <= window[1] + tol)
 
 
@@ -149,9 +167,9 @@ def measure_lanes(t: np.ndarray, signals: dict[str, np.ndarray],
     return failed_lanes
 
 
-def _transient_chunk(circuit, measures: list[Measure], record: list[str],
-                     t_stop: float, dt: float,
-                     window: tuple[float, float] | None, method: str,
+def _transient_chunk(circuit, measures: list[Measure],
+                     options: TransientOptions, t_stop: float, dt: float,
+                     window: tuple[float, float] | None,
                      deltas: dict[ParamKey, np.ndarray], n_lanes: int
                      ) -> tuple[dict[str, np.ndarray], int]:
     """Simulate and measure one chunk of Monte-Carlo lanes.
@@ -162,17 +180,20 @@ def _transient_chunk(circuit, measures: list[Measure], record: list[str],
     pickled), so every chunk runs the identical compiled object.
     Results depend only on the chunk's deltas, so a shard executed in a
     worker process is bit-for-bit identical to the same chunk executed
-    serially.
+    serially - on the adaptive grid too: the lanes of a chunk share one
+    LTE-controlled step sequence, and that sequence is a pure function
+    of the chunk's deltas.
     """
     compiled = _as_compiled(circuit)
     state = compiled.make_state(deltas=deltas)
     res = transient(compiled, t_stop=t_stop, dt=dt, state=state,
-                    options=TransientOptions(method=method, record=record,
-                                             isolate_lanes=True))
+                    options=options)
     t = res.t
     sig = res.signals
     if window is not None:
-        mask = measurement_window_mask(t, window, dt)
+        # tolerance from the local grid spacing: correct on both the
+        # uniform and the adaptive (non-uniform) time axis
+        mask = measurement_window_mask(t, window)
         t = t[mask]
         sig = {k: v[mask] for k, v in sig.items()}
     vals = {m.name: np.empty(n_lanes) for m in measures}
@@ -189,7 +210,11 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
                           method: str = "trap",
                           extra_record: list[str] | None = None,
                           backend: str | None = None,
-                          n_workers: int | None = None
+                          n_workers: int | None = None,
+                          adaptive: bool = False,
+                          rtol: float = 1e-3, atol: float = 1e-6,
+                          dt_min: float | None = None,
+                          dt_max: float | None = None
                           ) -> MonteCarloResult:
     """Monte-Carlo over batched transients.
 
@@ -200,11 +225,13 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
     Parameters
     ----------
     t_stop, dt:
-        Transient span and fixed step for every lane.
+        Transient span and fixed step for every lane (a ceiling on the
+        initial step when *adaptive* is set).
     window:
         Measurement window ``(t0, t1)``; metrics are extracted from this
         slice only (defaults to the full span).  Use the last period of a
-        settled response, mirroring how the PSS measures.
+        settled response, mirroring how the PSS measures.  On the
+        adaptive grid the stepper lands exactly on both window edges.
     chunk_size:
         Lanes per stacked solve - bounds peak memory and sets the shard
         granularity for parallel runs.
@@ -215,8 +242,15 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         *processes*.  All deltas are drawn up front from the single
         seeded generator and sliced per chunk, and results are merged
         in chunk order, so ``samples``/``n_failed`` are bit-for-bit
-        identical to the serial run at the same *chunk_size*.
-        ``None``/1 keeps the serial in-process loop.
+        identical to the serial run at the same *chunk_size* - with and
+        without *adaptive* (each chunk's step sequence depends only on
+        that chunk's lanes).  ``None``/1 keeps the serial in-process
+        loop.
+    adaptive, rtol, atol, dt_min, dt_max:
+        LTE-controlled adaptive stepping per chunk (see
+        :class:`~repro.analysis.transient.TransientOptions`).  The
+        lanes of one chunk share a single step sequence (the controller
+        takes the worst lane), so a chunk remains one stacked solve.
 
     Returns
     -------
@@ -226,6 +260,11 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
     rng = np.random.default_rng(seed)
     record = sorted({node for m in measures for node in m.required_nodes()}
                     | set(extra_record or []))
+    topts = TransientOptions(
+        method=method, record=record, isolate_lanes=True,
+        adaptive=adaptive, rtol=rtol, atol=atol,
+        dt_min=dt_min, dt_max=dt_max,
+        t_out=(list(window) if adaptive and window is not None else None))
 
     all_deltas = sample_mismatch(compiled, n, rng, sigma_scale,
                                  param_covariance=param_covariance)
@@ -238,7 +277,7 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
 
     def chunk_args(span):
         start, stop = span
-        return (compiled, measures, record, t_stop, dt, window, method,
+        return (compiled, measures, topts, t_stop, dt, window,
                 {k: v[start:stop] for k, v in all_deltas.items()},
                 stop - start)
 

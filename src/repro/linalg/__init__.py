@@ -109,6 +109,16 @@ integrator simply keeps one cache for the whole run and lets the
 contraction test decide when the Jacobian has drifted too far.  For
 linear circuits this collapses the entire run to a single
 factorization.
+
+The contraction test cannot see changes the *caller* makes to the step
+matrix, so those are declared explicitly through
+:meth:`FactorizationCache.set_key`: the transient integrator keys the
+cache on the content pair ``(theta, dt)``, which is what lets adaptive
+time stepping reuse factorizations across runs of equal-``dt`` steps
+while guaranteeing a changed step size (or a trapezoidal/backward-Euler
+switch) always re-factors.  For linear circuits under adaptive stepping
+this degrades gracefully to one factorization per *distinct step size*
+rather than one per run.
 """
 
 from __future__ import annotations

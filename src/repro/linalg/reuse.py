@@ -32,8 +32,10 @@ class FactorizationCache:
     ``newton_solve`` call); call :meth:`new_sequence` at the start of
     every Newton sequence (each time step) and :meth:`solve` once per
     iteration.  :meth:`invalidate` drops the factorization when the
-    system structurally changes (e.g. the integrator's theta row
-    weights switch between backward Euler and trapezoidal).
+    system structurally changes; callers whose step matrix depends on
+    external knobs (the transient integrator's theta row weights and
+    time step) should instead declare those knobs through
+    :meth:`set_key`, which invalidates exactly when the knobs change.
     """
 
     def __init__(self, backend: LinearSolverBackend,
@@ -45,6 +47,7 @@ class FactorizationCache:
         #: unconditionally, the contraction heuristics cannot help.
         self.jac_constant = jac_constant
         self._fact: Factorization | None = None
+        self._key: object = None
         self._age = 0            # solves since the last factorization
         self._seq_it = 0         # iterations in the current sequence
         self._prev_norm = np.inf
@@ -55,6 +58,22 @@ class FactorizationCache:
 
     def invalidate(self) -> None:
         self._fact = None
+
+    def set_key(self, key: object) -> None:
+        """Declare the step-matrix ingredients the Jacobian builder will
+        use next; invalidate when they changed since the last call.
+
+        The transient integrator passes ``(theta.tobytes(), dt)`` - a
+        *content* fingerprint, not an array identity.  Identity checks
+        miss equal-content arrays (spurious re-factors) and, far worse,
+        cannot see a ``dt`` change at all: the step matrix
+        ``theta*G + C/dt`` changes with every adaptive step even though
+        the theta vector is the same object, and a stale LU must never
+        answer for it.
+        """
+        if key != self._key:
+            self.invalidate()
+            self._key = key
 
     def new_sequence(self) -> None:
         """Start a new Newton sequence (e.g. a new time step)."""

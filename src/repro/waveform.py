@@ -7,6 +7,15 @@ oscillation period/frequency, amplitude of the fundamental, and settling
 checks.  Both the Monte-Carlo baseline and the sensitivity-based engine
 funnel their raw simulator output through this module so that the two
 methods measure performance identically.
+
+The grid only has to be strictly increasing, **not uniform**: adaptive
+transients (:attr:`~repro.analysis.transient.TransientOptions.adaptive`)
+return the accepted step sequence as their time axis, and every
+measurement here either interpolates between neighbouring samples
+(crossings, :meth:`Waveform.__call__`) or integrates trapezoidally with
+the true local spacing (:meth:`Waveform.mean`,
+:meth:`Waveform.fundamental_amplitude`), so no measurement assumes
+``t[1] - t[0]`` holds globally.
 """
 
 from __future__ import annotations
@@ -255,6 +264,8 @@ class WaveformSet:
     Analyses return these; indexing by node name yields a
     :class:`Waveform`.  Differential signals are available with
     ``ws["a", "b"]`` which returns the waveform of ``v(a) - v(b)``.
+    The shared axis may be non-uniform (adaptive transients); see the
+    module docstring.
     """
 
     def __init__(self, t: np.ndarray, signals: dict[str, np.ndarray]):

@@ -1,0 +1,431 @@
+"""Adaptive (LTE-controlled) transient stepping and the fixes it forced:
+content-keyed factorization caching, final-step snapping on the fixed
+grid, and local-spacing measurement-window tolerances."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit, transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import Circuit, Sine, SmoothPulse, default_technology
+from repro.circuits import ring_oscillator
+from repro.core import DcLevel, monte_carlo_transient
+from repro.core.montecarlo import measurement_window_mask
+from repro.errors import ConvergenceError
+from repro.linalg import FactorizationCache
+from repro.linalg.backends import (DenseLuFactorization,
+                                   LinearSolverBackend, NewtonPolicy)
+
+TAU = 1e-6
+
+
+def rc_step_circuit(r=1e3, c=1e-9, v=1.0):
+    ckt = Circuit("rc_step")
+    ckt.add_vsource("V1", "in", "0", dc=v)
+    ckt.add_resistor("R", "in", "out", r)
+    ckt.add_capacitor("C", "out", "0", c)
+    ckt.set_ic({"in": v, "out": 0.0})
+    return ckt
+
+
+# ---------------------------------------------------------------------------
+# the adaptive engine
+# ---------------------------------------------------------------------------
+class TestAdaptiveAccuracy:
+    @pytest.mark.parametrize("backend", ["dense", "cached", "sparse"])
+    def test_matches_analytic_on_every_backend(self, backend):
+        """All three solver paths (dense, cached-LU, native CSR) run the
+        adaptive engine and hit the analytic RC charging curve."""
+        c = compile_circuit(rc_step_circuit(), backend=backend)
+        res = transient(c, t_stop=5 * TAU, dt=TAU / 200,
+                        options=TransientOptions(adaptive=True,
+                                                 rtol=1e-4, atol=1e-9))
+        w = res.waveset()["out"]
+        for frac in (0.5, 1.0, 2.0, 3.0):
+            assert w(frac * TAU) == pytest.approx(1.0 - np.exp(-frac),
+                                                  abs=1e-3)
+        assert res.n_accepted == len(res.t) - 1
+        # the controller must actually be adapting: the grid is
+        # non-uniform and coarsens as the exponential settles
+        gaps = np.diff(res.t)
+        assert gaps.max() / gaps.min() > 5.0
+
+    def test_fewer_steps_than_fixed_at_matched_accuracy(self):
+        c = compile_circuit(rc_step_circuit())
+        fixed = transient(c, t_stop=5 * TAU, dt=TAU / 200)
+        adaptive = transient(c, t_stop=5 * TAU, dt=TAU / 200,
+                             options=TransientOptions(adaptive=True,
+                                                      rtol=1e-4,
+                                                      atol=1e-9))
+        t_probe = np.linspace(0.2 * TAU, 5 * TAU, 50)
+        exact = 1.0 - np.exp(-t_probe / TAU)
+        err_f = np.max(np.abs(fixed.waveset()["out"](t_probe) - exact))
+        err_a = np.max(np.abs(adaptive.waveset()["out"](t_probe) - exact))
+        assert err_a < 1e-3 and err_f < 1e-3          # matched accuracy
+        assert adaptive.n_accepted < fixed.n_accepted / 4
+
+    def test_batched_lanes_share_one_grid(self):
+        """Batched adaptive runs integrate every lane on one step
+        sequence and still track each lane's own time constant."""
+        c = compile_circuit(rc_step_circuit())
+        deltas = {("R", "r"): np.array([-200.0, 0.0, 500.0])}
+        state = c.make_state(deltas=deltas)
+        res = transient(c, t_stop=2 * TAU, dt=TAU / 100, state=state,
+                        options=TransientOptions(adaptive=True,
+                                                 rtol=1e-4, atol=1e-9))
+        out = res.signal("out")          # (K+1, 3)
+        assert out.shape == (res.t.size, 3)
+        for j, dr in enumerate(deltas[("R", "r")]):
+            tau = (1e3 + dr) * 1e-9
+            expected = 1.0 - np.exp(-res.t / tau)
+            assert np.allclose(out[:, j], expected, atol=2e-3)
+
+    def test_oscillator_frequency_with_fewer_steps(self):
+        """The ring oscillator - a strongly nonlinear autonomous circuit
+        - keeps its frequency at matched accuracy on fewer steps."""
+        osc = compile_circuit(ring_oscillator(default_technology()))
+        opts = TransientOptions(record=["osc1"])
+        fixed = transient(osc, t_stop=10e-9, dt=2e-12, options=opts)
+        adaptive = transient(
+            osc, t_stop=10e-9, dt=2e-12,
+            options=TransientOptions(record=["osc1"], adaptive=True,
+                                     rtol=3e-3, atol=1e-6))
+        f_fixed = fixed.waveset()["osc1"].frequency(skip=3)
+        f_adapt = adaptive.waveset()["osc1"].frequency(skip=3)
+        assert f_adapt == pytest.approx(f_fixed, rel=2e-3)
+        assert adaptive.n_accepted < fixed.n_accepted
+
+
+class TestController:
+    def test_pulse_edge_triggers_rejections(self):
+        """A long-idle circuit hit by a fast pulse: the controller must
+        coast on large steps, then reject into the edge - and still
+        resolve it accurately."""
+        ckt = Circuit("pulse_rc")
+        ckt.add_vsource("V1", "in", "0", wave=SmoothPulse(
+            v0=0.0, v1=1.0, delay=0.0, t_rise=20e-9, t_high=1e-6,
+            t_fall=20e-9, t_period=10e-6))
+        ckt.add_resistor("R", "in", "out", 1e3)
+        ckt.add_capacitor("C", "out", "0", 1e-11)   # tau = 10 ns
+        c = compile_circuit(ckt)
+        res = transient(c, t_stop=8e-6, dt=1e-9,
+                        options=TransientOptions(adaptive=True,
+                                                 rtol=1e-3, atol=1e-6))
+        assert res.n_rejected > 0
+        w = res.waveset()["out"]
+        assert w(0.8e-6) == pytest.approx(1.0, abs=1e-2)    # charged
+        assert w(8e-6) == pytest.approx(0.0, abs=1e-2)      # discharged
+        # coasting through the dead time must use steps far beyond the
+        # edge-resolving ones
+        assert np.diff(res.t).max() > 50 * np.diff(res.t).min()
+
+    def test_low_duty_cycle_pulse_is_not_stepped_over(self):
+        """The default ``dt_max`` is bounded by the pulse's *active
+        width*, not just its period: a 2% duty-cycle pulse must show up
+        in the output even though period/16 steps would straddle it."""
+        ckt = Circuit("narrow_pulse")
+        ckt.add_vsource("V1", "in", "0", wave=SmoothPulse(
+            v0=0.0, v1=1.0, delay=0.5e-6, t_rise=10e-9, t_high=20e-9,
+            t_fall=10e-9, t_period=2e-6))
+        ckt.add_resistor("R", "in", "out", 1e3)
+        ckt.add_capacitor("C", "out", "0", 1e-11)   # tau = 10 ns
+        c = compile_circuit(ckt)
+        res = transient(c, t_stop=4e-6, dt=1e-8,
+                        options=TransientOptions(adaptive=True))
+        w = res.waveset()["out"]
+        assert np.diff(res.t).max() <= 20e-9 * (1 + 1e-9)
+        for pulse_at in (0.5e-6, 2.5e-6):           # both pulses seen
+            sel = (res.t >= pulse_at) & (res.t <= pulse_at + 60e-9)
+            assert w.v[sel].max() > 0.5
+
+    def test_first_step_is_conservative(self):
+        """A huge initial ``dt`` must not bake an untested error into
+        the start of the run: the controller starts small and ramps."""
+        c = compile_circuit(rc_step_circuit())
+        res = transient(c, t_stop=5 * TAU, dt=TAU,
+                        options=TransientOptions(adaptive=True,
+                                                 rtol=1e-4, atol=1e-9))
+        w = res.waveset()["out"]
+        assert w(0.3 * TAU) == pytest.approx(1.0 - np.exp(-0.3), abs=1e-3)
+        assert res.t[1] - res.t[0] <= 5 * TAU / 1000 * (1 + 1e-9)
+
+    def test_lands_exactly_on_requested_times(self):
+        c = compile_circuit(rc_step_circuit())
+        t_out = [1.7e-7, 3.33e-7, 1.05e-6]
+        res = transient(c, t_stop=5 * TAU, dt=TAU / 200,
+                        options=TransientOptions(adaptive=True,
+                                                 t_out=t_out))
+        for tp in t_out:
+            assert tp in res.t           # exact, not within-epsilon
+        assert res.t[-1] == 5 * TAU
+        assert np.all(np.diff(res.t) > 0.0)
+
+    def test_dt_bounds_are_respected(self):
+        c = compile_circuit(rc_step_circuit())
+        res = transient(c, t_stop=TAU, dt=TAU / 100,
+                        options=TransientOptions(adaptive=True,
+                                                 dt_min=TAU / 500,
+                                                 dt_max=TAU / 20))
+        gaps = np.diff(res.t)
+        assert gaps.max() <= TAU / 20 * (1 + 1e-9)
+        # landing steps may be shorter than dt_min; all others not
+        assert np.sort(gaps)[-2] >= TAU / 500 * (1 - 1e-9)
+
+    def test_inconsistent_dt_bounds_rejected(self):
+        c = compile_circuit(rc_step_circuit())
+        with pytest.raises(ValueError):
+            transient(c, t_stop=TAU, dt=TAU / 100,
+                      options=TransientOptions(adaptive=True,
+                                               dt_min=1e-6, dt_max=1e-9))
+
+    def test_adaptive_refuses_stride_and_record_states(self):
+        c = compile_circuit(rc_step_circuit())
+        with pytest.raises(ValueError):
+            transient(c, t_stop=TAU, dt=1e-9,
+                      options=TransientOptions(adaptive=True, stride=4))
+        with pytest.raises(ValueError):
+            transient(c, t_stop=TAU, dt=1e-9,
+                      options=TransientOptions(adaptive=True,
+                                               record_states=True))
+
+    def test_t_out_refuses_fixed_grid(self):
+        """The fixed grid cannot honour exact landing times and must say
+        so instead of silently ignoring them."""
+        c = compile_circuit(rc_step_circuit())
+        with pytest.raises(ValueError):
+            transient(c, t_stop=TAU, dt=1e-9,
+                      options=TransientOptions(t_out=[0.5 * TAU]))
+
+    def test_error_test_accepts_at_the_floor(self):
+        """An unreachable error target with a reachable ``dt_min``:
+        the controller accepts at the floor (nothing smaller exists)
+        instead of aborting, and the run completes."""
+        c = compile_circuit(rc_step_circuit())
+        res = transient(c, t_stop=TAU, dt=TAU / 10,
+                        options=TransientOptions(adaptive=True, rtol=1e-16,
+                                                 atol=1e-18,
+                                                 dt_min=TAU / 50))
+        assert res.t[-1] == TAU
+        assert res.n_rejected > 0
+
+    def test_lane_isolation_quarantines_only_at_the_floor(self):
+        """A genuinely singular lane walks the controller down to the
+        step floor and is frozen there; healthy lanes are untouched
+        (an off-floor Newton failure must reject the step, not
+        quarantine)."""
+        ckt = Circuit("int")
+        ckt.add_isource("I1", "0", "a", dc=1e-6)    # v = I * t / C
+        ckt.add_capacitor("C1", "a", "0", 1e-9)
+        ckt.set_ic(a=0.0)
+        c = compile_circuit(ckt, cmin=0.0)
+        deltas = {("C1", "c"): np.array([0.0, -1e-9, 0.0])}  # lane 1: C=0
+        state = c.make_state(deltas=deltas)
+        res = transient(c, t_stop=1e-6, dt=1e-8, state=state,
+                        options=TransientOptions(adaptive=True,
+                                                 isolate_lanes=True,
+                                                 dt_min=1e-10))
+        assert res.failed_lanes.tolist() == [False, True, False]
+        assert res.n_rejected > 0        # rejected down to the floor
+        out = res.signal("a")
+        assert np.isnan(out[-1, 1])
+        assert out[-1, 0] == pytest.approx(1e-3, rel=1e-3)
+        assert out[-1, 2] == pytest.approx(1e-3, rel=1e-3)
+
+    def test_rejection_cap_raises(self):
+        """An impossible error target with an unreachable floor must
+        abort after ``max_rejections`` instead of looping forever."""
+        c = compile_circuit(rc_step_circuit())
+        with pytest.raises(ConvergenceError):
+            transient(c, t_stop=5 * TAU, dt=TAU / 10,
+                      options=TransientOptions(adaptive=True, rtol=1e-16,
+                                               atol=1e-18,
+                                               max_rejections=3))
+
+
+# ---------------------------------------------------------------------------
+# the fixed grid: final-step snap
+# ---------------------------------------------------------------------------
+class TestFinalStepSnap:
+    def test_non_multiple_span_snaps_and_warns(self):
+        c = compile_circuit(rc_step_circuit())
+        t_stop = 2.37e-7                 # 23.7 steps of 1e-8
+        with pytest.warns(UserWarning, match="integer multiple"):
+            res = transient(c, t_stop=t_stop, dt=1e-8)
+        assert res.t[-1] == t_stop       # lands exactly
+        assert len(res.t) == 25          # 23 full steps + 1 short step
+        assert res.t[-1] - res.t[-2] == pytest.approx(0.7e-8, rel=1e-9)
+
+    def test_integer_multiple_span_stays_silent(self):
+        c = compile_circuit(rc_step_circuit())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            res = transient(c, t_stop=2e-7, dt=1e-8)
+        assert res.t.size == 21
+
+    @pytest.mark.parametrize("backend", ["dense", "cached", "sparse"])
+    def test_snapped_step_is_accurate_on_every_backend(self, backend):
+        """Regression for the dt-keyed factorization cache: the
+        shortened final step changes ``C/dt``, so answering it from the
+        full-step LU would be wrong - all backends must agree with the
+        analytic value at the snapped endpoint."""
+        c = compile_circuit(rc_step_circuit(), backend=backend)
+        t_stop = 1.6180339887e-6         # irrational-ish in units of dt
+        with pytest.warns(UserWarning):
+            res = transient(c, t_stop=t_stop, dt=1e-8)
+        v_end = res.waveset()["out"].v[-1]
+        assert v_end == pytest.approx(1.0 - np.exp(-t_stop / TAU),
+                                      abs=1e-4)
+
+    def test_span_shorter_than_dt_takes_one_step(self):
+        c = compile_circuit(rc_step_circuit())
+        with pytest.warns(UserWarning):
+            res = transient(c, t_stop=0.4e-8, dt=1e-8)
+        assert res.t.size == 2 and res.t[-1] == 0.4e-8
+
+    def test_zero_span_still_rejected(self):
+        c = compile_circuit(rc_step_circuit())
+        with pytest.raises(ValueError):
+            transient(c, t_stop=0.0, dt=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# factorization-cache keying
+# ---------------------------------------------------------------------------
+class _CountingBackend(LinearSolverBackend):
+    name = "counting"
+
+    def __init__(self):
+        self.policy = NewtonPolicy(reuse=True)
+        self.n_factored = 0
+
+    def factor(self, a):
+        self.n_factored += 1
+        return DenseLuFactorization(np.asarray(a, dtype=float))
+
+
+class TestCacheKeying:
+    def test_key_content_not_identity(self):
+        """Equal-content keys must reuse; a dt change must re-factor.
+
+        The old integrator invalidated on ``theta is not last_theta`` -
+        an identity check that both re-factored for equal-content
+        arrays and, far worse, could never see a changed step size."""
+        be = _CountingBackend()
+        cache = FactorizationCache(be, jac_constant=True)
+        a = np.diag([2.0, 4.0])
+        rhs = np.ones(2)
+        theta = np.array([0.5, 1.0])
+
+        cache.set_key((theta.tobytes(), 1e-9))
+        cache.solve(rhs, lambda: a)
+        assert be.n_factored == 1
+
+        # same content, freshly built array (new identity): no re-factor
+        cache.set_key((theta.copy().tobytes(), 1e-9))
+        cache.solve(rhs, lambda: a)
+        assert be.n_factored == 1
+
+        # changed dt: the step matrix changed, stale LU is poison
+        cache.set_key((theta.tobytes(), 2e-9))
+        cache.solve(rhs, lambda: a)
+        assert be.n_factored == 2
+
+        # changed theta content (trap <-> BE): re-factor too
+        cache.set_key((np.ones(2).tobytes(), 2e-9))
+        cache.solve(rhs, lambda: a)
+        assert be.n_factored == 3
+
+    def test_adaptive_linear_run_refactors_per_step_size(self):
+        """On a linear circuit the cache used to factor exactly once per
+        run; with adaptive dt it must factor once per distinct step
+        size instead of trusting the stale LU."""
+        be = _CountingBackend()
+        c = compile_circuit(rc_step_circuit(), backend=be)
+        res = transient(c, t_stop=2 * TAU, dt=TAU / 50,
+                        options=TransientOptions(adaptive=True,
+                                                 rtol=1e-4, atol=1e-9))
+        assert res.n_accepted > 2
+        # growing steps => multiple step sizes => multiple factors,
+        # but far fewer than one per Newton iteration
+        assert 2 <= be.n_factored <= res.n_accepted + res.n_rejected + 1
+        w = res.waveset()["out"]
+        assert w(TAU) == pytest.approx(1.0 - np.exp(-1.0), abs=1e-3)
+
+
+# ---------------------------------------------------------------------------
+# measurement windows on non-uniform grids
+# ---------------------------------------------------------------------------
+class TestWindowMaskNonUniform:
+    def test_local_tolerance_on_mixed_grid(self):
+        t = np.array([0.0, 1.0, 1.001, 1.002, 2.0])
+        mask = measurement_window_mask(t, (1.0000005, 1.0025))
+        # 1.0 is within half its fine-side gap (0.0005) of the edge;
+        # 2.0 is nowhere near even with its coarse 0.499 tolerance
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_global_dt_would_leak_neighbours(self):
+        """The regression the adaptive grid exposed: a coarse nominal
+        ``dt`` as tolerance selects samples far outside the window when
+        the controller refined locally."""
+        dt_nominal = 1e-6
+        t = np.concatenate([np.arange(5) * dt_nominal,
+                            5e-6 + np.arange(100) * 1e-9])
+        window = (5e-6 + 10e-9, 5e-6 + 20e-9)
+        leaky = measurement_window_mask(t, window, dt_nominal)
+        tight = measurement_window_mask(t, window)
+        assert leaky.sum() >= 100         # old behaviour: grabs everything
+        assert tight.sum() == 11          # samples 10..20 ns past 5 us
+
+    def test_uniform_grid_unchanged(self):
+        dt = 1e-9
+        t = dt * np.arange(101)
+        explicit = measurement_window_mask(t, (2e-9, 5e-9), dt)
+        derived = measurement_window_mask(t, (2e-9, 5e-9))
+        assert np.array_equal(explicit, derived)
+        assert derived.sum() == 4
+
+
+# ---------------------------------------------------------------------------
+# adaptive Monte-Carlo
+# ---------------------------------------------------------------------------
+class TestAdaptiveMonteCarlo:
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+        ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.03)
+        ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.01)
+        return ckt
+
+    def test_parallel_adaptive_bit_identical_to_serial(self):
+        common = dict(measures=[DcLevel("v", "out")], n=12, t_stop=4e-6,
+                      dt=1e-8, window=(3e-6, 4e-6), seed=9, chunk_size=4,
+                      adaptive=True, rtol=1e-4, atol=1e-7)
+        serial = monte_carlo_transient(self._rc(), **common)
+        parallel = monte_carlo_transient(self._rc(), n_workers=2, **common)
+        assert np.array_equal(serial.samples["v"], parallel.samples["v"])
+        assert serial.n_failed == parallel.n_failed
+
+    def test_adaptive_stats_track_fixed_grid(self):
+        common = dict(measures=[DcLevel("v", "out")], n=24, t_stop=4e-6,
+                      dt=1e-8, window=(3e-6, 4e-6), seed=5)
+        fixed = monte_carlo_transient(self._rc(), **common)
+        adaptive = monte_carlo_transient(self._rc(), adaptive=True,
+                                         rtol=1e-4, atol=1e-7, **common)
+        assert np.max(np.abs(fixed.samples["v"] - adaptive.samples["v"])) \
+            < 5e-4
+        assert adaptive.sigma("v") == pytest.approx(fixed.sigma("v"),
+                                                    rel=0.05)
+
+    def test_chunking_transparent_on_adaptive_grid(self):
+        """Chunks own their step sequences, so different chunk sizes may
+        produce (slightly) different trajectories - but every chunk
+        size must agree within the LTE tolerance."""
+        common = dict(measures=[DcLevel("v", "out")], n=20, t_stop=4e-6,
+                      dt=1e-8, window=(3e-6, 4e-6), seed=9,
+                      adaptive=True, rtol=1e-4, atol=1e-7)
+        a = monte_carlo_transient(self._rc(), chunk_size=20, **common)
+        b = monte_carlo_transient(self._rc(), chunk_size=7, **common)
+        assert np.allclose(a.samples["v"], b.samples["v"], atol=5e-4)
