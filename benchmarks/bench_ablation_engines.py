@@ -12,10 +12,7 @@ both sides of each:
   constant, settling pays for every time constant.
 """
 
-import time
-
 import numpy as np
-import pytest
 
 from repro.analysis import (HarmonicLptv, compile_circuit,
                             periodic_sensitivities, pss)

@@ -26,8 +26,9 @@ import numpy as np
 
 from repro.analysis import compile_circuit
 from repro.analysis.transient import TransientOptions, transient
-from repro.circuit import Circuit, SmoothPulse, Sine
-from repro.circuits import ring_oscillator, strongarm_offset_testbench
+from repro.circuit import Circuit, SmoothPulse
+from repro.circuits import (rc_ladder, ring_oscillator,
+                            strongarm_offset_testbench)
 from repro.circuits.dac import dac_tap_names, resistor_string_dac
 from repro.core import DcLevel, Frequency, monte_carlo_transient
 
@@ -187,16 +188,6 @@ def test_backends_oscillator_mc(tech, results_dir):
         "wall_seconds": {be: w for be, (w, _) in out.items()},
         "speedup_vs_dense": {be: wd / w for be, (w, _) in out.items()}})
     assert out["cached"][0] < wd
-
-
-def rc_ladder(n_sections):
-    ckt = Circuit(f"ladder{n_sections}")
-    ckt.add_vsource("VIN", "n0", "0",
-                    wave=Sine(amplitude=0.5, freq=5e6, offset=0.5))
-    for k in range(1, n_sections + 1):
-        ckt.add_resistor(f"R{k}", f"n{k-1}", f"n{k}", 100.0)
-        ckt.add_capacitor(f"C{k}", f"n{k}", "0", 1e-12)
-    return ckt
 
 
 def test_backends_sparse_ladder(results_dir):

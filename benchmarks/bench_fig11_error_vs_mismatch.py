@@ -16,7 +16,6 @@ Sweep levels x MC samples make this the most expensive benchmark;
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import compile_circuit
 from repro.analysis.pss import PssOptions

@@ -11,7 +11,6 @@ deviation metrics.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import compile_circuit
 from repro.analysis.pss import PssOptions

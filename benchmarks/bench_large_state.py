@@ -1,0 +1,141 @@
+"""Large-netlist parameter-state construction: memory and time.
+
+The paper's method needs one linearized system per mismatch parameter,
+so *state construction* memory - not just solve time - bounds netlist
+size.  ``CompiledCircuit.make_state`` is sparse-native: the linear G/C
+templates are value arrays over the circuit's CSR plan (O(nnz)), and
+nothing of shape ``(n+1)^2`` exists unless a dense-path consumer calls
+the explicit ``ParamState.to_dense`` escape hatch.
+
+This benchmark constructs parameter states for synthetic RC ladders of
+{241, 1001, 5001} nodes and reports, per size:
+
+* state-construction wall time (best of 3),
+* the tracemalloc peak of one ``make_state`` (the sparse cost),
+* the dense-template baseline - the tracemalloc peak of densifying the
+  same state (measured up to 2000 unknowns, the analytic
+  ``2 * (n+1)^2 * 8`` bytes beyond that),
+* process peak RSS (``ru_maxrss``) as context.
+
+Acceptance: >= 5x peak-memory reduction versus the dense baseline at
+the 1k-node ladder, and the sparse peak stays within an O(nnz) budget
+at every size.  Results are published as ``BENCH_large_state.json``
+and gated by CI through ``check_regression.py``.
+"""
+
+import resource
+import time
+import tracemalloc
+
+from conftest import publish
+
+from repro.analysis import compile_circuit
+from repro.circuits import rc_ladder
+
+#: Ladder sections per workload (nodes = sections + 1).
+SIZES = (240, 1000, 5000)
+
+#: Largest system that is densified for a *measured* dense baseline;
+#: beyond this the dense pair is reported analytically (a 5k-node
+#: densification would cost ~400 MB for no extra information).
+DENSE_MEASURE_MAX_UNKNOWNS = 2000
+
+#: O(nnz) budget for the sparse construction peak (value arrays plus
+#: scatter temporaries and slot maps, with headroom for allocator
+#: rounding).
+SPARSE_BUDGET_BYTES_PER_NNZ = 128
+
+HEADER = (
+    f"{'nodes':>6s} {'n':>6s} {'nnz':>8s} {'build [ms]':>11s} "
+    f"{'sparse peak':>12s} {'dense pair':>11s} {'reduction':>10s}"
+)
+
+
+def _kb(n_bytes):
+    return f"{n_bytes / 1024:.0f} KB"
+
+
+def measure_size(n_sections):
+    """Build one ladder and measure its state-construction costs."""
+    compiled = compile_circuit(rc_ladder(n_sections), backend="sparse")
+    compiled.csr_plan  # structural, built once per circuit
+    compiled.make_state()  # warm the one-time slot-position maps
+
+    wall = min(_timed(compiled.make_state) for _ in range(3))
+    tracemalloc.start()
+    state = compiled.make_state()
+    _, sparse_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    dense_pair_bytes = 2 * (compiled.n + 1) ** 2 * 8
+    if compiled.n <= DENSE_MEASURE_MAX_UNKNOWNS:
+        tracemalloc.start()
+        state.to_dense()
+        _, dense_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        state.clear_caches()
+        dense_measured = True
+    else:
+        dense_peak = dense_pair_bytes
+        dense_measured = False
+
+    return {
+        "n_nodes": n_sections + 1,
+        "n_unknowns": compiled.n,
+        "nnz": state.plan.nnz,
+        "make_state_seconds": wall,
+        "sparse_peak_bytes": sparse_peak,
+        "dense_pair_bytes": dense_pair_bytes,
+        "dense_peak_bytes": dense_peak,
+        "dense_peak_measured": dense_measured,
+        "mem_reduction_vs_dense": dense_peak / sparse_peak,
+    }
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_large_state_construction(results_dir):
+    sizes = {}
+    lines = [
+        "sparse-native parameter states: ladder state construction",
+        HEADER,
+    ]
+    for n_sections in SIZES:
+        row = measure_size(n_sections)
+        sizes[str(row["n_nodes"])] = row
+        star = "" if row["dense_peak_measured"] else "*"
+        lines.append(
+            f"{row['n_nodes']:>6d} {row['n_unknowns']:>6d} "
+            f"{row['nnz']:>8d} {row['make_state_seconds'] * 1e3:>11.2f} "
+            f"{_kb(row['sparse_peak_bytes']):>12s} "
+            f"{_kb(row['dense_peak_bytes']) + star:>11s} "
+            f"{row['mem_reduction_vs_dense']:>9.1f}x"
+        )
+    lines.append("(* analytic dense baseline - not materialised)")
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    lines.append(f"process peak RSS: {peak_rss_kb / 1024:.0f} MB")
+
+    reduction_1k = sizes["1001"]["mem_reduction_vs_dense"]
+    publish(
+        results_dir,
+        "large_state",
+        "\n".join(lines),
+        data={
+            "workload": "ladder_state_construction",
+            "n_sizes": len(SIZES),
+            "sizes": sizes,
+            "peak_rss_kb": peak_rss_kb,
+            "mem_reduction_vs_dense_1k": reduction_1k,
+        },
+    )
+
+    # acceptance: >= 5x peak-memory reduction at the 1k-node ladder
+    # and an O(nnz) construction peak at every size
+    assert reduction_1k >= 5.0
+    for row in sizes.values():
+        budget = SPARSE_BUDGET_BYTES_PER_NNZ * row["nnz"]
+        assert row["sparse_peak_bytes"] < budget, row

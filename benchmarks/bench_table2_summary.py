@@ -15,7 +15,6 @@ speedups are quoted:
 intervals +/-4.5 % / +/-1.4 % correspond to those counts).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import compile_circuit

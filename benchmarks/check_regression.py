@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Diff fresh ``BENCH_*.json`` files against committed baselines.
+
+CI's bench jobs snapshot the committed ``benchmarks/results/``
+directory *before* running the benchmarks (which overwrite it), then
+call this script with both directories::
+
+    python benchmarks/check_regression.py BASELINE_DIR FRESH_DIR
+
+What is checked
+---------------
+For every ``BENCH_*.json`` present in both directories:
+
+* **wall-time regression** - a numeric leaf whose key path contains
+  ``wall`` may not exceed its baseline value by more than ``--tol``
+  (default 0.25, i.e. a >25% regression fails).  Leaves whose baseline
+  is below ``--min-seconds`` (default 0.2 s) are ignored: sub-noise
+  timings on shared runners would make the gate flake.
+* **speedup-factor floor** - a numeric leaf whose key path contains
+  ``speedup`` or ``reduction`` fails when it *drops below 1.0*, i.e.
+  the fresh value is < 1.0 while the baseline achieved >= 1.0 (or has
+  no baseline entry).  A baseline that never achieved the factor -
+  e.g. a parallel speedup recorded on a single-core runner - does not
+  fail the gate.
+
+Two files are only compared when their workloads match: the
+``mc_samples_env`` scaling and every top-level key starting with
+``n_`` (sample counts, sizes, worker counts) must be equal, otherwise
+the file is skipped with a note - a 24-sample CI run has nothing to
+say about a 1000-sample baseline.
+
+Updating baselines
+------------------
+Baselines are the committed ``benchmarks/results/BENCH_*.json`` files.
+After a legitimate performance change (or when adding a benchmark),
+regenerate them with the same workload scaling CI uses and commit::
+
+    cd benchmarks
+    REPRO_BENCH_MC=24 PYTHONPATH=../src python -m pytest \\
+        bench_backends.py bench_adaptive_dt.py bench_large_state.py \\
+        -q -p no:cacheprovider
+    git add results/BENCH_*.json
+
+Preferably, download the ``bench-json`` artifact from the latest green
+CI run instead and copy it over ``benchmarks/results/`` - then
+runner-produced timings gate runner-produced timings, and the wall
+tolerance only has to absorb runner-to-runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def iter_leaves(obj, path=()):
+    """Yield ``(key_path, value)`` for every numeric leaf of *obj*."""
+    if isinstance(obj, dict):
+        for key, val in sorted(obj.items()):
+            yield from iter_leaves(val, path + (str(key),))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield path, float(obj)
+
+
+def workload_mismatch(base: dict, fresh: dict) -> str | None:
+    """Reason the two payloads are not comparable, or ``None``."""
+    keys = {"mc_samples_env"}
+    keys |= {k for k in set(base) | set(fresh) if k.startswith("n_")}
+    for key in sorted(keys):
+        if base.get(key) != fresh.get(key):
+            return (
+                f"{key}: baseline {base.get(key)!r} "
+                f"!= fresh {fresh.get(key)!r}"
+            )
+    return None
+
+
+def check_file(
+    name: str,
+    base: dict,
+    fresh: dict,
+    tol: float,
+    min_seconds: float,
+) -> tuple[list[str], int]:
+    """Compare one payload pair; returns ``(failures, n_checked)``."""
+    failures: list[str] = []
+    checked = 0
+    base_leaves = dict(iter_leaves(base))
+    for path, val in iter_leaves(fresh):
+        key = "/".join(path)
+        ref = base_leaves.get(path)
+        lowered = key.lower()
+        if "wall" in lowered:
+            if ref is None or ref < min_seconds:
+                continue
+            checked += 1
+            if val > ref * (1.0 + tol):
+                failures.append(
+                    f"{name}:{key}: wall time {val:.3f} s vs baseline "
+                    f"{ref:.3f} s (+{(val / ref - 1.0) * 100:.0f}% > "
+                    f"{tol * 100:.0f}% tolerance)"
+                )
+        elif "speedup" in lowered or "reduction" in lowered:
+            checked += 1
+            if val < 1.0 and (ref is None or ref >= 1.0):
+                shown = "none" if ref is None else f"{ref:.2f}"
+                failures.append(
+                    f"{name}:{key}: factor dropped below 1.0 "
+                    f"({val:.3f}, baseline {shown})"
+                )
+    return failures, checked
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate fresh BENCH_*.json files against baselines"
+    )
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("fresh_dir", type=Path)
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-time regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.2,
+        help="ignore wall entries with a baseline below this "
+        "(default 0.2 s: noise-dominated)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json under {args.fresh_dir}")
+        return 2
+
+    failures: list[str] = []
+    for fresh_path in fresh_files:
+        name = fresh_path.name
+        base_path = args.baseline_dir / name
+        if not base_path.exists():
+            print(
+                f"  new   {name}: no baseline - commit this run's "
+                "JSON to start gating it"
+            )
+            continue
+        base = json.loads(base_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        reason = workload_mismatch(base, fresh)
+        if reason is not None:
+            print(f"  skip  {name}: workload mismatch ({reason})")
+            continue
+        file_failures, checked = check_file(
+            name, base, fresh, args.tol, args.min_seconds
+        )
+        status = "FAIL" if file_failures else "ok"
+        print(f"  {status:<5s} {name}: {checked} comparisons")
+        failures.extend(file_failures)
+
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,14 @@ Linearises the circuit at DC and solves ``(G + j w C) X = B`` over a
 frequency grid.  Used directly for transfer functions and as the
 degenerate (time-invariant) case the LPTV machinery must reduce to -
 ``tests/test_lptv_vs_ac.py`` checks exactly that.
+
+Parameter states are sparse-native, and AC consumes them both ways: on
+a ``wants_csr`` backend the linearisation stays on the circuit's
+:class:`~repro.linalg.sparsity.CsrPlan` (the per-frequency system is a
+complex-valued CSC factorization over the fixed pattern - no dense
+``(n+1)^2`` array anywhere); dense backends take the explicit
+:meth:`~repro.analysis.mna.ParamState.to_dense` escape hatch through
+the standard dense assembly.
 """
 
 from __future__ import annotations
@@ -42,12 +50,47 @@ class AcResult:
 
 def _linearize_at_dc(compiled: CompiledCircuit, state: ParamState,
                      dc: DcResult) -> tuple[np.ndarray, np.ndarray]:
+    """Dense ``(G, C)`` at the DC point - the ``to_dense`` escape-hatch
+    path used by non-CSR backends."""
     n = compiled.n
     _, g_pad, f_pad = compiled.buffers(())
     compiled.assemble(state, compiled.pad(dc.x), 0.0, g_pad, f_pad)
     g = g_pad[:n, :n].copy()
     c = compiled.capacitance(state)[:n, :n]
     return g, c
+
+
+def _solve_sweep_csr(compiled: CompiledCircuit, state: ParamState,
+                     dc: DcResult, freqs: np.ndarray, b: np.ndarray
+                     ) -> np.ndarray:
+    """Sparse-native sweep: Jacobian values scattered on the circuit's
+    CSR plan at the DC point, then one complex CSC factorization per
+    frequency over the fixed pattern - O(nnz) memory end to end."""
+    import scipy.sparse.linalg
+
+    asm = compiled.csr_assembler(state)
+    f_pad = np.zeros(compiled.n + 1)
+    asm.assemble(compiled.pad(dc.x), 0.0, f_pad)
+    nnz = asm.plan.nnz
+    g_data = asm.g_data[:nnz]
+    c_data = asm.c_lin_data[:nnz]
+    x = np.empty((freqs.size, compiled.n), dtype=complex)
+    data = np.empty(nnz + 1, dtype=complex)
+    bc = b.astype(complex)
+    for i, f in enumerate(freqs):
+        data[:nnz] = g_data + 1j * TWO_PI * f * c_data
+        lu = scipy.sparse.linalg.splu(asm.plan.csc_matrix(data))
+        x[i] = lu.solve(bc)
+    return x
+
+
+def _solve_sweep_dense(g: np.ndarray, c: np.ndarray, freqs: np.ndarray,
+                       b: np.ndarray) -> np.ndarray:
+    x = np.empty((freqs.size, g.shape[0]), dtype=complex)
+    for i, f in enumerate(freqs):
+        a = g + 1j * TWO_PI * f * c
+        x[i] = np.linalg.solve(a, b)
+    return x
 
 
 def ac_analysis(compiled: CompiledCircuit, source_name: str,
@@ -65,7 +108,6 @@ def ac_analysis(compiled: CompiledCircuit, source_name: str,
         raise AnalysisError("AC analysis is batchless")
     freqs = np.atleast_1d(np.asarray(freqs, dtype=float))
     dc = dc or dc_operating_point(compiled, state)
-    g, c = _linearize_at_dc(compiled, state, dc)
     n = compiled.n
 
     b = np.zeros(n)
@@ -82,8 +124,9 @@ def ac_analysis(compiled: CompiledCircuit, source_name: str,
     else:
         raise AnalysisError(f"'{source_name}' is not an independent source")
 
-    x = np.empty((freqs.size, n), dtype=complex)
-    for i, f in enumerate(freqs):
-        a = g + 1j * TWO_PI * f * c
-        x[i] = np.linalg.solve(a, b)
+    if compiled.backend.wants_csr:
+        x = _solve_sweep_csr(compiled, state, dc, freqs, b)
+    else:
+        g, c = _linearize_at_dc(compiled, state, dc)
+        x = _solve_sweep_dense(g, c, freqs, b)
     return AcResult(compiled=compiled, state=state, freqs=freqs, x=x, dc=dc)

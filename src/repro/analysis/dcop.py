@@ -85,7 +85,8 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
              if backend.policy.reuse else None)
 
     # native-CSR path: batchless solves on a wants_csr backend stamp
-    # onto the circuit's sparsity plan instead of dense buffers
+    # the sparse-native state values straight onto the circuit's
+    # sparsity plan - no dense template or buffer is ever materialised
     use_csr = (cache is not None and backend.wants_csr and not batch
                and not state.batched)
     if use_csr:

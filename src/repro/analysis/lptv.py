@@ -108,6 +108,13 @@ class PeriodicLinearization:
     (:mod:`repro.linalg` - dense LU or sparse splu).  Reused by the
     sensitivity solve, the harmonic-domain noise engine and the
     monodromy/Floquet utilities.
+
+    This engine is dense by construction (the ``g_t`` stack and the
+    monodromy products are O(n^2) regardless of the MNA pattern), so it
+    takes the sparse-native parameter state through the explicit
+    :meth:`~repro.analysis.mna.ParamState.to_dense` escape hatch - via
+    :meth:`~repro.analysis.mna.CompiledCircuit.capacitance` and the
+    dense ``assemble`` - rather than pretending to be sparse.
     """
 
     def __init__(self, pss_result: PssResult):

@@ -34,6 +34,16 @@ runs go further and assemble natively on the circuit's sparsity
 pattern (:class:`CsrAssembler`), never materialising a dense
 ``(n+1)^2`` buffer.
 
+**Sparse-native parameter states.**  :meth:`CompiledCircuit.make_state`
+builds the linear G/C templates as value arrays over the circuit's
+:class:`~repro.linalg.sparsity.CsrPlan` pattern - O(nnz) memory per
+state instead of O(n^2), which is what bounds netlist size when the
+paper's method builds one linearized system per mismatch parameter.
+Dense-path consumers (batched Monte-Carlo stacks, AC/LPTV/PSS) densify
+lazily and explicitly through :meth:`ParamState.to_dense`; the native
+CSR path consumes the sparse form directly and a 10k-node ladder state
+never touches an ``(n+1)^2`` array.
+
 The compiled circuit also builds the paper's central objects: for every
 :class:`~repro.circuit.MismatchDecl` an equivalent *pseudo-noise injection*
 (the exact parameter derivative ``di/dp`` and ``dq/dp`` evaluated along an
@@ -63,6 +73,13 @@ from .stamps import LinearStampPlan, NlVccsPlan, SourcePlan
 
 Deltas = dict[ParamKey, "float | np.ndarray"]
 
+#: Upper bound on cached per-batch-shape scatter-index columns
+#: (:meth:`CompiledCircuit._bidx`): enough for steady Monte-Carlo
+#: chunking (one full-size + one remainder shape) with slack for nested
+#: sweeps, small enough that varying chunk shapes cannot grow memory
+#: without bound.
+_BIDX_CACHE_MAX = 8
+
 
 # ---------------------------------------------------------------------------
 # parameter state
@@ -71,8 +88,17 @@ Deltas = dict[ParamKey, "float | np.ndarray"]
 class ParamState:
     """Effective parameter values for one run (nominal + deltas).
 
-    ``g_lin``/``c_lin`` are padded ``(n+1, n+1)`` templates, with a leading
-    batch axis when any linear-element or source delta is batched.
+    The linear G/C templates are *sparse-native*: ``g_data``/``c_data``
+    are value arrays over the circuit's fixed
+    :class:`~repro.linalg.sparsity.CsrPlan` pattern (length
+    ``nnz + 1`` - the extra trash slot absorbed ground stamps during
+    construction and stays zero), with a leading batch axis when any
+    linear-element delta is batched.  State construction therefore
+    costs O(nnz) memory, which is what bounds netlist size when one
+    linearized system per mismatch parameter is needed; nothing of
+    shape ``(n+1)^2`` exists until a dense-path consumer explicitly
+    calls the :meth:`to_dense` escape hatch.
+
     ``mos``, ``vccs`` hold per-group effective parameter arrays.
     ``source_values`` maps source names to overriding values (scalar or
     per-batch array) - used for example by the comparator bisection lanes.
@@ -84,10 +110,18 @@ class ParamState:
     """
 
     batch_shape: tuple[int, ...]
-    g_lin: np.ndarray
-    c_lin: np.ndarray
-    mos: dict[str, np.ndarray]
-    vccs_gm: np.ndarray
+    #: Linear conductance template values over :attr:`plan`
+    #: (``(*tbatch, nnz + 1)``; ``tbatch`` is empty unless a linear
+    #: delta is batched).
+    g_data: np.ndarray
+    #: Linear capacitance template values over :attr:`plan`.
+    c_data: np.ndarray
+    #: The circuit's fixed sparsity pattern the templates live on.
+    plan: CsrPlan = field(repr=False, compare=False)
+    #: Padded system width ``n + 1`` (for :meth:`to_dense`).
+    n1: int = 0
+    mos: dict[str, np.ndarray] = field(default_factory=dict)
+    vccs_gm: np.ndarray = field(default_factory=lambda: np.zeros(0))
     source_values: dict[str, "float | np.ndarray"] = field(
         default_factory=dict)
     #: Cached static (DC) source vector - see
@@ -98,14 +132,43 @@ class ParamState:
     #: evaluated time point.
     src_cache: "tuple[float, np.ndarray] | None" = field(
         default=None, repr=False, compare=False)
-    #: Linear G/C templates gathered onto the circuit's CSR pattern
-    #: (batchless states on a ``wants_csr`` backend only).
-    csr_lin: "tuple[np.ndarray, np.ndarray] | None" = field(
+    #: Lazily densified ``(g_lin, c_lin)`` pair (:meth:`to_dense`).
+    _dense: "tuple[np.ndarray, np.ndarray] | None" = field(
         default=None, repr=False, compare=False)
 
     @property
     def batched(self) -> bool:
         return len(self.batch_shape) > 0
+
+    def to_dense(self) -> tuple[np.ndarray, np.ndarray]:
+        """Densify the linear templates - the explicit O(n^2) escape
+        hatch for dense-path consumers.
+
+        Returns the padded ``(g_lin, c_lin)`` pair of shape
+        ``(*tbatch, n+1, n+1)`` (``tbatch`` non-empty only when a
+        linear delta is batched).  Built lazily on first call and
+        cached: the batched Monte-Carlo assembly densifies once per
+        chunk, AC/LPTV/PSS once per analysis, and sparse-backend runs
+        never call it at all.
+        """
+        if self._dense is None:
+            plan, n1 = self.plan, self.n1
+            tbatch = self.g_data.shape[:-1]
+            g = np.zeros(tbatch + (n1, n1))
+            c = np.zeros(tbatch + (n1, n1))
+            g[..., plan.rows, plan.cols] = self.g_data[..., :plan.nnz]
+            c[..., plan.rows, plan.cols] = self.c_data[..., :plan.nnz]
+            self._dense = (g, c)
+        return self._dense
+
+    def clear_caches(self) -> "ParamState":
+        """Drop the derived per-state caches (densified templates and
+        source vectors); the sparse templates themselves survive.
+        Returns ``self``."""
+        self._dense = None
+        self.src_static = None
+        self.src_cache = None
+        return self
 
 
 def _delta_for(deltas: Deltas | None, key: ParamKey):
@@ -309,12 +372,39 @@ class CompiledCircuit:
 
         Cached per batch shape: Monte-Carlo chunks of a common size
         reuse one index array instead of rebuilding it per assemble.
+        The cache is LRU-bounded (:data:`_BIDX_CACHE_MAX` shapes), so a
+        long sweep over *varying* chunk shapes recycles slots instead
+        of growing memory monotonically.
         """
-        b = self._bidx_cache.get(batch)
+        cache = self._bidx_cache
+        b = cache.get(batch)
         if b is None:
             b = np.arange(int(np.prod(batch))).reshape(batch)[..., None]
-            self._bidx_cache[batch] = b
+            cache[batch] = b
+            if len(cache) > _BIDX_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+        else:
+            # refresh recency (dicts preserve insertion order)
+            cache.pop(batch)
+            cache[batch] = b
         return b
+
+    def clear_caches(self) -> "CompiledCircuit":
+        """Drop every derived cache this circuit accumulated.
+
+        Releases the per-batch-shape scatter-index cache, the cached
+        nominal parameter state (with its densified templates and
+        source vectors) and the VCCS gate-value cache.  The structural
+        compile products (stamp plans, the CSR sparsity plan) are
+        *not* caches - they are size-bounded per circuit and rebuilding
+        them would only cost time - so they survive.  Returns ``self``.
+        """
+        self._bidx_cache.clear()
+        if self._nominal_state is not None:
+            self._nominal_state.clear_caches()
+        self._nominal_state = None
+        self._nlv_plan.clear_cache()
+        return self
 
     # ------------------------------------------------------------------
     # parameter state construction
@@ -349,8 +439,12 @@ class CompiledCircuit:
             np.ndim(deltas.get((e.name, p), 0.0)) > 0
             for e, p in self._linear_param_iter())
         tshape = inferred if lin_batched else ()
-        g_lin, c_lin = self._lin_plan.build(
-            deltas, tshape, self._bidx(tshape) if tshape else None)
+        # sparse-native templates: O(nnz) value arrays on the circuit's
+        # CSR pattern - no dense (n+1)^2 array is built here (dense
+        # consumers go through ParamState.to_dense explicitly)
+        g_data, c_data = self._lin_plan.build_data(
+            deltas, tshape, self._bidx(tshape) if tshape else None,
+            self.csr_plan)
 
         mos = {}
         if self.mosfets:
@@ -365,8 +459,9 @@ class CompiledCircuit:
             mos["beta"] = self._mos_beta * (1.0 + rel)
 
         vccs_gm = np.array([e.gm for e in self.nl_vccs])
-        return ParamState(batch_shape=inferred, g_lin=g_lin, c_lin=c_lin,
-                          mos=mos, vccs_gm=vccs_gm,
+        return ParamState(batch_shape=inferred, g_data=g_data,
+                          c_data=c_data, plan=self.csr_plan,
+                          n1=self.n + 1, mos=mos, vccs_gm=vccs_gm,
                           source_values=source_values)
 
     @property
@@ -394,8 +489,14 @@ class CompiledCircuit:
     # evaluation
     # ------------------------------------------------------------------
     def capacitance(self, state: ParamState) -> np.ndarray:
-        """Constant (padded) capacitance matrix ``dq/dx`` for this state."""
-        return state.c_lin
+        """Constant (padded) capacitance matrix ``dq/dx`` for this state.
+
+        Dense escape hatch (:meth:`ParamState.to_dense`): used by the
+        dense integrator paths and the AC/LPTV/PSS engines, which are
+        O(n^2) by nature; sparse-backend transients use
+        :attr:`CsrAssembler.c_lin_data` instead and never densify.
+        """
+        return state.to_dense()[1]
 
     def assemble(self, state: ParamState, x_pad: np.ndarray, t: float,
                  g_pad: np.ndarray, f_pad: np.ndarray,
@@ -415,14 +516,17 @@ class CompiledCircuit:
         most of the assembly cost.
         """
         batch = f_pad.shape[:-1]
+        # dense-path consumers densify the sparse template once per
+        # state (cached escape hatch); the CSR path never lands here
+        g_lin = state.to_dense()[0]
         if jacobian:
-            np.copyto(g_pad, state.g_lin)
+            np.copyto(g_pad, g_lin)
             if gmin > 0.0:
                 diag = np.einsum("...ii->...i", g_pad)
                 diag[..., :self.n_nodes] += gmin
             np.matmul(g_pad, x_pad[..., None], out=f_pad[..., None])
         else:
-            np.matmul(state.g_lin, x_pad[..., None], out=f_pad[..., None])
+            np.matmul(g_lin, x_pad[..., None], out=f_pad[..., None])
             if gmin > 0.0:
                 f_pad[..., :self.n_nodes] += gmin * x_pad[..., :self.n_nodes]
         self._add_sources(state, t, f_pad, source_scale)
@@ -675,25 +779,33 @@ class CompiledCircuit:
         n = self.n
         if method == "be":
             return np.ones(n)
-        c = state.c_lin
-        if c.ndim > 2:
-            c = c[(0,) * (c.ndim - 2)]
-        c_phys = c[:n, :n].copy()
+        # sparse-native: the row/column occupancy tests run over the
+        # O(nnz) template values on the pattern - no densified matrix
+        plan = state.plan
+        nnz = plan.nnz
+        c_data = state.c_data
+        if c_data.ndim > 1:
+            c_data = c_data[(0,) * (c_data.ndim - 1)]
+        c_vals = c_data[:nnz]
         if self.cmin > 0.0:
-            idx = np.arange(self.n_nodes)
-            c_phys[idx, idx] -= self.cmin
-            c_phys[idx, idx][np.abs(c_phys[idx, idx]) < 1e-30] = 0.0
-        differential_row = np.any(np.abs(c_phys) > 1e-30, axis=1)
-        algebraic_var = ~np.any(np.abs(c_phys) > 1e-30, axis=0)
+            c_vals = c_vals.copy()
+            c_vals[plan.diag_pos[:self.n_nodes]] -= self.cmin
+        c_nz = np.abs(c_vals) > 1e-30
+        differential_row = np.zeros(n, dtype=bool)
+        differential_row[plan.rows[c_nz]] = True
+        charge_col = np.zeros(n, dtype=bool)
+        charge_col[plan.cols[c_nz]] = True
         branch_cols = np.arange(self.n_nodes, n)
-        bad_branch = branch_cols[algebraic_var[branch_cols]]
-        g = state.g_lin
-        if g.ndim > 2:
-            g = g[(0,) * (g.ndim - 2)]
+        bad_branch = branch_cols[~charge_col[branch_cols]]
+        g_data = state.g_data
+        if g_data.ndim > 1:
+            g_data = g_data[(0,) * (g_data.ndim - 1)]
         touches_bad = np.zeros(n, dtype=bool)
         if bad_branch.size:
-            touches_bad = np.any(
-                np.abs(g[:n, bad_branch]) > 0.0, axis=1)
+            is_bad_col = np.zeros(n, dtype=bool)
+            is_bad_col[bad_branch] = True
+            g_nz = (np.abs(g_data[:nnz]) > 0.0) & is_bad_col[plan.cols]
+            touches_bad[plan.rows[g_nz]] = True
         collocate = (~differential_row) | touches_bad
         return np.where(collocate, 1.0, 0.5)
 
@@ -704,7 +816,8 @@ class CompiledCircuit:
     def csr_plan(self) -> CsrPlan:
         """Fixed sparsity pattern of this circuit's MNA system.
 
-        Built lazily (only ``wants_csr`` backends pay for it) from the
+        Built lazily on first use - every :meth:`make_state` needs it
+        (sparse-native templates live on this pattern) - from the
         union of every stamp-plan COO entry - linear G and C stamps,
         MOSFET Jacobian stamps, behavioral-VCCS Jacobian stamps - plus
         the full main diagonal (gmin stepping, pivot safety).
@@ -764,16 +877,19 @@ class CompiledCircuit:
 class CsrAssembler:
     """Native-CSR assembly workspace for one batchless run.
 
-    The per-state linear G/C templates are gathered once onto the
-    circuit's :class:`~repro.linalg.sparsity.CsrPlan` (and cached on
-    the state); afterwards every residual is a CSR mat-vec and every
-    Jacobian a device-value scatter over the fixed pattern - no dense
-    ``(n+1)^2`` buffer exists anywhere between stamping and ``splu``.
+    Parameter states are sparse-native, so the per-state linear G/C
+    templates *are already* value arrays over the circuit's
+    :class:`~repro.linalg.sparsity.CsrPlan` - the assembler consumes
+    :attr:`ParamState.g_data`/:attr:`~ParamState.c_data` directly
+    (read-only), every residual is a CSR mat-vec and every Jacobian a
+    device-value scatter over the fixed pattern.  No dense ``(n+1)^2``
+    buffer exists anywhere between ``make_state`` and ``splu``.
 
     Used by the transient integrator and the DC Newton solver whenever
     the circuit's backend sets
     :attr:`~repro.linalg.LinearSolverBackend.wants_csr` and the run is
-    batchless; batched Monte-Carlo stacks keep the dense batched path.
+    batchless; batched Monte-Carlo stacks keep the dense batched path
+    (densified once per chunk through :meth:`ParamState.to_dense`).
     """
 
     def __init__(self, compiled: CompiledCircuit, state: ParamState):
@@ -783,15 +899,13 @@ class CsrAssembler:
         self.compiled = compiled
         self.state = state
         self.plan = compiled.csr_plan
-        nnz = self.plan.nnz
-        if state.csr_lin is None:
-            g = np.zeros(nnz + 1)
-            c = np.zeros(nnz + 1)
-            g[:nnz] = state.g_lin[self.plan.rows, self.plan.cols]
-            c[:nnz] = state.c_lin[self.plan.rows, self.plan.cols]
-            state.csr_lin = (g, c)
-        #: Linear-template value arrays over the pattern (+ trash slot).
-        self.g_lin_data, self.c_lin_data = state.csr_lin
+        if not state.plan.same_pattern(self.plan):
+            raise ValueError(
+                "parameter state was built for a different circuit")
+        #: Linear-template value arrays over the pattern (+ trash
+        #: slot), shared read-only with the state.
+        self.g_lin_data = state.g_data
+        self.c_lin_data = state.c_data
         #: Scratch for the assembled Jacobian values.
         self.g_data = self.g_lin_data.copy()
         # keyed by id(theta) *and* holding the key array alive, so a

@@ -108,6 +108,13 @@ def integrate_period(compiled: CompiledCircuit, state: ParamState,
     The monodromy matrix is the product of the per-step linearised maps:
     for the theta scheme, ``A_k dx_k = B_k dx_{k-1}`` with
     ``A_k = C/h + theta G_k`` and ``B_k = C/h - (1-theta) G_{k-1}``.
+
+    Shooting needs the structurally dense monodromy whatever the MNA
+    sparsity, so this integrator consumes the sparse-native parameter
+    state through the dense escape hatch
+    (:meth:`~repro.analysis.mna.CompiledCircuit.capacitance`, i.e.
+    :meth:`~repro.analysis.mna.ParamState.to_dense` - densified once
+    per state and cached).
     """
     n = compiled.n
     h = period / n_steps

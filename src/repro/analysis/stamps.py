@@ -11,8 +11,12 @@ the hot paths become a handful of vectorized gathers and
     All linear elements (R, C, L, independent/controlled sources,
     MOSFET capacitors, ``cmin``).  Template construction for a
     parameter set - the per-``make_state`` cost of a Monte-Carlo chunk -
-    is two dense scatters (one constant block, one delta-dependent
-    block per element family) instead of a per-element loop.
+    is a handful of O(nnz) value scatters onto the circuit's
+    :class:`~repro.linalg.sparsity.CsrPlan` pattern (one constant
+    block, one delta-dependent block per element family) instead of a
+    per-element loop; no dense ``(n+1)^2`` template is materialised
+    (states densify lazily through
+    :meth:`~repro.analysis.mna.ParamState.to_dense`).
 :class:`SourcePlan`
     Independent sources split into a *static* part (DC waves, including
     per-state overrides) evaluated once per parameter state, and a
@@ -38,7 +42,7 @@ import numpy as np
 
 from ..circuit.controlled import Vccs
 from ..circuit.elements import ParamKey
-from ..circuit.sources import CurrentSource, Dc, VoltageSource, smoothstep
+from ..circuit.sources import Dc, smoothstep
 from ..errors import NetlistError
 
 Deltas = "dict[ParamKey, float | np.ndarray]"
@@ -211,35 +215,52 @@ class LinearStampPlan:
         c = np.concatenate([self.cap.idx, self.ind.idx, self.c_const.idx])
         return g.astype(int), c.astype(int)
 
-    def build(self, deltas, batch: tuple[int, ...],
-              bidx: np.ndarray | None = None
-              ) -> tuple[np.ndarray, np.ndarray]:
-        """Padded dense templates ``(g_lin, c_lin)`` for a parameter set.
+    def _slot_positions(self, plan) -> None:
+        """Map every stamp block's padded flat indices to data slots of
+        *plan* (ground stamps land on the trash slot).  Computed once -
+        the plan is a per-circuit constant."""
+        if getattr(self, "_pos_plan", None) is plan:
+            return
+        self._res_pos = plan.pos_of(self.res.idx)
+        self._gconst_pos = plan.pos_of(self.g_const.idx)
+        self._cap_pos = plan.pos_of(self.cap.idx)
+        self._ind_pos = plan.pos_of(self.ind.idx)
+        self._cconst_pos = plan.pos_of(self.c_const.idx)
+        self._pos_plan = plan
+
+    def build_data(self, deltas, batch: tuple[int, ...],
+                   bidx: np.ndarray | None, plan
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse-native templates ``(g_data, c_data)`` for a parameter
+        set: value arrays of length ``nnz + 1`` over *plan* (the extra
+        trash slot absorbs ground stamps and is scrubbed to zero).
+
+        The scatter order matches the historical dense build block for
+        block, so a lazily densified template
+        (:meth:`~repro.analysis.mna.ParamState.to_dense`) is
+        bit-identical to what the dense builder produced.
 
         *batch* is the template batch shape (empty unless some linear
         delta is batched); *bidx* the cached flat batch index column.
         """
-        n1 = self.n1
-        g = np.zeros(batch + (n1, n1))
-        c = np.zeros(batch + (n1, n1))
-        gf = g.reshape(batch + (n1 * n1,))
-        cf = c.reshape(batch + (n1 * n1,))
+        self._slot_positions(plan)
+        g = np.zeros(batch + (plan.nnz + 1,))
+        c = np.zeros(batch + (plan.nnz + 1,))
         if self.res.idx.size:
-            scatter_add(gf, self.res.idx,
+            scatter_add(g, self._res_pos,
                         self.res.slot_values(deltas, batch), bidx)
         if self.g_const.idx.size:
-            scatter_add(gf, self.g_const.idx, self.g_const.val, bidx)
+            scatter_add(g, self._gconst_pos, self.g_const.val, bidx)
         if self.cap.idx.size:
-            scatter_add(cf, self.cap.idx,
+            scatter_add(c, self._cap_pos,
                         self.cap.slot_values(deltas, batch), bidx)
         if self.ind.idx.size:
-            scatter_add(cf, self.ind.idx,
+            scatter_add(c, self._ind_pos,
                         self.ind.slot_values(deltas, batch), bidx)
         if self.c_const.idx.size:
-            scatter_add(cf, self.c_const.idx, self.c_const.val, bidx)
-        for m in (g, c):
-            m[..., self.ground, :] = 0.0
-            m[..., :, self.ground] = 0.0
+            scatter_add(c, self._cconst_pos, self.c_const.val, bidx)
+        g[..., plan.nnz] = 0.0
+        c[..., plan.nnz] = 0.0
         return g, c
 
 
@@ -385,6 +406,11 @@ class NlVccsPlan:
             [e.gate.tau if e.gate else 1.0 for e in nl_vccs])
         self._ones = np.ones(self.n)
         self._gate_cache: tuple[float, np.ndarray] | None = None
+
+    def clear_cache(self) -> None:
+        """Drop the cached per-time-point gate values (invoked by
+        :meth:`~repro.analysis.mna.CompiledCircuit.clear_caches`)."""
+        self._gate_cache = None
 
     def gate_values(self, t: float) -> np.ndarray:
         """Per-device gate at *t* (cached: gates depend on time only)."""

@@ -313,8 +313,9 @@ class _StepSolver:
                       if opts.isolate_lanes and batch_shape else None)
 
         # native-CSR path: batchless runs on a wants_csr backend assemble
-        # straight onto the circuit's sparsity plan - residuals are CSR
-        # mat-vecs and the dense (n+1)^2 buffers are never touched
+        # straight onto the circuit's sparsity plan - the sparse-native
+        # state template is consumed as-is, residuals are CSR mat-vecs
+        # and no dense (n+1)^2 array (template or buffer) ever exists
         self.use_csr = (self.cache is not None
                         and compiled.backend.wants_csr and not batch_shape)
         if self.use_csr:
@@ -327,6 +328,8 @@ class _StepSolver:
             _, self.g_pad, self.f_pad = compiled.buffers(batch_shape)
             self.j_pad = (np.empty_like(self.g_pad)
                           if self.cache is None else None)
+            # dense path: densify the sparse template once per run
+            # (cached on the state - batched MC chunks pay this once)
             self._c_mat = compiled.capacitance(state)
             self.c_over_h = np.empty_like(self._c_mat)
         self.h: float | None = None

@@ -7,13 +7,16 @@
 * :mod:`~repro.circuits.amplifiers` - five-transistor OTA (DC-match
   validation),
 * :mod:`~repro.circuits.dac` - resistor-string DAC for the Eq. 13 DNL
-  example.
+  example,
+* :mod:`~repro.circuits.ladders` - synthetic RC ladders for the
+  sparse-scaling benchmarks and memory-regression tests.
 """
 
 from .amplifiers import five_transistor_ota
 from .comparator import (ComparatorTestbench, strongarm_comparator,
                          strongarm_offset_testbench)
 from .dac import resistor_string_dac
+from .ladders import rc_ladder
 from .logic import (LogicPathTestbench, add_inverter, add_nand2,
                     inverter_chain, logic_path_testbench)
 from .oscillator import ring_oscillator
@@ -26,4 +29,5 @@ __all__ = [
     "ring_oscillator",
     "five_transistor_ota",
     "resistor_string_dac",
+    "rc_ladder",
 ]

@@ -1,0 +1,34 @@
+"""Synthetic RC-ladder netlists for scaling benchmarks and tests.
+
+A chain of ``n_sections`` identical RC sections behind a driven input
+node: near-tridiagonal MNA structure, so ``nnz`` grows linearly with
+the node count while a dense template grows quadratically.  This is
+the shared workload of the sparse-backend benchmark
+(``benchmarks/bench_backends.py``), the large-state memory benchmark
+(``benchmarks/bench_large_state.py``) and the O(nnz) state-memory
+regression test (``tests/test_sparse_state.py``) - one definition, so
+the benchmark and the tests that gate it always measure the same
+circuit.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, Sine, TimeFunction
+
+
+def rc_ladder(n_sections: int, r: float = 100.0, c: float = 1e-12,
+              wave: "TimeFunction | None" = None) -> Circuit:
+    """``n_sections``-section RC ladder (``n_sections + 1`` nodes
+    ``n0 ... nN``) driven by a voltage source at ``n0``.
+
+    The default drive is the 5 MHz sine the backend benchmarks have
+    always used; pass *wave* to override.
+    """
+    if wave is None:
+        wave = Sine(amplitude=0.5, freq=5e6, offset=0.5)
+    ckt = Circuit(f"ladder{n_sections}")
+    ckt.add_vsource("VIN", "n0", "0", wave=wave)
+    for k in range(1, n_sections + 1):
+        ckt.add_resistor(f"R{k}", f"n{k - 1}", f"n{k}", r)
+        ckt.add_capacitor(f"C{k}", f"n{k}", "0", c)
+    return ckt

@@ -9,7 +9,11 @@ measured performances.  Two implementation notes:
   dense ``numpy`` allows rather than being handicapped by Python-level
   looping.  Reported speedups of the sensitivity method are therefore
   conservative relative to the paper's (which compared against serial
-  SPICE runs).
+  SPICE runs).  Parameter states are sparse-native (O(nnz) per chunk
+  to construct); the dense stacks a batched solve needs are densified
+  from the sparse template exactly once per chunk through the
+  :meth:`~repro.analysis.mna.ParamState.to_dense` escape hatch, and
+  die with the chunk.
 * **Identical measurement path.** The same :class:`~repro.core.measures`
   objects extract metrics from MC waveforms and from the PSS orbit, so
   method-vs-MC deltas reflect the linear-model error only.

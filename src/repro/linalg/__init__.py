@@ -58,9 +58,12 @@ adds one precomputed vector.
 directly on the circuit's fixed sparsity pattern: residuals are CSR
 mat-vecs, Jacobians are value scatters onto precomputed data slots,
 and factorizations consume a CSC view produced by a precomputed
-permutation.  No dense ``(n+1)^2`` buffer exists anywhere between
-stamping and ``splu``, which is what lets large netlists scale with
-``nnz`` instead of ``n^2`` per iteration.
+permutation.  Parameter states themselves are sparse-native (their
+linear G/C templates are value arrays over the same plan, built by
+``make_state`` in O(nnz) memory; dense consumers densify explicitly
+via ``ParamState.to_dense``), so no dense ``(n+1)^2`` array exists
+anywhere between state construction and ``splu`` - large netlists
+scale with ``nnz`` instead of ``n^2`` per state *and* per iteration.
 
 **Process-parallel Monte-Carlo sharding**
 (:func:`repro.core.montecarlo.monte_carlo_transient` /

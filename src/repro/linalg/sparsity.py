@@ -131,6 +131,14 @@ class CsrPlan:
             (data[:self.nnz][self._csc_perm], self._csc_indices,
              self._csc_indptr), shape=(self.n, self.n))
 
+    def same_pattern(self, other: "CsrPlan") -> bool:
+        """True when *other* indexes the identical sparsity structure
+        (so value arrays built on one plan are valid on the other)."""
+        return (self is other
+                or (self.n == other.n and self.n1 == other.n1
+                    and self.nnz == other.nnz
+                    and np.array_equal(self._flat, other._flat)))
+
     def densify(self, data: np.ndarray) -> np.ndarray:
         """Dense ``(n, n)`` image of a value array (tests/diagnostics)."""
         out = np.zeros((self.n, self.n))

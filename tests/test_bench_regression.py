@@ -1,0 +1,147 @@
+"""Unit tests for the CI benchmark-regression gate
+(``benchmarks/check_regression.py``).
+
+The script is plain stdlib (no repro imports), so it is loaded from its
+file path and exercised against synthetic baseline/fresh directories -
+the gate's semantics are part of tier-1 even though the benchmarks
+themselves only run in the CI bench job.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).parent.parent / "benchmarks"
+           / "check_regression.py")
+spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def write_bench(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    return tmp_path / "baseline", tmp_path / "fresh"
+
+
+BASE = {
+    "bench": "demo", "mc_samples_env": 24, "n_samples": 60,
+    "wall_seconds": {"dense": 10.0, "cached": 5.0},
+    "speedup_vs_dense": {"dense": 1.0, "cached": 2.0},
+}
+
+
+def run(base_dir, fresh_dir, *extra):
+    return check_regression.main(
+        [str(base_dir), str(fresh_dir), *extra])
+
+
+class TestGate:
+    def test_identical_passes(self, dirs):
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        write_bench(fresh_dir, "demo", BASE)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_wall_regression_fails(self, dirs):
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        fresh = json.loads(json.dumps(BASE))
+        fresh["wall_seconds"]["cached"] = 5.0 * 1.30     # +30% > 25%
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 1
+
+    def test_wall_within_tolerance_passes(self, dirs):
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        fresh = json.loads(json.dumps(BASE))
+        fresh["wall_seconds"]["cached"] = 5.0 * 1.20     # +20% < 25%
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_noise_floor_wall_ignored(self, dirs):
+        """Sub-``--min-seconds`` baselines never gate (scheduler noise
+        dominates tiny timings on shared runners)."""
+        base_dir, fresh_dir = dirs
+        base = json.loads(json.dumps(BASE))
+        base["wall_seconds"]["tiny"] = 0.01
+        write_bench(base_dir, "demo", base)
+        fresh = json.loads(json.dumps(base))
+        fresh["wall_seconds"]["tiny"] = 0.09             # 9x - ignored
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_speedup_drop_below_one_fails(self, dirs):
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        fresh = json.loads(json.dumps(BASE))
+        fresh["speedup_vs_dense"]["cached"] = 0.93
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 1
+
+    def test_speedup_baseline_below_one_tolerated(self, dirs):
+        """A factor the baseline environment never achieved (e.g. a
+        parallel speedup on a single-core runner) does not flake."""
+        base_dir, fresh_dir = dirs
+        base = json.loads(json.dumps(BASE))
+        base["speedup_parallel"] = 0.8
+        write_bench(base_dir, "demo", base)
+        fresh = json.loads(json.dumps(base))
+        fresh["speedup_parallel"] = 0.7
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_reduction_keys_are_factors(self, dirs):
+        base_dir, fresh_dir = dirs
+        base = {"mc_samples_env": 24, "mem_reduction_vs_dense_1k": 50.0}
+        write_bench(base_dir, "mem", base)
+        write_bench(fresh_dir, "mem",
+                    {"mc_samples_env": 24,
+                     "mem_reduction_vs_dense_1k": 0.5})
+        assert run(base_dir, fresh_dir) == 1
+
+    def test_workload_mismatch_skipped(self, dirs):
+        """Different workload scaling must skip, not fail: a 24-sample
+        CI run says nothing about a 1000-sample baseline."""
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        fresh = json.loads(json.dumps(BASE))
+        fresh["mc_samples_env"] = 1000
+        fresh["wall_seconds"]["cached"] = 500.0
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_size_key_mismatch_skipped(self, dirs):
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        fresh = json.loads(json.dumps(BASE))
+        fresh["n_samples"] = 8
+        fresh["wall_seconds"]["cached"] = 500.0
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_missing_baseline_is_informational(self, dirs):
+        base_dir, fresh_dir = dirs
+        base_dir.mkdir()
+        write_bench(fresh_dir, "brand_new", BASE)
+        assert run(base_dir, fresh_dir) == 0
+
+    def test_empty_fresh_dir_errors(self, dirs):
+        base_dir, fresh_dir = dirs
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        assert run(base_dir, fresh_dir) == 2
+
+    def test_custom_tolerance(self, dirs):
+        base_dir, fresh_dir = dirs
+        write_bench(base_dir, "demo", BASE)
+        fresh = json.loads(json.dumps(BASE))
+        fresh["wall_seconds"]["cached"] = 5.0 * 1.20
+        write_bench(fresh_dir, "demo", fresh)
+        assert run(base_dir, fresh_dir, "--tol", "0.1") == 1

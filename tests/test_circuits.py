@@ -1,6 +1,5 @@
 """Functional tests for the bundled benchmark circuits."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import compile_circuit, transient

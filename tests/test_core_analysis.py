@@ -5,9 +5,8 @@ measure objects and result plumbing."""
 import numpy as np
 import pytest
 
-from repro.analysis import compile_circuit
 from repro.analysis.pss import PssOptions
-from repro.circuit import Circuit, Sine
+from repro.circuit import Circuit
 from repro.core import (DcLevel, EdgeDelay, Frequency, dc_mismatch_analysis,
                         monte_carlo_dc, transient_mismatch_analysis)
 from repro.core.interpret import statistical_waveform

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import compile_circuit, dc_operating_point, dc_sweep
-from repro.circuit import Circuit, default_technology
+from repro.circuit import Circuit
 from repro.errors import NetlistError
 
 

@@ -72,6 +72,9 @@ class TestProjection:
         distribution with negative skew - the ring-oscillator behaviour
         of Fig. 12."""
         comps = split_gaussian(1.0, n_components=21, span_sigmas=4.0)
-        sat = lambda p: (np.tanh(p), 1.0 / np.cosh(p) ** 2)
+
+        def sat(p):
+            return np.tanh(p), 1.0 / np.cosh(p) ** 2
+
         mix = project_mixture(sat, comps)
         assert mix.sigma < 1.0

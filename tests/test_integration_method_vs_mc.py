@@ -12,8 +12,7 @@ import pytest
 
 from repro.analysis.pss import PssOptions
 from repro.circuit import Circuit, Sine
-from repro.circuits import (logic_path_testbench, ring_oscillator,
-                            strongarm_offset_testbench)
+from repro.circuits import logic_path_testbench
 from repro.core import (DcLevel, EdgeDelay, Frequency,
                         monte_carlo_transient,
                         transient_mismatch_analysis)

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import compile_circuit
-from repro.circuit import Circuit, default_technology
+from repro.circuit import Circuit
 from repro.constants import BOLTZMANN, T_NOMINAL
 from repro.errors import NetlistError
 
@@ -82,9 +82,16 @@ class TestAssembleStructure:
 
     def test_ground_row_scrubbed(self, mixed_circuit):
         c = compile_circuit(mixed_circuit)
+        g_lin, _ = c.nominal.to_dense()
+        assert np.all(g_lin[c.n, :] == 0.0)
+        assert np.all(g_lin[:, c.n] == 0.0)
+
+    def test_sparse_state_trash_slot_zero(self, mixed_circuit):
+        c = compile_circuit(mixed_circuit)
         state = c.nominal
-        assert np.all(state.g_lin[c.n, :] == 0.0)
-        assert np.all(state.g_lin[:, c.n] == 0.0)
+        assert state.g_data.shape == (state.plan.nnz + 1,)
+        assert state.g_data[-1] == 0.0
+        assert state.c_data[-1] == 0.0
 
 
 class TestThetaRows:

@@ -11,7 +11,6 @@ Hypothesis generates random ladder/mesh topologies and values; this is
 the package's strongest guard against stamping/adjoint sign errors.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

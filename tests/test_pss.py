@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis import compile_circuit, pss, pss_oscillator
 from repro.analysis.pss import PssOptions
-from repro.circuit import Circuit, Sine
 from repro.errors import AnalysisError
 
 

@@ -1,0 +1,270 @@
+"""Sparse-native parameter states: parity, memory and cache bounds.
+
+``CompiledCircuit.make_state`` builds the linear G/C templates as value
+arrays over the circuit's CSR plan (O(nnz) per state); dense-path
+consumers densify lazily and explicitly via ``ParamState.to_dense``.
+Three contracts are pinned here:
+
+* **parity** - every analysis (dcop, transient, ac, lptv, pss, MC)
+  produces *bit-identical* results whether the state is consumed
+  sparse-natively or pre-densified through the escape hatch, and the
+  densified template equals the historical dense builder output;
+* **memory** - constructing the 1k-node ladder state stays within an
+  O(nnz) budget and far below a single dense ``(n+1)^2`` template
+  (tracemalloc regression test);
+* **cache hygiene** - the per-batch-shape scatter-index cache is
+  bounded, and ``clear_caches`` actually drops the derived caches.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit, periodic_sensitivities, pss
+from repro.analysis.ac import ac_analysis
+from repro.analysis.dcop import dc_operating_point
+from repro.analysis.mna import _BIDX_CACHE_MAX
+from repro.analysis.pss import PssOptions
+from repro.analysis.transient import TransientOptions, transient
+from repro.circuit import Circuit, Sine, default_technology
+from repro.circuits import rc_ladder
+from repro.core import monte_carlo_dc, monte_carlo_transient
+from repro.core.measures import DcLevel
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="module")
+def cs_amp(tech):
+    """Common-source amp: MOSFET + R/C mismatch + time-varying drive."""
+    ckt = Circuit("cs_amp")
+    ckt.add_vsource("VDD", "vdd", "0", dc=tech.vdd)
+    ckt.add_vsource("VG", "g", "0",
+                    wave=Sine(amplitude=0.25, freq=1e6, offset=0.7))
+    ckt.add_resistor("RL", "vdd", "d", 2e3, sigma_rel=0.02)
+    ckt.add_mosfet("M1", "d", "g", "0", "0", w=2e-6, l=0.26e-6, tech=tech)
+    ckt.add_capacitor("CL", "d", "0", 20e-15, sigma_rel=0.03)
+    return ckt
+
+
+def _twin_states(compiled, deltas=None, **kw):
+    """Two identical states: one left sparse, one pre-densified."""
+    lazy = compiled.make_state(deltas=deltas, **kw)
+    eager = compiled.make_state(deltas=deltas, **kw)
+    eager.to_dense()
+    return lazy, eager
+
+
+class TestSparseTemplates:
+    def test_state_is_sparse_native(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        state = compiled.make_state(deltas={("RL", "r"): 25.0})
+        nnz = state.plan.nnz
+        assert state.g_data.shape == (nnz + 1,)
+        assert state.c_data.shape == (nnz + 1,)
+        # trash slot (ground stamps) scrubbed
+        assert state.g_data[nnz] == 0.0 and state.c_data[nnz] == 0.0
+
+    def test_to_dense_matches_plan_densify(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        state = compiled.make_state(deltas={("CL", "c"): 2e-15})
+        g_lin, c_lin = state.to_dense()
+        n = compiled.n
+        np.testing.assert_array_equal(
+            g_lin[:n, :n], state.plan.densify(state.g_data))
+        np.testing.assert_array_equal(
+            c_lin[:n, :n], state.plan.densify(state.c_data))
+        # ground row/col of the padded image stays zero
+        assert np.all(g_lin[n, :] == 0.0) and np.all(g_lin[:, n] == 0.0)
+
+    def test_to_dense_is_cached(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        state = compiled.nominal
+        assert state.to_dense()[0] is state.to_dense()[0]
+
+    def test_batched_linear_deltas(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        dr = np.array([-30.0, 0.0, 55.0])
+        state = compiled.make_state(deltas={("RL", "r"): dr})
+        assert state.g_data.shape == (3, state.plan.nnz + 1)
+        g_lin, _ = state.to_dense()
+        assert g_lin.shape == (3, compiled.n + 1, compiled.n + 1)
+        for b, d in enumerate(dr):
+            ref = compiled.make_state(
+                deltas={("RL", "r"): float(d)}).to_dense()[0]
+            np.testing.assert_array_equal(g_lin[b], ref)
+
+    def test_theta_rows_sparse_matches_dense_logic(self, cs_amp):
+        """theta from the sparse template == theta recomputed from the
+        densified image with the historical dense algorithm."""
+        compiled = compile_circuit(cs_amp)
+        state = compiled.nominal
+        th = compiled.theta_rows(state, "trap")
+        n = compiled.n
+        _, c_lin = state.to_dense()
+        c_phys = c_lin[:n, :n].copy()
+        idx = np.arange(compiled.n_nodes)
+        c_phys[idx, idx] -= compiled.cmin
+        diff_row = np.any(np.abs(c_phys) > 1e-30, axis=1)
+        alg_var = ~np.any(np.abs(c_phys) > 1e-30, axis=0)
+        branch = np.arange(compiled.n_nodes, n)
+        bad = branch[alg_var[branch]]
+        g_lin = state.to_dense()[0]
+        touches = np.zeros(n, dtype=bool)
+        if bad.size:
+            touches = np.any(np.abs(g_lin[:n, bad]) > 0.0, axis=1)
+        ref = np.where((~diff_row) | touches, 1.0, 0.5)
+        np.testing.assert_array_equal(th, ref)
+
+
+class TestAnalysisParity:
+    """Bit-identical results from sparse-native and pre-densified
+    states, per analysis."""
+
+    def test_dcop(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        lazy, eager = _twin_states(compiled, {("M1", "vt0"): 3e-3})
+        a = dc_operating_point(compiled, lazy).x
+        b = dc_operating_point(compiled, eager).x
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("backend", ["dense", "cached", "sparse"])
+    def test_transient(self, cs_amp, backend):
+        compiled = compile_circuit(cs_amp, backend=backend)
+        lazy, eager = _twin_states(compiled, {("RL", "r"): 40.0})
+        kw = dict(t_stop=2e-6, dt=2e-9,
+                  options=TransientOptions(record=["d"]))
+        a = transient(compiled, state=lazy, **kw)
+        b = transient(compiled, state=eager, **kw)
+        np.testing.assert_array_equal(a.signal("d"), b.signal("d"))
+
+    @pytest.mark.parametrize("backend", ["cached", "sparse"])
+    def test_ac(self, cs_amp, backend):
+        compiled = compile_circuit(cs_amp, backend=backend)
+        lazy, eager = _twin_states(compiled)
+        freqs = np.logspace(3, 9, 7)
+        a = ac_analysis(compiled, "VG", freqs, state=lazy)
+        b = ac_analysis(compiled, "VG", freqs, state=eager)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_ac_sparse_backend_matches_dense(self):
+        """The CSR-native AC sweep equals the dense escape-hatch sweep
+        to solver precision."""
+        freqs = np.logspace(3, 9, 9)
+        d = ac_analysis(compile_circuit(rc_ladder(40), backend="dense"),
+                        "VIN", freqs)
+        s = ac_analysis(compile_circuit(rc_ladder(40), backend="sparse"),
+                        "VIN", freqs)
+        np.testing.assert_allclose(s.transfer("n40"), d.transfer("n40"),
+                                   rtol=1e-9)
+
+    def test_pss_and_lptv(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        lazy, eager = _twin_states(compiled)
+        opts = PssOptions(n_steps=128, settle_periods=2)
+        pa = pss(compiled, 1e-6, state=lazy, options=opts)
+        pb = pss(compiled, 1e-6, state=eager, options=opts)
+        np.testing.assert_array_equal(pa.x, pb.x)
+        sa = periodic_sensitivities(pa)
+        sb = periodic_sensitivities(pb)
+        np.testing.assert_array_equal(sa.waveforms, sb.waveforms)
+
+    def test_monte_carlo(self, cs_amp):
+        """MC (batched dense stacks built from the sparse template once
+        per chunk) reproduces bit-identically across runs, transient
+        and DC."""
+        mc_kw = dict(n=8, t_stop=1e-6, dt=4e-9, seed=3, chunk_size=4)
+        a = monte_carlo_transient(cs_amp, [DcLevel("vd", "d")], **mc_kw)
+        b = monte_carlo_transient(cs_amp, [DcLevel("vd", "d")], **mc_kw)
+        np.testing.assert_array_equal(a.samples["vd"], b.samples["vd"])
+        da = monte_carlo_dc(cs_amp, {"vd": "d"}, n=8, seed=5)
+        db = monte_carlo_dc(cs_amp, {"vd": "d"}, n=8, seed=5)
+        np.testing.assert_array_equal(da.samples["vd"], db.samples["vd"])
+
+
+class TestMemoryRegression:
+    def test_1k_ladder_state_is_onnz(self):
+        """make_state on the 1k-node ladder must not touch any dense
+        ``(n+1)^2`` array: its tracemalloc peak stays within an O(nnz)
+        budget, far below even a single dense template."""
+        compiled = compile_circuit(rc_ladder(1000), backend="sparse")
+        compiled.csr_plan            # structural, built once per circuit
+        compiled.make_state()        # warm one-time slot-position maps
+        tracemalloc.start()
+        state = compiled.make_state()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        nnz = state.plan.nnz
+        dense_one = (compiled.n + 1) ** 2 * 8
+        # a dense template would be ~8 MB here; the sparse state is a
+        # few value/index arrays of length nnz (+ scatter temporaries)
+        assert peak < 128 * nnz, f"peak {peak} B exceeds O(nnz) budget"
+        assert peak < dense_one / 5, (
+            f"peak {peak} B is within 5x of a dense (n+1)^2 template "
+            f"({dense_one} B) - a dense array leaked into make_state")
+
+    def test_dense_escape_hatch_is_the_expensive_path(self):
+        """to_dense really is where the O(n^2) lives (>=5x the sparse
+        construction peak on the 1k ladder)."""
+        compiled = compile_circuit(rc_ladder(1000), backend="sparse")
+        compiled.csr_plan
+        compiled.make_state()
+        tracemalloc.start()
+        state = compiled.make_state()
+        _, sparse_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tracemalloc.start()
+        state.to_dense()
+        _, dense_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert dense_peak >= 5 * sparse_peak
+
+
+class TestCacheHygiene:
+    def test_bidx_cache_is_bounded(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        for b in range(1, 3 * _BIDX_CACHE_MAX):
+            compiled._bidx((b,))
+        assert len(compiled._bidx_cache) <= _BIDX_CACHE_MAX
+        # most-recently-used shapes survive
+        assert (3 * _BIDX_CACHE_MAX - 1,) in compiled._bidx_cache
+
+    def test_bidx_cache_reuses_hot_shape(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        a = compiled._bidx((4,))
+        for b in range(5, 5 + _BIDX_CACHE_MAX - 1):
+            compiled._bidx((b,))
+        assert compiled._bidx((4,)) is a
+
+    def test_clear_caches(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        nominal = compiled.nominal
+        nominal.to_dense()
+        dc_operating_point(compiled)         # populates source caches
+        compiled._bidx((7,))
+        assert nominal.src_static is not None
+        compiled.clear_caches()
+        assert compiled._bidx_cache == {}
+        assert nominal._dense is None
+        assert nominal.src_static is None and nominal.src_cache is None
+        assert compiled._nominal_state is None
+        # a rebuilt nominal state is identical to the old one
+        fresh = compiled.nominal
+        np.testing.assert_array_equal(fresh.g_data, nominal.g_data)
+        np.testing.assert_array_equal(fresh.c_data, nominal.c_data)
+
+    def test_state_clear_caches_rebuilds_identically(self, cs_amp):
+        compiled = compile_circuit(cs_amp)
+        state = compiled.make_state(deltas={("RL", "r"): 10.0})
+        before = dc_operating_point(compiled, state).x
+        g0, c0 = (x.copy() for x in state.to_dense())
+        state.clear_caches()
+        g1, c1 = state.to_dense()
+        np.testing.assert_array_equal(g0, g1)
+        np.testing.assert_array_equal(c0, c1)
+        after = dc_operating_point(compiled, state).x
+        np.testing.assert_array_equal(before, after)

@@ -15,10 +15,8 @@ import pytest
 
 from repro.analysis import compile_circuit
 from repro.analysis.transient import TransientOptions, transient
-from repro.circuit import (Circuit, Dc, GateWindow, Sine, SmoothPulse,
+from repro.circuit import (Circuit, GateWindow, Sine, SmoothPulse,
                            default_technology)
-from repro.circuit.mosfet import Mosfet
-from repro.circuit.passives import Capacitor, Inductor, Resistor
 from repro.circuits import (five_transistor_ota, logic_path_testbench,
                             resistor_string_dac, ring_oscillator,
                             strongarm_offset_testbench)
@@ -96,8 +94,9 @@ def reference_templates(compiled, deltas, batch):
 def reference_assemble(compiled, state, x_pad, t, source_scale=1.0,
                        gmin=0.0):
     """Seed-style residual/Jacobian assembly (per-element loops)."""
+    g_lin = state.to_dense()[0]
     g_pad = np.array(np.broadcast_to(
-        state.g_lin, x_pad.shape[:-1] + state.g_lin.shape[-2:]))
+        g_lin, x_pad.shape[:-1] + g_lin.shape[-2:]))
     if gmin > 0.0:
         diag = np.einsum("...ii->...i", g_pad)
         diag[..., :compiled.n_nodes] += gmin
@@ -220,11 +219,15 @@ class TestStampPlanParity:
         rng = np.random.default_rng(hash(name) % 2**32)
         deltas = random_linear_deltas(compiled, rng, batch)
         state = compiled.make_state(deltas=deltas)
+        # sparse-native state: the dense image is the explicit escape
+        # hatch, and the sparse value arrays stay O(nnz)
+        assert state.g_data.shape[-1] == state.plan.nnz + 1
+        g_lin, c_lin = state.to_dense()
         g_ref, c_ref = reference_templates(compiled, deltas, batch)
-        assert state.g_lin.shape == g_ref.shape
-        np.testing.assert_allclose(state.g_lin, g_ref, rtol=1e-12,
+        assert g_lin.shape == g_ref.shape
+        np.testing.assert_allclose(g_lin, g_ref, rtol=1e-12,
                                    atol=1e-12 * np.abs(g_ref).max())
-        np.testing.assert_allclose(state.c_lin, c_ref, rtol=1e-12,
+        np.testing.assert_allclose(c_lin, c_ref, rtol=1e-12,
                                    atol=1e-12 * max(np.abs(c_ref).max(),
                                                     1e-30))
 
@@ -293,11 +296,11 @@ class TestCsrParity:
     def test_csr_pattern_covers_dense(self, name):
         """Every structurally possible dense entry is in the pattern."""
         compiled = compile_circuit(CIRCUITS[name], backend="sparse")
-        state = compiled.nominal
+        g_lin, c_lin = compiled.nominal.to_dense()
         plan = compiled.csr_plan
         n = compiled.n
-        dense_g = np.abs(state.g_lin[:n, :n]) > 0
-        dense_c = np.abs(state.c_lin[:n, :n]) > 0
+        dense_g = np.abs(g_lin[:n, :n]) > 0
+        dense_c = np.abs(c_lin[:n, :n]) > 0
         pattern = np.zeros((n, n), dtype=bool)
         pattern[plan.rows, plan.cols] = True
         assert not (dense_g & ~pattern).any()

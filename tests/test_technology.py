@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import compile_circuit, dc_operating_point
-from repro.circuit import Circuit, default_technology
+from repro.circuit import Circuit
 from repro.core import monte_carlo_dc
 
 
