@@ -38,7 +38,7 @@ regenerate them with the same workload scaling CI uses and commit::
     cd benchmarks
     REPRO_BENCH_MC=24 PYTHONPATH=../src python -m pytest \\
         bench_backends.py bench_adaptive_dt.py bench_large_state.py \\
-        -q -p no:cacheprovider
+        bench_pss_lptv.py -q -p no:cacheprovider
     git add results/BENCH_*.json
 
 Preferably, download the ``bench-json`` artifact from the latest green

@@ -10,6 +10,7 @@ from .lptv import (PeriodicLinearization, SensitivitySolution,
 from .mna import (CompiledCircuit, Deltas, Injection, NoiseInjection,
                   ParamState, compile_circuit)
 from .noise_ac import NoiseResult, noise_analysis
+from .orbit import OrbitLinearization
 from .pnoise import PNoiseResult, pnoise
 from .pss import (PssOptions, PssResult, integrate_period, pss,
                   pss_oscillator)
@@ -27,7 +28,7 @@ __all__ = [
     "noise_analysis", "NoiseResult",
     "pss", "pss_oscillator", "PssOptions", "PssResult", "integrate_period",
     "PeriodicLinearization", "SensitivitySolution",
-    "periodic_sensitivities",
+    "periodic_sensitivities", "OrbitLinearization",
     "HarmonicLptv", "SidebandResponse",
     "pnoise", "PNoiseResult",
     "transient_noise_analysis", "TransientNoiseResult",

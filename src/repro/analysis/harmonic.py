@@ -29,7 +29,6 @@ import numpy as np
 
 from ..constants import TWO_PI
 from ..errors import AnalysisError
-from .lptv import PeriodicLinearization
 from .mna import Injection, NoiseInjection
 from .pss import PssResult
 
@@ -73,14 +72,18 @@ class HarmonicLptv:
                 "engine is meant for small circuits - use the shooting "
                 "engine (repro.analysis.lptv) instead")
 
-        lin = PeriodicLinearization(pss_result)
+        # the orbit linearisation is built once per PSS result and
+        # shared with shooting/LPTV (PssResult.linearization); this
+        # engine is dense by nature and size-gated above, so the
+        # sparse-engine linearisation densifies its per-step stack here
+        lin = pss_result.linearization()
         # DFT of the periodic Jacobian, one period without the repeated
         # endpoint; g_hat[m] is the coefficient of exp(+j 2 pi m f0 t):
         # G_m = (1/N) sum_k G(t_k) exp(-j 2 pi m k / N), i.e. fft/N
         # (np.fft.ifft would produce the exp(-j...) convention instead).
-        g_samples = lin.g_t[:-1]
+        g_samples = lin.g_stack()[:-1]
         self._g_hat = np.fft.fft(g_samples, axis=0) / g_samples.shape[0]
-        self._c = lin.c
+        self._c = lin.c_dense()
         self._n_steps = n_steps
         self.sidebands = np.arange(-self.k, self.k + 1)
 

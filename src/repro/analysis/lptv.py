@@ -15,9 +15,11 @@ solution of the equation above with a constant ``delta p``, which this
 module computes exactly on the PSS discretisation:
 
 1. along the orbit, factor the per-step integrator matrices
-   ``A_k = C/h + theta G_k``, ``B_k = C/h - (1 - theta) G_{k-1}``;
-2. propagate the one-period particular response ``P_N = dPhi/dp`` and the
-   monodromy matrix ``M = dPhi/dx0`` (one pass, shared solves);
+   ``A_k = C/h + theta G_k``, ``B_k = C/h - (1 - theta) G_{k-1}``
+   (once, shared with shooting and the harmonic/pnoise consumers -
+   :class:`~repro.analysis.orbit.OrbitLinearization`);
+2. propagate the one-period particular response ``P_N = dPhi/dp`` for
+   *all* parameters as one blocked right-hand side;
 3. close the periodicity condition: driven circuits solve
    ``(I - M) dx0 = P_N``; oscillators solve the bordered system that adds
    the period unknown ``dT`` and the phase-anchor row - ``dT/dp`` *is*
@@ -30,16 +32,36 @@ Cost: one orbit linearisation plus two block-triangular sweeps -
 independent of the number of mismatch parameters beyond cheap matrix
 multiplies.  This is the "no additional simulation cost" property the
 paper stresses for contributions, correlations and design sensitivities.
+
+Engine selection (the Krylov path and its dense fallback)
+---------------------------------------------------------
+On a ``wants_csr`` backend at or above
+:data:`~repro.linalg.krylov.MATRIX_FREE_MIN_UNKNOWNS` unknowns the
+solve runs *matrix-free*: the orbit linearisation is stored as per-step
+CSR value arrays on the circuit's plan (O(n_steps * nnz) instead of the
+O(n_steps * n^2) dense stack), the monodromy matrix is never formed,
+and the periodicity closure is solved by blocked GMRES on the sweep
+operator ``v -> M v`` (:mod:`repro.linalg.krylov`) - all injections
+ride through the two sweeps and the closure as one blocked RHS, so the
+cost stays parameter-count independent.  Below the threshold (or on
+dense backends) the explicit dense monodromy path runs instead,
+bit-identical to earlier releases; ``matrix_free=`` on
+:class:`PeriodicLinearization` / :func:`periodic_sensitivities` forces
+either engine (the parity suite does).  A closure that fails to
+converge in GMRES falls back to the explicit monodromy with a warning.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import AnalysisError
+from ..linalg.krylov import GMRES_MAXITER, GMRES_TOL, solve_blocked
 from .mna import CompiledCircuit, Injection
+from .orbit import OrbitLinearization
 from .pss import PssResult
 
 
@@ -102,43 +124,27 @@ class SensitivitySolution:
 class PeriodicLinearization:
     """The factored LPTV operator along one PSS orbit.
 
-    Builds ``G(t_k)`` by re-assembling the Jacobian at every orbit sample
-    (charges are linear so ``C`` is constant), then factors the step
-    matrices ``A_k`` once through the circuit's linear-solver backend
-    (:mod:`repro.linalg` - dense LU or sparse splu).  Reused by the
-    sensitivity solve, the harmonic-domain noise engine and the
-    monodromy/Floquet utilities.
+    A thin sensitivity-solver over the shared
+    :class:`~repro.analysis.orbit.OrbitLinearization` (obtained from
+    :meth:`~repro.analysis.pss.PssResult.linearization`, so shooting,
+    LPTV, the harmonic noise engine and the monodromy utilities all
+    reuse one set of per-step ``A_k`` factorizations instead of each
+    re-assembling and re-factoring the orbit).
 
-    This engine is dense by construction (the ``g_t`` stack and the
-    monodromy products are O(n^2) regardless of the MNA pattern), so it
-    takes the sparse-native parameter state through the explicit
-    :meth:`~repro.analysis.mna.ParamState.to_dense` escape hatch - via
-    :meth:`~repro.analysis.mna.CompiledCircuit.capacitance` and the
-    dense ``assemble`` - rather than pretending to be sparse.
+    On the sparse engine the linearisation lives on the circuit's
+    :class:`~repro.linalg.sparsity.CsrPlan` (O(n_steps * nnz)) and the
+    periodicity closure runs matrix-free through blocked GMRES; on the
+    dense engine (small circuits, non-CSR backends) the explicit
+    monodromy path of earlier releases runs bit-identically.  See the
+    module docstring for when each engages.
     """
 
-    def __init__(self, pss_result: PssResult):
+    def __init__(self, pss_result: PssResult,
+                 matrix_free: "bool | None" = None):
         self.pss = pss_result
-        compiled = pss_result.compiled
-        state = pss_result.state
-        n = compiled.n
-        n_steps = pss_result.n_steps
-        self.h = pss_result.period / n_steps
-        self.theta = compiled.theta_rows(state, pss_result.method)[:, None]
-
-        _, g_pad, f_pad = compiled.buffers(())
-        self.g_t = np.empty((n_steps + 1, n, n))
-        for k in range(n_steps + 1):
-            x_pad = compiled.pad(pss_result.x[k])
-            compiled.assemble(state, x_pad, float(pss_result.t[k]),
-                              g_pad, f_pad)
-            self.g_t[k] = g_pad[:n, :n]
-
-        self.c = compiled.capacitance(state)[:n, :n]
-        self.c_over_h = self.c / self.h
-        self._lu = [compiled.backend.factor(
-            self.c_over_h + self.theta * self.g_t[k])
-            for k in range(1, n_steps + 1)]
+        self.lin = pss_result.linearization(matrix_free)
+        self.h = self.lin.h
+        self.theta = self.lin.theta
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -148,17 +154,27 @@ class PeriodicLinearization:
     def n_steps(self) -> int:
         return self.pss.n_steps
 
-    def _b_mat(self, k: int) -> np.ndarray:
-        """``B_k`` uses the Jacobian at the *previous* sample."""
-        return self.c_over_h - (1.0 - self.theta) * self.g_t[k - 1]
+    @property
+    def g_t(self) -> np.ndarray:
+        """Dense per-step Jacobian stack (dense engine; the sparse
+        engine densifies on demand - harmonic-engine sized only)."""
+        return self.lin.g_stack()
+
+    @property
+    def c(self) -> np.ndarray:
+        return self.lin.c_dense()
+
+    def clear_caches(self) -> "PeriodicLinearization":
+        """Drop the per-step factorization list (rebuilt lazily on the
+        next solve) - the analogue of the other engines'
+        ``clear_caches`` for long sweeps that linearise many orbits.
+        Returns ``self``."""
+        self.lin.clear_factors()
+        return self
 
     def monodromy(self) -> np.ndarray:
         """State-transition matrix over one period, ``dPhi/dx0``."""
-        n = self.c.shape[0]
-        z = np.eye(n)
-        for k in range(1, self.n_steps + 1):
-            z = self._lu[k - 1].solve(self._b_mat(k) @ z)
-        return z
+        return self.lin.monodromy()
 
     def _rho(self, di: np.ndarray, dq: np.ndarray, k: int) -> np.ndarray:
         """Step injection ``rho_k`` for the per-row theta scheme,
@@ -171,8 +187,7 @@ class PeriodicLinearization:
         parameter (the 1-Hz pseudo-noise limit)."""
         if not injections:
             raise AnalysisError("no injections to solve for")
-        n = self.c.shape[0]
-        m = len(injections)
+        n = self.compiled.n
         n_steps = self.n_steps
 
         di = np.stack([inj.di_dp for inj in injections], axis=-1)
@@ -185,18 +200,46 @@ class PeriodicLinearization:
                 "injections were not built on this PSS orbit "
                 f"({di.shape[0]} samples vs {n_steps + 1})")
 
-        # pass 1: monodromy and particular solution together
+        if self.lin.sparse:
+            dx0, dT_dp = self._close_matrix_free(di, dq)
+        else:
+            dx0, dT_dp = self._close_dense(di, dq)
+
+        # pass 2: store the full periodic sensitivity waveforms
+        m = di.shape[-1]
+        d = np.empty((n_steps + 1, n, m))
+        d[0] = dx0
+        cur = dx0
+        for k in range(1, n_steps + 1):
+            cur = self.lin.step_map(k, cur, self._rho(di, dq, k))
+            d[k] = cur
+        return SensitivitySolution(pss=self.pss, injections=list(injections),
+                                   waveforms=d, dT_dp=dT_dp)
+
+    # ------------------------------------------------------------------
+    # periodicity closures
+    # ------------------------------------------------------------------
+    def _close_dense(self, di: np.ndarray, dq: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Explicit monodromy closure (the legacy bit-identical path):
+        pass 1 carries the identity columns alongside the injections,
+        so one sweep yields ``M`` and ``P_N`` together."""
+        n = self.compiled.n
+        m = di.shape[-1]
         z = np.zeros((n, n + m))
         z[:, :n] = np.eye(n)
-        for k in range(1, n_steps + 1):
-            rhs = self._b_mat(k) @ z
+        for k in range(1, self.n_steps + 1):
+            rhs = self.lin.b_mat(k) @ z
             rhs[:, n:] -= self._rho(di, dq, k)
-            z = self._lu[k - 1].solve(rhs)
-        mono = z[:, :n]
-        p_n = z[:, n:]
+            z = self.lin.step_solve(k, rhs)
+        return self._close_explicit(z[:, :n], z[:, n:])
 
-        # close the periodic boundary condition
-        dT_dp = None
+    def _close_explicit(self, mono: np.ndarray, p_n: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Close the periodicity condition against an explicit
+        monodromy matrix - the dense engine's closure and the
+        matrix-free engine's GMRES-stall fallback."""
+        n = self.compiled.n
         if self.pss.is_oscillator:
             a_idx = self.pss.anchor_index
             big = np.zeros((n + 1, n + 1))
@@ -204,33 +247,74 @@ class PeriodicLinearization:
             xdot_t = (self.pss.x[-1] - self.pss.x[-2]) / self.h
             big[:n, n] = -xdot_t
             big[n, a_idx] = 1.0
-            rhs = np.concatenate([p_n, np.zeros((1, m))], axis=0)
+            rhs = np.concatenate([p_n, np.zeros((1, p_n.shape[1]))],
+                                 axis=0)
             sol = np.linalg.solve(big, rhs)
-            dx0 = sol[:n]
-            dT_dp = sol[n]
-        else:
-            dx0 = np.linalg.solve(np.eye(n) - mono, p_n)
+            return sol[:n], sol[n]
+        return np.linalg.solve(np.eye(n) - mono, p_n), None
 
-        # pass 2: store the full periodic sensitivity waveforms
-        d = np.empty((n_steps + 1, n, m))
-        d[0] = dx0
-        cur = dx0
-        for k in range(1, n_steps + 1):
-            rhs = self._b_mat(k) @ cur - self._rho(di, dq, k)
-            cur = self._lu[k - 1].solve(rhs)
-            d[k] = cur
-        return SensitivitySolution(pss=self.pss, injections=list(injections),
-                                   waveforms=d, dT_dp=dT_dp)
+    def _close_matrix_free(self, di: np.ndarray, dq: np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Matrix-free closure: one blocked particular sweep for
+        ``P_N`` (no identity columns), then blocked GMRES on the sweep
+        operator.  Falls back to the explicit monodromy - with a
+        warning - if GMRES stalls."""
+        lin = self.lin
+        n = self.compiled.n
+        m = di.shape[-1]
+
+        # pass 1: particular solution only - the monodromy never rides
+        p = np.zeros((n, m))
+        for k in range(1, self.n_steps + 1):
+            p = lin.step_map(k, p, self._rho(di, dq, k))
+
+        if self.pss.is_oscillator:
+            a_idx = self.pss.anchor_index
+            xdot_t = (self.pss.x[-1] - self.pss.x[-2]) / self.h
+            # h-scaled period column (see OrbitLinearization.
+            # bordered_op); sign=-1 gives this closure's I - M
+            # convention
+            op = lin.bordered_op(xdot_t * self.h, a_idx, sign=-1.0)
+            rhs = np.concatenate([p, np.zeros((1, m))], axis=0)
+            sol, _, ok = solve_blocked(op, rhs, tol=GMRES_TOL,
+                                       maxiter=GMRES_MAXITER)
+            if ok:
+                return sol[:n], sol[n] * self.h
+        else:
+            def op(v: np.ndarray) -> np.ndarray:
+                return v - lin.apply_monodromy(v)
+
+            sol, _, ok = solve_blocked(op, p, tol=GMRES_TOL,
+                                       maxiter=GMRES_MAXITER)
+            if ok:
+                return sol, None
+
+        warnings.warn(
+            f"LPTV periodicity closure on '{self.compiled.circuit.name}' "
+            f"did not converge in {GMRES_MAXITER} GMRES iterations; "
+            "falling back to the explicit monodromy solve",
+            UserWarning, stacklevel=4)
+        return self._close_explicit(lin.monodromy(), p)
 
 
 def periodic_sensitivities(pss_result: PssResult,
-                           injections: list[Injection] | None = None
+                           injections: list[Injection] | None = None,
+                           matrix_free: "bool | None" = None
                            ) -> SensitivitySolution:
     """One-call helper: linearise the orbit and solve all mismatch
-    injections of the circuit."""
+    injections of the circuit.
+
+    *matrix_free* forces the sparse Krylov engine (``True``) or the
+    dense explicit-monodromy engine (``False``); the default ``None``
+    selects by backend and circuit size.
+    """
     if injections is None:
         compiled = pss_result.compiled
         injections = compiled.mismatch_injections(pss_result.state,
                                                   pss_result.x)
-    lin = PeriodicLinearization(pss_result)
+    lin = PeriodicLinearization(pss_result, matrix_free=matrix_free)
     return lin.solve(injections)
+
+
+__all__ = ["PeriodicLinearization", "SensitivitySolution",
+           "periodic_sensitivities", "OrbitLinearization"]

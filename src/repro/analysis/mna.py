@@ -842,6 +842,33 @@ class CompiledCircuit:
         *state* (see :class:`CsrAssembler`)."""
         return CsrAssembler(self, state)
 
+    def orbit_csr_jacobians(self, state: ParamState, x_orbit: np.ndarray,
+                            t_orbit: np.ndarray) -> np.ndarray:
+        """Jacobian value arrays ``G(t_k)`` along an orbit, on the plan.
+
+        Returns ``(N, nnz)`` - one CSR value row per orbit sample, the
+        sparse-native equivalent of the dense ``(N, n, n)`` stack the
+        periodic engines used to build.  This is the O(n_steps * nnz)
+        storage of the orbit linearisation
+        (:class:`~repro.analysis.orbit.OrbitLinearization`); nothing of
+        shape ``(n, n)`` is materialised.
+
+        ``x_orbit`` is unpadded ``(N, n)``; ``t_orbit`` the matching
+        absolute times (time-dependent elements must be evaluated at
+        the same source phase the orbit was computed with).
+        """
+        x_orbit = np.asarray(x_orbit, dtype=float)
+        asm = self.csr_assembler(state)
+        nnz = asm.plan.nnz
+        out = np.empty((x_orbit.shape[0], nnz))
+        f_pad = np.zeros(self.n + 1)
+        x_pad = np.zeros(self.n + 1)
+        for k in range(x_orbit.shape[0]):
+            x_pad[:self.n] = x_orbit[k]
+            asm.assemble(x_pad, float(t_orbit[k]), f_pad)
+            out[k] = asm.g_data[:nnz]
+        return out
+
     # ------------------------------------------------------------------
     # buffers
     # ------------------------------------------------------------------

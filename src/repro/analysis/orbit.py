@@ -1,0 +1,285 @@
+"""The factored LPTV operator along one periodic orbit.
+
+:class:`OrbitLinearization` is the shared engine under every periodic
+analysis: shooting PSS Newton updates, the LPTV sensitivity solve
+(:mod:`repro.analysis.lptv`), the monodromy/Floquet utilities and the
+harmonic/pnoise consumers all reduce to sweeps of the per-step maps
+
+.. math:: A_k \\, \\delta x_k = B_k \\, \\delta x_{k-1} - \\rho_k,
+          \\qquad A_k = C/h + \\theta G_k,
+          \\quad B_k = C/h - (1 - \\theta) G_{k-1}
+
+along a converged orbit.  Building those maps once - and *storing them
+sparsely* - is what this class owns; the consumers only differ in the
+right-hand sides they push through.
+
+Two storage engines, selected through the backend seam
+(:func:`repro.linalg.krylov.use_matrix_free`):
+
+**Sparse-native** (``wants_csr`` backends at or above the matrix-free
+threshold, or forced).  The per-step Jacobians are value arrays over
+the circuit's fixed :class:`~repro.linalg.sparsity.CsrPlan` -
+``O(n_steps * nnz)`` memory instead of the dense ``(n_steps, n, n)``
+stack (3.2 GB for a 1k-node circuit at 400 steps) - and every ``A_k``
+is factored once through :meth:`~repro.linalg.LinearSolverBackend.
+factor_csc`.  The monodromy matrix is never formed: :meth:`
+apply_monodromy` is one block-triangular sweep of cached solves, the
+operator the Krylov closures consume.  Time-invariant linearisations
+(no MOSFETs / behavioral VCCS: ``G_k`` constant) go further - one
+assembled Jacobian row broadcast across the orbit and a single shared
+factorization, O(nnz) total.
+
+**Dense** (everything else).  The legacy explicit path, bit-identical
+to earlier releases: dense ``g_t`` stack, per-step dense factors from
+``backend.factor``.
+
+The factorization list is a *derived cache*: :meth:`clear_factors`
+drops it (and the sparse ``B_k`` value block) so long sweeps that
+linearise many orbits do not accumulate SuperLU objects; the first
+sweep after a clear rebuilds lazily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.krylov import use_matrix_free
+from .mna import CompiledCircuit, ParamState
+
+
+class OrbitLinearization:
+    """Per-step linearised maps ``(A_k, B_k)`` of one orbit, factored.
+
+    Parameters
+    ----------
+    compiled, state:
+        The circuit and the parameter state the orbit was integrated
+        with.
+    x, t:
+        Orbit samples ``(n_steps + 1, n)`` (first and last nominally
+        equal) and the matching absolute times.
+    period:
+        Orbit period; the uniform step is ``period / n_steps``.
+    method:
+        One-step scheme (``"trap"`` / ``"be"``) - sets the per-row
+        implicitness via :meth:`~repro.analysis.mna.CompiledCircuit.
+        theta_rows`.
+    matrix_free:
+        Force the sparse (``True``) or dense (``False``) engine;
+        ``None`` selects by backend and size (:func:`~repro.linalg.
+        krylov.use_matrix_free`).
+    """
+
+    def __init__(self, compiled: CompiledCircuit, state: ParamState,
+                 x: np.ndarray, t: np.ndarray, period: float,
+                 method: str, matrix_free: "bool | None" = None):
+        self.compiled = compiled
+        self.state = state
+        self.n = compiled.n
+        self.n_steps = int(x.shape[0]) - 1
+        self.h = period / self.n_steps
+        self.method = method
+        self.theta = compiled.theta_rows(state, method)[:, None]
+        self.sparse = use_matrix_free(compiled.backend, compiled.n,
+                                      matrix_free)
+        #: ``G_k`` is the same at every sample (no state-dependent
+        #: devices): one factorization serves all steps.
+        self.time_invariant = not compiled.has_nonlinear
+        self._factors: "list | None" = None
+        if self.sparse:
+            self.plan = compiled.csr_plan
+            #: Per-step Jacobian values over the plan, ``(N+1, nnz)``.
+            #: Time-invariant circuits assemble one row and broadcast
+            #: it - their linearisation stores O(nnz), not
+            #: O(n_steps * nnz).
+            if self.time_invariant:
+                row = compiled.orbit_csr_jacobians(state, x[:1], t[:1])
+                self.g_data_t = np.broadcast_to(
+                    row[0], (self.n_steps + 1, row.shape[1]))
+            else:
+                self.g_data_t = compiled.orbit_csr_jacobians(state, x, t)
+            # the assembler supplies the shared step-matrix helpers
+            # (theta_data gather, theta*G + C/h composition) so the
+            # conventions live in one place (CsrAssembler)
+            self._asm = compiled.csr_assembler(state)
+            self._coh_data = self._asm.c_over_h_data(self.h)
+            self._theta1 = np.ascontiguousarray(self.theta[:, 0])
+            self._b_data_t: "np.ndarray | None" = None
+            self.g_t = None
+        else:
+            n = compiled.n
+            _, g_pad, f_pad = compiled.buffers(())
+            #: Dense per-step Jacobian stack ``(N+1, n, n)``.
+            self.g_t = np.empty((self.n_steps + 1, n, n))
+            for k in range(self.n_steps + 1):
+                x_pad = compiled.pad(x[k])
+                compiled.assemble(state, x_pad, float(t[k]), g_pad, f_pad)
+                self.g_t[k] = g_pad[:n, :n]
+            self.c = compiled.capacitance(state)[:n, :n]
+            self.c_over_h = self.c / self.h
+
+    # ------------------------------------------------------------------
+    # factorizations (lazy, clearable)
+    # ------------------------------------------------------------------
+    def factors(self) -> list:
+        """Per-step ``A_k`` factorizations, ``k = 1 .. n_steps``
+        (index ``k - 1``).  Built once, lazily; dropped by
+        :meth:`clear_factors`."""
+        if self._factors is None:
+            backend = self.compiled.backend
+            if self.sparse:
+                if self.time_invariant:
+                    f = backend.factor_csc(self._a_csc(1))
+                    self._factors = [f] * self.n_steps
+                else:
+                    self._factors = [backend.factor_csc(self._a_csc(k))
+                                     for k in range(1, self.n_steps + 1)]
+            else:
+                self._factors = [backend.factor(
+                    self.c_over_h + self.theta * self.g_t[k])
+                    for k in range(1, self.n_steps + 1)]
+        return self._factors
+
+    def _a_csc(self, k: int):
+        """Factorable CSC of ``A_k`` over the plan (sparse engine) -
+        composed by :meth:`~repro.analysis.mna.CsrAssembler.
+        step_matrix` so the theta/G/C convention has one owner."""
+        self._asm.g_data[:self.plan.nnz] = self.g_data_t[k]
+        return self._asm.step_matrix(self._theta1, self._coh_data)
+
+    def clear_factors(self) -> "OrbitLinearization":
+        """Drop the factorization list (and the derived ``B_k`` value
+        block) so repeated orbit linearisations in long sweeps do not
+        accumulate factorizations; the stored linearisation itself
+        (``g_data_t`` / ``g_t``) survives and the next sweep rebuilds
+        lazily.  Returns ``self``."""
+        self._factors = None
+        if self.sparse:
+            self._b_data_t = None
+        return self
+
+    # ------------------------------------------------------------------
+    # the per-step maps
+    # ------------------------------------------------------------------
+    def _b_block(self) -> np.ndarray:
+        """``B_k`` value rows over the plan, ``(N, nnz)`` (sparse;
+        one broadcast row when time-invariant)."""
+        if self._b_data_t is None:
+            nnz = self.plan.nnz
+            coh = self._coh_data[:nnz]
+            one_minus = 1.0 - self._asm.theta_data(self._theta1)
+            if self.time_invariant:
+                row = coh - one_minus * self.g_data_t[0]
+                self._b_data_t = np.broadcast_to(
+                    row, (self.n_steps, nnz))
+            else:
+                self._b_data_t = (coh[None, :]
+                                  - one_minus * self.g_data_t[:-1])
+        return self._b_data_t
+
+    def b_mat(self, k: int):
+        """``B_k`` as a multipliable operand (CSR matrix on the sparse
+        engine, dense array otherwise); uses the Jacobian at the
+        *previous* sample."""
+        if self.sparse:
+            return self.plan.csr_view(self._b_block()[k - 1])
+        return self.c_over_h - (1.0 - self.theta) * self.g_t[k - 1]
+
+    def step_solve(self, k: int, rhs: np.ndarray) -> np.ndarray:
+        """``A_k^{-1} rhs`` for ``(n,)`` or blocked ``(n, m)`` *rhs*."""
+        return self.factors()[k - 1].solve(rhs)
+
+    def step_map(self, k: int, v: np.ndarray,
+                 rho: "np.ndarray | None" = None) -> np.ndarray:
+        """One step of the homogeneous/particular recurrence:
+        ``A_k^{-1} (B_k v - rho)``."""
+        rhs = self.b_mat(k) @ v
+        if rho is not None:
+            rhs -= rho
+        return self.step_solve(k, rhs)
+
+    def apply_monodromy(self, v: np.ndarray) -> np.ndarray:
+        """``M v = dPhi/dx0 . v`` - one block-triangular sweep of the
+        cached per-step solves; *v* may be ``(n,)`` or a blocked
+        ``(n, m)``.  This is the matrix-free operator the Krylov
+        shooting update and the LPTV periodicity closure consume."""
+        z = v
+        for k in range(1, self.n_steps + 1):
+            z = self.step_map(k, z)
+        return z
+
+    def bordered_op(self, xdh: np.ndarray, a_idx: int,
+                    sign: float = 1.0):
+        """Matrix-free bordered oscillator operator for the Krylov
+        closures: ``(v, w) -> (sign * ((M - I) v + xdh w), v[a_idx])``
+        on ``(n+1, m)`` blocks.
+
+        *xdh* must be the *h-scaled* period column (``xdot(T) * h`` -
+        the period unknown becomes the per-step voltage-sized ``dT/h``,
+        which is what keeps the operator well conditioned; callers
+        unscale the solution's last row by ``h``).  Shooting uses
+        ``sign=+1`` (``M - I`` convention), the LPTV periodicity
+        closure ``sign=-1`` (``I - M``).  This is the single owner of
+        the bordered convention; the dense fallbacks mirror it.
+        """
+        n = self.n
+
+        def op(vw: np.ndarray) -> np.ndarray:
+            v, w = vw[:n], vw[n:]
+            top = self.apply_monodromy(v) - v + xdh[:, None] * w
+            if sign < 0.0:
+                top = -top
+            return np.concatenate([top, v[a_idx:a_idx + 1]], axis=0)
+
+        return op
+
+    def monodromy(self) -> np.ndarray:
+        """Explicit state-transition matrix over one period.
+
+        Dense engine: the legacy product sweep.  Sparse engine: one
+        blocked identity sweep - O(n) columns through the cached
+        factorizations, for diagnostics/Floquet use and as the
+        fallback when a Krylov closure fails to converge.
+        """
+        eye = np.eye(self.n)
+        if self.sparse:
+            return self.apply_monodromy(eye)
+        z = eye
+        for k in range(1, self.n_steps + 1):
+            z = self.step_solve(k, self.b_mat(k) @ z)
+        return z
+
+    # ------------------------------------------------------------------
+    # dense views for the (small-circuit) harmonic engine
+    # ------------------------------------------------------------------
+    def g_dense(self, k: int) -> np.ndarray:
+        """Dense ``(n, n)`` Jacobian at orbit sample *k*."""
+        if self.sparse:
+            return self.plan.densify(self.g_data_t[k])
+        return self.g_t[k]
+
+    def g_stack(self) -> np.ndarray:
+        """Dense ``(N+1, n, n)`` Jacobian stack.
+
+        Only for consumers that are dense by nature and size-gated
+        (the harmonic conversion-matrix engine); the shooting/LPTV
+        paths never call this.
+        """
+        if self.sparse:
+            return np.stack([self.plan.densify(row)
+                             for row in self.g_data_t])
+        return self.g_t
+
+    def c_dense(self) -> np.ndarray:
+        """Dense ``(n, n)`` capacitance matrix of the linearisation."""
+        if self.sparse:
+            c_data = self.state.c_data
+            if c_data.ndim > 1:
+                c_data = c_data[(0,) * (c_data.ndim - 1)]
+            return self.plan.densify(c_data)
+        return self.c
+
+    def __repr__(self) -> str:
+        engine = "sparse" if self.sparse else "dense"
+        return (f"OrbitLinearization(n={self.n}, n_steps={self.n_steps}, "
+                f"engine={engine})")

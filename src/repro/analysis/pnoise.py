@@ -79,10 +79,11 @@ def pnoise(pss_result: PssResult, output: str,
            f_offset: float = PSEUDO_NOISE_FREQUENCY,
            include_pseudo: bool = True,
            include_physical: bool = False,
-           n_harmonics: int = 16,
+           n_harmonics: int | None = None,
            folding_harmonics: int = 4,
            pseudo_injections: list[Injection] | None = None,
-           physical_injections: list[NoiseInjection] | None = None
+           physical_injections: list[NoiseInjection] | None = None,
+           engine: HarmonicLptv | None = None
            ) -> PNoiseResult:
     """Cyclostationary noise PSD of *output* around each harmonic.
 
@@ -98,13 +99,36 @@ def pnoise(pss_result: PssResult, output: str,
     folding_harmonics:
         White-noise power at ``k f0 + f`` for ``|k| <=`` this folds into
         the readings.
+    n_harmonics:
+        Harmonic truncation of the conversion matrix (default 16).
+        With *engine* given, leave it ``None`` - the engine's own
+        truncation is used, and an explicit conflicting value raises.
+    engine:
+        Reuse a prebuilt :class:`~repro.analysis.harmonic.HarmonicLptv`
+        across calls (sweeps over outputs/offsets); it must have been
+        built on this *pss_result* (checked).  The default builds one
+        from *pss_result* - which itself shares the PSS result's
+        cached orbit linearisation, so nothing is re-factored either
+        way.
 
     Returns
     -------
     PNoiseResult
     """
     compiled = pss_result.compiled
-    engine = HarmonicLptv(pss_result, n_harmonics=n_harmonics)
+    if engine is None:
+        engine = HarmonicLptv(
+            pss_result,
+            n_harmonics=16 if n_harmonics is None else n_harmonics)
+    elif engine.pss is not pss_result:
+        raise AnalysisError(
+            "pnoise(engine=) was built on a different PSS result; "
+            "rebuild the HarmonicLptv for this orbit")
+    elif n_harmonics is not None and n_harmonics != engine.k:
+        raise AnalysisError(
+            f"pnoise(engine=) carries n_harmonics={engine.k} but "
+            f"n_harmonics={n_harmonics} was requested; pass one or "
+            "the other")
     t_lu = engine.lu(f_offset)
 
     result = PNoiseResult(output=output, f_offset=f_offset,

@@ -6,7 +6,7 @@ taken *around that orbit*.  Two engines are provided, mirroring practice
 in RF simulators:
 
 * ``shooting`` - Newton on the one-period map ``Phi(x0) - x0`` using the
-  exact monodromy matrix assembled from the per-step integrator Jacobians
+  monodromy matrix assembled from the per-step integrator Jacobians
   (SpectreRF's approach, [16] in the paper).  For oscillators the period
   is an extra unknown closed by a phase-anchor condition.
 * ``settle`` - brute-force integration until two consecutive periods
@@ -16,18 +16,47 @@ in RF simulators:
 A converged :class:`PssResult` stores the orbit on a uniform grid of
 ``n_steps`` points per period; everything downstream (LPTV sensitivities,
 periodic noise, measurements) consumes that grid.
+
+Matrix-free shooting and the dense fallback
+-------------------------------------------
+Shooting has two implementations behind one option
+(:attr:`PssOptions.matrix_free`):
+
+**Matrix-free / Krylov** (the default on ``wants_csr`` backends at or
+above :data:`~repro.linalg.krylov.MATRIX_FREE_MIN_UNKNOWNS` unknowns).
+The period is integrated through the native-CSR transient path (no
+dense ``(n+1)^2`` buffer), the orbit linearisation is stored as
+per-step CSR value arrays on the circuit's plan
+(:class:`~repro.analysis.orbit.OrbitLinearization`,
+O(n_steps * nnz)), and the Newton update solves ``(M - I) dx0 = -r``
+(or the bordered oscillator system) by GMRES on the sweep operator
+``v -> M v`` - the monodromy matrix is never formed.  This is what
+makes 1k+-node PSS runnable at all; a stalled GMRES falls back to the
+explicit monodromy with a warning.
+
+**Dense** (small circuits, non-CSR backends, or ``matrix_free=False``).
+The explicit monodromy is accumulated during integration and the update
+solved directly - bit-identical to earlier releases.
+
+The converged result shares its factored orbit linearisation through
+:meth:`PssResult.linearization`, so LPTV sensitivities, the harmonic
+noise engine and the monodromy utilities reuse one set of per-step
+factorizations instead of each re-assembling the orbit.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import AnalysisError, ConvergenceError, MeasurementError
+from ..linalg.krylov import GMRES_MAXITER, gmres_blocked, use_matrix_free
 from ..waveform import Waveform, WaveformSet
 from .dcop import NewtonOptions, dc_operating_point
 from .mna import CompiledCircuit, ParamState
+from .orbit import OrbitLinearization
 from .transient import TransientOptions, _newton_step, transient
 
 
@@ -42,8 +71,30 @@ class PssOptions:
     max_iterations: int = 40          # shooting Newton iterations
     tol: float = 1e-9                 # on max|x(T) - x(0)|
     settle_max_periods: int = 2000
+    #: Force the matrix-free Krylov shooting engine (``True``) or the
+    #: explicit dense monodromy engine (``False``); ``None`` selects by
+    #: backend and circuit size (see the module docstring).
+    matrix_free: bool | None = None
+    #: Relative GMRES tolerance of the matrix-free shooting update.
+    krylov_tol: float = 1e-11
     newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(
         max_step=1.0, max_iterations=50))
+
+
+def _validate(opts: PssOptions, period: "float | None") -> None:
+    """Entry-point validation: clear errors instead of downstream shape
+    errors (``n_steps=1`` breaks the predictor history, ``period<=0``
+    produces empty/backwards grids)."""
+    if opts.n_steps < 2:
+        raise AnalysisError(
+            f"PssOptions.n_steps must be >= 2, got {opts.n_steps}")
+    if opts.max_iterations < 1:
+        raise AnalysisError(
+            "PssOptions.max_iterations must be >= 1, got "
+            f"{opts.max_iterations}")
+    if period is not None and not period > 0.0:
+        raise AnalysisError(
+            f"PSS period must be positive, got {period!r}")
 
 
 @dataclass
@@ -66,6 +117,10 @@ class PssResult:
     is_oscillator: bool = False
     anchor_index: int | None = None
     residual: float = 0.0
+    #: Cached factored orbit linearisation (built once on first
+    #: :meth:`linearization` call, shared by every periodic consumer).
+    _lin: "OrbitLinearization | None" = field(
+        default=None, repr=False, compare=False)
 
     @property
     def n_steps(self) -> int:
@@ -75,6 +130,34 @@ class PssResult:
     def f0(self) -> float:
         """Fundamental frequency [Hz]."""
         return 1.0 / self.period
+
+    def linearization(self, matrix_free: "bool | None" = None
+                      ) -> OrbitLinearization:
+        """The factored LPTV operator along this orbit, built once.
+
+        LPTV sensitivities, the harmonic/pnoise engines and the
+        monodromy utilities all consume this shared object, so the
+        orbit is linearised and its per-step ``A_k`` factored exactly
+        once per PSS result.  *matrix_free* forces the sparse or dense
+        engine (default: by backend and size); asking for the other
+        engine than the cached one rebuilds and re-caches.
+        """
+        want = use_matrix_free(self.compiled.backend, self.compiled.n,
+                               matrix_free)
+        if self._lin is None or self._lin.sparse != want:
+            self._lin = OrbitLinearization(
+                self.compiled, self.state, self.x, self.t, self.period,
+                self.method, matrix_free=want)
+        return self._lin
+
+    def clear_caches(self) -> "PssResult":
+        """Drop the cached orbit linearisation (its per-step
+        factorization list is the memory that matters); the orbit
+        itself survives.  Returns ``self``."""
+        if self._lin is not None:
+            self._lin.clear_factors()
+        self._lin = None
+        return self
 
     def waveset(self) -> WaveformSet:
         signals = {name: self.x[:, i]
@@ -100,7 +183,7 @@ def integrate_period(compiled: CompiledCircuit, state: ParamState,
                      newton: NewtonOptions,
                      want_monodromy: bool = False
                      ) -> tuple[np.ndarray, np.ndarray | None]:
-    """Integrate exactly one period on a uniform grid.
+    """Integrate exactly one period on a uniform grid (dense engine).
 
     Returns ``(orbit, monodromy)`` where *orbit* has shape
     ``(n_steps + 1, n)``; *monodromy* is ``dPhi/dx0`` or ``None``.
@@ -109,12 +192,12 @@ def integrate_period(compiled: CompiledCircuit, state: ParamState,
     for the theta scheme, ``A_k dx_k = B_k dx_{k-1}`` with
     ``A_k = C/h + theta G_k`` and ``B_k = C/h - (1-theta) G_{k-1}``.
 
-    Shooting needs the structurally dense monodromy whatever the MNA
-    sparsity, so this integrator consumes the sparse-native parameter
-    state through the dense escape hatch
-    (:meth:`~repro.analysis.mna.CompiledCircuit.capacitance`, i.e.
-    :meth:`~repro.analysis.mna.ParamState.to_dense` - densified once
-    per state and cached).
+    This is the *dense fallback* integrator: the explicit monodromy is
+    structurally dense whatever the MNA sparsity, so it consumes the
+    sparse-native parameter state through the dense escape hatch
+    (:meth:`~repro.analysis.mna.ParamState.to_dense`).  Large circuits
+    take the matrix-free path instead (:func:`_integrate_period_csr`),
+    which never forms the monodromy.
     """
     n = compiled.n
     h = period / n_steps
@@ -151,6 +234,61 @@ def integrate_period(compiled: CompiledCircuit, state: ParamState,
     return orbit, mono
 
 
+def _integrate_period_csr(compiled: CompiledCircuit, state: ParamState,
+                          x0_pad: np.ndarray, t0: float, period: float,
+                          n_steps: int, method: str,
+                          newton: NewtonOptions) -> np.ndarray:
+    """One period on the uniform grid through the transient stepper.
+
+    The matrix-free engine's integrator: rides the backend seam of
+    :func:`~repro.analysis.transient.transient` (native-CSR assembly
+    and factorization reuse on ``wants_csr`` backends), so no dense
+    ``(n+1)^2`` buffer exists during the integration.  Returns the
+    ``(n_steps + 1, n)`` orbit; the linearisation is built separately
+    from the stored states.
+    """
+    res = transient(
+        compiled, t_stop=t0 + period, dt=period / n_steps, state=state,
+        x0_pad=x0_pad, t_start=t0,
+        options=TransientOptions(method=method, record=[],
+                                 record_states=True, newton=newton))
+    return res.states
+
+
+def _shooting_linearization(compiled: CompiledCircuit, state: ParamState,
+                            orbit: np.ndarray, t0: float, period: float,
+                            method: str) -> OrbitLinearization:
+    """Fresh sparse linearisation of the current shooting iterate.
+
+    Built per Newton iteration by design: the transient stepper's
+    modified-Newton loop does *not* hold an exact ``G`` at every
+    accepted state (Jacobian assembly is skipped on reused
+    factorizations), so the exact linearisation must re-assemble along
+    the accepted orbit - and the per-step factors are taken at the
+    *current* iterate, exactly as the dense engine re-factors its
+    monodromy every iteration.
+    """
+    n_steps = orbit.shape[0] - 1
+    t_grid = t0 + np.linspace(0.0, period, n_steps + 1)
+    return OrbitLinearization(compiled, state, orbit, t_grid, period,
+                              method, matrix_free=True)
+
+
+def _krylov_or_dense(lin: OrbitLinearization, op, rhs: np.ndarray,
+                     dense_solve, tol: float, circuit_name: str
+                     ) -> np.ndarray:
+    """Solve a shooting update by GMRES; fall back to the explicit
+    monodromy (with a warning) if it stalls."""
+    upd, _, ok = gmres_blocked(op, rhs, tol=tol, maxiter=GMRES_MAXITER)
+    if ok:
+        return upd
+    warnings.warn(
+        f"matrix-free shooting update on '{circuit_name}' did not "
+        f"converge in {GMRES_MAXITER} GMRES iterations; falling back "
+        "to the explicit monodromy solve", UserWarning, stacklevel=3)
+    return dense_solve(lin.monodromy())
+
+
 def _settle_start(compiled: CompiledCircuit, state: ParamState,
                   period: float, opts: PssOptions) -> np.ndarray:
     """Initial state after a few settling periods (padded)."""
@@ -179,21 +317,29 @@ def pss(compiled: CompiledCircuit, period: float,
     such testbenches.
     """
     opts = options or PssOptions()
+    _validate(opts, period)
     state = state or compiled.nominal
     if state.batched:
         raise AnalysisError("PSS analyses are batchless")
+    mf = use_matrix_free(compiled.backend, compiled.n, opts.matrix_free)
     x_pad = _settle_start(compiled, state, period, opts)
     t0 = opts.settle_periods * period
 
     if opts.engine == "settle":
-        return _pss_settle(compiled, state, period, x_pad, t0, opts)
+        return _pss_settle(compiled, state, period, x_pad, t0, opts, mf)
 
     scale = 1.0
     orbit = None
     for it in range(opts.max_iterations):
-        orbit, mono = integrate_period(
-            compiled, state, x_pad, t0, period, opts.n_steps, opts.method,
-            opts.newton, want_monodromy=True)
+        if mf:
+            orbit = _integrate_period_csr(
+                compiled, state, x_pad, t0, period, opts.n_steps,
+                opts.method, opts.newton)
+            mono = None
+        else:
+            orbit, mono = integrate_period(
+                compiled, state, x_pad, t0, period, opts.n_steps,
+                opts.method, opts.newton, want_monodromy=True)
         res = orbit[-1] - orbit[0]
         scale = max(float(np.max(np.abs(orbit))), 1.0)
         worst = float(np.max(np.abs(res)))
@@ -203,9 +349,18 @@ def pss(compiled: CompiledCircuit, period: float,
                                               opts.n_steps + 1),
                              orbit, opts.method, "shooting",
                              residual=worst)
-        # the shooting map is structurally dense whatever the MNA
-        # backend, so the update always solves densely
-        delta = np.linalg.solve(mono - np.eye(compiled.n), -res)
+        if mf:
+            lin = _shooting_linearization(compiled, state, orbit, t0,
+                                          period, opts.method)
+            delta = _krylov_or_dense(
+                lin, lambda v: lin.apply_monodromy(v) - v, -res,
+                lambda mono: np.linalg.solve(
+                    mono - np.eye(compiled.n), -res),
+                opts.krylov_tol, compiled.circuit.name)
+        else:
+            # explicit dense update (small circuits, bit-identical to
+            # the pre-Krylov engine)
+            delta = np.linalg.solve(mono - np.eye(compiled.n), -res)
         x_pad[:-1] = orbit[0] + delta
     raise ConvergenceError(
         f"shooting PSS did not converge on '{compiled.circuit.name}' "
@@ -215,13 +370,22 @@ def pss(compiled: CompiledCircuit, period: float,
 
 def _pss_settle(compiled: CompiledCircuit, state: ParamState,
                 period: float, x_pad: np.ndarray, t0: float,
-                opts: PssOptions) -> PssResult:
+                opts: PssOptions, mf: bool = False) -> PssResult:
+    if opts.settle_max_periods < 1:
+        raise AnalysisError(
+            "PssOptions.settle_max_periods must be >= 1 for the settle "
+            f"engine, got {opts.settle_max_periods}")
     prev = x_pad[:-1].copy()
     orbit = None
     for p in range(opts.settle_max_periods):
-        orbit, _ = integrate_period(
-            compiled, state, x_pad, t0 + p * period, period, opts.n_steps,
-            opts.method, opts.newton)
+        if mf:
+            orbit = _integrate_period_csr(
+                compiled, state, x_pad, t0 + p * period, period,
+                opts.n_steps, opts.method, opts.newton)
+        else:
+            orbit, _ = integrate_period(
+                compiled, state, x_pad, t0 + p * period, period,
+                opts.n_steps, opts.method, opts.newton)
         x_pad[:-1] = orbit[-1]
         worst = float(np.max(np.abs(orbit[-1] - prev)))
         scale = max(float(np.max(np.abs(orbit))), 1.0)
@@ -258,9 +422,11 @@ def pss_oscillator(compiled: CompiledCircuit, anchor: str,
         (the settling transient still runs).
     """
     opts = options or PssOptions()
+    _validate(opts, period_guess)
     state = state or compiled.nominal
     if state.batched:
         raise AnalysisError("PSS analyses are batchless")
+    mf = use_matrix_free(compiled.backend, compiled.n, opts.matrix_free)
 
     settle = transient(
         compiled, t_stop=t_settle, dt=dt_settle, state=state,
@@ -286,15 +452,22 @@ def pss_oscillator(compiled: CompiledCircuit, anchor: str,
     a_idx = compiled.node_index[anchor]
     t_cur = float(settle.t[-1])
     x_pad, t_cur = _advance_to_crossing(compiled, state, x_pad, t_cur,
-                                        dt_settle, mid, a_idx, period, opts)
+                                        dt_settle, mid, a_idx, period,
+                                        opts, anchor)
 
     n = compiled.n
     t0 = t_cur
     worst = np.inf
     for it in range(opts.max_iterations):
-        orbit, mono = integrate_period(
-            compiled, state, x_pad, t0, period, opts.n_steps, opts.method,
-            opts.newton, want_monodromy=True)
+        if mf:
+            orbit = _integrate_period_csr(
+                compiled, state, x_pad, t0, period, opts.n_steps,
+                opts.method, opts.newton)
+            mono = None
+        else:
+            orbit, mono = integrate_period(
+                compiled, state, x_pad, t0, period, opts.n_steps,
+                opts.method, opts.newton, want_monodromy=True)
         res = orbit[-1] - orbit[0]
         scale = max(float(np.max(np.abs(orbit))), 1.0)
         worst = float(np.max(np.abs(res)))
@@ -307,12 +480,28 @@ def pss_oscillator(compiled: CompiledCircuit, anchor: str,
                              residual=worst)
         h = period / opts.n_steps
         xdot_t = (orbit[-1] - orbit[-2]) / h
-        jac = np.zeros((n + 1, n + 1))
-        jac[:n, :n] = mono - np.eye(n)
-        jac[:n, n] = xdot_t
-        jac[n, a_idx] = 1.0
         rhs = np.concatenate([-res, [0.0]])
-        upd = np.linalg.solve(jac, rhs)
+        if mf:
+            lin = _shooting_linearization(compiled, state, orbit, t0,
+                                          period, opts.method)
+            # the period column is scaled by h (the unknown becomes
+            # dT/h, a per-step voltage-sized quantity): the raw
+            # bordered system mixes O(1) voltages with O(1/h) slopes
+            # and its conditioning defeats GMRES
+            xdh = xdot_t * h
+            op = lin.bordered_op(xdh, a_idx)
+
+            def dense_solve(mono: np.ndarray) -> np.ndarray:
+                jac = _bordered_jacobian(mono, xdh, a_idx)
+                return np.linalg.solve(jac, rhs)
+
+            upd = _krylov_or_dense(lin, op, rhs, dense_solve,
+                                   opts.krylov_tol,
+                                   compiled.circuit.name)
+            upd[n] *= h            # unscale dT/h -> dT
+        else:
+            jac = _bordered_jacobian(mono, xdot_t, a_idx)
+            upd = np.linalg.solve(jac, rhs)
         dT = float(np.clip(upd[n], -0.2 * period, 0.2 * period))
         x_pad[:-1] = orbit[0] + upd[:n]
         period += dT
@@ -324,8 +513,20 @@ def pss_oscillator(compiled: CompiledCircuit, anchor: str,
         f"iterations (residual {worst:.3e})")
 
 
+def _bordered_jacobian(mono: np.ndarray, xdot_t: np.ndarray,
+                       a_idx: int) -> np.ndarray:
+    """Oscillator shooting Jacobian: ``M - I`` bordered by the period
+    column and the phase-anchor row."""
+    n = mono.shape[0]
+    jac = np.zeros((n + 1, n + 1))
+    jac[:n, :n] = mono - np.eye(n)
+    jac[:n, n] = xdot_t
+    jac[n, a_idx] = 1.0
+    return jac
+
+
 def _advance_to_crossing(compiled, state, x_pad, t_cur, dt, level, a_idx,
-                         period, opts: PssOptions):
+                         period, opts: PssOptions, anchor: str = "?"):
     """Integrate until the anchor crosses *level* rising (max 2 periods)."""
     # a whole number of steps: the ~2.2-period horizon is a heuristic,
     # so round it up rather than have the integrator snap (and warn
@@ -341,5 +542,11 @@ def _advance_to_crossing(compiled, state, x_pad, t_cur, dt, level, a_idx,
         if v[k - 1] < level <= v[k] and v[k] > v[k - 1]:
             x_new = compiled.pad(res.states[k])
             return x_new, float(res.t[k])
-    # fall back to the final state
+    warnings.warn(
+        f"no rising crossing of anchor node '{anchor}' through "
+        f"{level:.4g} within ~2.2 estimated periods; falling back to "
+        "the final settling state.  A non-swinging (or mis-chosen) "
+        "phase anchor is the usual cause of oscillator shooting "
+        "divergence - pick a node that oscillates, or pass a better "
+        "period_guess", UserWarning, stacklevel=3)
     return res.x_final_pad, float(res.t[-1])

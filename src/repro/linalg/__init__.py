@@ -65,6 +65,20 @@ via ``ParamState.to_dense``), so no dense ``(n+1)^2`` array exists
 anywhere between state construction and ``splu`` - large netlists
 scale with ``nnz`` instead of ``n^2`` per state *and* per iteration.
 
+**Matrix-free Krylov periodic engines** (:mod:`repro.linalg.krylov` +
+:class:`~repro.analysis.orbit.OrbitLinearization`).  The periodic
+analyses (shooting PSS, LPTV sensitivities) used to be the last dense
+holdouts: an ``(n_steps, n, n)`` Jacobian stack and an explicitly
+formed monodromy matrix.  On ``wants_csr`` backends at or above
+``MATRIX_FREE_MIN_UNKNOWNS`` unknowns the orbit linearisation is now
+stored as per-step value arrays on the circuit's ``CsrPlan``
+(O(n_steps * nnz)), each ``A_k`` is factored once through the
+``factor_csc`` backend hook, and the shooting update / periodicity
+closure are solved by blocked GMRES on the sweep operator ``v -> M v``
+- the monodromy never exists as a matrix.  Below the threshold the
+explicit dense path runs bit-identically, and a stalled GMRES falls
+back to it with a warning.
+
 **Process-parallel Monte-Carlo sharding**
 (:func:`repro.core.montecarlo.monte_carlo_transient` /
 ``monte_carlo_dc`` with ``n_workers``).  Monte-Carlo chunks are
@@ -130,6 +144,8 @@ from .backends import (SPARSE_AUTO_THRESHOLD, CachedDenseBackend,
                        DenseBackend, Factorization, LinearSolverBackend,
                        NewtonPolicy, SparseBackend, available_backends,
                        resolve_backend)
+from .krylov import (GMRES_MAXITER, GMRES_TOL, MATRIX_FREE_MIN_UNKNOWNS,
+                     gmres_blocked, solve_blocked, use_matrix_free)
 from .reuse import FactorizationCache, mark_singular_lanes
 from .sparsity import CsrPlan
 
@@ -138,4 +154,6 @@ __all__ = [
     "DenseBackend", "CachedDenseBackend", "SparseBackend",
     "resolve_backend", "available_backends", "SPARSE_AUTO_THRESHOLD",
     "FactorizationCache", "mark_singular_lanes", "CsrPlan",
+    "gmres_blocked", "solve_blocked", "use_matrix_free",
+    "MATRIX_FREE_MIN_UNKNOWNS", "GMRES_TOL", "GMRES_MAXITER",
 ]

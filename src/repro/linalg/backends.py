@@ -173,6 +173,21 @@ class LinearSolverBackend(ABC):
         Raises :class:`numpy.linalg.LinAlgError` when singular.
         """
 
+    def factor_csc(self, a) -> Factorization:
+        """Factor a ``scipy.sparse`` CSC/CSR matrix.
+
+        The seam the sparse-native periodic engines use for their
+        per-step ``A_k`` factorizations
+        (:class:`~repro.analysis.orbit.OrbitLinearization`): the
+        operand is assembled on the circuit's
+        :class:`~repro.linalg.sparsity.CsrPlan` and never densified.
+        Default is SuperLU for every backend - a dense backend forced
+        onto the matrix-free path (parity tests) still factors
+        sparsely; :class:`SparseBackend` routes through its own
+        :meth:`factor` so policy hooks stay in one place.
+        """
+        return SparseLuFactorization(a)
+
     def solve(self, a: np.ndarray, rhs: np.ndarray,
               trans: bool = False) -> np.ndarray:
         """One-shot factor-and-solve."""
@@ -239,6 +254,9 @@ class SparseBackend(LinearSolverBackend):
         if scipy.sparse.issparse(a) or a.ndim == 2:
             return SparseLuFactorization(a)
         return BatchedSparseLuFactorization(a)
+
+    def factor_csc(self, a) -> Factorization:
+        return self.factor(a)
 
 
 _BACKENDS = {

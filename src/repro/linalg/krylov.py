@@ -1,0 +1,220 @@
+"""Matrix-free Krylov solvers for the periodic (PSS/LPTV) engines.
+
+The shooting update and the LPTV periodicity closure both solve systems
+in the monodromy matrix ``M = dPhi/dx0`` - the one structurally *dense*
+object of the periodic pipeline.  Forming ``M`` explicitly costs
+``O(n_steps * n^3)`` dense work and ``O(n^2)`` memory, which is what
+kept the periodic analyses from scaling with the circuit's sparsity.
+
+This module removes the explicit matrix: ``M v`` is one block-triangular
+sweep of cached per-step solves (``v_k = A_k^{-1} B_k v_{k-1}``, see
+:class:`~repro.analysis.orbit.OrbitLinearization`), and the outer
+systems ``(I - M) x = b`` (periodicity closure), ``(M - I) dx = -r``
+(shooting Newton) and their bordered oscillator variants are solved
+with GMRES on that operator.  GMRES converges in a handful of sweeps
+here because the spectrum of ``I - M`` is clustered around 1 for any
+stable orbit (the Floquet multipliers live inside the unit disk).
+
+:func:`gmres_blocked` batches *many right-hand sides through one Arnoldi
+process per column with a shared operator application*: each iteration
+applies the sweep to all columns at once (one blocked back-substitution
+per orbit step), which is what keeps the LPTV closure's cost independent
+of the mismatch-parameter count beyond cheap vector work -
+:func:`solve_blocked` adds column chunking so the Krylov basis stays
+within a fixed memory budget for large injection sets.
+
+Engine selection (:func:`use_matrix_free`) follows the backend seam:
+matrix-free engages on ``wants_csr`` backends at or above
+:data:`MATRIX_FREE_MIN_UNKNOWNS` unknowns; below the threshold (or on
+dense backends) the periodic engines keep the explicit dense monodromy
+path bit-identical to earlier releases.  Callers may force either
+engine (parity tests do).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .backends import LinearSolverBackend
+
+#: ``"auto"`` engages the matrix-free periodic engines at this many MNA
+#: unknowns (on a ``wants_csr`` backend).  Below it the dense monodromy
+#: path is both fast and the bit-identical reference, so small circuits
+#: keep it.  Matches the backend auto-selection crossover.
+MATRIX_FREE_MIN_UNKNOWNS = 128
+
+#: Default relative GMRES tolerance.  One to two orders below the
+#: shooting/LPTV acceptance tolerances, so the Krylov error never
+#: limits the outer Newton.
+GMRES_TOL = 1e-11
+
+#: Default cap on Arnoldi iterations (full-memory GMRES, no restart:
+#: the periodic operators converge in far fewer sweeps or not at all).
+GMRES_MAXITER = 200
+
+#: Default column-chunk bound for :func:`solve_blocked`: bounds the
+#: Krylov basis memory at ``(maxiter + 1) * n * max_cols`` floats.
+GMRES_MAX_BLOCK_COLS = 64
+
+
+def use_matrix_free(backend: LinearSolverBackend, n: int,
+                    override: "bool | None" = None) -> bool:
+    """Should the periodic engines run matrix-free for *n* unknowns?
+
+    ``override`` (when not ``None``) wins - parity tests force either
+    engine.  Otherwise matrix-free engages exactly when the backend
+    prefers CSR operands *and* the system is at or above
+    :data:`MATRIX_FREE_MIN_UNKNOWNS`; everything else takes the dense
+    fallback, keeping small circuits bit-identical to the explicit
+    monodromy path.
+    """
+    if override is not None:
+        return bool(override)
+    return backend.wants_csr and n >= MATRIX_FREE_MIN_UNKNOWNS
+
+
+def gmres_blocked(apply_op: Callable[[np.ndarray], np.ndarray],
+                  b: np.ndarray, tol: float = GMRES_TOL,
+                  maxiter: int = GMRES_MAXITER
+                  ) -> tuple[np.ndarray, int, bool]:
+    """Full-memory GMRES on one operator for many right-hand sides.
+
+    Parameters
+    ----------
+    apply_op:
+        The linear operator; receives a ``(n, m)`` block and must apply
+        the *same* operator to every column (one blocked orbit sweep).
+    b:
+        Right-hand sides, ``(n,)`` or ``(n, m)``.
+    tol:
+        Per-column relative residual target (``|r| <= tol * |b|``;
+        zero columns are solved exactly by ``x = 0``).
+    maxiter:
+        Arnoldi iteration cap (additionally capped at ``n``).
+
+    Returns
+    -------
+    ``(x, n_iter, converged)`` - the solution block (same shape as
+    *b*), the Arnoldi iterations spent, and whether every column met
+    its target.  On non-convergence the least-squares-optimal iterate
+    is still returned; callers decide whether to fall back (the
+    periodic engines warn and rebuild the dense monodromy).
+
+    Notes
+    -----
+    Each column runs its own Arnoldi recurrence (same operator,
+    different Krylov space), vectorised over the column axis: one
+    operator application per iteration serves every column, the
+    Hessenberg bookkeeping is ``O(m j)`` per iteration via Givens
+    rotations.  No restarting - the periodic operators either converge
+    quickly (clustered spectrum) or need the dense fallback anyway.
+    """
+    b = np.asarray(b, dtype=float)
+    vec = b.ndim == 1
+    bb = b[:, None] if vec else b
+    n, m = bb.shape
+    maxiter = max(1, min(int(maxiter), n))
+
+    x = np.zeros_like(bb)
+    beta = np.linalg.norm(bb, axis=0)
+    target = tol * beta
+    if not np.any(beta > 0.0):
+        return (x[:, 0] if vec else x), 0, True
+
+    # everything grows with the iteration count (the basis as a list
+    # of (n, m) blocks, the Hessenberg/Givens bookkeeping by capacity
+    # doubling), so memory tracks the sweeps actually needed instead
+    # of the maxiter worst case
+    v_basis = [bb / np.where(beta > 0.0, beta, 1.0)]
+    cap = min(maxiter, 32)
+    h = np.zeros((cap + 1, cap, m))
+    cs = np.empty((cap, m))
+    sn = np.empty((cap, m))
+    g = np.zeros((cap + 1, m))
+    g[0] = beta
+
+    n_iter = 0
+    converged = False
+    for j in range(maxiter):
+        n_iter = j + 1
+        if j >= cap:
+            new_cap = min(maxiter, 2 * cap)
+            h_new = np.zeros((new_cap + 1, new_cap, m))
+            h_new[:cap + 1, :cap] = h
+            g_new = np.zeros((new_cap + 1, m))
+            g_new[:cap + 1] = g
+            cs_new = np.empty((new_cap, m))
+            cs_new[:cap] = cs
+            sn_new = np.empty((new_cap, m))
+            sn_new[:cap] = sn
+            h, g, cs, sn, cap = h_new, g_new, cs_new, sn_new, new_cap
+        w = apply_op(v_basis[j])
+        # modified Gram-Schmidt, vectorised over the column axis
+        for i in range(j + 1):
+            hij = np.einsum("nm,nm->m", v_basis[i], w)
+            h[i, j] = hij
+            w -= hij * v_basis[i]
+        hnext = np.linalg.norm(w, axis=0)
+        h[j + 1, j] = hnext
+        v_basis.append(w / np.where(hnext > 0.0, hnext, 1.0))
+
+        # fold the new column into the QR factorization (per column)
+        for i in range(j):
+            hi = cs[i] * h[i, j] + sn[i] * h[i + 1, j]
+            h[i + 1, j] = -sn[i] * h[i, j] + cs[i] * h[i + 1, j]
+            h[i, j] = hi
+        denom = np.hypot(h[j, j], h[j + 1, j])
+        safe = np.where(denom > 0.0, denom, 1.0)
+        cs[j] = np.where(denom > 0.0, h[j, j] / safe, 1.0)
+        sn[j] = np.where(denom > 0.0, h[j + 1, j] / safe, 0.0)
+        h[j, j] = denom
+        h[j + 1, j] = 0.0
+        g[j + 1] = -sn[j] * g[j]
+        g[j] = cs[j] * g[j]
+
+        if np.all(np.abs(g[j + 1]) <= target):
+            converged = True
+            break
+
+    # back-substitute the triangular per-column systems and assemble x
+    k = n_iter
+    y = np.zeros((k, m))
+    for i in range(k - 1, -1, -1):
+        acc = g[i].copy()
+        if i + 1 < k:
+            acc -= np.einsum("km,km->m", h[i, i + 1:k], y[i + 1:k])
+        nonzero = np.abs(h[i, i]) > 0.0
+        y[i] = np.where(nonzero, acc / np.where(nonzero, h[i, i], 1.0), 0.0)
+    for i in range(k):
+        x += v_basis[i] * y[i]
+    return (x[:, 0] if vec else x), n_iter, converged
+
+
+def solve_blocked(apply_op: Callable[[np.ndarray], np.ndarray],
+                  b: np.ndarray, tol: float = GMRES_TOL,
+                  maxiter: int = GMRES_MAXITER,
+                  max_cols: int = GMRES_MAX_BLOCK_COLS
+                  ) -> tuple[np.ndarray, int, bool]:
+    """Chunked :func:`gmres_blocked` for wide right-hand-side blocks.
+
+    Splits the columns of *b* into chunks of at most *max_cols* so the
+    Krylov basis memory stays bounded at
+    ``(iterations + 1) * n * max_cols`` floats regardless of how many
+    mismatch parameters ride through the closure.  Returns
+    ``(x, total_iterations, all_converged)``.
+    """
+    b = np.asarray(b, dtype=float)
+    if b.ndim == 1 or b.shape[1] <= max_cols:
+        return gmres_blocked(apply_op, b, tol=tol, maxiter=maxiter)
+    x = np.empty_like(b)
+    total = 0
+    ok = True
+    for lo in range(0, b.shape[1], max_cols):
+        sol, it, conv = gmres_blocked(apply_op, b[:, lo:lo + max_cols],
+                                      tol=tol, maxiter=maxiter)
+        x[:, lo:lo + max_cols] = sol
+        total += it
+        ok = ok and conv
+    return x, total, ok

@@ -1,0 +1,406 @@
+"""Matrix-free (Krylov) periodic engines: parity against the dense
+path, memory scaling, and the satellite fixes that rode along.
+
+The parity suite pins the forced matrix-free shooting/LPTV engines
+against the forced dense engines on the paper's two workhorse
+testbenches (driven StrongARM comparator, 5-stage ring oscillator):
+waveforms, ``dT_dp`` and ``df_dp`` must agree to 1e-8 relative.  Small
+circuits on the default auto selection must keep *bit-identical*
+results (the dense fallback is the pre-Krylov code path).
+"""
+
+import tracemalloc
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis import (OrbitLinearization, compile_circuit,
+                            periodic_sensitivities, pss, pss_oscillator)
+from repro.analysis.lptv import PeriodicLinearization
+from repro.analysis.pss import PssOptions, _advance_to_crossing
+from repro.circuit import Circuit, Sine
+from repro.circuits import rc_ladder
+from repro.errors import AnalysisError
+from repro.linalg import (MATRIX_FREE_MIN_UNKNOWNS, gmres_blocked,
+                          resolve_backend, solve_blocked, use_matrix_free)
+
+PARITY_RTOL = 1e-8
+
+
+def _rel_diff(a, b):
+    scale = max(float(np.max(np.abs(a))), 1e-300)
+    return float(np.max(np.abs(a - b))) / scale
+
+
+# ---------------------------------------------------------------------------
+# GMRES unit tests
+# ---------------------------------------------------------------------------
+class TestGmresBlocked:
+    def test_matches_direct_solve(self):
+        rng = np.random.default_rng(7)
+        a = np.eye(40) + 0.3 * rng.standard_normal((40, 40))
+        b = rng.standard_normal(40)
+        x, n_iter, ok = gmres_blocked(lambda v: a @ v, b, tol=1e-12)
+        assert ok
+        assert np.allclose(x, np.linalg.solve(a, b), rtol=1e-9, atol=1e-12)
+
+    def test_blocked_rhs_matches_column_solves(self):
+        rng = np.random.default_rng(11)
+        a = np.eye(30) + 0.2 * rng.standard_normal((30, 30))
+        b = rng.standard_normal((30, 5))
+        x, _, ok = gmres_blocked(lambda v: a @ v, b, tol=1e-12)
+        assert ok
+        assert np.allclose(x, np.linalg.solve(a, b), rtol=1e-9, atol=1e-12)
+
+    def test_zero_rhs_is_exact(self):
+        x, n_iter, ok = gmres_blocked(lambda v: 2.0 * v, np.zeros(8))
+        assert ok and n_iter == 0
+        assert np.all(x == 0.0)
+
+    def test_mixed_zero_and_nonzero_columns(self):
+        a = np.diag(np.arange(1.0, 11.0))
+        b = np.zeros((10, 3))
+        b[:, 1] = 1.0
+        x, _, ok = gmres_blocked(lambda v: a @ v, b, tol=1e-12)
+        assert ok
+        assert np.all(x[:, 0] == 0.0) and np.all(x[:, 2] == 0.0)
+        assert np.allclose(a @ x[:, 1], b[:, 1], rtol=1e-10)
+
+    def test_many_iteration_solve_grows_workspace(self):
+        """A spread spectrum needs > 32 Arnoldi steps - exercises the
+        capacity-doubling of the Hessenberg/Givens bookkeeping."""
+        a = np.diag(np.arange(1.0, 61.0))
+        b = np.ones(60)
+        x, n_iter, ok = gmres_blocked(lambda v: a @ v, b, tol=1e-12,
+                                      maxiter=100)
+        assert ok and n_iter > 32
+        assert np.allclose(a @ x, b, rtol=1e-10, atol=1e-12)
+
+    def test_nonconvergence_is_reported_not_raised(self):
+        rng = np.random.default_rng(3)
+        a = np.eye(50) + 0.5 * rng.standard_normal((50, 50))
+        b = rng.standard_normal(50)
+        x, n_iter, ok = gmres_blocked(lambda v: a @ v, b, tol=1e-14,
+                                      maxiter=3)
+        assert not ok and n_iter == 3
+        assert np.all(np.isfinite(x))
+
+    def test_solve_blocked_chunks_match_unchunked(self):
+        rng = np.random.default_rng(5)
+        a = np.eye(20) + 0.1 * rng.standard_normal((20, 20))
+        b = rng.standard_normal((20, 9))
+        x1, _, ok1 = solve_blocked(lambda v: a @ v, b, tol=1e-12,
+                                   max_cols=4)
+        x2, _, ok2 = gmres_blocked(lambda v: a @ v, b, tol=1e-12)
+        assert ok1 and ok2
+        assert np.allclose(x1, x2, rtol=1e-9, atol=1e-13)
+
+    def test_use_matrix_free_selection(self):
+        sparse = resolve_backend("sparse", 1000)
+        cached = resolve_backend("cached", 10)
+        assert use_matrix_free(sparse, MATRIX_FREE_MIN_UNKNOWNS)
+        assert not use_matrix_free(sparse, MATRIX_FREE_MIN_UNKNOWNS - 1)
+        assert not use_matrix_free(cached, 10_000)
+        assert use_matrix_free(cached, 3, override=True)
+        assert not use_matrix_free(sparse, 10_000, override=False)
+
+
+# ---------------------------------------------------------------------------
+# parity: driven comparator
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def comparator_both(tech):
+    from repro.circuits import strongarm_offset_testbench
+    tb = strongarm_offset_testbench(tech)
+    compiled = compile_circuit(tb.circuit)
+    opts = dict(n_steps=400, settle_periods=30)
+    dense = pss(compiled, tb.period,
+                options=PssOptions(matrix_free=False, **opts))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", UserWarning)  # no GMRES fallback
+        mf = pss(compiled, tb.period,
+                 options=PssOptions(matrix_free=True, **opts))
+    return compiled, dense, mf
+
+
+class TestDrivenComparatorParity:
+    def test_orbits_agree(self, comparator_both):
+        _, dense, mf = comparator_both
+        assert _rel_diff(dense.x, mf.x) < PARITY_RTOL
+
+    def test_sensitivity_waveforms_agree(self, comparator_both):
+        _, dense, mf = comparator_both
+        sd = periodic_sensitivities(dense, matrix_free=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            sm = periodic_sensitivities(mf, matrix_free=True)
+        assert sd.keys == sm.keys
+        assert _rel_diff(sd.waveforms, sm.waveforms) < PARITY_RTOL
+
+    def test_mf_linearization_is_sparse_and_shared(self, comparator_both):
+        _, _, mf = comparator_both
+        lin = mf.linearization(True)
+        assert lin.sparse
+        assert mf.linearization(True) is lin
+        assert PeriodicLinearization(mf, matrix_free=True).lin is lin
+
+
+# ---------------------------------------------------------------------------
+# parity: ring oscillator
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def oscillator_both(tech):
+    from repro.circuits import ring_oscillator
+    compiled = compile_circuit(ring_oscillator(tech))
+    opts = PssOptions(n_steps=300, matrix_free=False)
+    dense = pss_oscillator(compiled, anchor="osc1", t_settle=8e-9,
+                           dt_settle=2e-12, options=opts)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", UserWarning)
+        mf = pss_oscillator(compiled, anchor="osc1", t_settle=8e-9,
+                            dt_settle=2e-12,
+                            options=PssOptions(n_steps=300,
+                                               matrix_free=True),
+                            period_guess=dense.period)
+    return compiled, dense, mf
+
+
+class TestOscillatorParity:
+    def test_periods_agree(self, oscillator_both):
+        _, dense, mf = oscillator_both
+        assert abs(dense.period - mf.period) < PARITY_RTOL * dense.period
+
+    def test_dT_dp_and_df_dp_agree(self, oscillator_both):
+        _, dense, mf = oscillator_both
+        sd = periodic_sensitivities(dense, matrix_free=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            sm = periodic_sensitivities(mf, matrix_free=True)
+        assert _rel_diff(sd.dT_dp, sm.dT_dp) < PARITY_RTOL
+        assert _rel_diff(sd.df_dp(), sm.df_dp()) < PARITY_RTOL
+
+    def test_sensitivity_waveforms_agree(self, oscillator_both):
+        _, dense, mf = oscillator_both
+        sd = periodic_sensitivities(dense, matrix_free=False)
+        sm = periodic_sensitivities(mf, matrix_free=True)
+        assert _rel_diff(sd.waveforms, sm.waveforms) < PARITY_RTOL
+
+
+# ---------------------------------------------------------------------------
+# dense fallback: small circuits stay bit-identical on auto selection
+# ---------------------------------------------------------------------------
+class TestDenseFallback:
+    @pytest.fixture()
+    def rc(self):
+        ckt = Circuit("rc")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+        ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.05)
+        ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+        return compile_circuit(ckt)
+
+    def test_auto_selects_dense_below_threshold(self, rc):
+        assert not use_matrix_free(rc.backend, rc.n)
+
+    def test_auto_pss_bit_identical_to_forced_dense(self, rc):
+        opts = dict(n_steps=128, settle_periods=2)
+        auto = pss(rc, 1e-6, options=PssOptions(**opts))
+        forced = pss(rc, 1e-6, options=PssOptions(matrix_free=False,
+                                                  **opts))
+        assert np.array_equal(auto.x, forced.x)
+
+    def test_auto_lptv_bit_identical_to_forced_dense(self, rc):
+        p = pss(rc, 1e-6, options=PssOptions(n_steps=128,
+                                             settle_periods=2))
+        s_auto = periodic_sensitivities(p)
+        p.clear_caches()
+        s_forced = periodic_sensitivities(p, matrix_free=False)
+        assert np.array_equal(s_auto.waveforms, s_forced.waveforms)
+
+    def test_forced_mf_matches_on_small_circuit(self, rc):
+        opts = dict(n_steps=128, settle_periods=2)
+        dense = pss(rc, 1e-6, options=PssOptions(matrix_free=False,
+                                                 **opts))
+        mf = pss(rc, 1e-6, options=PssOptions(matrix_free=True, **opts))
+        assert _rel_diff(dense.x, mf.x) < PARITY_RTOL
+        sd = periodic_sensitivities(dense, matrix_free=False)
+        sm = periodic_sensitivities(mf, matrix_free=True)
+        assert _rel_diff(sd.waveforms, sm.waveforms) < PARITY_RTOL
+
+
+# ---------------------------------------------------------------------------
+# memory: the orbit linearisation stays O(n_steps * nnz)
+# ---------------------------------------------------------------------------
+class TestOrbitLinearizationMemory:
+    #: Generous per-entry budget [bytes / (n_steps+1) / nnz]: the
+    #: ``g_data_t`` block is 8, the derived ``B_k`` block another 8,
+    #: per-step factorizations and sweep temporaries a few dozen more -
+    #: while the dense ``(N+1, n, n)`` stack would cost ~1600x this at
+    #: 1k nodes.
+    BUDGET_BYTES_PER_ENTRY = 96
+
+    @staticmethod
+    def _nonlinear_ladder(n_sections, tech):
+        """Ladder plus one MOSFET so ``G(t)`` is state-dependent -
+        the linearisation must store and factor every step."""
+        ckt = rc_ladder(n_sections)
+        ckt.add_mosfet("M1", f"n{n_sections}", f"n{n_sections - 1}",
+                       "0", "0", w=2e-6, l=0.26e-6, tech=tech)
+        return ckt
+
+    def test_1k_ladder_linearization_is_sparse_sized(self, tech):
+        n_steps = 64
+        compiled = compile_circuit(self._nonlinear_ladder(1000, tech),
+                                   backend="sparse")
+        state = compiled.nominal
+        compiled.csr_plan
+        compiled.orbit_csr_jacobians(state, np.zeros((2, compiled.n)),
+                                     np.zeros(2))   # warm slot maps
+        x = np.zeros((n_steps + 1, compiled.n))
+        t = np.linspace(0.0, 1e-6, n_steps + 1)
+
+        tracemalloc.start()
+        lin = OrbitLinearization(compiled, state, x, t, 1e-6, "trap")
+        lin.factors()
+        lin.apply_monodromy(np.ones(compiled.n))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        nnz = compiled.csr_plan.nnz
+        budget = self.BUDGET_BYTES_PER_ENTRY * (n_steps + 1) * nnz
+        dense_stack = (n_steps + 1) * compiled.n ** 2 * 8
+        assert lin.sparse and not lin.time_invariant
+        assert len(set(map(id, lin.factors()))) == n_steps
+        assert peak < budget, (peak, budget)
+        assert budget < 0.1 * dense_stack   # the bound itself is sparse
+
+    def test_time_invariant_linearization_stores_one_row(self):
+        """A linear circuit's G is time-invariant: one assembled row
+        (broadcast) and one shared factorization, O(nnz) total."""
+        n_steps = 64
+        compiled = compile_circuit(rc_ladder(1000), backend="sparse")
+        compiled.csr_plan
+        compiled.orbit_csr_jacobians(compiled.nominal,
+                                     np.zeros((2, compiled.n)),
+                                     np.zeros(2))
+        x = np.zeros((n_steps + 1, compiled.n))
+        t = np.linspace(0.0, 1e-6, n_steps + 1)
+        tracemalloc.start()
+        lin = OrbitLinearization(compiled, compiled.nominal, x, t,
+                                 1e-6, "trap")
+        lin.factors()
+        lin.apply_monodromy(np.ones(compiled.n))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert lin.time_invariant
+        assert lin.g_data_t.strides[0] == 0      # broadcast, not copied
+        assert len(set(map(id, lin.factors()))) == 1
+        # O(nnz), independent of n_steps (generous constant)
+        assert peak < 512 * compiled.csr_plan.nnz, peak
+
+    def test_clear_factors_drops_and_rebuilds(self):
+        compiled = compile_circuit(rc_ladder(200), backend="sparse")
+        x = np.zeros((9, compiled.n))
+        t = np.linspace(0.0, 1e-6, 9)
+        lin = OrbitLinearization(compiled, x=x, t=t, period=1e-6,
+                                 method="trap", state=compiled.nominal)
+        v = np.ones(compiled.n)
+        before = lin.apply_monodromy(v)
+        assert lin._factors is not None
+        lin.clear_factors()
+        assert lin._factors is None
+        after = lin.apply_monodromy(v)
+        assert np.array_equal(before, after)
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes
+# ---------------------------------------------------------------------------
+class TestSatelliteFixes:
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=Sine(amplitude=0.5, freq=1e6, offset=0.5))
+        ckt.add_resistor("R", "in", "out", 1e3)
+        ckt.add_capacitor("C", "out", "0", 2e-10)
+        return compile_circuit(ckt)
+
+    def test_settle_max_periods_zero_is_clear_error(self):
+        compiled = self._rc()
+        with pytest.raises(AnalysisError, match="settle_max_periods"):
+            pss(compiled, 1e-6,
+                options=PssOptions(engine="settle", n_steps=32,
+                                   settle_periods=0,
+                                   settle_max_periods=0))
+
+    def test_n_steps_below_two_is_clear_error(self):
+        compiled = self._rc()
+        with pytest.raises(AnalysisError, match="n_steps"):
+            pss(compiled, 1e-6, options=PssOptions(n_steps=1))
+
+    def test_zero_max_iterations_is_clear_error(self):
+        compiled = self._rc()
+        with pytest.raises(AnalysisError, match="max_iterations"):
+            pss(compiled, 1e-6, options=PssOptions(max_iterations=0))
+
+    def test_nonpositive_period_is_clear_error(self):
+        compiled = self._rc()
+        with pytest.raises(AnalysisError, match="period"):
+            pss(compiled, 0.0)
+        with pytest.raises(AnalysisError, match="period"):
+            pss_oscillator(compiled, anchor="out", t_settle=1e-6,
+                           dt_settle=1e-8, period_guess=-1e-6)
+
+    def test_advance_to_crossing_warns_on_fallback(self):
+        compiled = self._rc()
+        state = compiled.nominal
+        x_pad = np.zeros(compiled.n + 1)
+        a_idx = compiled.node_index["out"]
+        with pytest.warns(UserWarning, match="phase anchor"):
+            _advance_to_crossing(compiled, state, x_pad, 0.0, 1e-8,
+                                 level=10.0, a_idx=a_idx, period=1e-6,
+                                 opts=PssOptions(), anchor="out")
+
+    def test_pss_result_clear_caches(self):
+        compiled = self._rc()
+        p = pss(compiled, 1e-6, options=PssOptions(n_steps=64,
+                                                   settle_periods=2))
+        lin1 = p.linearization()
+        assert p.linearization() is lin1
+        p.clear_caches()
+        assert p.linearization() is not lin1
+
+    def test_periodic_linearization_clear_caches(self):
+        compiled = self._rc()
+        ckt_lin = PeriodicLinearization(
+            pss(compiled, 1e-6, options=PssOptions(n_steps=64,
+                                                   settle_periods=2)))
+        mono1 = ckt_lin.monodromy()
+        assert ckt_lin.lin._factors is not None
+        assert ckt_lin.clear_caches() is ckt_lin
+        assert ckt_lin.lin._factors is None
+        assert np.array_equal(mono1, ckt_lin.monodromy())
+
+    def test_pnoise_rejects_engine_from_other_orbit(self):
+        from repro.analysis import HarmonicLptv, pnoise
+        compiled = self._rc()
+        opts = PssOptions(n_steps=128, settle_periods=2)
+        p1 = pss(compiled, 1e-6, options=opts)
+        p2 = pss(compiled, 1e-6, options=opts)
+        engine = HarmonicLptv(p1, n_harmonics=8)
+        pnoise(p1, "out", engine=engine)            # same orbit: fine
+        pnoise(p1, "out", n_harmonics=8, engine=engine)   # consistent
+        with pytest.raises(AnalysisError, match="different PSS"):
+            pnoise(p2, "out", engine=engine)
+        with pytest.raises(AnalysisError, match="n_harmonics"):
+            pnoise(p1, "out", n_harmonics=12, engine=engine)
+
+    def test_harmonic_engine_shares_linearization(self):
+        from repro.analysis import HarmonicLptv
+        compiled = self._rc()
+        p = pss(compiled, 1e-6, options=PssOptions(n_steps=128,
+                                                   settle_periods=2))
+        engine = HarmonicLptv(p, n_harmonics=8)
+        assert p._lin is not None          # built through the cache
+        assert engine is not None
