@@ -1,0 +1,102 @@
+"""Warm-cache analysis service on the Table II comparator workload.
+
+The layered service core exists so that *repeat* analysis work - design
+iteration loops, parameter studies, request fan-out - stops paying the
+compile and PSS cost on every call.  This benchmark measures the three
+temperatures of the same comparator offset analysis through one
+:class:`~repro.service.session.AnalysisSession`:
+
+* **cold** - empty session: compile + PSS settle/shooting + LPTV
+  sensitivity solve + measures;
+* **warm_pss** - same circuit content, new request object, result memo
+  bypassed (object-level API): the compile and the PSS orbit come from
+  the session caches, the LPTV solve and measures re-run;
+* **warm_memo** - the identical request again: served from the result
+  memo without touching the engines.
+
+Acceptance: all three produce bit-identical sigma (the caches key on
+content, so caching must never change numbers), ``warm_memo`` is at
+least 5x faster than cold, and ``warm_pss`` is no slower than cold.
+Published as ``BENCH_service_cache.json``; the speedup factors are
+gated >= 1.0 by ``check_regression.py`` and the 5x floor is asserted
+here.
+"""
+
+import time
+
+from conftest import publish
+
+from repro.analysis.pss import PssOptions
+from repro.circuits import strongarm_offset_testbench
+from repro.core.measures import DcLevel
+from repro.service import AnalysisRequest, AnalysisSession
+
+N_STEPS = 300
+
+
+def test_service_cache_comparator(tech, results_dir):
+    tb = strongarm_offset_testbench(tech)
+    vos = DcLevel("vos", tb.vos_node)
+    pss_opts = PssOptions(n_steps=N_STEPS,
+                          settle_periods=tb.settle_cycles // 2)
+    request = AnalysisRequest.transient_mismatch(
+        tb.circuit, [vos], period=tb.period, pss_options=pss_opts)
+
+    session = AnalysisSession()
+
+    t0 = time.perf_counter()
+    cold = session.run(request)
+    t_cold = time.perf_counter() - t0
+    assert not cold.from_cache
+
+    # content-equal circuit, result memo bypassed: compile + PSS hit
+    tb2 = strongarm_offset_testbench(tech)
+    t0 = time.perf_counter()
+    warm_pss = session.transient_mismatch(
+        tb2.circuit, [vos], period=tb2.period, pss_options=pss_opts)
+    t_warm_pss = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    memo = session.run(AnalysisRequest.transient_mismatch(
+        tb.circuit, [vos], period=tb.period, pss_options=pss_opts))
+    t_memo = time.perf_counter() - t0
+    assert memo.from_cache
+
+    sigma = cold.sigma("vos")
+    # caching must never change numbers
+    assert warm_pss.sigma("vos") == sigma
+    assert memo.sigma("vos") == sigma
+
+    stats = session.stats()
+    assert stats["compiled"]["hits"] >= 1
+    assert stats["pss"]["hits"] >= 1
+    assert stats["results"]["hits"] == 1
+
+    speedup_memo = t_cold / t_memo
+    speedup_pss = t_cold / t_warm_pss
+    assert speedup_memo >= 5.0, (
+        f"memoized repeat only {speedup_memo:.1f}x faster than cold")
+
+    text = "\n".join([
+        "analysis-service cache temperatures "
+        "(comparator offset, Table II workload)",
+        f"{'path':<12s} {'wall [s]':>10s} {'speedup':>9s}  engines run",
+        f"{'cold':<12s} {t_cold:>10.2f} {1.0:>8.1f}x  "
+        "compile + PSS + LPTV + measures",
+        f"{'warm_pss':<12s} {t_warm_pss:>10.2f} {speedup_pss:>8.1f}x  "
+        "LPTV + measures (compile/PSS cached)",
+        f"{'warm_memo':<12s} {t_memo:>10.4f} {speedup_memo:>8.1f}x  "
+        "none (result memo)",
+        f"sigma(vos) = {sigma * 1e3:.3f} mV on all three paths "
+        "(bit-identical)",
+    ])
+    publish(results_dir, "service_cache", text, data={
+        "n_steps": N_STEPS,
+        "wall_seconds": {"cold": t_cold, "warm_pss": t_warm_pss,
+                         "warm_memo": t_memo},
+        "speedup_memo": speedup_memo,
+        "speedup_pss": speedup_pss,
+        "sigma_vos": sigma,
+        "cache_stats": {store: {"hits": s["hits"], "misses": s["misses"]}
+                        for store, s in stats.items()},
+    })

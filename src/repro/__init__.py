@@ -32,6 +32,8 @@ from .core import (transient_mismatch_analysis, dc_mismatch_analysis,
 from .circuits import (ring_oscillator, strongarm_offset_testbench,
                        logic_path_testbench, inverter_chain,
                        five_transistor_ota, resistor_string_dac)
+from .service import (AnalysisRequest, AnalysisResult, AnalysisSession,
+                      JobQueue, default_session)
 
 __version__ = "1.0.0"
 
@@ -50,5 +52,7 @@ __all__ = [
     "ring_oscillator", "strongarm_offset_testbench",
     "logic_path_testbench", "inverter_chain", "five_transistor_ota",
     "resistor_string_dac",
+    "AnalysisRequest", "AnalysisResult", "AnalysisSession", "JobQueue",
+    "default_session",
     "__version__",
 ]

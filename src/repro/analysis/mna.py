@@ -316,6 +316,7 @@ class CompiledCircuit:
         self._nlv_gpos: "np.ndarray | None" = None
 
         self._nominal_state: ParamState | None = None
+        self._cache_key: str | None = None
         #: Linear-solver backend used by every analysis on this circuit
         #: (see :mod:`repro.linalg`); change it with :meth:`set_backend`.
         self.backend = resolve_backend(backend, self.n)
@@ -388,6 +389,48 @@ class CompiledCircuit:
             cache.pop(batch)
             cache[batch] = b
         return b
+
+    # ------------------------------------------------------------------
+    # content-addressed identity
+    # ------------------------------------------------------------------
+    @property
+    def cache_key(self) -> str:
+        """Stable content hash of this compile (SHA-256 hex digest).
+
+        Combines :meth:`Circuit.fingerprint` with the compile options
+        that change the numerical system (``cmin``) and a format-version
+        tag covering the stamp-plan layout.  Two independently compiled
+        circuits with equal netlist content produce equal keys, which is
+        what lets :class:`repro.service.AnalysisSession` share one
+        compile between requests.  The linear-solver backend is *not*
+        part of the key (it is a mutable execution strategy, not
+        content); session caches append the backend spec themselves.
+        """
+        if self._cache_key is None:
+            from ..circuit.netlist import content_digest
+            self._cache_key = content_digest(
+                "compiled-circuit-v1", self.circuit.fingerprint(),
+                float(self.cmin))
+        return self._cache_key
+
+    def state_key(self, deltas: "Deltas | None" = None,
+                  source_values: "dict[str, float | np.ndarray] | None"
+                  = None,
+                  batch_shape: tuple[int, ...] | None = None) -> str:
+        """Content hash of the :class:`ParamState` that
+        :meth:`make_state` would build from the same arguments.
+
+        Derived from :attr:`cache_key`, so it is stable across processes
+        and compiles of equal circuits.  Delta dictionaries hash
+        order-independently; array-valued deltas and source overrides
+        hash by value.
+        """
+        from ..circuit.netlist import content_digest
+        return content_digest(
+            "param-state-v1", self.cache_key,
+            {k: v for k, v in (deltas or {}).items()},
+            dict(source_values or {}),
+            tuple(int(s) for s in (batch_shape or ())))
 
     def clear_caches(self) -> "CompiledCircuit":
         """Drop every derived cache this circuit accumulated.

@@ -77,6 +77,20 @@ class PssOptions:
     matrix_free: bool | None = None
     #: Relative GMRES tolerance of the matrix-free shooting update.
     krylov_tol: float = 1e-11
+    #: Run the pre-shooting settle phase on the adaptive LTE-controlled
+    #: stepper instead of the fixed ``period / n_steps`` grid.  The
+    #: settle inherits the transient breakpoint schedule
+    #: (:func:`~repro.analysis.transient.source_breakpoints`), landing
+    #: exactly on every clock edge instead of burning LTE rejections
+    #: rediscovering them.  Only the *approach* to the orbit changes -
+    #: the shooting iteration itself stays on the fixed grid and
+    #: converges to the same steady state (within :attr:`tol`).
+    settle_adaptive: bool = False
+    #: Relative/absolute LTE targets of the adaptive settle phase.
+    #: The defaults favour speed: the settle only needs to reach the
+    #: orbit's basin of attraction - shooting Newton does the polishing.
+    settle_rtol: float = 1e-3
+    settle_atol: float = 1e-6
     newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(
         max_step=1.0, max_iterations=50))
 
@@ -298,11 +312,18 @@ def _settle_start(compiled: CompiledCircuit, state: ParamState,
         dc = dc_operating_point(compiled, state, t=0.0)
         x_pad = compiled.pad(dc.x)
     if opts.settle_periods > 0:
+        if opts.settle_adaptive:
+            topts = TransientOptions(
+                method=opts.method, record=[], newton=opts.newton,
+                adaptive=True, rtol=opts.settle_rtol,
+                atol=opts.settle_atol)
+        else:
+            topts = TransientOptions(method=opts.method, record=[],
+                                     newton=opts.newton)
         res = transient(
             compiled, t_stop=opts.settle_periods * period,
             dt=period / opts.n_steps, state=state, x0_pad=x_pad,
-            options=TransientOptions(method=opts.method, record=[],
-                                     newton=opts.newton))
+            options=topts)
         x_pad = res.x_final_pad
     return x_pad
 

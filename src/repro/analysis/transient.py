@@ -143,6 +143,15 @@ class TransientOptions:
     #: are ignored; ``t_stop`` is always landed on.  Requires
     #: :attr:`adaptive` (the fixed grid cannot honour it and refuses).
     t_out: Sequence[float] | None = None
+    #: Register every source/gate waveform corner (pulse edges, PWL
+    #: corners, gate-window transitions; see
+    #: :func:`source_breakpoints`) as an exact landing time of the
+    #: adaptive stepper.  The LTE controller only *reacts* to an edge
+    #: after stepping into it, so without the schedule every edge costs
+    #: a burst of rejected steps; with it the stepper walks up to the
+    #: edge exactly and restarts small on the other side.  Ignored on
+    #: the fixed grid.
+    breakpoints: bool = True
 
 
 @dataclass
@@ -628,6 +637,48 @@ def _default_dt_max(compiled: CompiledCircuit, span: float) -> float:
     return cap
 
 
+#: Above this many registered landing times the schedule is dropped
+#: (the stepper would degenerate to a near-fixed grid anyway).
+_BREAKPOINT_CAP = 4096
+
+
+def source_breakpoints(compiled: CompiledCircuit, t_start: float,
+                       t_stop: float) -> np.ndarray:
+    """Union of waveform corner times in ``(t_start, t_stop)``.
+
+    Collects :meth:`~repro.circuit.sources.TimeFunction.breakpoints`
+    from every independent source and every VCCS gate window, sorted
+    and de-duplicated to a relative tolerance.  The PSS settle phase
+    inherits the same schedule through
+    :attr:`~repro.analysis.pss.PssOptions.settle_adaptive`.
+    """
+    chunks = []
+    waves = [el.wave for el in compiled.vsources + compiled.isources]
+    waves += [el.gate for el in compiled.nl_vccs if el.gate is not None]
+    for w in waves:
+        bp = getattr(w, "breakpoints", None)
+        if bp is not None:
+            chunks.append(np.asarray(bp(t_start, t_stop), dtype=float))
+    if not chunks:
+        return np.empty(0)
+    pts = np.sort(np.concatenate(chunks))
+    if pts.size == 0:
+        return pts
+    eps = max(1e-12 * (t_stop - t_start),
+              4.0 * np.spacing(max(abs(t_start), abs(t_stop))))
+    keep = np.empty(pts.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = np.diff(pts) > eps
+    pts = pts[keep]
+    if pts.size > _BREAKPOINT_CAP:
+        warnings.warn(
+            f"{pts.size} source breakpoints in [{t_start:.3g}, "
+            f"{t_stop:.3g}] exceed the cap ({_BREAKPOINT_CAP}); "
+            "dropping the landing schedule - pass dt_max instead")
+        return np.empty(0)
+    return pts
+
+
 def _scaled_mismatch(x_new: np.ndarray, x_pred: np.ndarray,
                      x_prev: np.ndarray, n: int, rtol: float,
                      atol: float, guard: _LaneGuard | None) -> float:
@@ -656,11 +707,25 @@ def _adaptive_loop(compiled: CompiledCircuit, state: ParamState,
         raise ValueError(f"dt_min={dt_min:.3e} exceeds dt_max={dt_max:.3e}")
     guard = solver.guard
 
-    targets = [float(t_stop)]
+    pts: set[float] = set()
     if opts.t_out:
-        pts = {float(tp) for tp in opts.t_out
-               if t_start < float(tp) < t_stop}
-        targets = sorted(pts | {float(t_stop)})
+        pts |= {float(tp) for tp in opts.t_out
+                if t_start < float(tp) < t_stop}
+    if opts.breakpoints:
+        pts |= set(source_breakpoints(compiled, t_start, t_stop).tolist())
+    targets = [float(t_stop)]
+    if pts:
+        # merge, dropping near-coincident targets (a landing time a few
+        # ulp from its neighbour would force a sliver step)
+        eps = max(1e-12 * span,
+                  4.0 * np.spacing(max(abs(t_start), abs(t_stop))))
+        targets = []
+        last = t_start
+        for p in sorted(pts):
+            if p - last > eps and t_stop - p > eps:
+                targets.append(p)
+                last = p
+        targets.append(float(t_stop))
 
     times = [t_start]
     store: dict[str, list[np.ndarray]] = {

@@ -7,14 +7,14 @@ This subpackage is pure description; the numerical engines live in
 from .controlled import GateWindow, Vccs, Vcvs
 from .elements import Element, MismatchDecl, NoiseDecl, ParamKey, PsdShape
 from .mosfet import Mosfet, MosEval, ekv_ids
-from .netlist import GROUND_NAMES, Circuit, merge
+from .netlist import GROUND_NAMES, Circuit, content_digest, merge
 from .passives import Capacitor, Inductor, Resistor
 from .sources import (CurrentSource, Dc, Pwl, Sine, SmoothPulse,
                       TimeFunction, VoltageSource, smoothstep)
 from .technology import MosParams, Technology, default_technology
 
 __all__ = [
-    "Circuit", "merge", "GROUND_NAMES",
+    "Circuit", "merge", "GROUND_NAMES", "content_digest",
     "Element", "MismatchDecl", "NoiseDecl", "ParamKey", "PsdShape",
     "Resistor", "Capacitor", "Inductor",
     "VoltageSource", "CurrentSource",

@@ -50,6 +50,14 @@ class GateWindow:
             - smoothstep((ph - self.t_off) / self.tau)
         return g if g.ndim else float(g)
 
+    def breakpoints(self, t0: float, t1: float) -> np.ndarray:
+        """Window transition corners inside ``(t0, t1)`` (see
+        :meth:`repro.circuit.sources.TimeFunction.breakpoints`)."""
+        from .sources import periodic_breakpoints
+        offsets = [self.t_on, self.t_on + self.tau,
+                   self.t_off, self.t_off + self.tau]
+        return periodic_breakpoints(offsets, 0.0, self.period, t0, t1)
+
 
 @dataclass
 class Vccs(Element):

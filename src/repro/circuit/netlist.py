@@ -7,7 +7,12 @@ happens in :mod:`repro.analysis.mna`.  Node names are free-form strings;
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import fields as _dataclass_fields
+from dataclasses import is_dataclass as _is_dataclass
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from ..errors import NetlistError
 from .controlled import GateWindow, Vccs, Vcvs
@@ -20,6 +25,82 @@ from .technology import Technology
 
 #: Node names treated as the ground/reference node.
 GROUND_NAMES = frozenset({"0", "gnd"})
+
+#: Dataclass field names that hold node references on the bundled
+#: elements.  Fingerprinting replaces their values with canonical node
+#: ids so that renaming nodes does not change the hash.
+_NODE_FIELDS = frozenset({"pos", "neg", "ctrl_pos", "ctrl_neg",
+                          "d", "g", "s", "b"})
+
+#: Canonical token for the ground node inside fingerprints.
+_GROUND_TOKEN = "=gnd="
+
+
+def _hash_update(h, obj) -> None:
+    """Feed *obj* into hash *h* using a type-tagged canonical encoding.
+
+    Supports the value types that appear in circuit descriptions and
+    analysis options: scalars, strings, bytes, numpy arrays, lists,
+    tuples, dicts (order-independent) and nested dataclasses.  The
+    encoding is injective per type (length-prefixed strings, tagged
+    scalars) so structurally different objects never collide by
+    concatenation.
+    """
+    if obj is None:
+        h.update(b"N;")
+    elif isinstance(obj, bool):
+        h.update(b"T;" if obj else b"f;")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I%d;" % int(obj))
+    elif isinstance(obj, (float, np.floating)):
+        h.update(("F%r;" % float(obj)).encode())
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        h.update(b"S%d:" % len(raw))
+        h.update(raw)
+        h.update(b";")
+    elif isinstance(obj, bytes):
+        h.update(b"Y%d:" % len(obj))
+        h.update(obj)
+        h.update(b";")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(("A%s%r:" % (arr.dtype.str, arr.shape)).encode())
+        h.update(arr.tobytes())
+        h.update(b";")
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L%d:" % len(obj))
+        for item in obj:
+            _hash_update(h, item)
+        h.update(b";")
+    elif isinstance(obj, dict):
+        h.update(b"D%d:" % len(obj))
+        for key in sorted(obj):
+            _hash_update(h, key)
+            _hash_update(h, obj[key])
+        h.update(b";")
+    elif _is_dataclass(obj) and not isinstance(obj, type):
+        h.update(("C%s:" % type(obj).__name__).encode())
+        for f in _dataclass_fields(obj):
+            _hash_update(h, f.name)
+            _hash_update(h, getattr(obj, f.name))
+        h.update(b";")
+    else:
+        raise TypeError(
+            f"cannot fingerprint a value of type {type(obj).__name__}")
+
+
+def content_digest(*parts) -> str:
+    """SHA-256 hex digest of *parts* under the canonical encoding.
+
+    This is the hashing primitive behind :meth:`Circuit.fingerprint`,
+    ``CompiledCircuit.cache_key`` and the :class:`repro.service`
+    content-addressed caches.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        _hash_update(h, part)
+    return h.hexdigest()
 
 
 class Circuit:
@@ -89,6 +170,51 @@ class Circuit:
                 if node not in GROUND_NAMES:
                     seen.setdefault(node)
         return list(seen)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the netlist (SHA-256 hex digest).
+
+        The hash covers topology, element parameter values and the
+        mismatch/tolerance declarations implied by them, and the stored
+        initial conditions.  It is *invariant* to
+
+        * element insertion order (elements are hashed in name order),
+        * renaming non-ground nodes (node names are replaced by
+          canonical first-use indices over the name-sorted elements),
+        * the circuit's display :attr:`name` (diagnostics only).
+
+        Any change to element names, connectivity or parameter values
+        produces a different digest.  This is the domain-layer identity
+        used by ``CompiledCircuit.cache_key`` and the content-addressed
+        caches in :class:`repro.service.AnalysisSession`.
+        """
+        elements = sorted(self._elements.values(), key=lambda el: el.name)
+        canon: dict[str, str] = {}
+
+        def node_id(node: str) -> str:
+            if node in GROUND_NAMES:
+                return _GROUND_TOKEN
+            tag = canon.get(node)
+            if tag is None:
+                tag = canon[node] = f"#{len(canon)}"
+            return tag
+
+        records = []
+        for el in elements:
+            fields_rec: dict[str, object] = {}
+            for f in _dataclass_fields(el):
+                value = getattr(el, f.name)
+                if f.name in _NODE_FIELDS and isinstance(value, str):
+                    value = node_id(value)
+                fields_rec[f.name] = value
+            records.append((type(el).__name__, fields_rec))
+        # Initial conditions on nodes no element references cannot affect
+        # a simulation; keep them under their raw names for determinism.
+        ic_rec = sorted(
+            (node_id(node) if (node in canon or node in GROUND_NAMES)
+             else "?" + node, float(v))
+            for node, v in self.ic.items())
+        return content_digest("circuit-fingerprint-v1", records, ic_rec)
 
     def validate(self) -> None:
         """Check structural sanity; raises :class:`NetlistError`.
@@ -192,7 +318,7 @@ class Circuit:
 
 
 __all__ = [
-    "Circuit", "GROUND_NAMES",
+    "Circuit", "GROUND_NAMES", "content_digest",
     "Resistor", "Capacitor", "Inductor",
     "VoltageSource", "CurrentSource",
     "Vccs", "Vcvs", "GateWindow",

@@ -29,6 +29,16 @@ class TimeFunction:
         """Fundamental period [s], or ``None`` for aperiodic functions."""
         return None
 
+    def breakpoints(self, t0: float, t1: float) -> np.ndarray:
+        """Slope-corner times of the waveform inside ``(t0, t1)``.
+
+        Adaptive integrators register these as exact landing points so
+        the LTE controller does not burn rejection bursts rediscovering
+        each edge (see :mod:`repro.analysis.transient`).  Smooth
+        waveforms (DC, sine) have none.
+        """
+        return np.empty(0)
+
 
 @dataclass
 class Dc(TimeFunction):
@@ -71,6 +81,27 @@ def smoothstep(u):
     """Cubic smoothstep ``3u^2 - 2u^3`` clamped to [0, 1]."""
     u = np.clip(u, 0.0, 1.0)
     return u * u * (3.0 - 2.0 * u)
+
+
+def periodic_breakpoints(offsets: Sequence[float], base: float,
+                         period: float, t0: float, t1: float) -> np.ndarray:
+    """Expand per-period corner *offsets* (relative to *base*, repeating
+    every *period*) into the open interval ``(t0, t1)``.
+
+    Returns an empty array when the expansion would exceed one million
+    points (a pathological span/period ratio where per-edge landing is
+    hopeless anyway).
+    """
+    offs = np.asarray(offsets, dtype=float)
+    if t1 <= t0 or offs.size == 0 or period <= 0.0:
+        return np.empty(0)
+    k0 = int(np.floor((t0 - base) / period)) - 1
+    k1 = int(np.ceil((t1 - base) / period)) + 1
+    if (k1 - k0 + 1) * offs.size > 1_000_000:
+        return np.empty(0)
+    ks = np.arange(k0, k1 + 1, dtype=float)
+    pts = (base + ks[:, None] * period + offs[None, :]).ravel()
+    return pts[(pts > t0) & (pts < t1)]
 
 
 @dataclass
@@ -117,6 +148,13 @@ class SmoothPulse(TimeFunction):
     def period(self) -> float | None:
         return self.t_period
 
+    def breakpoints(self, t0: float, t1: float) -> np.ndarray:
+        t_r = self.t_rise
+        t_f1 = t_r + self.t_high
+        offsets = [0.0, t_r, t_f1, t_f1 + self.t_fall]
+        return periodic_breakpoints(offsets, self.delay, self.t_period,
+                                    t0, t1)
+
 
 @dataclass
 class Pwl(TimeFunction):
@@ -145,6 +183,13 @@ class Pwl(TimeFunction):
     @property
     def period(self) -> float | None:
         return self.t_period
+
+    def breakpoints(self, t0: float, t1: float) -> np.ndarray:
+        if self.t_period is None:
+            pts = self._t
+            return pts[(pts > t0) & (pts < t1)]
+        return periodic_breakpoints(self._t - self._t[0], self._t[0],
+                                    self.t_period, t0, t1)
 
 
 @dataclass

@@ -28,7 +28,7 @@ import numpy as np
 from ..analysis.dcop import dc_operating_point
 from ..analysis.lptv import (PeriodicLinearization, SensitivitySolution)
 from ..analysis.mna import CompiledCircuit, Injection, ParamState
-from ..analysis.pss import PssOptions, PssResult, pss, pss_oscillator
+from ..analysis.pss import PssOptions, PssResult
 from ..circuit.elements import ParamKey
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError
@@ -135,66 +135,25 @@ def _as_compiled(circuit, backend=None) -> CompiledCircuit:
     raise TypeError("expected a Circuit or CompiledCircuit")
 
 
-def transient_mismatch_analysis(
-        circuit, measures: list[Measure],
-        period: float | None = None,
-        oscillator_anchor: str | None = None,
-        t_settle: float | None = None,
-        dt_settle: float | None = None,
-        state: ParamState | None = None,
-        pss_options: PssOptions | None = None,
+def run_transient_mismatch(
+        compiled: CompiledCircuit, measures: list[Measure],
+        pss_result: PssResult,
         injections: list[Injection] | None = None,
         param_covariance: np.ndarray | None = None,
-        precomputed_pss: PssResult | None = None,
-        backend: str | None = None,
 ) -> MismatchAnalysisResult:
-    """Run the paper's sensitivity-based transient mismatch analysis.
+    """Engine of the sensitivity analysis, given the PSS orbit.
 
-    Exactly one of *period* (driven circuit) or *oscillator_anchor*
-    (autonomous circuit, with *t_settle*/*dt_settle* for the startup
-    transient) must be given, unless *precomputed_pss* is supplied.
-
-    Parameters
-    ----------
-    circuit:
-        A :class:`Circuit` or :class:`CompiledCircuit`.
-    measures:
-        Performance metrics to characterise.
-    injections:
-        Restrict/override the mismatch sources (default: every
-        declaration in the circuit).
-    param_covariance:
-        Full mismatch covariance matrix for correlated mismatch
-        (paper Eq. 6); defaults to independent parameters.
-    backend:
-        Linear-solver backend name or instance (``"dense"``,
-        ``"cached"``, ``"sparse"``; see :mod:`repro.linalg`); default
-        auto-selects by circuit size.
-
-    Returns
-    -------
-    MismatchAnalysisResult
+    This is the post-PSS half of the paper's flow (steps 1, 3-4 of the
+    module docstring): build pseudo-noise injections on the orbit,
+    solve the LPTV system once for all of them, and map the sensitivity
+    waveforms through the measures.  Callers obtain *pss_result*
+    themselves - :meth:`AnalysisSession.transient_mismatch
+    <repro.service.session.AnalysisSession.transient_mismatch>` from
+    its orbit cache, direct callers from :func:`~repro.analysis.pss.
+    pss` - and the session patches ``runtime_breakdown["pss"]`` with
+    the true orbit cost afterwards.
     """
-    compiled = _as_compiled(circuit, backend=backend)
-    state = state or compiled.nominal
     t_start = time.perf_counter()
-
-    if precomputed_pss is not None:
-        pss_result = precomputed_pss
-    elif oscillator_anchor is not None:
-        if t_settle is None or dt_settle is None:
-            raise AnalysisError(
-                "oscillator analyses need t_settle and dt_settle")
-        pss_result = pss_oscillator(compiled, oscillator_anchor, t_settle,
-                                    dt_settle, state=state,
-                                    options=pss_options)
-    elif period is not None:
-        pss_result = pss(compiled, period, state=state, options=pss_options)
-    else:
-        raise AnalysisError("give period=, oscillator_anchor=, or "
-                            "precomputed_pss=")
-    t_pss = time.perf_counter()
-
     if injections is None:
         injections = compiled.mismatch_injections(pss_result.state,
                                                   pss_result.x)
@@ -221,34 +180,84 @@ def transient_mismatch_analysis(
         compiled=compiled, pss=pss_result, sens=sens, measures=measures,
         nominal=nominal, tables=tables,
         runtime_seconds=t_end - t_start,
-        runtime_breakdown={"pss": t_pss - t_start,
-                           "lptv": t_lptv - t_pss,
+        runtime_breakdown={"pss": 0.0,
+                           "lptv": t_lptv - t_start,
                            "measures": t_end - t_lptv})
 
 
-def dc_mismatch_analysis(circuit,
-                         outputs: dict[str, str | tuple[str, str]],
-                         state: ParamState | None = None,
-                         param_covariance: np.ndarray | None = None,
-                         backend: str | None = None,
-                         ) -> MismatchAnalysisResult:
-    """DC mismatch (dcmatch / [8]) analysis - the method the paper extends.
+def transient_mismatch_analysis(
+        circuit, measures: list[Measure],
+        period: float | None = None,
+        oscillator_anchor: str | None = None,
+        t_settle: float | None = None,
+        dt_settle: float | None = None,
+        state: ParamState | None = None,
+        pss_options: PssOptions | None = None,
+        injections: list[Injection] | None = None,
+        param_covariance: np.ndarray | None = None,
+        precomputed_pss: PssResult | None = None,
+        backend: str | None = None,
+) -> MismatchAnalysisResult:
+    """Run the paper's sensitivity-based transient mismatch analysis.
+
+    Exactly one of *period* (driven circuit) or *oscillator_anchor*
+    (autonomous circuit, with *t_settle*/*dt_settle* for the startup
+    transient) must be given, unless *precomputed_pss* is supplied.
+
+    This is a thin wrapper over the process-default
+    :class:`~repro.service.session.AnalysisSession`
+    (:func:`repro.service.default_session`): the compile and the PSS
+    orbit go through the session's content-addressed caches, so
+    repeated analyses of an unchanged circuit skip both.  Results are
+    bit-identical to a cold, cache-free run - the caches key on
+    circuit content, and the engines themselves are untouched.  Use a
+    dedicated :class:`AnalysisSession` (or its
+    :meth:`~repro.service.session.AnalysisSession.transient_mismatch`)
+    for isolated cache lifetimes, request memoization and job fan-out.
 
     Parameters
     ----------
-    outputs:
-        Metric name -> node (or ``(pos, neg)`` pair) whose DC value's
-        variation is wanted.
+    circuit:
+        A :class:`Circuit` or :class:`CompiledCircuit`.
+    measures:
+        Performance metrics to characterise.
+    injections:
+        Restrict/override the mismatch sources (default: every
+        declaration in the circuit).
+    param_covariance:
+        Full mismatch covariance matrix for correlated mismatch
+        (paper Eq. 6); defaults to independent parameters.
+    backend:
+        Linear-solver backend name or instance (``"dense"``,
+        ``"cached"``, ``"sparse"``; see :mod:`repro.linalg`); default
+        auto-selects by circuit size.
 
-    Notes
-    -----
-    Uses one adjoint solve per output: with ``G dx = -di/dp``, the output
+    Returns
+    -------
+    MismatchAnalysisResult
+    """
+    from ..service.session import default_session
+    return default_session().transient_mismatch(
+        circuit, measures, period=period,
+        oscillator_anchor=oscillator_anchor, t_settle=t_settle,
+        dt_settle=dt_settle, state=state, pss_options=pss_options,
+        injections=injections, param_covariance=param_covariance,
+        precomputed_pss=precomputed_pss, backend=backend)
+
+
+def run_dc_mismatch(compiled: CompiledCircuit,
+                    outputs: dict[str, str | tuple[str, str]],
+                    state: ParamState | None = None,
+                    param_covariance: np.ndarray | None = None,
+                    ) -> MismatchAnalysisResult:
+    """Engine of the DC mismatch analysis, given the compiled circuit.
+
+    One adjoint solve per output: with ``G dx = -di/dp``, the output
     sensitivity is ``S_i = -(G^-T c)^T (di/dp)_i`` (the generalised
     adjoint network of Director & Rohrer, [25] in the paper).  ``G`` is
     factored once through the circuit's linear-solver backend and the
     factorization is reused (transposed) across all outputs.
     """
-    compiled = _as_compiled(circuit, backend=backend)
     state = state or compiled.nominal
     t_start = time.perf_counter()
 
@@ -289,3 +298,29 @@ def dc_mismatch_analysis(circuit,
         compiled=compiled, pss=None, sens=None, measures=measures,
         nominal=nominal, tables=tables, runtime_seconds=t_end - t_start,
         runtime_breakdown={"dc": t_end - t_start})
+
+
+def dc_mismatch_analysis(circuit,
+                         outputs: dict[str, str | tuple[str, str]],
+                         state: ParamState | None = None,
+                         param_covariance: np.ndarray | None = None,
+                         backend: str | None = None,
+                         ) -> MismatchAnalysisResult:
+    """DC mismatch (dcmatch / [8]) analysis - the method the paper extends.
+
+    A thin wrapper over the process-default
+    :class:`~repro.service.session.AnalysisSession`: the compile goes
+    through the session's content-addressed cache (results are
+    bit-identical to a cache-free run), and the adjoint engine
+    :func:`run_dc_mismatch` does the rest.
+
+    Parameters
+    ----------
+    outputs:
+        Metric name -> node (or ``(pos, neg)`` pair) whose DC value's
+        variation is wanted.
+    """
+    from ..service.session import default_session
+    return default_session().dc_mismatch(
+        circuit, outputs, state=state,
+        param_covariance=param_covariance, backend=backend)

@@ -260,43 +260,32 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
     -------
     MonteCarloResult
     """
+    from ..service.shards import (mc_transient_shards,
+                                  merge_shard_results, run_shard)
     compiled = _as_compiled(circuit, backend=backend)
     rng = np.random.default_rng(seed)
-    record = sorted({node for m in measures for node in m.required_nodes()}
-                    | set(extra_record or []))
-    topts = TransientOptions(
-        method=method, record=record, isolate_lanes=True,
-        adaptive=adaptive, rtol=rtol, atol=atol,
-        dt_min=dt_min, dt_max=dt_max,
-        t_out=(list(window) if adaptive and window is not None else None))
-
+    # the full joint draw, kept on the result; each shard redraws the
+    # identical set from the seed and slices its own span
     all_deltas = sample_mismatch(compiled, n, rng, sigma_scale,
                                  param_covariance=param_covariance)
-    out = {m.name: np.empty(n) for m in measures}
     t_begin = time.perf_counter()
-    failures = 0
 
-    spans = [(start, min(start + chunk_size, n))
-             for start in range(0, n, chunk_size)]
+    specs = mc_transient_shards(
+        compiled, measures, n, t_stop, dt, chunk_size=chunk_size,
+        window=window, seed=seed, sigma_scale=sigma_scale,
+        param_covariance=param_covariance, method=method,
+        extra_record=extra_record, backend=backend, adaptive=adaptive,
+        rtol=rtol, atol=atol, dt_min=dt_min, dt_max=dt_max)
 
-    def chunk_args(span):
-        start, stop = span
-        return (compiled, measures, topts, t_stop, dt, window,
-                {k: v[start:stop] for k, v in all_deltas.items()},
-                stop - start)
-
-    if n_workers is not None and n_workers > 1 and len(spans) > 1:
+    if n_workers is not None and n_workers > 1 and len(specs) > 1:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(_transient_chunk, *chunk_args(span))
-                       for span in spans]
+            futures = [pool.submit(run_shard, spec, compiled)
+                       for spec in specs]
             # merge in submission (= serial) order
             results = [fut.result() for fut in futures]
     else:
-        results = [_transient_chunk(*chunk_args(span)) for span in spans]
-    for (start, stop), (vals, chunk_failures) in zip(spans, results):
-        failures += chunk_failures
-        for name, v in vals.items():
-            out[name][start:stop] = v
+        results = [run_shard(spec, compiled) for spec in specs]
+    out, failures = merge_shard_results(results)
 
     stats = {}
     failed_metrics = {}
@@ -348,6 +337,8 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
     ``ceil(n / n_workers)`` split, and a serial run with that same
     *chunk_size* reproduces the parallel samples exactly.
     """
+    from ..service.shards import (mc_dc_shards, merge_shard_results,
+                                  run_shard)
     compiled = _as_compiled(circuit, backend=backend)
     rng = np.random.default_rng(seed)
     deltas = sample_mismatch(compiled, n, rng, sigma_scale,
@@ -356,29 +347,19 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
     parallel = n_workers is not None and n_workers > 1
     if chunk_size is None:
         chunk_size = -(-n // n_workers) if parallel else n
-    spans = [(start, min(start + chunk_size, n))
-             for start in range(0, n, chunk_size)]
 
-    samples = {name: np.empty(n) for name in outputs}
-
-    def merge(span, vals):
-        start, stop = span
-        for name, v in vals.items():
-            samples[name][start:stop] = v
-
-    if parallel and len(spans) > 1:
+    specs = mc_dc_shards(compiled, outputs, n, chunk_size, seed=seed,
+                         sigma_scale=sigma_scale,
+                         param_covariance=param_covariance,
+                         backend=backend)
+    if parallel and len(specs) > 1:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_dc_chunk, compiled, outputs,
-                            {k: v[start:stop] for k, v in deltas.items()})
-                for start, stop in spans]
-            for span, fut in zip(spans, futures):
-                merge(span, fut.result())
+            futures = [pool.submit(run_shard, spec, compiled)
+                       for spec in specs]
+            results = [fut.result() for fut in futures]
     else:
-        for start, stop in spans:
-            merge((start, stop), _dc_chunk(
-                compiled, outputs,
-                {k: v[start:stop] for k, v in deltas.items()}))
+        results = [run_shard(spec, compiled) for spec in specs]
+    samples, _ = merge_shard_results(results)
     stats = {name: describe(vals) for name, vals in samples.items()}
     return MonteCarloResult(
         n=n, samples=samples, stats=stats, deltas=deltas,

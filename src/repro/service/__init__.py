@@ -1,0 +1,42 @@
+"""Application layer: job-oriented analysis requests over shared caches.
+
+This package is the top of the three-layer architecture (see the
+top-level ``README.md``):
+
+* **domain** (:mod:`repro.circuit`, :mod:`repro.analysis`) - circuit
+  description and the numerical engines, identified by content hashes
+  (:meth:`~repro.circuit.netlist.Circuit.fingerprint`,
+  ``CompiledCircuit.cache_key``);
+* **application** (this package) - :class:`AnalysisRequest` /
+  :class:`AnalysisResult` describe work as JSON-serializable values,
+  :class:`AnalysisSession` executes them through bounded LRU caches
+  keyed on the content hashes, and :class:`JobQueue` fans independent
+  requests across worker processes;
+* **infrastructure** (:mod:`repro.service.shards`) - the versioned,
+  serializable Monte-Carlo shard protocol whose merge is bit-identical
+  to the in-process run.
+
+The dependency direction is one-way: this package imports the layers
+below it, never the reverse (``repro.circuit`` / ``repro.analysis``
+must not import ``repro.service`` - CI enforces it).
+"""
+
+from .jobs import Job, JobQueue
+from .requests import AnalysisRequest, AnalysisResult
+from .serialize import (circuit_from_dict, circuit_to_dict, from_jsonable,
+                        to_jsonable)
+from .session import AnalysisSession, default_session
+from .shards import (SHARD_PROTOCOL_VERSION, ShardResult, ShardSpec,
+                     mc_dc_shards, mc_transient_shards, merge_shard_results,
+                     run_shard)
+
+__all__ = [
+    "AnalysisRequest", "AnalysisResult",
+    "AnalysisSession", "default_session",
+    "Job", "JobQueue",
+    "ShardSpec", "ShardResult", "SHARD_PROTOCOL_VERSION",
+    "mc_transient_shards", "mc_dc_shards",
+    "run_shard", "merge_shard_results",
+    "circuit_to_dict", "circuit_from_dict",
+    "to_jsonable", "from_jsonable",
+]

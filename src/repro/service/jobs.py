@@ -1,0 +1,164 @@
+"""Process fan-out of analysis requests and Monte-Carlo shards.
+
+:class:`JobQueue` executes :class:`~repro.service.requests.
+AnalysisRequest` jobs - inline through a shared
+:class:`~repro.service.session.AnalysisSession` when no pool is
+requested, or across a :class:`~concurrent.futures.ProcessPoolExecutor`
+when one is.
+
+Worker processes return the *serialized* result
+(:meth:`AnalysisResult.to_dict`): the rich ``detail`` object holds live
+factorizations and is deliberately not shipped back.  Inline execution
+keeps the full detail, and repeated jobs hit the shared session's
+result memo either way.  Each worker process keeps its own private
+session, so a queue that executes many jobs on few circuits pays each
+compile/PSS once per worker, not once per job.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from .requests import AnalysisRequest, AnalysisResult
+from .shards import ShardResult, ShardSpec
+
+
+class Job:
+    """Handle on one submitted request."""
+
+    def __init__(self, request, future: Future):
+        self.request = request
+        self.future = future
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self, timeout: float | None = None):
+        """The :class:`AnalysisResult` (or :class:`ShardResult` for
+        shard jobs), blocking until available."""
+        return self.future.result(timeout)
+
+
+# -- worker-process entry points (module-level: picklable) -------------
+_WORKER_SESSION = None
+
+
+def _worker_session():
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        from .session import AnalysisSession
+        _WORKER_SESSION = AnalysisSession()
+    return _WORKER_SESSION
+
+
+def _run_request(request_dict: dict) -> dict:
+    request = AnalysisRequest.from_dict(request_dict)
+    key = request.key()
+    if request.kind in ("mc_transient", "mc_dc"):
+        # no nested pools: the job already owns a whole process
+        options = {k: v for k, v in request.options.items()
+                   if k != "n_workers"}
+        request = AnalysisRequest(kind=request.kind,
+                                  circuit=request.circuit,
+                                  measures=request.measures,
+                                  outputs=request.outputs,
+                                  options=options)
+    result = _worker_session().run(request).to_dict()
+    result["request_key"] = key  # as submitted, pre-strip
+    return result
+
+
+def _run_shard(spec_dict: dict) -> dict:
+    from .shards import run_shard
+    return run_shard(ShardSpec.from_dict(spec_dict)).to_dict()
+
+
+class JobQueue:
+    """Fan independent analysis jobs across worker processes.
+
+    Parameters
+    ----------
+    session:
+        The session inline jobs run through (default: the process
+        default session).
+    n_workers:
+        ``None``/1 executes every job inline at submission time;
+        ``> 1`` spawns a process pool.
+
+    Use as a context manager, or call :meth:`shutdown`.
+    """
+
+    def __init__(self, session=None, n_workers: int | None = None):
+        if session is None:
+            from .session import default_session
+            session = default_session()
+        self.session = session
+        self.n_workers = n_workers
+        self._pool = (ProcessPoolExecutor(max_workers=n_workers)
+                      if n_workers is not None and n_workers > 1
+                      else None)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: AnalysisRequest) -> Job:
+        """Queue one request; returns immediately with a :class:`Job`.
+
+        Inline queues execute synchronously here (full ``detail``
+        available); pooled queues execute in a worker and deliver the
+        summary-only result.
+        """
+        if self._pool is None:
+            future: Future = Future()
+            try:
+                future.set_result(self.session.run(request))
+            except Exception as exc:  # propagate through the future
+                future.set_exception(exc)
+            return Job(request, future)
+        inner = self._pool.submit(_run_request, request.to_dict())
+        return Job(request, _chain(inner, AnalysisResult.from_dict))
+
+    def submit_shard(self, spec: ShardSpec) -> Job:
+        """Queue one Monte-Carlo shard (see
+        :mod:`repro.service.shards`)."""
+        if self._pool is None:
+            from .shards import run_shard
+            future = Future()
+            try:
+                future.set_result(run_shard(spec))
+            except Exception as exc:
+                future.set_exception(exc)
+            return Job(spec, future)
+        inner = self._pool.submit(_run_shard, spec.to_dict())
+        return Job(spec, _chain(inner, ShardResult.from_dict))
+
+    def map(self, requests) -> list:
+        """Submit all *requests* and block for their results, in
+        order."""
+        jobs = [self.submit(r) for r in requests]
+        return [job.result() for job in jobs]
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _chain(inner: Future, decode) -> Future:
+    """An outer future resolving to ``decode(inner.result())``."""
+    outer: Future = Future()
+
+    def _done(fut: Future) -> None:
+        exc = fut.exception()
+        if exc is not None:
+            outer.set_exception(exc)
+        else:
+            outer.set_result(decode(fut.result()))
+
+    inner.add_done_callback(_done)
+    return outer

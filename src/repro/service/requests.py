@@ -1,0 +1,286 @@
+"""Job-oriented analysis requests and results (application layer).
+
+An :class:`AnalysisRequest` describes one unit of analysis work as a
+plain value: a serialized circuit, a kind tag, measures/outputs and an
+options dict - all JSON types after :meth:`~AnalysisRequest.to_dict`.
+Requests therefore have a stable content hash (:meth:`AnalysisRequest.
+key`), which is what :class:`~repro.service.session.AnalysisSession`
+memoizes results on, and they cross process boundaries unchanged, which
+is what :class:`~repro.service.jobs.JobQueue` fans out.
+
+:class:`AnalysisResult` is the matching value-shaped answer: a
+``summary`` dict of plain numbers that serializes and memoizes, plus an
+optional live ``detail`` object (the engine's rich result - contribution
+tables, waveforms) that exists only in-process and never crosses a
+boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from ..circuit.netlist import Circuit, content_digest
+from ..errors import AnalysisError
+from .serialize import circuit_to_dict, to_jsonable
+
+REQUEST_FORMAT_VERSION = 1
+
+#: The kinds :class:`~repro.service.session.AnalysisSession` executes.
+REQUEST_KINDS = ("transient_mismatch", "dc_mismatch",
+                 "mc_transient", "mc_dc")
+
+
+def _clean(options: dict) -> dict:
+    """Drop ``None`` entries so that 'omitted' and 'default' hash
+    identically - requests built with and without explicit defaults
+    would otherwise miss each other's cached results."""
+    return {k: v for k, v in options.items() if v is not None}
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One analysis job as a JSON-serializable value.
+
+    Build instances through the classmethod constructors
+    (:meth:`transient_mismatch`, :meth:`dc_mismatch`,
+    :meth:`monte_carlo_transient`, :meth:`monte_carlo_dc`) - they
+    serialize the circuit and options into canonical form so that equal
+    workloads get equal :meth:`key` values.
+    """
+
+    kind: str
+    circuit: dict
+    measures: tuple = ()
+    outputs: tuple = ()
+    options: dict = field(default_factory=dict)
+    version: int = REQUEST_FORMAT_VERSION
+
+    def __post_init__(self):
+        if self.kind not in REQUEST_KINDS:
+            raise AnalysisError(
+                f"unknown request kind '{self.kind}'; expected one of "
+                f"{REQUEST_KINDS}")
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def transient_mismatch(cls, circuit, measures,
+                           period: float | None = None,
+                           oscillator_anchor: str | None = None,
+                           t_settle: float | None = None,
+                           dt_settle: float | None = None,
+                           pss_options=None, param_covariance=None,
+                           cmin: float | None = None,
+                           backend: str | None = None) -> "AnalysisRequest":
+        """The paper's sensitivity analysis (:func:`~repro.core.analysis.
+        transient_mismatch_analysis`) as a request."""
+        options = _clean({
+            "period": period, "oscillator_anchor": oscillator_anchor,
+            "t_settle": t_settle, "dt_settle": dt_settle,
+            "pss_options": to_jsonable(pss_options),
+            "param_covariance": _cov(param_covariance),
+            "cmin": cmin, "backend": backend,
+        })
+        return cls(kind="transient_mismatch", circuit=_record(circuit),
+                   measures=tuple(to_jsonable(list(measures))),
+                   options=options)
+
+    @classmethod
+    def dc_mismatch(cls, circuit, outputs: dict,
+                    param_covariance=None, cmin: float | None = None,
+                    backend: str | None = None) -> "AnalysisRequest":
+        """DC mismatch (dcmatch) analysis as a request."""
+        options = _clean({"param_covariance": _cov(param_covariance),
+                          "cmin": cmin, "backend": backend})
+        return cls(kind="dc_mismatch", circuit=_record(circuit),
+                   outputs=_outputs(outputs), options=options)
+
+    @classmethod
+    def monte_carlo_transient(cls, circuit, measures, n: int,
+                              t_stop: float, dt: float,
+                              window: tuple | None = None, seed: int = 0,
+                              sigma_scale: float = 1.0,
+                              param_covariance=None,
+                              chunk_size: int = 250,
+                              method: str = "trap",
+                              extra_record: list | None = None,
+                              adaptive: bool = False, rtol: float = 1e-3,
+                              atol: float = 1e-6,
+                              dt_min: float | None = None,
+                              dt_max: float | None = None,
+                              n_workers: int | None = None,
+                              cmin: float | None = None,
+                              backend: str | None = None
+                              ) -> "AnalysisRequest":
+        """Transient Monte-Carlo (:func:`~repro.core.montecarlo.
+        monte_carlo_transient`) as a request."""
+        options = _clean({
+            "n": int(n), "t_stop": float(t_stop), "dt": float(dt),
+            "window": list(window) if window is not None else None,
+            "seed": int(seed), "sigma_scale": float(sigma_scale),
+            "param_covariance": _cov(param_covariance),
+            "chunk_size": int(chunk_size), "method": method,
+            "extra_record": list(extra_record) if extra_record else None,
+            "adaptive": adaptive or None, "rtol": rtol, "atol": atol,
+            "dt_min": dt_min, "dt_max": dt_max, "n_workers": n_workers,
+            "cmin": cmin, "backend": backend,
+        })
+        return cls(kind="mc_transient", circuit=_record(circuit),
+                   measures=tuple(to_jsonable(list(measures))),
+                   options=options)
+
+    @classmethod
+    def monte_carlo_dc(cls, circuit, outputs: dict, n: int,
+                       seed: int = 0, sigma_scale: float = 1.0,
+                       param_covariance=None,
+                       chunk_size: int | None = None,
+                       n_workers: int | None = None,
+                       cmin: float | None = None,
+                       backend: str | None = None) -> "AnalysisRequest":
+        """DC Monte-Carlo as a request."""
+        options = _clean({
+            "n": int(n), "seed": int(seed),
+            "sigma_scale": float(sigma_scale),
+            "param_covariance": _cov(param_covariance),
+            "chunk_size": chunk_size, "n_workers": n_workers,
+            "cmin": cmin, "backend": backend,
+        })
+        return cls(kind="mc_dc", circuit=_record(circuit),
+                   outputs=_outputs(outputs), options=options)
+
+    # -- identity ------------------------------------------------------
+    def key(self) -> str:
+        """Content hash of the full request - the memoization key."""
+        return content_digest(
+            "analysis-request-v1", self.version, self.kind, self.circuit,
+            list(self.measures), list(self.outputs), self.options)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"version": self.version, "kind": self.kind,
+                "circuit": self.circuit,
+                "measures": list(self.measures),
+                "outputs": list(self.outputs),
+                "options": self.options}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisRequest":
+        version = data.get("version")
+        if version != REQUEST_FORMAT_VERSION:
+            raise AnalysisError(
+                f"request format version {version!r} is not supported "
+                f"(this build speaks {REQUEST_FORMAT_VERSION})")
+        return cls(kind=data["kind"], circuit=data["circuit"],
+                   measures=tuple(
+                       tuple(m) if isinstance(m, list) else m
+                       for m in data.get("measures", ())),
+                   outputs=tuple(tuple(o) for o in data.get("outputs", ())),
+                   options=data.get("options", {}), version=version)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisRequest":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class AnalysisResult:
+    """The value-shaped answer to an :class:`AnalysisRequest`.
+
+    ``summary`` holds plain-number statistics per metric
+    (``{"metrics": {name: {"nominal"/"mean": ..., "sigma": ...}}}`` plus
+    kind-specific extras); it is what serializes, memoizes and crosses
+    process boundaries.  ``detail`` is the engine's rich in-process
+    result (:class:`~repro.core.analysis.MismatchAnalysisResult` or
+    :class:`~repro.core.montecarlo.MonteCarloResult`) - dropped by
+    :meth:`to_dict`, absent on results from worker processes and on
+    deserialized results.
+    """
+
+    kind: str
+    request_key: str
+    summary: dict
+    runtime_seconds: float = 0.0
+    from_cache: bool = False
+    detail: object = field(default=None, repr=False, compare=False)
+    version: int = REQUEST_FORMAT_VERSION
+
+    def sigma(self, metric: str) -> float:
+        return float(self._metric(metric)["sigma"])
+
+    def mean(self, metric: str) -> float:
+        m = self._metric(metric)
+        return float(m.get("mean", m.get("nominal")))
+
+    def _metric(self, metric: str) -> dict:
+        try:
+            return self.summary["metrics"][metric]
+        except KeyError:
+            raise AnalysisError(
+                f"no metric named '{metric}'; available: "
+                f"{sorted(self.summary.get('metrics', {}))}") from None
+
+    def to_dict(self) -> dict:
+        return {"version": self.version, "kind": self.kind,
+                "request_key": self.request_key, "summary": self.summary,
+                "runtime_seconds": self.runtime_seconds,
+                "from_cache": self.from_cache}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisResult":
+        version = data.get("version")
+        if version != REQUEST_FORMAT_VERSION:
+            raise AnalysisError(
+                f"result format version {version!r} is not supported "
+                f"(this build speaks {REQUEST_FORMAT_VERSION})")
+        return cls(kind=data["kind"], request_key=data["request_key"],
+                   summary=data["summary"],
+                   runtime_seconds=data.get("runtime_seconds", 0.0),
+                   from_cache=data.get("from_cache", False),
+                   version=version)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisResult":
+        return cls.from_dict(json.loads(text))
+
+    def as_cached(self) -> "AnalysisResult":
+        return replace(self, from_cache=True)
+
+
+# ---------------------------------------------------------------------------
+# constructor helpers
+# ---------------------------------------------------------------------------
+def _record(circuit) -> dict:
+    if isinstance(circuit, dict):
+        return circuit
+    if isinstance(circuit, Circuit):
+        return circuit_to_dict(circuit)
+    # CompiledCircuit and friends expose .circuit
+    inner = getattr(circuit, "circuit", None)
+    if isinstance(inner, Circuit):
+        return circuit_to_dict(inner)
+    raise TypeError("expected a Circuit, CompiledCircuit or circuit dict")
+
+
+def _outputs(outputs: dict) -> tuple:
+    """Canonicalise the dcmatch output map into sorted (name, pos, neg)
+    triples - a hashable, JSON-stable shape."""
+    rows = []
+    for name, spec in outputs.items():
+        pos, neg = (spec if isinstance(spec, (tuple, list))
+                    else (spec, None))
+        rows.append((str(name), str(pos),
+                     None if neg is None else str(neg)))
+    return tuple(sorted(rows))
+
+
+def _cov(param_covariance) -> list | None:
+    if param_covariance is None:
+        return None
+    import numpy as np
+    return np.asarray(param_covariance, dtype=float).tolist()

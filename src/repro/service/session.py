@@ -1,0 +1,411 @@
+"""The analysis session: bounded, content-addressed caches + execution.
+
+:class:`AnalysisSession` is the application-layer entry point.  It owns
+four bounded LRU stores, all keyed on content hashes from the domain
+layer (:meth:`Circuit.fingerprint` / ``CompiledCircuit.cache_key`` /
+``CompiledCircuit.state_key``):
+
+* **compiled** - :class:`~repro.analysis.mna.CompiledCircuit` by
+  (fingerprint, cmin, backend spec);
+* **states** - :class:`~repro.analysis.mna.ParamState` by state key;
+* **pss** - :class:`~repro.analysis.pss.PssResult` orbits (and with
+  them the lazily built orbit linearizations) by (cache key, backend,
+  drive spec, options);
+* **results** - memoized :class:`~repro.service.requests.AnalysisResult`
+  values by request key.
+
+Eviction and :meth:`AnalysisSession.clear` cascade through the evicted
+objects' own ``clear_caches()`` so that bounded store size means bounded
+memory, not just a bounded entry count.
+
+The free functions in :mod:`repro.core` (``transient_mismatch_analysis``
+and friends) are thin wrappers over the process-default session
+(:func:`default_session`), so plain functional callers share these
+caches without knowing they exist.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from ..circuit.netlist import Circuit, content_digest
+from ..errors import AnalysisError
+from .requests import AnalysisRequest, AnalysisResult
+from .serialize import circuit_from_dict, from_jsonable
+
+
+class _LruStore:
+    """A bounded mapping with LRU eviction and an eviction callback."""
+
+    def __init__(self, capacity: int,
+                 on_evict: "Callable | None" = None):
+        if capacity < 1:
+            raise ValueError("store capacity must be >= 1")
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            _, evicted = self._data.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(evicted)
+
+    def clear(self) -> None:
+        if self.on_evict is not None:
+            for value in self._data.values():
+                self.on_evict(value)
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def stats(self) -> dict:
+        return {"size": len(self._data), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses}
+
+
+def _clear_detail_caches(result: AnalysisResult) -> None:
+    detail = getattr(result, "detail", None)
+    for attr in ("compiled", "pss"):
+        obj = getattr(detail, attr, None)
+        if obj is not None and hasattr(obj, "clear_caches"):
+            obj.clear_caches()
+
+
+class AnalysisSession:
+    """Synchronous executor of analysis work over shared bounded caches.
+
+    Parameters
+    ----------
+    backend:
+        Default linear-solver backend spec (name string) for compiles
+        that do not override it.
+    compiled_capacity, state_capacity, pss_capacity, result_capacity:
+        LRU bounds of the four stores.
+    """
+
+    def __init__(self, backend: str | None = None,
+                 compiled_capacity: int = 8, state_capacity: int = 32,
+                 pss_capacity: int = 8, result_capacity: int = 64):
+        self.backend = backend
+        self.compiled = _LruStore(
+            compiled_capacity, on_evict=lambda c: c.clear_caches())
+        self.states = _LruStore(
+            state_capacity, on_evict=lambda s: s.clear_caches())
+        self.pss_store = _LruStore(
+            pss_capacity, on_evict=lambda p: p.clear_caches())
+        self.results = _LruStore(result_capacity,
+                                 on_evict=_clear_detail_caches)
+
+    # -- domain-object caches ------------------------------------------
+    def compile(self, circuit, cmin: float | None = None,
+                backend=None):
+        """Compile *circuit* through the session cache.
+
+        An already-compiled circuit passes straight through (with the
+        same copy-on-backend-override semantics as the functional API).
+        Backend *instances* bypass the cache - they are mutable solver
+        state, not a describable configuration.
+        """
+        from ..core.analysis import _as_compiled
+        if not isinstance(circuit, Circuit):
+            return _as_compiled(circuit, backend=backend)
+        from ..analysis.mna import compile_circuit
+        from ..constants import CMIN_DEFAULT
+        backend = backend if backend is not None else self.backend
+        cmin_eff = CMIN_DEFAULT if cmin is None else cmin
+        if backend is not None and not isinstance(backend, str):
+            return compile_circuit(circuit, cmin=cmin_eff,
+                                   backend=backend)
+        key = content_digest("session-compile-v1", circuit.fingerprint(),
+                             float(cmin_eff), backend)
+        hit = self.compiled.get(key)
+        if hit is not None:
+            return hit
+        compiled = compile_circuit(circuit, cmin=cmin_eff,
+                                   backend=backend)
+        self.compiled.put(key, compiled)
+        return compiled
+
+    def state(self, compiled, deltas=None, source_values=None,
+              batch_shape=None):
+        """Parameter state through the session cache (see
+        :meth:`~repro.analysis.mna.CompiledCircuit.make_state`)."""
+        key = compiled.state_key(deltas=deltas,
+                                 source_values=source_values,
+                                 batch_shape=batch_shape)
+        hit = self.states.get(key)
+        if hit is not None:
+            return hit
+        state = compiled.make_state(deltas=deltas,
+                                    source_values=source_values,
+                                    batch_shape=batch_shape)
+        self.states.put(key, state)
+        return state
+
+    def pss(self, compiled, period: float | None = None,
+            state=None, options=None,
+            oscillator_anchor: str | None = None,
+            t_settle: float | None = None,
+            dt_settle: float | None = None):
+        """Periodic steady state through the session cache.
+
+        Only nominal orbits (``state is None``) are cached: a custom
+        :class:`ParamState` is mutable engine state without a content
+        identity, so those calls always execute.
+        """
+        from ..analysis.pss import pss, pss_oscillator
+
+        def run():
+            if oscillator_anchor is not None:
+                if t_settle is None or dt_settle is None:
+                    raise AnalysisError(
+                        "oscillator analyses need t_settle and dt_settle")
+                return pss_oscillator(compiled, oscillator_anchor,
+                                      t_settle, dt_settle, state=state,
+                                      options=options)
+            if period is None:
+                raise AnalysisError(
+                    "give period= or oscillator_anchor=")
+            return pss(compiled, period, state=state, options=options)
+
+        if state is not None:
+            return run()
+        # The backend tag is part of the key: the orbit is backend-
+        # independent but its cached linearization's factorizations are
+        # not, and cache_key deliberately excludes the backend.
+        key = content_digest(
+            "session-pss-v1", compiled.cache_key,
+            type(compiled.backend).__name__, period, oscillator_anchor,
+            t_settle, dt_settle, options)
+        hit = self.pss_store.get(key)
+        if hit is not None:
+            return hit
+        result = run()
+        self.pss_store.put(key, result)
+        return result
+
+    # -- analysis flows ------------------------------------------------
+    def transient_mismatch(self, circuit, measures,
+                           period: float | None = None,
+                           oscillator_anchor: str | None = None,
+                           t_settle: float | None = None,
+                           dt_settle: float | None = None,
+                           state=None, pss_options=None,
+                           injections=None, param_covariance=None,
+                           precomputed_pss=None, backend=None,
+                           cmin: float | None = None):
+        """The paper's sensitivity analysis through the session caches.
+
+        Same contract as :func:`~repro.core.analysis.
+        transient_mismatch_analysis` (which delegates here); repeated
+        calls on an unchanged circuit reuse the compiled system and the
+        PSS orbit.
+        """
+        from ..core.analysis import run_transient_mismatch
+        t_begin = time.perf_counter()
+        compiled = self.compile(circuit, cmin=cmin, backend=backend)
+        if precomputed_pss is None:
+            if period is None and oscillator_anchor is None:
+                raise AnalysisError("give period=, oscillator_anchor=, "
+                                    "or precomputed_pss=")
+            pss_result = self.pss(compiled, period=period, state=state,
+                                  options=pss_options,
+                                  oscillator_anchor=oscillator_anchor,
+                                  t_settle=t_settle, dt_settle=dt_settle)
+        else:
+            pss_result = precomputed_pss
+        t_pss = time.perf_counter()
+        result = run_transient_mismatch(
+            compiled, measures, pss_result,
+            injections=injections, param_covariance=param_covariance)
+        # the engine only saw the precomputed orbit; restore the true
+        # wall-clock split including the (possibly cached) PSS
+        result.runtime_breakdown["pss"] = t_pss - t_begin
+        result.runtime_seconds = time.perf_counter() - t_begin
+        return result
+
+    def dc_mismatch(self, circuit, outputs: dict, state=None,
+                    param_covariance=None, backend=None,
+                    cmin: float | None = None):
+        """DC mismatch analysis through the session compile cache."""
+        from ..core.analysis import run_dc_mismatch
+        compiled = self.compile(circuit, cmin=cmin, backend=backend)
+        return run_dc_mismatch(compiled, outputs, state=state,
+                               param_covariance=param_covariance)
+
+    def monte_carlo_transient(self, circuit, measures, **kwargs):
+        """Transient Monte-Carlo with the compile shared through the
+        session cache (sampling/merge semantics unchanged - see
+        :func:`~repro.core.montecarlo.monte_carlo_transient`)."""
+        from ..core.montecarlo import monte_carlo_transient
+        compiled = self.compile(circuit, cmin=kwargs.pop("cmin", None),
+                                backend=kwargs.pop("backend", None))
+        return monte_carlo_transient(compiled, measures, **kwargs)
+
+    def monte_carlo_dc(self, circuit, outputs: dict, n: int, **kwargs):
+        """DC Monte-Carlo with the compile shared through the session
+        cache."""
+        from ..core.montecarlo import monte_carlo_dc
+        compiled = self.compile(circuit, cmin=kwargs.pop("cmin", None),
+                                backend=kwargs.pop("backend", None))
+        return monte_carlo_dc(compiled, outputs, n, **kwargs)
+
+    # -- request execution ---------------------------------------------
+    def run(self, request: AnalysisRequest) -> AnalysisResult:
+        """Execute *request*, memoized on its content key.
+
+        A repeat of an identical request (same circuit content, same
+        options - however it was built) returns the stored result with
+        ``from_cache=True`` without touching the engines.
+        """
+        key = request.key()
+        hit = self.results.get(key)
+        if hit is not None:
+            return hit.as_cached()
+        result = self._execute(request, key)
+        self.results.put(key, result)
+        return result
+
+    def _execute(self, request: AnalysisRequest,
+                 key: str) -> AnalysisResult:
+        import numpy as np
+        t_begin = time.perf_counter()
+        circuit = circuit_from_dict(request.circuit)
+        o = dict(request.options)
+        cov = o.pop("param_covariance", None)
+        cov = np.asarray(cov, dtype=float) if cov is not None else None
+        kind = request.kind
+
+        if kind == "transient_mismatch":
+            measures = [from_jsonable(m) for m in request.measures]
+            detail = self.transient_mismatch(
+                circuit, measures, period=o.get("period"),
+                oscillator_anchor=o.get("oscillator_anchor"),
+                t_settle=o.get("t_settle"), dt_settle=o.get("dt_settle"),
+                pss_options=from_jsonable(o.get("pss_options")),
+                param_covariance=cov, backend=o.get("backend"),
+                cmin=o.get("cmin"))
+            summary = {
+                "metrics": {m.name: {"nominal": detail.nominal[m.name],
+                                     "sigma": detail.sigma(m.name)}
+                            for m in measures},
+                "n_params": len(detail.keys),
+                "f0": detail.pss.f0,
+                "runtime_breakdown": dict(detail.runtime_breakdown),
+            }
+        elif kind == "dc_mismatch":
+            outputs = _output_map(request.outputs)
+            detail = self.dc_mismatch(circuit, outputs,
+                                      param_covariance=cov,
+                                      backend=o.get("backend"),
+                                      cmin=o.get("cmin"))
+            summary = {
+                "metrics": {name: {"nominal": detail.nominal[name],
+                                   "sigma": detail.sigma(name)}
+                            for name in outputs},
+                "n_params": len(detail.keys),
+            }
+        elif kind == "mc_transient":
+            measures = [from_jsonable(m) for m in request.measures]
+            window = o.get("window")
+            detail = self.monte_carlo_transient(
+                circuit, measures, n=o["n"], t_stop=o["t_stop"],
+                dt=o["dt"],
+                window=tuple(window) if window is not None else None,
+                seed=o.get("seed", 0),
+                sigma_scale=o.get("sigma_scale", 1.0),
+                param_covariance=cov,
+                chunk_size=o.get("chunk_size", 250),
+                method=o.get("method", "trap"),
+                extra_record=o.get("extra_record"),
+                backend=o.get("backend"),
+                n_workers=o.get("n_workers"),
+                adaptive=o.get("adaptive", False),
+                rtol=o.get("rtol", 1e-3), atol=o.get("atol", 1e-6),
+                dt_min=o.get("dt_min"), dt_max=o.get("dt_max"),
+                cmin=o.get("cmin"))
+            summary = _mc_summary(detail)
+        elif kind == "mc_dc":
+            outputs = _output_map(request.outputs)
+            detail = self.monte_carlo_dc(
+                circuit, outputs, n=o["n"], seed=o.get("seed", 0),
+                sigma_scale=o.get("sigma_scale", 1.0),
+                param_covariance=cov,
+                chunk_size=o.get("chunk_size"),
+                n_workers=o.get("n_workers"),
+                backend=o.get("backend"), cmin=o.get("cmin"))
+            summary = _mc_summary(detail)
+        else:  # pragma: no cover - __post_init__ rejects unknown kinds
+            raise AnalysisError(f"unknown request kind '{kind}'")
+
+        return AnalysisResult(
+            kind=kind, request_key=key, summary=summary,
+            runtime_seconds=time.perf_counter() - t_begin,
+            detail=detail)
+
+    # -- hygiene -------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every store, cascading through the cached objects' own
+        ``clear_caches()`` (compiled circuits, parameter states, orbit
+        linearizations) so the memory actually comes back."""
+        self.results.clear()
+        self.pss_store.clear()
+        self.states.clear()
+        self.compiled.clear()
+
+    def stats(self) -> dict:
+        """Per-store size/capacity/hit/miss counters."""
+        return {"compiled": self.compiled.stats(),
+                "states": self.states.stats(),
+                "pss": self.pss_store.stats(),
+                "results": self.results.stats()}
+
+
+def _output_map(outputs: tuple) -> dict:
+    return {name: (pos if neg is None else (pos, neg))
+            for name, pos, neg in outputs}
+
+
+def _mc_summary(detail) -> dict:
+    return {
+        "metrics": {name: {"mean": st.mean, "sigma": st.std,
+                           "std_ci_low": st.std_ci_low,
+                           "std_ci_high": st.std_ci_high}
+                    for name, st in detail.stats.items()},
+        "n": detail.n,
+        "n_failed": detail.n_failed,
+    }
+
+
+_DEFAULT_SESSION: AnalysisSession | None = None
+
+
+def default_session() -> AnalysisSession:
+    """The process-wide session behind the :mod:`repro.core` free
+    functions.  Create dedicated :class:`AnalysisSession` instances for
+    isolated cache lifetimes."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = AnalysisSession()
+    return _DEFAULT_SESSION

@@ -1,0 +1,359 @@
+"""The Monte-Carlo shard protocol (infrastructure layer).
+
+PR 2 made chunked Monte-Carlo deterministic: all parameter deltas come
+from one seeded generator, chunks are sliced spans of that draw, and the
+merge in span order is bit-identical whether chunks ran serially or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  This module promotes
+that implicit contract into an explicit, versioned, serializable
+protocol:
+
+* :class:`ShardSpec` - a *generative* description of one chunk: the
+  serialized circuit, the RNG seed, the total sample count and the
+  ``[start, stop)`` span this shard owns.  A worker redraws the full
+  ``n_total`` sample set from the seed and slices its span, which is
+  exactly what the in-process path does - so a shard executed on
+  another host produces bit-identical samples.
+* :class:`ShardResult` - the measured samples of one span, with the
+  workload key that guards merges.
+* :func:`merge_shard_results` - the span-ordered, contiguity-checked
+  merge.
+
+Both records round-trip through plain dicts / JSON
+(:meth:`ShardSpec.to_dict` / :meth:`ShardSpec.from_dict`, same for
+results), and :func:`~repro.core.montecarlo.monte_carlo_transient`
+itself routes through :func:`run_shard`, so the protocol *is* the
+in-process path rather than a parallel reimplementation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..circuit.netlist import content_digest
+from ..errors import AnalysisError
+from .serialize import circuit_from_dict, circuit_to_dict, from_jsonable
+
+#: Protocol version; bumped whenever the spec/result layout or the
+#: sampling contract changes.  ``from_dict`` refuses other versions.
+SHARD_PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One Monte-Carlo shard: workload description plus owned span.
+
+    ``kind`` is ``"mc_transient"`` or ``"mc_dc"``.  ``circuit`` is a
+    :func:`~repro.service.serialize.circuit_to_dict` record;
+    ``measures`` (transient) / ``outputs`` (dc) and ``options`` carry
+    the rest of the workload.  Measures may be live objects on
+    in-process specs; only fully serialized specs can cross a host
+    boundary (``to_dict`` raises otherwise).
+    """
+
+    kind: str
+    circuit: dict
+    n_total: int
+    start: int
+    stop: int
+    seed: int = 0
+    sigma_scale: float = 1.0
+    #: Full mismatch covariance as nested lists (JSON), or ``None``.
+    param_covariance: list | None = None
+    measures: list = field(default_factory=list)
+    outputs: dict = field(default_factory=dict)
+    options: dict = field(default_factory=dict)
+    version: int = SHARD_PROTOCOL_VERSION
+
+    def __post_init__(self):
+        if not (0 <= self.start < self.stop <= self.n_total):
+            raise ValueError(
+                f"invalid shard span [{self.start}, {self.stop}) of "
+                f"{self.n_total}")
+
+    # -- identity ------------------------------------------------------
+    def workload_key(self) -> str:
+        """Content hash of everything except the owned span.
+
+        Shards of one run share this key; the merge refuses results
+        whose keys differ (mixing seeds, circuits or options).
+        """
+        return content_digest(
+            "shard-workload-v1", self.version, self.kind, self.circuit,
+            self.n_total, self.seed, self.sigma_scale,
+            self.param_covariance, _measure_tokens(self.measures),
+            self.outputs, self.options)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        from .serialize import to_jsonable
+        d = asdict(self)
+        d["measures"] = to_jsonable(self.measures)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        version = data.get("version")
+        if version != SHARD_PROTOCOL_VERSION:
+            raise AnalysisError(
+                f"shard protocol version {version!r} is not supported "
+                f"(this build speaks {SHARD_PROTOCOL_VERSION})")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- sampling ------------------------------------------------------
+    def deltas(self, compiled) -> dict:
+        """This shard's parameter deltas: the full ``n_total`` joint
+        draw from ``seed``, sliced to ``[start, stop)``.
+
+        Redrawing the whole set and slicing is what makes shards
+        location-independent: the values depend only on (seed, n_total,
+        circuit declarations), never on which process runs the shard.
+        """
+        from ..core.montecarlo import sample_mismatch
+        rng = np.random.default_rng(self.seed)
+        cov = (np.asarray(self.param_covariance, dtype=float)
+               if self.param_covariance is not None else None)
+        full = sample_mismatch(compiled, self.n_total, rng,
+                               self.sigma_scale, param_covariance=cov)
+        return {k: v[self.start:self.stop] for k, v in full.items()}
+
+    @property
+    def n_lanes(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class ShardResult:
+    """Measured samples of one shard span."""
+
+    kind: str
+    start: int
+    stop: int
+    samples: dict            # metric name -> np.ndarray of length n_lanes
+    n_failed: int = 0
+    workload_key: str = ""
+    version: int = SHARD_PROTOCOL_VERSION
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["samples"] = {name: [float(v) for v in vals]
+                        for name, vals in self.samples.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardResult":
+        version = data.get("version")
+        if version != SHARD_PROTOCOL_VERSION:
+            raise AnalysisError(
+                f"shard protocol version {version!r} is not supported "
+                f"(this build speaks {SHARD_PROTOCOL_VERSION})")
+        d = dict(data)
+        d["samples"] = {name: np.asarray(vals, dtype=float)
+                        for name, vals in data["samples"].items()}
+        return cls(**d)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardResult":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+def _spans(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    return [(start, min(start + chunk_size, n))
+            for start in range(0, n, chunk_size)]
+
+
+def _circuit_record(circuit) -> dict:
+    from ..analysis.mna import CompiledCircuit
+    if isinstance(circuit, CompiledCircuit):
+        circuit = circuit.circuit
+    if isinstance(circuit, dict):
+        return circuit
+    return circuit_to_dict(circuit)
+
+
+def _measure_tokens(measures: list) -> list:
+    """Hashable stand-ins for the measure list: serialized records pass
+    through, live (unregistered) measures hash by type + repr."""
+    from .serialize import to_jsonable
+    out = []
+    for m in measures:
+        if isinstance(m, dict):
+            out.append(m)
+            continue
+        try:
+            out.append(to_jsonable(m))
+        except TypeError:
+            out.append(["live", type(m).__name__, repr(m)])
+    return out
+
+
+def _encode_measures(measures: list) -> list:
+    """Serialize registered measures; keep custom ones live (the spec
+    then works in-process / via pickle but refuses ``to_dict``)."""
+    from .serialize import to_jsonable
+    out = []
+    for m in measures:
+        try:
+            out.append(to_jsonable(m))
+        except TypeError:
+            out.append(m)
+    return out
+
+
+def mc_transient_shards(circuit, measures: list, n: int, t_stop: float,
+                        dt: float, chunk_size: int = 250,
+                        window: tuple | None = None, seed: int = 0,
+                        sigma_scale: float = 1.0,
+                        param_covariance=None, method: str = "trap",
+                        extra_record: list | None = None,
+                        backend: str | None = None,
+                        adaptive: bool = False, rtol: float = 1e-3,
+                        atol: float = 1e-6, dt_min: float | None = None,
+                        dt_max: float | None = None) -> list["ShardSpec"]:
+    """Plan the shard set of one transient Monte-Carlo run.
+
+    The same planner backs
+    :func:`~repro.core.montecarlo.monte_carlo_transient`, so executing
+    these specs (in any process placement) and merging reproduces that
+    function's samples bit-for-bit at equal *chunk_size*.
+    """
+    cov = (np.asarray(param_covariance, dtype=float).tolist()
+           if param_covariance is not None else None)
+    options = {
+        "t_stop": float(t_stop), "dt": float(dt),
+        "window": list(window) if window is not None else None,
+        "method": method, "extra_record": list(extra_record or []),
+        "backend": backend, "adaptive": adaptive,
+        "rtol": rtol, "atol": atol, "dt_min": dt_min, "dt_max": dt_max,
+    }
+    record = _circuit_record(circuit)
+    encoded = _encode_measures(measures)
+    return [ShardSpec(kind="mc_transient", circuit=record, n_total=n,
+                      start=start, stop=stop, seed=seed,
+                      sigma_scale=sigma_scale, param_covariance=cov,
+                      measures=encoded, options=options)
+            for start, stop in _spans(n, chunk_size)]
+
+
+def mc_dc_shards(circuit, outputs: dict, n: int, chunk_size: int,
+                 seed: int = 0, sigma_scale: float = 1.0,
+                 param_covariance=None,
+                 backend: str | None = None) -> list["ShardSpec"]:
+    """Plan the shard set of one DC Monte-Carlo run (dcmatch baseline)."""
+    cov = (np.asarray(param_covariance, dtype=float).tolist()
+           if param_covariance is not None else None)
+    outs = {name: (list(spec) if isinstance(spec, tuple) else spec)
+            for name, spec in outputs.items()}
+    return [ShardSpec(kind="mc_dc", circuit=_circuit_record(circuit),
+                      n_total=n, start=start, stop=stop, seed=seed,
+                      sigma_scale=sigma_scale, param_covariance=cov,
+                      outputs=outs, options={"backend": backend})
+            for start, stop in _spans(n, chunk_size)]
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+def _decode_measures(spec: ShardSpec) -> list:
+    return [from_jsonable(m) if isinstance(m, dict) else m
+            for m in spec.measures]
+
+
+def _transient_options(spec: ShardSpec, measures: list):
+    """The exact :class:`TransientOptions` the pre-shard
+    ``monte_carlo_transient`` built - one construction site for both
+    the in-process and the cross-host path."""
+    from ..analysis.transient import TransientOptions
+    o = spec.options
+    record = sorted({node for m in measures for node in m.required_nodes()}
+                    | set(o.get("extra_record") or []))
+    window = o.get("window")
+    adaptive = bool(o.get("adaptive", False))
+    return TransientOptions(
+        method=o.get("method", "trap"), record=record, isolate_lanes=True,
+        adaptive=adaptive, rtol=o.get("rtol", 1e-3),
+        atol=o.get("atol", 1e-6), dt_min=o.get("dt_min"),
+        dt_max=o.get("dt_max"),
+        t_out=(list(window) if adaptive and window is not None else None))
+
+
+def run_shard(spec: ShardSpec, compiled=None) -> ShardResult:
+    """Execute one shard and return its :class:`ShardResult`.
+
+    *compiled* short-circuits the circuit rebuild for in-process
+    callers (the pool workers of ``monte_carlo_transient`` receive the
+    pickled compile); a cross-host worker passes ``None`` and compiles
+    from the spec's serialized circuit - content hashing guarantees
+    both describe the same system.
+    """
+    if compiled is None:
+        from ..analysis.mna import compile_circuit
+        compiled = compile_circuit(circuit_from_dict(spec.circuit),
+                                   backend=spec.options.get("backend"))
+    deltas = spec.deltas(compiled)
+    window = spec.options.get("window")
+    if spec.kind == "mc_transient":
+        from ..core.montecarlo import _transient_chunk
+        measures = _decode_measures(spec)
+        topts = _transient_options(spec, measures)
+        vals, failures = _transient_chunk(
+            compiled, measures, topts, spec.options["t_stop"],
+            spec.options["dt"],
+            tuple(window) if window is not None else None,
+            deltas, spec.n_lanes)
+        return ShardResult(kind=spec.kind, start=spec.start,
+                           stop=spec.stop, samples=vals,
+                           n_failed=failures,
+                           workload_key=spec.workload_key())
+    if spec.kind == "mc_dc":
+        from ..core.montecarlo import _dc_chunk
+        outputs = {name: (tuple(s) if isinstance(s, list) else s)
+                   for name, s in spec.outputs.items()}
+        vals = _dc_chunk(compiled, outputs, deltas)
+        return ShardResult(kind=spec.kind, start=spec.start,
+                           stop=spec.stop,
+                           samples={k: np.atleast_1d(v)
+                                    for k, v in vals.items()},
+                           workload_key=spec.workload_key())
+    raise AnalysisError(f"unknown shard kind '{spec.kind}'")
+
+
+def merge_shard_results(results: list[ShardResult]
+                        ) -> tuple[dict, int]:
+    """Merge shard results in span order.
+
+    Returns ``(samples, n_failed)`` where *samples* maps metric name to
+    the concatenated array.  Refuses shards from different workloads
+    (mismatched workload keys) and non-contiguous span coverage - the
+    two ways a distributed merge silently corrupts statistics.
+    """
+    if not results:
+        raise AnalysisError("no shard results to merge")
+    ordered = sorted(results, key=lambda r: r.start)
+    key = ordered[0].workload_key
+    for prev, cur in zip(ordered, ordered[1:]):
+        if cur.workload_key != key:
+            raise AnalysisError(
+                "refusing to merge shards from different workloads")
+        if cur.start != prev.stop:
+            raise AnalysisError(
+                f"shard spans are not contiguous: [{prev.start}, "
+                f"{prev.stop}) then [{cur.start}, {cur.stop})")
+    samples = {name: np.concatenate([r.samples[name] for r in ordered])
+               for name in ordered[0].samples}
+    return samples, sum(r.n_failed for r in ordered)

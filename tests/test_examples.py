@@ -56,6 +56,13 @@ def test_statistical_waveform(capsys, tmp_path, monkeypatch):
     assert (tmp_path / "statistical_waveform.csv").exists()
 
 
+def test_service_batch(capsys):
+    run_example("service_batch.py")
+    out = capsys.readouterr().out
+    assert "from_cache=True, sigma identical: True" in out
+    assert "request round-trips through JSON" in out
+
+
 def test_comparator_offset_no_mc(capsys):
     run_example("comparator_offset.py", argv=[])
     out = capsys.readouterr().out

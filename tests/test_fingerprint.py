@@ -1,0 +1,127 @@
+"""Content-hash stability: circuit fingerprints and compile/state keys.
+
+The whole service-layer cache architecture rests on these invariants:
+equal circuit *content* must hash equal (regardless of how the netlist
+was typed in), and any change that alters the compiled system must hash
+different.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.circuit import Circuit, Sine
+from repro.circuit.netlist import content_digest
+from repro.service import circuit_from_dict, circuit_to_dict
+
+
+def _divider(node_in="in", node_out="out", r1=1e3, order="forward",
+             name="divider"):
+    ckt = Circuit(name)
+    adds = [
+        lambda: ckt.add_vsource("V1", node_in, "0", dc=1.2),
+        lambda: ckt.add_resistor("R1", node_in, node_out, r1,
+                                 sigma_rel=0.02),
+        lambda: ckt.add_resistor("R2", node_out, "0", 3e3,
+                                 sigma_rel=0.02),
+    ]
+    for add in (adds if order == "forward" else reversed(adds)):
+        add()
+    return ckt
+
+
+class TestFingerprint:
+    def test_insertion_order_invariant(self):
+        assert (_divider(order="forward").fingerprint()
+                == _divider(order="backward").fingerprint())
+
+    def test_node_rename_invariant(self):
+        assert (_divider().fingerprint()
+                == _divider(node_in="a", node_out="b").fingerprint())
+
+    def test_circuit_name_invariant(self):
+        # the display name is presentation, not content
+        assert (_divider(name="x").fingerprint()
+                == _divider(name="y").fingerprint())
+
+    def test_value_perturbation_distinct(self):
+        assert (_divider().fingerprint()
+                != _divider(r1=1e3 * (1 + 1e-12)).fingerprint())
+
+    def test_tolerance_spec_distinct(self):
+        a = _divider()
+        b = _divider()
+        b["R1"].sigma_rel = 0.05
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_ground_aliases_equal(self):
+        a = Circuit("g1")
+        a.add_resistor("R", "n", "0", 1e3)
+        b = Circuit("g2")
+        b.add_resistor("R", "n", "gnd", 1e3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_initial_conditions_hash(self):
+        a, b = _divider(), _divider()
+        b.ic["out"] = 0.5
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_serialization_round_trip_preserves_fingerprint(self):
+        ckt = Circuit("rt")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+        ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.05)
+        ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+        ckt.ic["out"] = 0.1
+        rt = circuit_from_dict(circuit_to_dict(ckt))
+        assert rt.fingerprint() == ckt.fingerprint()
+
+
+class TestContentDigest:
+    def test_type_tags_distinguish(self):
+        # 1 / 1.0 / True / "1" must all hash apart
+        digests = {content_digest(v) for v in (1, 1.0, True, "1")}
+        assert len(digests) == 4
+
+    def test_ndarray_content(self):
+        a = content_digest(np.arange(3.0))
+        b = content_digest(np.arange(3.0))
+        c = content_digest(np.arange(3.0) + 1e-15)
+        assert a == b != c
+
+    def test_dict_order_invariant(self):
+        assert (content_digest({"a": 1, "b": 2})
+                == content_digest({"b": 2, "a": 1}))
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(TypeError):
+            content_digest(object())
+
+
+class TestCompileKeys:
+    def test_cache_key_stable_across_compiles(self):
+        assert (compile_circuit(_divider()).cache_key
+                == compile_circuit(_divider(node_in="a")).cache_key)
+
+    def test_cache_key_cmin_sensitive(self):
+        a = compile_circuit(_divider())
+        b = compile_circuit(_divider(), cmin=2e-15)
+        assert a.cache_key != b.cache_key
+
+    def test_state_key_nominal_vs_deltas(self):
+        c = compile_circuit(_divider())
+        k_nom = c.state_key()
+        assert k_nom == c.state_key(deltas={})
+        k_d = c.state_key(deltas={("R1", "r"): 5.0})
+        k_d2 = c.state_key(deltas={("R1", "r"): 5.0})
+        assert k_d == k_d2 != k_nom
+
+    def test_state_key_batch_shape(self):
+        c = compile_circuit(_divider())
+        assert c.state_key(batch_shape=(4,)) != c.state_key()
+
+    def test_state_key_array_deltas(self):
+        c = compile_circuit(_divider())
+        a = c.state_key(deltas={("R1", "r"): np.array([1.0, 2.0])})
+        b = c.state_key(deltas={("R1", "r"): np.array([1.0, 2.5])})
+        assert a != b

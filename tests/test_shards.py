@@ -1,0 +1,145 @@
+"""The serializable Monte-Carlo shard protocol.
+
+The contract under test: a shard executed anywhere - serially, in a
+worker process, or rebuilt from its JSON encoding in a fresh process -
+produces bit-identical samples, and the merge reproduces the
+single-process Monte-Carlo run exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Sine
+from repro.core import DcLevel, monte_carlo_dc, monte_carlo_transient
+from repro.errors import AnalysisError
+from repro.service import (ShardResult, ShardSpec, mc_dc_shards,
+                           mc_transient_shards, merge_shard_results,
+                           run_shard)
+
+
+def _rc():
+    ckt = Circuit("rc")
+    ckt.add_vsource("VS", "in", "0",
+                    wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+    ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.03)
+    ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.01)
+    return ckt
+
+
+MC_KW = dict(n=10, t_stop=3e-6, dt=2e-8, window=(2e-6, 3e-6), seed=7,
+             chunk_size=4)
+
+
+class TestTransientShards:
+    def test_merge_matches_monte_carlo(self):
+        ref = monte_carlo_transient(_rc(), [DcLevel("vout", "out")],
+                                    **MC_KW)
+        specs = mc_transient_shards(
+            _rc(), [DcLevel("vout", "out")], MC_KW["n"], MC_KW["t_stop"],
+            MC_KW["dt"], chunk_size=MC_KW["chunk_size"],
+            window=MC_KW["window"], seed=MC_KW["seed"])
+        samples, n_failed = merge_shard_results(
+            [run_shard(s) for s in specs])
+        assert np.array_equal(samples["vout"], ref.samples["vout"])
+        assert n_failed == ref.n_failed
+
+    def test_json_round_trip_bit_identical(self):
+        ref = monte_carlo_transient(_rc(), [DcLevel("vout", "out")],
+                                    **MC_KW)
+        specs = mc_transient_shards(
+            _rc(), [DcLevel("vout", "out")], MC_KW["n"], MC_KW["t_stop"],
+            MC_KW["dt"], chunk_size=MC_KW["chunk_size"],
+            window=MC_KW["window"], seed=MC_KW["seed"])
+        results = []
+        for spec in specs:
+            rt = ShardSpec.from_json(spec.to_json())
+            assert rt == spec
+            assert rt.workload_key() == spec.workload_key()
+            # the result round-trips too
+            results.append(ShardResult.from_json(run_shard(rt).to_json()))
+        samples, _ = merge_shard_results(results)
+        assert np.array_equal(samples["vout"], ref.samples["vout"])
+
+    def test_parallel_equals_serial(self):
+        ref = monte_carlo_transient(_rc(), [DcLevel("vout", "out")],
+                                    **MC_KW)
+        par = monte_carlo_transient(_rc(), [DcLevel("vout", "out")],
+                                    n_workers=2, **MC_KW)
+        assert np.array_equal(ref.samples["vout"], par.samples["vout"])
+        assert ref.n_failed == par.n_failed
+
+    def test_shards_are_location_independent(self):
+        # one shard alone redraws the same deltas as the full plan
+        specs = mc_transient_shards(
+            _rc(), [DcLevel("vout", "out")], 10, 3e-6, 2e-8,
+            chunk_size=4, seed=7)
+        from repro.analysis import compile_circuit
+        compiled = compile_circuit(_rc())
+        full = {k: np.concatenate([s.deltas(compiled)[k] for s in specs])
+                for k in specs[0].deltas(compiled)}
+        one = ShardSpec.from_dict(specs[1].to_dict()).deltas(compiled)
+        for k, v in one.items():
+            assert np.array_equal(v, full[k][4:8])
+
+
+class TestDcShards:
+    def test_merge_matches_monte_carlo_dc(self):
+        ckt = Circuit("div")
+        ckt.add_vsource("V1", "in", "0", dc=1.2)
+        ckt.add_resistor("R1", "in", "out", 1e3, sigma_rel=0.02)
+        ckt.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+        ref = monte_carlo_dc(ckt, {"vout": "out"}, n=20, seed=3,
+                             chunk_size=6)
+        specs = mc_dc_shards(ckt, {"vout": "out"}, 20, 6, seed=3)
+        samples, _ = merge_shard_results(
+            [run_shard(ShardSpec.from_json(s.to_json())) for s in specs])
+        assert np.array_equal(samples["vout"], ref.samples["vout"])
+
+
+class TestProtocolGuards:
+    def _spec(self, **kw):
+        base = dict(kind="mc_dc", circuit={"format": 1, "elements": []},
+                    n_total=8, start=0, stop=4)
+        base.update(kw)
+        return ShardSpec(**base)
+
+    def test_version_mismatch_rejected(self):
+        d = self._spec().to_dict()
+        d["version"] = 99
+        with pytest.raises(AnalysisError, match="version"):
+            ShardSpec.from_dict(d)
+        r = ShardResult(kind="mc_dc", start=0, stop=4,
+                        samples={"m": np.zeros(4)}).to_dict()
+        r["version"] = 0
+        with pytest.raises(AnalysisError, match="version"):
+            ShardResult.from_dict(r)
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec(start=4, stop=4)
+        with pytest.raises(ValueError):
+            self._spec(stop=9)
+
+    def test_merge_refuses_gaps(self):
+        a = ShardResult("mc_dc", 0, 4, {"m": np.zeros(4)},
+                        workload_key="k")
+        c = ShardResult("mc_dc", 6, 8, {"m": np.zeros(2)},
+                        workload_key="k")
+        with pytest.raises(AnalysisError, match="contiguous"):
+            merge_shard_results([a, c])
+
+    def test_merge_refuses_mixed_workloads(self):
+        a = ShardResult("mc_dc", 0, 4, {"m": np.zeros(4)},
+                        workload_key="k1")
+        b = ShardResult("mc_dc", 4, 8, {"m": np.zeros(4)},
+                        workload_key="k2")
+        with pytest.raises(AnalysisError, match="workload"):
+            merge_shard_results([a, b])
+
+    def test_merge_out_of_order_input(self):
+        a = ShardResult("mc_dc", 0, 2, {"m": np.array([0.0, 1.0])},
+                        workload_key="k")
+        b = ShardResult("mc_dc", 2, 4, {"m": np.array([2.0, 3.0])},
+                        workload_key="k")
+        samples, _ = merge_shard_results([b, a])
+        assert np.array_equal(samples["m"], [0.0, 1.0, 2.0, 3.0])

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Enforce the one-way layering of the analysis service architecture.
+
+The dependency direction is: ``repro.service`` (application) ->
+``repro.core`` -> ``repro.analysis`` / ``repro.circuit`` (domain).
+The domain layers must never import the service package - not even
+lazily inside a function - or the layering silently collapses into a
+cycle.  (``repro.core`` is the one sanctioned exception: its free
+functions are thin wrappers that *lazily* import the default session.)
+
+Run from the repository root::
+
+    python tools/check_import_layering.py
+
+Exits non-zero listing every violation.  The unit test in
+``tests/test_service.py`` runs the same check, so tier-1 catches
+violations before CI does.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Packages that must never mention repro.service.
+FORBIDDEN_IN = ("src/repro/circuit", "src/repro/analysis")
+
+#: Any spelling of an import of the service package, top-level or
+#: inside a function: absolute, or relative (..service / .service).
+_PATTERNS = (
+    re.compile(r"^\s*(from|import)\s+repro\.service\b"),
+    re.compile(r"^\s*from\s+\.\.?service\b"),
+    re.compile(r"^\s*from\s+\.\.?\s+import\s+.*\bservice\b"),
+)
+
+
+def violations(root: Path) -> list[str]:
+    found = []
+    for pkg in FORBIDDEN_IN:
+        for path in sorted((root / pkg).rglob("*.py")):
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if any(p.match(line) for p in _PATTERNS):
+                    found.append(f"{path.relative_to(root)}:{lineno}: "
+                                 f"{line.strip()}")
+    return found
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    found = violations(root)
+    if found:
+        print("import layering violations (domain layer importing "
+              "repro.service):")
+        for v in found:
+            print("  " + v)
+        return 1
+    print(f"import layering OK ({', '.join(FORBIDDEN_IN)} are "
+          "service-free)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
