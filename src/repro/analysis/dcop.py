@@ -126,7 +126,9 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
         except np.linalg.LinAlgError as exc:
             raise SingularMatrixError(
                 f"singular DC Jacobian for '{compiled.circuit.name}' "
-                f"(floating node or voltage-source loop?): {exc}") from exc
+                f"(floating node or voltage-source loop?): {exc}",
+                iterations=it,
+                theta_fingerprint=state.theta_fingerprint()) from exc
         np.clip(delta, -opts.max_step, opts.max_step, out=delta)
         x_pad[..., :n] -= delta
         worst = float(np.max(np.abs(delta))) if delta.size else 0.0
@@ -138,7 +140,9 @@ def newton_solve(compiled: CompiledCircuit, state: ParamState,
     raise ConvergenceError(
         f"Newton failed on '{compiled.circuit.name}' after "
         f"{opts.max_iterations} iterations",
-        iterations=opts.max_iterations)
+        iterations=opts.max_iterations,
+        residual=float(np.max(np.abs(f_pad[..., :n]))),
+        theta_fingerprint=state.theta_fingerprint())
 
 
 def dc_operating_point(compiled: CompiledCircuit,
@@ -190,7 +194,12 @@ def dc_operating_point(compiled: CompiledCircuit,
     raise ConvergenceError(
         f"no DC operating point found for '{compiled.circuit.name}' "
         f"(Newton, gmin stepping and source stepping all failed): "
-        f"{last_error}")
+        f"{last_error}",
+        iterations=(last_error.iterations
+                    if last_error is not None else None),
+        residual=(last_error.residual
+                  if last_error is not None else None),
+        theta_fingerprint=state.theta_fingerprint())
 
 
 def dc_sweep(compiled: CompiledCircuit, source_name: str,

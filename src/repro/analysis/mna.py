@@ -170,6 +170,30 @@ class ParamState:
         self.src_cache = None
         return self
 
+    def theta_fingerprint(self) -> str:
+        """Content hash of the effective parameter values ("theta").
+
+        Identifies *which* parameter sample a state holds - attached to
+        solver failures (:class:`~repro.errors.SolverError`) so a
+        failure harvested from a worker process still names the exact
+        sample set that diverged.  Derived arrays and caches are
+        excluded: two states with equal parameters hash equally.
+        """
+        import hashlib
+        h = hashlib.sha256()
+        h.update(repr(self.batch_shape).encode())
+        h.update(np.ascontiguousarray(self.g_data, dtype=float))
+        h.update(np.ascontiguousarray(self.c_data, dtype=float))
+        for name in sorted(self.mos):
+            h.update(name.encode())
+            h.update(np.ascontiguousarray(self.mos[name], dtype=float))
+        h.update(np.ascontiguousarray(self.vccs_gm, dtype=float))
+        for name in sorted(self.source_values):
+            h.update(name.encode())
+            h.update(np.ascontiguousarray(
+                np.asarray(self.source_values[name], dtype=float)))
+        return h.hexdigest()[:16]
+
 
 def _delta_for(deltas: Deltas | None, key: ParamKey):
     if not deltas:

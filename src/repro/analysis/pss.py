@@ -386,7 +386,9 @@ def pss(compiled: CompiledCircuit, period: float,
     raise ConvergenceError(
         f"shooting PSS did not converge on '{compiled.circuit.name}' "
         f"after {opts.max_iterations} iterations "
-        f"(residual {worst:.3e}, scale {scale:.3e})")
+        f"(residual {worst:.3e}, scale {scale:.3e})",
+        iterations=opts.max_iterations, residual=float(worst),
+        theta_fingerprint=state.theta_fingerprint())
 
 
 def _pss_settle(compiled: CompiledCircuit, state: ParamState,
@@ -420,7 +422,9 @@ def _pss_settle(compiled: CompiledCircuit, state: ParamState,
     raise ConvergenceError(
         f"settle PSS did not reach steady state on "
         f"'{compiled.circuit.name}' within {opts.settle_max_periods} "
-        f"periods (residual {worst:.3e})")
+        f"periods (residual {worst:.3e})",
+        iterations=opts.settle_max_periods, residual=float(worst),
+        theta_fingerprint=state.theta_fingerprint())
 
 
 def pss_oscillator(compiled: CompiledCircuit, anchor: str,
@@ -531,7 +535,9 @@ def pss_oscillator(compiled: CompiledCircuit, anchor: str,
     raise ConvergenceError(
         f"oscillator shooting did not converge on "
         f"'{compiled.circuit.name}' after {opts.max_iterations} "
-        f"iterations (residual {worst:.3e})")
+        f"iterations (residual {worst:.3e})",
+        iterations=opts.max_iterations, residual=float(worst),
+        theta_fingerprint=state.theta_fingerprint())
 
 
 def _bordered_jacobian(mono: np.ndarray, xdot_t: np.ndarray,

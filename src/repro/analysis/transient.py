@@ -820,7 +820,11 @@ def _adaptive_loop(compiled: CompiledCircuit, state: ParamState,
                     raise ConvergenceError(
                         f"adaptive transient on '{compiled.circuit.name}'"
                         f": Newton kept failing down to the step floor "
-                        f"({h_step:.3e} s) at t={t:.6e}") from exc
+                        f"({h_step:.3e} s) at t={t:.6e}",
+                        iterations=rejections,
+                        residual=getattr(exc, "residual", None),
+                        theta_fingerprint=state.theta_fingerprint()
+                        ) from exc
                 h = max(h_floor, 0.25 * h_step)
                 continue
             if prior_failed is not None \
@@ -832,7 +836,9 @@ def _adaptive_loop(compiled: CompiledCircuit, state: ParamState,
                     raise ConvergenceError(
                         f"adaptive transient on '{compiled.circuit.name}'"
                         f": lanes kept failing at t={t:.6e} above the "
-                        f"step floor ({h_step:.3e} s)")
+                        f"step floor ({h_step:.3e} s)",
+                        iterations=rejections,
+                        theta_fingerprint=state.theta_fingerprint())
                 h = max(h_floor, 0.25 * h_step)
                 continue
 
@@ -847,7 +853,9 @@ def _adaptive_loop(compiled: CompiledCircuit, state: ParamState,
                 raise ConvergenceError(
                     f"adaptive transient on '{compiled.circuit.name}': "
                     f"{opts.max_rejections} consecutive rejections at "
-                    f"t={t:.6e} (last h={h_step:.3e} s, err={err:.3g})")
+                    f"t={t:.6e} (last h={h_step:.3e} s, err={err:.3g})",
+                    iterations=rejections, residual=float(err),
+                    theta_fingerprint=state.theta_fingerprint())
             fac = (0.1 if not np.isfinite(err)
                    else max(0.1, min(0.5, _SAFETY * err ** -exp)))
             h = max(h_floor, fac * h_step)
@@ -924,7 +932,9 @@ def _newton_step(compiled: CompiledCircuit, state: ParamState,
         return
     raise ConvergenceError(
         f"transient Newton failed at t={t_k:.4e} on "
-        f"'{compiled.circuit.name}'")
+        f"'{compiled.circuit.name}'",
+        iterations=newton.max_iterations,
+        theta_fingerprint=state.theta_fingerprint())
 
 
 def _newton_step_reuse_csr(compiled: CompiledCircuit, asm, x_pad, x_prev,
@@ -969,7 +979,8 @@ def _newton_step_reuse_csr(compiled: CompiledCircuit, asm, x_pad, x_prev,
             return
     raise ConvergenceError(
         f"transient Newton failed at t={t_k:.4e} on "
-        f"'{compiled.circuit.name}'")
+        f"'{compiled.circuit.name}'",
+        iterations=newton.max_iterations)
 
 
 def _newton_step_reuse(compiled: CompiledCircuit, state: ParamState,
@@ -1027,4 +1038,6 @@ def _newton_step_reuse(compiled: CompiledCircuit, state: ParamState,
         return
     raise ConvergenceError(
         f"transient Newton failed at t={t_k:.4e} on "
-        f"'{compiled.circuit.name}'")
+        f"'{compiled.circuit.name}'",
+        iterations=newton.max_iterations,
+        theta_fingerprint=state.theta_fingerprint())

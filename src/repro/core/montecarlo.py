@@ -47,9 +47,13 @@ class MonteCarloResult:
     deltas: dict[ParamKey, np.ndarray]
     runtime_seconds: float = 0.0
     #: Number of *distinct* lanes with at least one failed measure
-    #: (per-metric failure counts live in ``failed_metrics``).
+    #: (per-metric failure counts live in ``failed_metrics``).  Under a
+    #: retry policy this includes every lane of a degraded shard.
     n_failed: int = 0
     failed_metrics: dict[str, int] = field(default_factory=dict)
+    #: Structured :class:`~repro.errors.FailureRecord` values for spans
+    #: a supervised run degraded (empty on clean/unsupervised runs).
+    failures: list = field(default_factory=list)
 
     def sigma(self, metric: str) -> float:
         return self.stats[metric].std
@@ -218,8 +222,8 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
                           adaptive: bool = False,
                           rtol: float = 1e-3, atol: float = 1e-6,
                           dt_min: float | None = None,
-                          dt_max: float | None = None
-                          ) -> MonteCarloResult:
+                          dt_max: float | None = None,
+                          retry=None) -> MonteCarloResult:
     """Monte-Carlo over batched transients.
 
     Lanes whose Newton iteration diverges or whose Jacobian goes
@@ -255,6 +259,15 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         :class:`~repro.analysis.transient.TransientOptions`).  The
         lanes of one chunk share a single step sequence (the controller
         takes the worst lane), so a chunk remains one stacked solve.
+    retry:
+        A :class:`~repro.service.jobs.RetryPolicy` putting every shard
+        under supervision: retryable failures retry with backoff
+        (plus deadlines and pool-crash recovery on parallel runs), and
+        a shard that exhausts its attempts merges NaN-frozen with its
+        lanes counted in ``n_failed`` and a
+        :class:`~repro.errors.FailureRecord` appended to ``failures``,
+        instead of aborting the run.  Unaffected shards stay
+        bit-identical to the unsupervised run.
 
     Returns
     -------
@@ -277,19 +290,12 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         extra_record=extra_record, backend=backend, adaptive=adaptive,
         rtol=rtol, atol=atol, dt_min=dt_min, dt_max=dt_max)
 
-    if n_workers is not None and n_workers > 1 and len(specs) > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(run_shard, spec, compiled)
-                       for spec in specs]
-            # merge in submission (= serial) order
-            results = [fut.result() for fut in futures]
-    else:
-        results = [run_shard(spec, compiled) for spec in specs]
-    out, failures = merge_shard_results(results)
+    results = _run_specs(specs, compiled, n_workers, retry, run_shard)
+    merged = merge_shard_results(results)
 
     stats = {}
     failed_metrics = {}
-    for name, vals in out.items():
+    for name, vals in merged.samples.items():
         good = vals[np.isfinite(vals)]
         failed_metrics[name] = int(vals.size - good.size)
         if good.size < 2:
@@ -298,9 +304,32 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         stats[name] = describe(good)
 
     return MonteCarloResult(
-        n=n, samples=out, stats=stats, deltas=all_deltas,
+        n=n, samples=merged.samples, stats=stats, deltas=all_deltas,
         runtime_seconds=time.perf_counter() - t_begin,
-        n_failed=failures, failed_metrics=failed_metrics)
+        n_failed=merged.n_failed, failed_metrics=failed_metrics,
+        failures=list(merged.failures))
+
+
+def _run_specs(specs, compiled, n_workers: int | None, retry,
+               run_shard) -> list:
+    """Execute shard *specs* - serial or pooled, supervised when a
+    retry policy is given - returning results in spec (= merge) order."""
+    parallel = n_workers is not None and n_workers > 1 and len(specs) > 1
+    if retry is not None:
+        from ..service.jobs import JobQueue, run_supervised_shard
+        if parallel:
+            with JobQueue(n_workers=n_workers, retry=retry) as queue:
+                jobs = [queue.submit_shard(spec) for spec in specs]
+                return [job.result() for job in jobs]
+        return [run_supervised_shard(spec, retry, compiled=compiled)
+                for spec in specs]
+    if parallel:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(run_shard, spec, compiled)
+                       for spec in specs]
+            # merge in submission (= serial) order
+            return [fut.result() for fut in futures]
+    return [run_shard(spec, compiled) for spec in specs]
 
 
 def _dc_chunk(circuit, outputs: dict[str, "str | tuple[str, str]"],
@@ -323,8 +352,8 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
                    param_covariance: np.ndarray | None = None,
                    backend: str | None = None,
                    chunk_size: int | None = None,
-                   n_workers: int | None = None
-                   ) -> MonteCarloResult:
+                   n_workers: int | None = None,
+                   retry=None) -> MonteCarloResult:
     """Monte-Carlo over batched DC operating points (dcmatch baseline).
 
     *chunk_size* splits the batch into independent stacked solves
@@ -336,6 +365,11 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
     *chunk_size* is given, chunking defaults to an even
     ``ceil(n / n_workers)`` split, and a serial run with that same
     *chunk_size* reproduces the parallel samples exactly.
+
+    *retry* supervises the shards exactly as in
+    :func:`monte_carlo_transient`: degraded spans merge as NaN, are
+    counted in ``n_failed`` and reported through ``failures``, and the
+    statistics are taken over the surviving finite lanes.
     """
     from ..service.shards import (mc_dc_shards, merge_shard_results,
                                   run_shard)
@@ -352,15 +386,19 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
                          sigma_scale=sigma_scale,
                          param_covariance=param_covariance,
                          backend=backend)
-    if parallel and len(specs) > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(run_shard, spec, compiled)
-                       for spec in specs]
-            results = [fut.result() for fut in futures]
-    else:
-        results = [run_shard(spec, compiled) for spec in specs]
-    samples, _ = merge_shard_results(results)
-    stats = {name: describe(vals) for name, vals in samples.items()}
+    results = _run_specs(specs, compiled, n_workers, retry, run_shard)
+    merged = merge_shard_results(results)
+    stats = {}
+    failed_metrics = {}
+    for name, vals in merged.samples.items():
+        good = vals[np.isfinite(vals)]
+        failed_metrics[name] = int(vals.size - good.size)
+        if good.size < 2:
+            raise MeasurementError(
+                f"Monte-Carlo metric '{name}' failed on almost all lanes")
+        stats[name] = describe(good)
     return MonteCarloResult(
-        n=n, samples=samples, stats=stats, deltas=deltas,
-        runtime_seconds=time.perf_counter() - t_begin)
+        n=n, samples=merged.samples, stats=stats, deltas=deltas,
+        runtime_seconds=time.perf_counter() - t_begin,
+        n_failed=merged.n_failed, failed_metrics=failed_metrics,
+        failures=list(merged.failures))

@@ -1,6 +1,17 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Solver failures (:class:`ConvergenceError`, :class:`SingularMatrixError`)
+carry structured context - iteration count, final residual, and the
+content fingerprint of the parameter state ("theta") that failed - so a
+failure harvested from a worker process still identifies *which* sample
+of *which* workload diverged.  :class:`FailureRecord` is the
+JSON-serializable form of one such failure as it appears on degraded
+analysis results (see :mod:`repro.service.shards`).
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 
 class ReproError(Exception):
@@ -11,8 +22,8 @@ class NetlistError(ReproError):
     """Raised for malformed circuits: duplicate names, unknown nodes, ..."""
 
 
-class ConvergenceError(ReproError):
-    """Raised when an iterative solver fails to converge.
+class SolverError(ReproError):
+    """Base of numerical-solver failures, with uniform context.
 
     Attributes
     ----------
@@ -20,16 +31,58 @@ class ConvergenceError(ReproError):
         Number of iterations performed before giving up.
     residual:
         Norm of the final residual, when meaningful.
+    theta_fingerprint:
+        Content fingerprint of the parameter state under which the
+        solve failed (see
+        :meth:`~repro.analysis.mna.ParamState.theta_fingerprint`), when
+        one was in scope at the raise site.
     """
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None):
+                 residual: float | None = None,
+                 theta_fingerprint: str | None = None):
         super().__init__(message)
+        self.message = message
         self.iterations = iterations
         self.residual = residual
+        self.theta_fingerprint = theta_fingerprint
+
+    def context(self) -> dict:
+        """The non-``None`` context fields as a plain dict."""
+        out = {}
+        if self.iterations is not None:
+            out["iterations"] = self.iterations
+        if self.residual is not None:
+            out["residual"] = self.residual
+        if self.theta_fingerprint is not None:
+            out["theta_fingerprint"] = self.theta_fingerprint
+        return out
+
+    def __str__(self) -> str:
+        parts = []
+        if self.iterations is not None:
+            parts.append(f"iterations={self.iterations}")
+        if self.residual is not None:
+            parts.append(f"residual={self.residual:.3e}")
+        if self.theta_fingerprint is not None:
+            parts.append(f"theta={self.theta_fingerprint[:12]}")
+        if not parts:
+            return self.message
+        return f"{self.message} [{', '.join(parts)}]"
+
+    def __reduce__(self):
+        # default Exception pickling only keeps ``args``; solver errors
+        # cross process boundaries (pool workers), so the context must
+        # survive the round trip
+        return (type(self), (self.message, self.iterations,
+                             self.residual, self.theta_fingerprint))
 
 
-class SingularMatrixError(ReproError):
+class ConvergenceError(SolverError):
+    """Raised when an iterative solver fails to converge."""
+
+
+class SingularMatrixError(SolverError):
     """Raised when an MNA matrix is singular (floating node, V-loop, ...)."""
 
 
@@ -40,3 +93,73 @@ class AnalysisError(ReproError):
 class MeasurementError(ReproError):
     """Raised when a waveform measurement cannot be taken
     (missing crossing, no oscillation, ...)."""
+
+
+class JobTimeoutError(ReproError):
+    """Raised (internally, by the job supervisor) when one attempt of a
+    supervised job overruns its :class:`~repro.service.jobs.RetryPolicy`
+    deadline.  The attempt is abandoned and re-dispatched; the error
+    surfaces only on a :class:`FailureRecord` once retries are
+    exhausted."""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a worker process died mid-job (the supervised form
+    of :class:`concurrent.futures.process.BrokenProcessPool`), or by the
+    fault-injection harness simulating such a crash in-process."""
+
+
+#: Error classes a supervised job retry can plausibly fix: numerical
+#: failures (possibly transient - a marginal sample, a perturbed
+#: start), infrastructure failures (crashed worker, overrun deadline).
+#: Deterministic request errors (AnalysisError, NetlistError) are
+#: deliberately absent - retrying a malformed request cannot succeed.
+RETRYABLE_ERRORS = (ConvergenceError, SingularMatrixError,
+                    MeasurementError, JobTimeoutError, WorkerCrashError)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One supervised-job failure as a structured, serializable value.
+
+    Attached to degraded :class:`~repro.service.shards.ShardResult` /
+    :class:`~repro.service.requests.AnalysisResult` values (and summed
+    into ``n_failed``); round-trips through
+    :mod:`repro.service.serialize`.
+    """
+
+    #: Exception class name from this module's taxonomy
+    #: (``"ConvergenceError"``, ``"JobTimeoutError"``, ...).
+    error: str
+    message: str
+    #: Supervision site: ``"shard"`` or ``"request"``.
+    site: str
+    #: Attempts performed before giving up.
+    attempts: int
+    #: Owned sample span ``[start, stop)`` for shard failures.
+    start: int | None = None
+    stop: int | None = None
+    #: Solver context, when the terminal error carried it.
+    iterations: int | None = None
+    residual: float | None = None
+    theta_fingerprint: str | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, site: str, attempts: int,
+                       start: int | None = None,
+                       stop: int | None = None) -> "FailureRecord":
+        ctx = exc.context() if isinstance(exc, SolverError) else {}
+        message = (exc.message if isinstance(exc, SolverError)
+                   else str(exc))
+        return cls(error=type(exc).__name__, message=message, site=site,
+                   attempts=attempts, start=start, stop=stop,
+                   iterations=ctx.get("iterations"),
+                   residual=ctx.get("residual"),
+                   theta_fingerprint=ctx.get("theta_fingerprint"))
+
+    @property
+    def n_lanes(self) -> int:
+        """Lanes lost to this failure (0 for non-shard failures)."""
+        if self.start is None or self.stop is None:
+            return 0
+        return self.stop - self.start

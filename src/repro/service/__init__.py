@@ -16,25 +16,36 @@ top-level ``README.md``):
   serializable Monte-Carlo shard protocol whose merge is bit-identical
   to the in-process run.
 
+Supervision rides on top: :class:`RetryPolicy` puts queue submissions
+under deadlines, retry with exponential backoff, pool-crash recovery
+and deterministic degradation (NaN-frozen spans with structured
+:class:`~repro.errors.FailureRecord` reporting), and
+:mod:`repro.service.faults` injects reproducible faults at the
+execution sites to prove all of it.
+
 The dependency direction is one-way: this package imports the layers
 below it, never the reverse (``repro.circuit`` / ``repro.analysis``
 must not import ``repro.service`` - CI enforces it).
 """
 
-from .jobs import Job, JobQueue
+from ..errors import FailureRecord
+from .faults import FaultPlan, FaultRule
+from .jobs import Job, JobQueue, RetryPolicy, run_supervised_shard
 from .requests import AnalysisRequest, AnalysisResult
 from .serialize import (circuit_from_dict, circuit_to_dict, from_jsonable,
                         to_jsonable)
 from .session import AnalysisSession, default_session
-from .shards import (SHARD_PROTOCOL_VERSION, ShardResult, ShardSpec,
-                     mc_dc_shards, mc_transient_shards, merge_shard_results,
-                     run_shard)
+from .shards import (SHARD_PROTOCOL_VERSION, MergedShards, ShardResult,
+                     ShardSpec, degraded_shard_result, mc_dc_shards,
+                     mc_transient_shards, merge_shard_results, run_shard)
 
 __all__ = [
     "AnalysisRequest", "AnalysisResult",
     "AnalysisSession", "default_session",
-    "Job", "JobQueue",
+    "Job", "JobQueue", "RetryPolicy", "run_supervised_shard",
+    "FaultPlan", "FaultRule", "FailureRecord",
     "ShardSpec", "ShardResult", "SHARD_PROTOCOL_VERSION",
+    "MergedShards", "degraded_shard_result",
     "mc_transient_shards", "mc_dc_shards",
     "run_shard", "merge_shard_results",
     "circuit_to_dict", "circuit_from_dict",

@@ -13,22 +13,106 @@ keeps the full detail, and repeated jobs hit the shared session's
 result memo either way.  Each worker process keeps its own private
 session, so a queue that executes many jobs on few circuits pays each
 compile/PSS once per worker, not once per job.
+
+Supervision
+-----------
+Pass ``retry=RetryPolicy(...)`` to put every submission under
+supervision:
+
+* each attempt gets a wall-clock **deadline** (pooled queues only -
+  inline execution cannot be preempted); an overrun attempt is
+  abandoned and re-dispatched, and its stale result, should the hung
+  worker ever produce one, is discarded by a generation check, so a
+  shard is never merged twice;
+* failed attempts **retry with exponential backoff**, but only for
+  errors a retry can plausibly fix (:data:`~repro.errors.
+  RETRYABLE_ERRORS`) - malformed requests fail immediately;
+* a **worker crash** (``BrokenProcessPool``) respawns the executor
+  exactly once per breakage (pool-epoch guarded, however many jobs
+  were in flight) and re-dispatches each surviving job; re-execution
+  is safe because shards are generative
+  (:class:`~repro.service.shards.ShardSpec` redraws from the seed), so
+  the bit-identical merge guarantee survives recovery;
+* a shard that exhausts its attempts **degrades deterministically**
+  (``RetryPolicy.degrade``, default on): its span merges NaN-frozen
+  with ``n_failed`` accounting and a structured
+  :class:`~repro.errors.FailureRecord`, instead of killing the run.
+
+Deadlines are measured from dispatch, so time spent queued behind busy
+workers counts; size them with headroom over the per-shard runtime.
+Fault injection for all of these paths lives in
+:mod:`repro.service.faults`; the hooks sit in :func:`_run_request` /
+:func:`_run_shard` (the worker entry points) and fire on both sides of
+the process boundary.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
+from ..errors import RETRYABLE_ERRORS, JobTimeoutError, WorkerCrashError
+from .faults import maybe_inject
 from .requests import AnalysisRequest, AnalysisResult
-from .shards import ShardResult, ShardSpec
+from .shards import (ShardResult, ShardSpec, degraded_shard_result,
+                     run_shard)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Supervision parameters of one :class:`JobQueue` (or one
+    supervised Monte-Carlo run).
+
+    ``delay(k)`` after the *k*-th failed attempt is
+    ``base_delay * backoff**(k-1)`` seconds - classic exponential
+    backoff, 0.05/0.1/0.2/... at the defaults.
+    """
+
+    #: Total attempts per job (first run + retries).
+    max_attempts: int = 3
+    #: Backoff before the first retry [s]; 0 disables sleeping.
+    base_delay: float = 0.05
+    #: Backoff growth factor per further retry.
+    backoff: float = 2.0
+    #: Per-attempt wall-clock limit [s] (``None``: unbounded).  Only
+    #: enforceable on pooled queues; measured from dispatch, so it
+    #: includes time queued behind busy workers.
+    deadline: float | None = None
+    #: Degrade shard jobs that exhaust their attempts into NaN-frozen
+    #: spans (:func:`~repro.service.shards.degraded_shard_result`)
+    #: instead of raising.  Request jobs always raise.
+    degrade: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("RetryPolicy.max_attempts must be >= 1")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff [s] after *failed_attempts* failures (>= 1)."""
+        if self.base_delay <= 0.0:
+            return 0.0
+        return self.base_delay * self.backoff ** (failed_attempts - 1)
+
+    def to_dict(self) -> dict:
+        return {"max_attempts": self.max_attempts,
+                "base_delay": self.base_delay, "backoff": self.backoff,
+                "deadline": self.deadline, "degrade": self.degrade}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)
 
 
 class Job:
     """Handle on one submitted request."""
 
-    def __init__(self, request, future: Future):
+    def __init__(self, request, future: Future, supervisor=None):
         self.request = request
         self.future = future
+        self._supervisor = supervisor
 
     def done(self) -> bool:
         return self.future.done()
@@ -37,6 +121,13 @@ class Job:
         """The :class:`AnalysisResult` (or :class:`ShardResult` for
         shard jobs), blocking until available."""
         return self.future.result(timeout)
+
+    @property
+    def failed_attempts(self) -> int:
+        """Attempts the supervisor has seen fail so far (0 when the
+        job is unsupervised or succeeded first try)."""
+        return (self._supervisor.attempts
+                if self._supervisor is not None else 0)
 
 
 # -- worker-process entry points (module-level: picklable) -------------
@@ -51,9 +142,10 @@ def _worker_session():
     return _WORKER_SESSION
 
 
-def _run_request(request_dict: dict) -> dict:
+def _run_request(request_dict: dict, attempt: int = 0) -> dict:
     request = AnalysisRequest.from_dict(request_dict)
     key = request.key()
+    maybe_inject("run_request", key=key, attempt=attempt)
     if request.kind in ("mc_transient", "mc_dc"):
         # no nested pools: the job already owns a whole process
         options = {k: v for k, v in request.options.items()
@@ -68,9 +160,218 @@ def _run_request(request_dict: dict) -> dict:
     return result
 
 
-def _run_shard(spec_dict: dict) -> dict:
-    from .shards import run_shard
-    return run_shard(ShardSpec.from_dict(spec_dict)).to_dict()
+def _compiled_for(spec: ShardSpec, session):
+    """Compile a shard's circuit, through the session compile cache
+    when that is semantically transparent (no session-level backend
+    override that the spec does not know about)."""
+    from .serialize import circuit_from_dict
+    circuit = circuit_from_dict(spec.circuit)
+    backend = spec.options.get("backend")
+    if session is not None and session.backend is None:
+        return session.compile(circuit, backend=backend)
+    from ..analysis.mna import compile_circuit
+    return compile_circuit(circuit, backend=backend)
+
+
+def _execute_shard(spec: ShardSpec, attempt: int = 0,
+                   compiled=None) -> ShardResult:
+    """One shard attempt: the fault-injection site, then the shard."""
+    maybe_inject("run_shard", key=spec.start, attempt=attempt)
+    return run_shard(spec, compiled)
+
+
+def _run_shard(spec_dict: dict, attempt: int = 0) -> dict:
+    spec = ShardSpec.from_dict(spec_dict)
+    compiled = _compiled_for(spec, _worker_session())
+    return _execute_shard(spec, attempt, compiled).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# inline supervision (shared with the Monte-Carlo engines)
+# ---------------------------------------------------------------------------
+def _run_with_retry(policy: RetryPolicy, attempt_fn, degrade_fn):
+    """Synchronous retry loop: *attempt_fn(attempt)* until success,
+    retryable-error budget exhaustion, or a non-retryable error.
+
+    *degrade_fn(last_error, attempts)*, when given, converts
+    exhaustion into a degraded result instead of a raise.
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        if attempt:
+            delay = policy.delay(attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+        try:
+            return attempt_fn(attempt)
+        except RETRYABLE_ERRORS as exc:
+            last = exc
+    if degrade_fn is not None:
+        return degrade_fn(last, policy.max_attempts)
+    raise last
+
+
+def run_supervised_shard(spec: ShardSpec, policy: RetryPolicy,
+                         compiled=None) -> ShardResult:
+    """Execute one shard under *policy*, in the calling process.
+
+    This is the inline form of :meth:`JobQueue.submit_shard`
+    supervision: retry with backoff on retryable errors, degrade to a
+    NaN-frozen span on exhaustion (``policy.degrade``).  Deadlines are
+    not enforced - a synchronous attempt cannot be preempted.
+    """
+    degrade_fn = None
+    if policy.degrade:
+        def degrade_fn(exc, attempts):
+            return degraded_shard_result(spec, exc, attempts)
+    return _run_with_retry(
+        policy, lambda attempt: _execute_shard(spec, attempt, compiled),
+        degrade_fn)
+
+
+# ---------------------------------------------------------------------------
+# pooled supervision
+# ---------------------------------------------------------------------------
+class _Supervised:
+    """Supervisor of one pooled job: deadlines, retries, degradation.
+
+    All state transitions are guarded by a generation token: every
+    re-dispatch invalidates the previous attempt, so a stale completion
+    (a timed-out worker finishing late, a pool-breakage race) can never
+    resolve the job a second time or double-merge a shard.  The token
+    is what makes crash re-dispatch *exactly once* per attempt - the
+    idempotency key is the job itself, whose shard payload is
+    content-addressed (:meth:`ShardSpec.workload_key`).
+    """
+
+    def __init__(self, queue: "JobQueue", fn, payload: dict, decode,
+                 policy: RetryPolicy, degrade_fn=None):
+        self.queue = queue
+        self.fn = fn
+        self.payload = payload
+        self.decode = decode
+        self.policy = policy
+        self.degrade_fn = degrade_fn
+        self.future: Future = Future()
+        #: Failed attempts so far (== the attempt index dispatched next).
+        self.attempts = 0
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._inner: Future | None = None
+        self._epoch = 0
+        self._timer: threading.Timer | None = None
+        self._done = False
+        self._dispatch()
+
+    # -- attempt lifecycle --------------------------------------------
+    def _dispatch(self) -> None:
+        with self._lock:
+            if self._done:
+                return
+            gen = self._generation
+            attempt = self.attempts
+        try:
+            inner, epoch = self.queue._submit_raw(self.fn, self.payload,
+                                                  attempt)
+        except Exception as exc:  # queue shut down mid-retry
+            self._finish_exception(exc)
+            return
+        with self._lock:
+            if self._done or gen != self._generation:
+                inner.cancel()
+                return
+            self._inner = inner
+            self._epoch = epoch
+            if self.policy.deadline is not None:
+                self._timer = threading.Timer(self.policy.deadline,
+                                              self._on_deadline, [gen])
+                self._timer.daemon = True
+                self._timer.start()
+        inner.add_done_callback(lambda fut: self._on_done(fut, gen))
+
+    def _on_done(self, fut: Future, gen: int) -> None:
+        with self._lock:
+            if self._done or gen != self._generation:
+                return  # stale attempt: result discarded
+            self._cancel_timer()
+            exc = (CancelledError() if fut.cancelled()
+                   else fut.exception())
+            if exc is None:
+                self._done = True
+                raw = fut.result()
+        if exc is None:
+            try:
+                self.future.set_result(self.decode(raw))
+            except Exception as dexc:
+                self.future.set_exception(dexc)
+        else:
+            self._handle_failure(exc, gen)
+
+    def _on_deadline(self, gen: int) -> None:
+        with self._lock:
+            if self._done or gen != self._generation:
+                return
+            inner = self._inner
+        if inner is not None:
+            inner.cancel()  # a queued attempt dies here; a running one
+            #                 is abandoned to its fate and gated stale
+        self._handle_failure(JobTimeoutError(
+            f"attempt {self.attempts} exceeded the "
+            f"{self.policy.deadline} s deadline"), gen)
+
+    def _handle_failure(self, exc: BaseException, gen: int) -> None:
+        respawn_epoch = None
+        with self._lock:
+            if self._done or gen != self._generation:
+                return  # deadline/completion race: first cause wins
+            self._cancel_timer()
+            self._generation += 1
+            self.attempts += 1
+            if isinstance(exc, BrokenProcessPool):
+                exc = WorkerCrashError(
+                    f"worker process died mid-job: {exc}")
+                respawn_epoch = self._epoch
+            retryable = isinstance(exc, RETRYABLE_ERRORS)
+            will_retry = (retryable
+                          and self.attempts < self.policy.max_attempts)
+            attempts = self.attempts
+        if respawn_epoch is not None:
+            try:
+                self.queue._respawn_pool(respawn_epoch)
+            except Exception:
+                will_retry = False  # queue shut down underneath us
+        if will_retry:
+            delay = self.policy.delay(attempts)
+            if delay > 0.0:
+                timer = threading.Timer(delay, self._dispatch)
+                timer.daemon = True
+                timer.start()
+            else:
+                self._dispatch()
+            return
+        if retryable and self.degrade_fn is not None:
+            with self._lock:
+                self._done = True
+            try:
+                self.future.set_result(self.degrade_fn(exc, attempts))
+            except Exception as dexc:
+                self.future.set_exception(dexc)
+        else:
+            self._finish_exception(exc)
+
+    # -- helpers -------------------------------------------------------
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _finish_exception(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._done:
+                return
+            self._done = True
+            self._cancel_timer()
+        self.future.set_exception(exc)
 
 
 class JobQueue:
@@ -84,19 +385,61 @@ class JobQueue:
     n_workers:
         ``None``/1 executes every job inline at submission time;
         ``> 1`` spawns a process pool.
+    retry:
+        A :class:`RetryPolicy` putting every submission under
+        supervision (deadlines, retry with backoff, pool-crash
+        recovery, shard degradation - see the module docstring).
+        ``None`` (default) keeps the unsupervised fail-fast behaviour.
 
     Use as a context manager, or call :meth:`shutdown`.
     """
 
-    def __init__(self, session=None, n_workers: int | None = None):
+    def __init__(self, session=None, n_workers: int | None = None,
+                 retry: RetryPolicy | None = None):
         if session is None:
             from .session import default_session
             session = default_session()
         self.session = session
         self.n_workers = n_workers
-        self._pool = (ProcessPoolExecutor(max_workers=n_workers)
-                      if n_workers is not None and n_workers > 1
-                      else None)
+        self.retry = retry
+        self._inline = n_workers is None or n_workers <= 1
+        self._pool_lock = threading.Lock()
+        self._pool_epoch = 0
+        self._pool = (None if self._inline
+                      else ProcessPoolExecutor(max_workers=n_workers))
+
+    # -- pool plumbing -------------------------------------------------
+    def _submit_raw(self, fn, payload: dict,
+                    attempt: int) -> tuple[Future, int]:
+        with self._pool_lock:
+            pool = self._pool
+            epoch = self._pool_epoch
+        if pool is None:
+            raise RuntimeError("JobQueue is shut down")
+        return pool.submit(fn, payload, attempt), epoch
+
+    def _respawn_pool(self, seen_epoch: int) -> None:
+        """Replace a broken executor, exactly once per breakage.
+
+        Every job in flight when a worker dies fails with
+        ``BrokenProcessPool`` and calls in here; the epoch check makes
+        the first caller respawn and the rest no-ops, so one crash
+        costs one respawn however many shards it took down.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                raise RuntimeError("JobQueue is shut down")
+            if self._pool_epoch != seen_epoch:
+                return
+            old = self._pool
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            self._pool_epoch += 1
+        old.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def pool_epoch(self) -> int:
+        """Number of pool respawns survived so far."""
+        return self._pool_epoch
 
     # -- submission ----------------------------------------------------
     def submit(self, request: AnalysisRequest) -> Job:
@@ -106,29 +449,48 @@ class JobQueue:
         available); pooled queues execute in a worker and deliver the
         summary-only result.
         """
-        if self._pool is None:
-            future: Future = Future()
-            try:
-                future.set_result(self.session.run(request))
-            except Exception as exc:  # propagate through the future
-                future.set_exception(exc)
-            return Job(request, future)
-        inner = self._pool.submit(_run_request, request.to_dict())
-        return Job(request, _chain(inner, AnalysisResult.from_dict))
+        if self._inline:
+            def attempt_fn(attempt: int):
+                maybe_inject("run_request", key=request.key(),
+                             attempt=attempt)
+                return self.session.run(request)
+            return Job(request, _inline_future(
+                self.retry, attempt_fn, None))
+        if self.retry is None:
+            inner, _ = self._submit_raw(_run_request, request.to_dict(),
+                                        0)
+            return Job(request, _chain(inner, AnalysisResult.from_dict))
+        sup = _Supervised(self, _run_request, request.to_dict(),
+                          AnalysisResult.from_dict, self.retry)
+        return Job(request, sup.future, supervisor=sup)
 
     def submit_shard(self, spec: ShardSpec) -> Job:
         """Queue one Monte-Carlo shard (see
         :mod:`repro.service.shards`)."""
-        if self._pool is None:
-            from .shards import run_shard
-            future = Future()
-            try:
-                future.set_result(run_shard(spec))
-            except Exception as exc:
-                future.set_exception(exc)
-            return Job(spec, future)
-        inner = self._pool.submit(_run_shard, spec.to_dict())
-        return Job(spec, _chain(inner, ShardResult.from_dict))
+        if self._inline:
+            if self.retry is not None:
+                future: Future = Future()
+                try:
+                    future.set_result(run_supervised_shard(
+                        spec, self.retry,
+                        compiled=_compiled_for(spec, self.session)))
+                except Exception as exc:
+                    future.set_exception(exc)
+                return Job(spec, future)
+            return Job(spec, _inline_future(
+                None, lambda attempt: _execute_shard(
+                    spec, attempt,
+                    _compiled_for(spec, self.session)), None))
+        if self.retry is None:
+            inner, _ = self._submit_raw(_run_shard, spec.to_dict(), 0)
+            return Job(spec, _chain(inner, ShardResult.from_dict))
+        degrade_fn = None
+        if self.retry.degrade:
+            def degrade_fn(exc, attempts):
+                return degraded_shard_result(spec, exc, attempts)
+        sup = _Supervised(self, _run_shard, spec.to_dict(),
+                          ShardResult.from_dict, self.retry, degrade_fn)
+        return Job(spec, sup.future, supervisor=sup)
 
     def map(self, requests) -> list:
         """Submit all *requests* and block for their results, in
@@ -137,10 +499,18 @@ class JobQueue:
         return [job.result() for job in jobs]
 
     # -- lifecycle -----------------------------------------------------
-    def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = True) -> None:
+        """Stop the pool.  Queued-but-unstarted jobs are cancelled
+        (*cancel_futures*), so a caller unwinding from a failed
+        :meth:`map` does not block on work it no longer wants; pass
+        ``wait=False`` to also skip waiting for already-running jobs.
+        """
+        with self._pool_lock:
+            pool = self._pool
             self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=cancel_futures)
 
     def __enter__(self) -> "JobQueue":
         return self
@@ -149,11 +519,30 @@ class JobQueue:
         self.shutdown()
 
 
+def _inline_future(policy: RetryPolicy | None, attempt_fn,
+                   degrade_fn) -> Future:
+    """Execute now (optionally under a retry policy); deliver through
+    a resolved future so inline and pooled jobs share an interface."""
+    future: Future = Future()
+    try:
+        if policy is None:
+            future.set_result(attempt_fn(0))
+        else:
+            future.set_result(
+                _run_with_retry(policy, attempt_fn, degrade_fn))
+    except Exception as exc:  # propagate through the future
+        future.set_exception(exc)
+    return future
+
+
 def _chain(inner: Future, decode) -> Future:
     """An outer future resolving to ``decode(inner.result())``."""
     outer: Future = Future()
 
     def _done(fut: Future) -> None:
+        if fut.cancelled():
+            outer.cancel()
+            return
         exc = fut.exception()
         if exc is not None:
             outer.set_exception(exc)

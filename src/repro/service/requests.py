@@ -22,7 +22,7 @@ from dataclasses import dataclass, field, replace
 
 from ..circuit.netlist import Circuit, content_digest
 from ..errors import AnalysisError
-from .serialize import circuit_to_dict, to_jsonable
+from .serialize import circuit_to_dict, from_jsonable, to_jsonable
 
 REQUEST_FORMAT_VERSION = 1
 
@@ -110,10 +110,14 @@ class AnalysisRequest:
                               dt_max: float | None = None,
                               n_workers: int | None = None,
                               cmin: float | None = None,
-                              backend: str | None = None
-                              ) -> "AnalysisRequest":
+                              backend: str | None = None,
+                              retry=None) -> "AnalysisRequest":
         """Transient Monte-Carlo (:func:`~repro.core.montecarlo.
-        monte_carlo_transient`) as a request."""
+        monte_carlo_transient`) as a request.
+
+        *retry* (a :class:`~repro.service.jobs.RetryPolicy` or its
+        ``to_dict()`` form) puts the run's shards under supervision.
+        """
         options = _clean({
             "n": int(n), "t_stop": float(t_stop), "dt": float(dt),
             "window": list(window) if window is not None else None,
@@ -123,7 +127,7 @@ class AnalysisRequest:
             "extra_record": list(extra_record) if extra_record else None,
             "adaptive": adaptive or None, "rtol": rtol, "atol": atol,
             "dt_min": dt_min, "dt_max": dt_max, "n_workers": n_workers,
-            "cmin": cmin, "backend": backend,
+            "cmin": cmin, "backend": backend, "retry": _retry(retry),
         })
         return cls(kind="mc_transient", circuit=_record(circuit),
                    measures=tuple(to_jsonable(list(measures))),
@@ -136,14 +140,16 @@ class AnalysisRequest:
                        chunk_size: int | None = None,
                        n_workers: int | None = None,
                        cmin: float | None = None,
-                       backend: str | None = None) -> "AnalysisRequest":
-        """DC Monte-Carlo as a request."""
+                       backend: str | None = None,
+                       retry=None) -> "AnalysisRequest":
+        """DC Monte-Carlo as a request (*retry* as in
+        :meth:`monte_carlo_transient`)."""
         options = _clean({
             "n": int(n), "seed": int(seed),
             "sigma_scale": float(sigma_scale),
             "param_covariance": _cov(param_covariance),
             "chunk_size": chunk_size, "n_workers": n_workers,
-            "cmin": cmin, "backend": backend,
+            "cmin": cmin, "backend": backend, "retry": _retry(retry),
         })
         return cls(kind="mc_dc", circuit=_record(circuit),
                    outputs=_outputs(outputs), options=options)
@@ -204,6 +210,10 @@ class AnalysisResult:
     summary: dict
     runtime_seconds: float = 0.0
     from_cache: bool = False
+    #: Structured :class:`~repro.errors.FailureRecord` values for every
+    #: degraded span of a supervised run (empty on clean runs);
+    #: round-trips through :meth:`to_dict`.
+    failures: list = field(default_factory=list)
     detail: object = field(default=None, repr=False, compare=False)
     version: int = REQUEST_FORMAT_VERSION
 
@@ -226,7 +236,8 @@ class AnalysisResult:
         return {"version": self.version, "kind": self.kind,
                 "request_key": self.request_key, "summary": self.summary,
                 "runtime_seconds": self.runtime_seconds,
-                "from_cache": self.from_cache}
+                "from_cache": self.from_cache,
+                "failures": [to_jsonable(f) for f in self.failures]}
 
     @classmethod
     def from_dict(cls, data: dict) -> "AnalysisResult":
@@ -239,6 +250,8 @@ class AnalysisResult:
                    summary=data["summary"],
                    runtime_seconds=data.get("runtime_seconds", 0.0),
                    from_cache=data.get("from_cache", False),
+                   failures=[from_jsonable(f)
+                             for f in data.get("failures", [])],
                    version=version)
 
     def to_json(self) -> str:
@@ -284,3 +297,13 @@ def _cov(param_covariance) -> list | None:
         return None
     import numpy as np
     return np.asarray(param_covariance, dtype=float).tolist()
+
+
+def _retry(retry) -> dict | None:
+    """Canonicalise a retry policy (or its dict form) for the options
+    map; duck-typed so this module need not import the jobs layer."""
+    if retry is None:
+        return None
+    if isinstance(retry, dict):
+        return dict(retry)
+    return retry.to_dict()

@@ -45,6 +45,7 @@ def _registry() -> dict[str, type]:
                                        SmoothPulse, VoltageSource)
         from ..circuit.technology import MosParams, Technology
         from ..core.measures import DcLevel, EdgeDelay, Frequency
+        from ..errors import FailureRecord
         _REGISTRY = {cls.__name__: cls for cls in (
             Resistor, Capacitor, Inductor,
             VoltageSource, CurrentSource, Vccs, Vcvs, Mosfet,
@@ -52,6 +53,7 @@ def _registry() -> dict[str, type]:
             MosParams, Technology,
             DcLevel, EdgeDelay, Frequency,
             NewtonOptions, PssOptions, TransientOptions,
+            FailureRecord,
         )}
     return _REGISTRY
 

@@ -344,7 +344,7 @@ class AnalysisSession:
                 adaptive=o.get("adaptive", False),
                 rtol=o.get("rtol", 1e-3), atol=o.get("atol", 1e-6),
                 dt_min=o.get("dt_min"), dt_max=o.get("dt_max"),
-                cmin=o.get("cmin"))
+                cmin=o.get("cmin"), retry=_retry_policy(o))
             summary = _mc_summary(detail)
         elif kind == "mc_dc":
             outputs = _output_map(request.outputs)
@@ -354,7 +354,8 @@ class AnalysisSession:
                 param_covariance=cov,
                 chunk_size=o.get("chunk_size"),
                 n_workers=o.get("n_workers"),
-                backend=o.get("backend"), cmin=o.get("cmin"))
+                backend=o.get("backend"), cmin=o.get("cmin"),
+                retry=_retry_policy(o))
             summary = _mc_summary(detail)
         else:  # pragma: no cover - __post_init__ rejects unknown kinds
             raise AnalysisError(f"unknown request kind '{kind}'")
@@ -362,6 +363,7 @@ class AnalysisSession:
         return AnalysisResult(
             kind=kind, request_key=key, summary=summary,
             runtime_seconds=time.perf_counter() - t_begin,
+            failures=list(getattr(detail, "failures", []) or []),
             detail=detail)
 
     # -- hygiene -------------------------------------------------------
@@ -385,6 +387,16 @@ class AnalysisSession:
 def _output_map(outputs: tuple) -> dict:
     return {name: (pos if neg is None else (pos, neg))
             for name, pos, neg in outputs}
+
+
+def _retry_policy(options: dict):
+    """Decode a request's ``retry`` option (a plain dict) back into a
+    live :class:`~repro.service.jobs.RetryPolicy`."""
+    spec = options.get("retry")
+    if spec is None:
+        return None
+    from .jobs import RetryPolicy
+    return RetryPolicy.from_dict(spec)
 
 
 def _mc_summary(detail) -> dict:

@@ -29,16 +29,19 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from ..circuit.netlist import content_digest
-from ..errors import AnalysisError
+from ..errors import AnalysisError, FailureRecord
 from .serialize import circuit_from_dict, circuit_to_dict, from_jsonable
 
 #: Protocol version; bumped whenever the spec/result layout or the
 #: sampling contract changes.  ``from_dict`` refuses other versions.
-SHARD_PROTOCOL_VERSION = 1
+#: v2: :class:`ShardResult` grew the ``failures`` record list
+#: (supervised degradation - see :func:`degraded_shard_result`).
+SHARD_PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -133,7 +136,13 @@ class ShardSpec:
 
 @dataclass
 class ShardResult:
-    """Measured samples of one shard span."""
+    """Measured samples of one shard span.
+
+    ``failures`` lists the :class:`~repro.errors.FailureRecord` of a
+    degraded (NaN-frozen) span - empty on clean results; ``n_failed``
+    counts the failed lanes either way, composing the per-lane
+    freeze semantics of the MC engines with whole-shard degradation.
+    """
 
     kind: str
     start: int
@@ -141,12 +150,15 @@ class ShardResult:
     samples: dict            # metric name -> np.ndarray of length n_lanes
     n_failed: int = 0
     workload_key: str = ""
+    failures: list = field(default_factory=list)
     version: int = SHARD_PROTOCOL_VERSION
 
     def to_dict(self) -> dict:
+        from .serialize import to_jsonable
         d = asdict(self)
         d["samples"] = {name: [float(v) for v in vals]
                         for name, vals in self.samples.items()}
+        d["failures"] = [to_jsonable(f) for f in self.failures]
         return d
 
     @classmethod
@@ -159,6 +171,8 @@ class ShardResult:
         d = dict(data)
         d["samples"] = {name: np.asarray(vals, dtype=float)
                         for name, vals in data["samples"].items()}
+        d["failures"] = [from_jsonable(f)
+                         for f in data.get("failures", [])]
         return cls(**d)
 
     def to_json(self) -> str:
@@ -333,27 +347,87 @@ def run_shard(spec: ShardSpec, compiled=None) -> ShardResult:
     raise AnalysisError(f"unknown shard kind '{spec.kind}'")
 
 
-def merge_shard_results(results: list[ShardResult]
-                        ) -> tuple[dict, int]:
+def metric_names(spec: ShardSpec) -> list[str]:
+    """The metric names a shard of *spec* reports - what a degraded
+    result must still carry so the merge stays shaped."""
+    if spec.kind == "mc_transient":
+        return [m.name for m in _decode_measures(spec)]
+    if spec.kind == "mc_dc":
+        return sorted(spec.outputs)
+    raise AnalysisError(f"unknown shard kind '{spec.kind}'")
+
+
+def degraded_shard_result(spec: ShardSpec, error: BaseException,
+                          attempts: int) -> ShardResult:
+    """The deterministic degraded form of a shard that exhausted its
+    retries: every lane of the owned span NaN-frozen, the whole span
+    counted in ``n_failed``, and a structured
+    :class:`~repro.errors.FailureRecord` attached.
+
+    This extends the per-lane freeze semantics the MC engines have had
+    since PR 1 (a diverging lane becomes NaN, not an aborted run) to
+    whole-shard failures: the merge stays bit-identical on every
+    unaffected span, and statistics are computed over the surviving
+    lanes.
+    """
+    record = FailureRecord.from_exception(
+        error, site="shard", attempts=attempts, start=spec.start,
+        stop=spec.stop)
+    samples = {name: np.full(spec.n_lanes, np.nan)
+               for name in metric_names(spec)}
+    return ShardResult(kind=spec.kind, start=spec.start, stop=spec.stop,
+                       samples=samples, n_failed=spec.n_lanes,
+                       workload_key=spec.workload_key(),
+                       failures=[record])
+
+
+class MergedShards(NamedTuple):
+    """Span-merged shard results: concatenated samples, total failed
+    lanes, and the failure records of degraded shards."""
+
+    samples: dict
+    n_failed: int
+    failures: list
+
+
+def merge_shard_results(results: list[ShardResult]) -> MergedShards:
     """Merge shard results in span order.
 
-    Returns ``(samples, n_failed)`` where *samples* maps metric name to
-    the concatenated array.  Refuses shards from different workloads
-    (mismatched workload keys) and non-contiguous span coverage - the
-    two ways a distributed merge silently corrupts statistics.
+    Returns :class:`MergedShards` ``(samples, n_failed, failures)``
+    where *samples* maps metric name to the concatenated array.
+    Refuses shards from different workloads (mismatched workload keys)
+    and any non-contiguous span coverage - naming the duplicate,
+    overlapping, or missing span precisely, because a distributed merge
+    that silently drops or doubles a span corrupts statistics without
+    any downstream symptom.
     """
     if not results:
         raise AnalysisError("no shard results to merge")
-    ordered = sorted(results, key=lambda r: r.start)
+    ordered = sorted(results, key=lambda r: (r.start, r.stop))
     key = ordered[0].workload_key
     for prev, cur in zip(ordered, ordered[1:]):
         if cur.workload_key != key:
             raise AnalysisError(
-                "refusing to merge shards from different workloads")
-        if cur.start != prev.stop:
+                f"refusing to merge shards from different workloads: "
+                f"span [{cur.start}, {cur.stop}) has workload key "
+                f"{cur.workload_key[:12]}..., expected {key[:12]}...")
+        if cur.start == prev.start and cur.stop == prev.stop:
             raise AnalysisError(
-                f"shard spans are not contiguous: [{prev.start}, "
-                f"{prev.stop}) then [{cur.start}, {cur.stop})")
+                f"duplicate shard span [{cur.start}, {cur.stop}) in "
+                f"merge (same span delivered twice - a re-dispatched "
+                f"shard was not deduplicated)")
+        if cur.start < prev.stop:
+            raise AnalysisError(
+                f"overlapping shard spans: [{prev.start}, {prev.stop}) "
+                f"overlaps [{cur.start}, {cur.stop}) on "
+                f"[{cur.start}, {min(prev.stop, cur.stop)})")
+        if cur.start > prev.stop:
+            raise AnalysisError(
+                f"gap in shard coverage: span [{prev.stop}, "
+                f"{cur.start}) is missing between [{prev.start}, "
+                f"{prev.stop}) and [{cur.start}, {cur.stop})")
     samples = {name: np.concatenate([r.samples[name] for r in ordered])
                for name in ordered[0].samples}
-    return samples, sum(r.n_failed for r in ordered)
+    failures = [f for r in ordered for f in r.failures]
+    return MergedShards(samples, sum(r.n_failed for r in ordered),
+                        failures)

@@ -38,10 +38,11 @@ class TestTransientShards:
             _rc(), [DcLevel("vout", "out")], MC_KW["n"], MC_KW["t_stop"],
             MC_KW["dt"], chunk_size=MC_KW["chunk_size"],
             window=MC_KW["window"], seed=MC_KW["seed"])
-        samples, n_failed = merge_shard_results(
+        samples, n_failed, failures = merge_shard_results(
             [run_shard(s) for s in specs])
         assert np.array_equal(samples["vout"], ref.samples["vout"])
         assert n_failed == ref.n_failed
+        assert failures == []
 
     def test_json_round_trip_bit_identical(self):
         ref = monte_carlo_transient(_rc(), [DcLevel("vout", "out")],
@@ -57,7 +58,7 @@ class TestTransientShards:
             assert rt.workload_key() == spec.workload_key()
             # the result round-trips too
             results.append(ShardResult.from_json(run_shard(rt).to_json()))
-        samples, _ = merge_shard_results(results)
+        samples = merge_shard_results(results).samples
         assert np.array_equal(samples["vout"], ref.samples["vout"])
 
     def test_parallel_equals_serial(self):
@@ -91,8 +92,9 @@ class TestDcShards:
         ref = monte_carlo_dc(ckt, {"vout": "out"}, n=20, seed=3,
                              chunk_size=6)
         specs = mc_dc_shards(ckt, {"vout": "out"}, 20, 6, seed=3)
-        samples, _ = merge_shard_results(
-            [run_shard(ShardSpec.from_json(s.to_json())) for s in specs])
+        samples = merge_shard_results(
+            [run_shard(ShardSpec.from_json(s.to_json()))
+             for s in specs]).samples
         assert np.array_equal(samples["vout"], ref.samples["vout"])
 
 
@@ -125,7 +127,8 @@ class TestProtocolGuards:
                         workload_key="k")
         c = ShardResult("mc_dc", 6, 8, {"m": np.zeros(2)},
                         workload_key="k")
-        with pytest.raises(AnalysisError, match="contiguous"):
+        with pytest.raises(AnalysisError,
+                           match=r"gap in shard coverage: span \[4, 6\)"):
             merge_shard_results([a, c])
 
     def test_merge_refuses_mixed_workloads(self):
@@ -141,5 +144,5 @@ class TestProtocolGuards:
                         workload_key="k")
         b = ShardResult("mc_dc", 2, 4, {"m": np.array([2.0, 3.0])},
                         workload_key="k")
-        samples, _ = merge_shard_results([b, a])
+        samples = merge_shard_results([b, a]).samples
         assert np.array_equal(samples["m"], [0.0, 1.0, 2.0, 3.0])
