@@ -22,9 +22,11 @@ all of them reproducible:
   clean path stays clean.
 
 Determinism: a probabilistic rule decides via a stable hash of
-``(seed, site, key, attempt)``, never via process-local RNG state - the
-same plan over the same workload injects the same faults regardless of
-which worker executes which shard, or how often the run is repeated.
+``(seed, rule index, site, key, attempt)``, never via process-local RNG
+state - the same plan over the same workload injects the same faults
+regardless of which worker executes which shard, or how often the run
+is repeated, and distinct rules draw independently even when they match
+the same decision coordinates.
 """
 
 from __future__ import annotations
@@ -143,19 +145,25 @@ class FaultPlan:
 
     # -- decision ------------------------------------------------------
     def should_fire(self, rule: FaultRule, site: str, key,
-                    attempt: int) -> bool:
+                    attempt: int, index: int | None = None) -> bool:
         if not rule.matches(site, key, attempt):
             return False
         if rule.probability >= 1.0:
             return True
-        return _stable_unit(self.seed, site, key,
+        if index is None:
+            index = self.rules.index(rule)
+        return _stable_unit(self.seed, index, site, key,
                             attempt) < rule.probability
 
 
-def _stable_unit(seed: int, site: str, key, attempt: int) -> float:
+def _stable_unit(seed: int, rule_index: int, site: str, key,
+                 attempt: int) -> float:
     """A deterministic pseudo-uniform in ``[0, 1)`` from the decision
-    coordinates - identical in every process, unlike RNG state."""
-    token = f"{seed}:{site}:{key!r}:{attempt}".encode()
+    coordinates - identical in every process, unlike RNG state.  The
+    rule index is part of the token so rules matching the same
+    ``(site, key, attempt)`` draw independently instead of firing in
+    lockstep."""
+    token = f"{seed}:{rule_index}:{site}:{key!r}:{attempt}".encode()
     digest = hashlib.sha256(token).digest()
     return int.from_bytes(digest[:8], "big") / 2 ** 64
 
@@ -192,8 +200,8 @@ def maybe_inject(site: str, key=None, attempt: int = 0) -> None:
     plan = current_plan()
     if plan is None:
         return
-    for rule in plan.rules:
-        if plan.should_fire(rule, site, key, attempt):
+    for index, rule in enumerate(plan.rules):
+        if plan.should_fire(rule, site, key, attempt, index):
             _fire(rule, site, key, attempt)
             return
 

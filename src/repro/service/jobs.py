@@ -260,6 +260,10 @@ class _Supervised:
         self._inner: Future | None = None
         self._epoch = 0
         self._timer: threading.Timer | None = None
+        #: Generation whose inner-future cancellation is the deadline
+        #: timer's doing (so ``_on_done`` defers to it); shutdown
+        #: cancels never set this and stay terminal.
+        self._deadline_cancel_gen: int | None = None
         self._done = False
         self._dispatch()
 
@@ -273,6 +277,15 @@ class _Supervised:
         try:
             inner, epoch = self.queue._submit_raw(self.fn, self.payload,
                                                   attempt)
+        except BrokenProcessPool as exc:
+            # the submit raced another job's pool breakage before any
+            # supervisor respawned: route it through the crash
+            # machinery (WorkerCrashError conversion, epoch-guarded
+            # respawn, retry budget) like an in-flight breakage
+            with self._lock:
+                self._epoch = self.queue.pool_epoch
+            self._handle_failure(exc, gen)
+            return
         except Exception as exc:  # queue shut down mid-retry
             self._finish_exception(exc)
             return
@@ -293,6 +306,12 @@ class _Supervised:
         with self._lock:
             if self._done or gen != self._generation:
                 return  # stale attempt: result discarded
+            if fut.cancelled() and self._deadline_cancel_gen == gen:
+                # the deadline timer cancelled this still-queued
+                # attempt and owns the failure: its JobTimeoutError
+                # retries/degrades, where a CancelledError would kill
+                # the job outright
+                return
             self._cancel_timer()
             exc = (CancelledError() if fut.cancelled()
                    else fut.exception())
@@ -312,9 +331,11 @@ class _Supervised:
             if self._done or gen != self._generation:
                 return
             inner = self._inner
+            self._deadline_cancel_gen = gen  # claim the cancel below
         if inner is not None:
-            inner.cancel()  # a queued attempt dies here; a running one
-            #                 is abandoned to its fate and gated stale
+            inner.cancel()  # a queued attempt dies here (its _on_done
+            #                 defers to this timeout); a running one is
+            #                 abandoned to its fate and gated stale
         self._handle_failure(JobTimeoutError(
             f"attempt {self.attempts} exceeded the "
             f"{self.policy.deadline} s deadline"), gen)

@@ -18,6 +18,7 @@ timing-sensitive scenarios (deadlines, hangs) stay fast and robust.
 
 import os
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
@@ -95,6 +96,24 @@ class TestFaultPlan:
         # a half-probability rule over 32 keys fires somewhere, but
         # not everywhere
         assert any(decisions) and not all(decisions)
+
+    def test_probabilistic_rules_draw_independently(self):
+        # two rules matching the same (site, key, attempt) must not
+        # share one uniform draw: lockstep firing would skew
+        # multi-rule chaos plans (the later rule could only ever fire
+        # where the earlier one also would)
+        plan = FaultPlan(rules=[FaultRule(site="run_shard",
+                                          kind="crash",
+                                          probability=0.4),
+                                FaultRule(site="run_shard", kind="hang",
+                                          probability=0.4)], seed=5)
+        first, second = plan.rules
+        keys = range(64)
+        da = [plan.should_fire(first, "run_shard", k, 0) for k in keys]
+        db = [plan.should_fire(second, "run_shard", k, 0) for k in keys]
+        assert da != db
+        # in particular the second rule fires on keys the first spares
+        assert any(b and not a for a, b in zip(da, db))
 
     def test_fail_attempts_heals_on_retry(self):
         plan = FaultPlan(rules=[FaultRule(site="run_shard",
@@ -245,6 +264,58 @@ class TestPooledSupervision:
         (rec,) = merged.failures
         assert rec.error == "JobTimeoutError"
         assert rec.attempts == 2
+
+    def test_queued_past_deadline_degrades_not_cancelled(self):
+        # backlog deeper than the pool (6 shards on 2 workers): the
+        # deadline expires on attempts still PENDING in the queue, so
+        # inner.cancel() *succeeds*.  That cancellation must count as
+        # the timeout (retry, then degrade) - not surface as a
+        # terminal CancelledError after a single attempt.
+        specs = _specs(n=36, chunk=6)
+        plan = FaultPlan(rules=[FaultRule(site="run_shard", kind="hang",
+                                          hang_seconds=1.2)])
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0,
+                             deadline=0.4)
+        with plan.active():
+            with JobQueue(n_workers=2, retry=policy) as queue:
+                jobs = [queue.submit_shard(s) for s in specs]
+                results = [j.result(timeout=60) for j in jobs]
+        for job, result in zip(jobs, results):
+            assert job.failed_attempts == 2  # full budget, every shard
+            (rec,) = result.failures
+            assert rec.error == "JobTimeoutError"
+            assert rec.attempts == 2
+        merged = merge_shard_results(results)
+        assert merged.n_failed == 36
+        assert np.isnan(merged.samples["vout"]).all()
+
+    def test_submit_racing_pool_breakage_is_supervised(self):
+        # pool.submit raises BrokenProcessPool synchronously while a
+        # crashed pool awaits respawn; a dispatch hitting that window
+        # must go through the crash machinery (respawn + retry), not
+        # fail the job with the raw exception
+        queue = JobQueue(n_workers=2, retry=FAST)
+        real = queue._submit_raw
+        calls = []
+
+        def racing(fn, payload, attempt):
+            calls.append(attempt)
+            if len(calls) == 1:
+                raise BrokenProcessPool(
+                    "pool broke under a racing submit")
+            return real(fn, payload, attempt)
+
+        queue._submit_raw = racing
+        try:
+            job = queue.submit_shard(_specs()[0])
+            result = job.result(timeout=60)
+        finally:
+            queue.shutdown()
+        assert calls == [0, 1]  # first attempt broken, retry ran
+        assert job.failed_attempts == 1
+        assert queue.pool_epoch == 1  # the breakage forced a respawn
+        assert result.n_failed == 0
+        assert not np.isnan(result.samples["vout"]).any()
 
     def test_pooled_monte_carlo_with_crash_end_to_end(self, clean):
         plan = FaultPlan(rules=[FaultRule(site="run_shard",
