@@ -24,9 +24,11 @@ here.
 
 import time
 
+import numpy as np
 from conftest import publish
 
-from repro.analysis.pss import PssOptions
+from repro.analysis import compile_circuit
+from repro.analysis.pss import PssOptions, pss
 from repro.circuits import strongarm_offset_testbench
 from repro.core.measures import DcLevel
 from repro.service import AnalysisRequest, AnalysisSession
@@ -77,6 +79,32 @@ def test_service_cache_comparator(tech, results_dir):
     assert speedup_memo >= 5.0, (
         f"memoized repeat only {speedup_memo:.1f}x faster than cold")
 
+    # the registry's `pss` kind: the orbit itself as a request.  Cold
+    # must be bit-identical to calling pss() directly (the engine path
+    # adds no numerics), and the memoized repeat clears the same 5x
+    # floor as the mismatch request.
+    pss_request = AnalysisRequest.pss(
+        tb.circuit, [vos], period=tb.period, pss_options=pss_opts)
+    pss_session = AnalysisSession()
+    t0 = time.perf_counter()
+    pss_cold = pss_session.run(pss_request)
+    t_pss_cold = time.perf_counter() - t0
+    assert not pss_cold.from_cache
+
+    direct = pss(compile_circuit(tb.circuit), tb.period,
+                 options=pss_opts)
+    assert pss_cold.summary["f0"] == direct.f0
+    assert np.array_equal(pss_cold.detail.x, direct.x)
+
+    t0 = time.perf_counter()
+    pss_memo = pss_session.run(pss_request)
+    t_pss_memo = time.perf_counter() - t0
+    assert pss_memo.from_cache
+    speedup_pss_memo = t_pss_cold / t_pss_memo
+    assert speedup_pss_memo >= 5.0, (
+        f"memoized pss repeat only {speedup_pss_memo:.1f}x faster "
+        "than cold")
+
     text = "\n".join([
         "analysis-service cache temperatures "
         "(comparator offset, Table II workload)",
@@ -89,13 +117,19 @@ def test_service_cache_comparator(tech, results_dir):
         "none (result memo)",
         f"sigma(vos) = {sigma * 1e3:.3f} mV on all three paths "
         "(bit-identical)",
+        f"{'pss_cold':<12s} {t_pss_cold:>10.2f} {1.0:>8.1f}x  "
+        "pss request, bit-identical to direct pss()",
+        f"{'pss_memo':<12s} {t_pss_memo:>10.4f} "
+        f"{speedup_pss_memo:>8.1f}x  none (result memo)",
     ])
     publish(results_dir, "service_cache", text, data={
         "n_steps": N_STEPS,
         "wall_seconds": {"cold": t_cold, "warm_pss": t_warm_pss,
-                         "warm_memo": t_memo},
+                         "warm_memo": t_memo, "pss_cold": t_pss_cold,
+                         "pss_memo": t_pss_memo},
         "speedup_memo": speedup_memo,
         "speedup_pss": speedup_pss,
+        "speedup_pss_memo": speedup_pss_memo,
         "sigma_vos": sigma,
         "cache_stats": {store: {"hits": s["hits"], "misses": s["misses"]}
                         for store, s in stats.items()},

@@ -10,7 +10,10 @@ service layer (see README "Architecture") makes that cheap:
   caches, so the sweep pays each compile/PSS once and repeat requests
   are served from the result memo;
 * a :class:`JobQueue` fans independent requests out (inline here;
-  ``n_workers=4`` would use a process pool unchanged).
+  ``n_workers=4`` would use a process pool unchanged);
+* every analysis kind lives in the engine registry
+  (:func:`repro.registered_kinds`), so the same request/session/queue
+  machinery covers ``pss``, ``ac`` and ``sweep`` requests too.
 
 Workload: sigma of the output level of a sine-driven RC low-pass as the
 load resistor is swept - small enough to run in seconds, shaped exactly
@@ -18,7 +21,7 @@ like a real parameter study.
 """
 
 from repro import (AnalysisRequest, AnalysisSession, Circuit, DcLevel,
-                   JobQueue, Sine)
+                   JobQueue, Sine, registered_kinds)
 from repro.analysis.pss import PssOptions
 
 
@@ -68,6 +71,27 @@ def main() -> None:
     assert AnalysisRequest.from_json(wire).key() == requests[0].key()
     print(f"request round-trips through JSON "
           f"({len(wire)} bytes, key {requests[0].key()[:12]}...)")
+
+    # the whole study is itself a request: a `sweep` bundles labelled
+    # sub-requests into one serializable value with one key, and its
+    # sub-results land in the same memo (all cached after the run
+    # above).  Any registered kind can ride in it - the registry is
+    # open (see repro.service.engines.register_engine).
+    print(f"registered kinds: {', '.join(registered_kinds())}")
+    study = AnalysisRequest.sweep(
+        requests, labels=[f"R={r:.0f}" for r in sweep])
+    rerun = session.run(study)
+    hits = sum(c["from_cache"] for c in rerun.summary["cases"])
+    print(f"sweep request replays the study: {hits}/{len(sweep)} "
+          f"cases from cache")
+
+    # frequency-domain sanity check on the same circuit, same session
+    ac = session.run(AnalysisRequest.ac(
+        rc_lowpass(1e3), {"vout": "out"}, source="VS",
+        freqs=[1e5, 1e6, 1e7]))
+    mags = ac.summary["metrics"]["vout"]["magnitude"]
+    print(f"ac request |H| @ 0.1/1/10 MHz: "
+          + ", ".join(f"{m:.3f}" for m in mags))
 
 
 if __name__ == "__main__":

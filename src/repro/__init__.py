@@ -32,8 +32,11 @@ from .core import (transient_mismatch_analysis, dc_mismatch_analysis,
 from .circuits import (ring_oscillator, strongarm_offset_testbench,
                        logic_path_testbench, inverter_chain,
                        five_transistor_ota, resistor_string_dac)
+from .variation import (CorrelationGroup, ParameterVariation,
+                        VariationSpec, spec_for_circuit)
 from .service import (AnalysisRequest, AnalysisResult, AnalysisSession,
-                      JobQueue, default_session)
+                      JobQueue, default_session, register_engine,
+                      registered_kinds)
 
 __version__ = "1.0.0"
 
@@ -52,7 +55,9 @@ __all__ = [
     "ring_oscillator", "strongarm_offset_testbench",
     "logic_path_testbench", "inverter_chain", "five_transistor_ota",
     "resistor_string_dac",
+    "CorrelationGroup", "ParameterVariation", "VariationSpec",
+    "spec_for_circuit",
     "AnalysisRequest", "AnalysisResult", "AnalysisSession", "JobQueue",
-    "default_session",
+    "default_session", "register_engine", "registered_kinds",
     "__version__",
 ]

@@ -121,6 +121,23 @@ class Technology:
         return replace(self, avt=self.avt * factor,
                        abeta=self.abeta * factor)
 
+    def variation_spec(self, circuit, distribution: str = "gaussian",
+                       scale: float = 1.0):
+        """A declarative :class:`~repro.variation.VariationSpec`
+        covering every mismatch declaration of *circuit* (whose
+        elements were sized against this technology) at the declared
+        Pelgrom sigmas.
+
+        *distribution* / *scale* are the declarative form of
+        tolerance-class selection and the :meth:`scaled` Fig.-11 sweep:
+        ``tech.variation_spec(ckt, scale=4.0)`` lowers to the same
+        covariance that rebuilding the circuit against
+        ``tech.scaled(4.0)`` declares.
+        """
+        from ..variation import spec_for_circuit
+        return spec_for_circuit(circuit, distribution=distribution,
+                                scale=scale)
+
 
 def default_technology() -> Technology:
     """The 0.13-um CMOS process used by every bundled benchmark.

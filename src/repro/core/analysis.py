@@ -185,6 +185,25 @@ def run_transient_mismatch(
                            "measures": t_end - t_lptv})
 
 
+def _as_request(kind: str, circuit, requestable: bool, **kwargs):
+    """Build the :class:`~repro.service.requests.AnalysisRequest` form
+    of a free-function call, or ``None`` when the call can only run on
+    the in-process flow path (live engine objects - a custom state, a
+    precomputed orbit, a backend instance, an unregistered measure, an
+    already-compiled circuit - have no serializable identity)."""
+    if not requestable:
+        return None
+    if not isinstance(circuit, Circuit):
+        return None
+    from ..service.requests import AnalysisRequest
+    try:
+        return AnalysisRequest.build(kind, circuit, **kwargs)
+    except TypeError:
+        # outside the closed serialization registry (e.g. a custom
+        # Measure): in-process only
+        return None
+
+
 def transient_mismatch_analysis(
         circuit, measures: list[Measure],
         period: float | None = None,
@@ -197,6 +216,7 @@ def transient_mismatch_analysis(
         param_covariance: np.ndarray | None = None,
         precomputed_pss: PssResult | None = None,
         backend: str | None = None,
+        variations=None,
 ) -> MismatchAnalysisResult:
     """Run the paper's sensitivity-based transient mismatch analysis.
 
@@ -206,12 +226,18 @@ def transient_mismatch_analysis(
 
     This is a thin wrapper over the process-default
     :class:`~repro.service.session.AnalysisSession`
-    (:func:`repro.service.default_session`): the compile and the PSS
-    orbit go through the session's content-addressed caches, so
-    repeated analyses of an unchanged circuit skip both.  Results are
-    bit-identical to a cold, cache-free run - the caches key on
-    circuit content, and the engines themselves are untouched.  Use a
-    dedicated :class:`AnalysisSession` (or its
+    (:func:`repro.service.default_session`): serializable calls are
+    expressed as an :class:`~repro.service.requests.AnalysisRequest`
+    and executed through :meth:`AnalysisSession.run`, so the in-process
+    path and a future daemon submitting the identical request run
+    byte-for-byte the same pipeline - and repeats of an identical call
+    hit the session's result memo.  Calls carrying live engine objects
+    (a custom *state*, explicit *injections*, a *precomputed_pss*, a
+    backend instance, an unregistered measure, or an already-compiled
+    circuit) run the same session flow directly.  Either way the
+    compile and the PSS orbit go through the session's
+    content-addressed caches, and results are bit-identical to a cold,
+    cache-free run.  Use a dedicated :class:`AnalysisSession` (or its
     :meth:`~repro.service.session.AnalysisSession.transient_mismatch`)
     for isolated cache lifetimes, request memoization and job fan-out.
 
@@ -227,6 +253,11 @@ def transient_mismatch_analysis(
     param_covariance:
         Full mismatch covariance matrix for correlated mismatch
         (paper Eq. 6); defaults to independent parameters.
+    variations:
+        Declarative :class:`~repro.variation.VariationSpec` as an
+        alternative to *param_covariance* (mutually exclusive);
+        lowered onto the circuit's declaration order, bit-identical
+        to the equivalent hand-built matrix.
     backend:
         Linear-solver backend name or instance (``"dense"``,
         ``"cached"``, ``"sparse"``; see :mod:`repro.linalg`); default
@@ -237,7 +268,24 @@ def transient_mismatch_analysis(
     MismatchAnalysisResult
     """
     from ..service.session import default_session
-    return default_session().transient_mismatch(
+    session = default_session()
+    request = _as_request(
+        "transient_mismatch", circuit,
+        requestable=(state is None and injections is None
+                     and precomputed_pss is None
+                     and (backend is None or isinstance(backend, str))),
+        measures=measures, period=period,
+        oscillator_anchor=oscillator_anchor, t_settle=t_settle,
+        dt_settle=dt_settle, pss_options=pss_options,
+        param_covariance=param_covariance, variations=variations)
+    if request is not None:
+        return session.run(request).detail
+    if variations is not None:
+        if param_covariance is not None:
+            raise ValueError(
+                "give param_covariance or variations, not both")
+        param_covariance = variations.covariance(circuit)
+    return session.transient_mismatch(
         circuit, measures, period=period,
         oscillator_anchor=oscillator_anchor, t_settle=t_settle,
         dt_settle=dt_settle, state=state, pss_options=pss_options,
@@ -305,22 +353,43 @@ def dc_mismatch_analysis(circuit,
                          state: ParamState | None = None,
                          param_covariance: np.ndarray | None = None,
                          backend: str | None = None,
+                         variations=None,
                          ) -> MismatchAnalysisResult:
     """DC mismatch (dcmatch / [8]) analysis - the method the paper extends.
 
     A thin wrapper over the process-default
-    :class:`~repro.service.session.AnalysisSession`: the compile goes
-    through the session's content-addressed cache (results are
-    bit-identical to a cache-free run), and the adjoint engine
-    :func:`run_dc_mismatch` does the rest.
+    :class:`~repro.service.session.AnalysisSession`: serializable calls
+    run as an :class:`~repro.service.requests.AnalysisRequest` through
+    :meth:`AnalysisSession.run` (memoized, daemon-identical), calls
+    carrying live objects run the session flow directly; the compile
+    goes through the session's content-addressed cache either way
+    (results are bit-identical to a cache-free run), and the adjoint
+    engine :func:`run_dc_mismatch` does the rest.
 
     Parameters
     ----------
     outputs:
         Metric name -> node (or ``(pos, neg)`` pair) whose DC value's
         variation is wanted.
+    variations:
+        Declarative :class:`~repro.variation.VariationSpec` as an
+        alternative to *param_covariance* (mutually exclusive).
     """
     from ..service.session import default_session
-    return default_session().dc_mismatch(
+    session = default_session()
+    request = _as_request(
+        "dc_mismatch", circuit,
+        requestable=(state is None
+                     and (backend is None or isinstance(backend, str))),
+        outputs=outputs, param_covariance=param_covariance,
+        variations=variations)
+    if request is not None:
+        return session.run(request).detail
+    if variations is not None:
+        if param_covariance is not None:
+            raise ValueError(
+                "give param_covariance or variations, not both")
+        param_covariance = variations.covariance(circuit)
+    return session.dc_mismatch(
         circuit, outputs, state=state,
         param_covariance=param_covariance, backend=backend)

@@ -12,6 +12,13 @@ The cost grows linearly with the number of components - the paper warns
 this escalates quickly with many parameters, which is why it remains an
 extension rather than the default.  Here it is implemented for one (or
 a few) dominant parameters, which is also how a designer would use it.
+
+The declarative entry point is
+:meth:`repro.variation.VariationSpec.mixture`, which lowers a named
+``uniform``/``lognormal`` parameter variation onto
+:func:`split_gaussian` / :func:`project_mixture` component lists;
+:class:`MixtureComponent` is registered with the service serializer,
+so those lists ride inside JSON requests like any other value.
 """
 
 from __future__ import annotations

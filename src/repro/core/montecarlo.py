@@ -115,6 +115,22 @@ def sample_mismatch(compiled: CompiledCircuit, n: int,
     return {d.key: draws[:, j] for j, d in enumerate(decls)}
 
 
+def _resolve_variations(compiled, param_covariance, variations):
+    """Lower a declarative :class:`~repro.variation.VariationSpec`
+    (live instance or tagged payload) onto the compiled circuit's
+    declaration order.  The spec is lowered *once* here, so the shard
+    planner and every worker see the identical covariance matrix and
+    the bit-identical-merge contract is untouched."""
+    if variations is None:
+        return param_covariance
+    if param_covariance is not None:
+        raise ValueError("give param_covariance or variations, not both")
+    if isinstance(variations, dict):
+        from ..service.serialize import variation_spec
+        variations = variation_spec(variations)
+    return variations.covariance(compiled)
+
+
 def measurement_window_mask(t: np.ndarray, window: tuple[float, float],
                             dt: float | None = None) -> np.ndarray:
     """Samples of grid *t* inside *window*, with half-a-step tolerance.
@@ -223,7 +239,8 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
                           rtol: float = 1e-3, atol: float = 1e-6,
                           dt_min: float | None = None,
                           dt_max: float | None = None,
-                          retry=None) -> MonteCarloResult:
+                          retry=None,
+                          variations=None) -> MonteCarloResult:
     """Monte-Carlo over batched transients.
 
     Lanes whose Newton iteration diverges or whose Jacobian goes
@@ -268,6 +285,11 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
         :class:`~repro.errors.FailureRecord` appended to ``failures``,
         instead of aborting the run.  Unaffected shards stay
         bit-identical to the unsupervised run.
+    variations:
+        Declarative :class:`~repro.variation.VariationSpec` as an
+        alternative to *param_covariance* (mutually exclusive); lowered
+        onto the circuit's declaration order up front, so samples are
+        bit-identical to the equivalent hand-built matrix.
 
     Returns
     -------
@@ -276,6 +298,8 @@ def monte_carlo_transient(circuit, measures: list[Measure], n: int,
     from ..service.shards import (mc_transient_shards,
                                   merge_shard_results, run_shard)
     compiled = _as_compiled(circuit, backend=backend)
+    param_covariance = _resolve_variations(compiled, param_covariance,
+                                           variations)
     rng = np.random.default_rng(seed)
     # the full joint draw, kept on the result; each shard redraws the
     # identical set from the seed and slices its own span
@@ -353,7 +377,7 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
                    backend: str | None = None,
                    chunk_size: int | None = None,
                    n_workers: int | None = None,
-                   retry=None) -> MonteCarloResult:
+                   retry=None, variations=None) -> MonteCarloResult:
     """Monte-Carlo over batched DC operating points (dcmatch baseline).
 
     *chunk_size* splits the batch into independent stacked solves
@@ -369,11 +393,15 @@ def monte_carlo_dc(circuit, outputs: dict[str, str | tuple[str, str]],
     *retry* supervises the shards exactly as in
     :func:`monte_carlo_transient`: degraded spans merge as NaN, are
     counted in ``n_failed`` and reported through ``failures``, and the
-    statistics are taken over the surviving finite lanes.
+    statistics are taken over the surviving finite lanes.  *variations*
+    (a :class:`~repro.variation.VariationSpec`, mutually exclusive with
+    *param_covariance*) lowers to the equivalent covariance up front.
     """
     from ..service.shards import (mc_dc_shards, merge_shard_results,
                                   run_shard)
     compiled = _as_compiled(circuit, backend=backend)
+    param_covariance = _resolve_variations(compiled, param_covariance,
+                                           variations)
     rng = np.random.default_rng(seed)
     deltas = sample_mismatch(compiled, n, rng, sigma_scale,
                              param_covariance=param_covariance)

@@ -29,6 +29,8 @@ must not import ``repro.service`` - CI enforces it).
 """
 
 from ..errors import FailureRecord
+from .engines import (AnalysisEngine, engine_for, register_engine,
+                      registered_kinds, unregister_engine)
 from .faults import FaultPlan, FaultRule
 from .jobs import Job, JobQueue, RetryPolicy, run_supervised_shard
 from .requests import AnalysisRequest, AnalysisResult
@@ -42,6 +44,8 @@ from .shards import (SHARD_PROTOCOL_VERSION, MergedShards, ShardResult,
 __all__ = [
     "AnalysisRequest", "AnalysisResult",
     "AnalysisSession", "default_session",
+    "AnalysisEngine", "register_engine", "unregister_engine",
+    "engine_for", "registered_kinds",
     "Job", "JobQueue", "RetryPolicy", "run_supervised_shard",
     "FaultPlan", "FaultRule", "FailureRecord",
     "ShardSpec", "ShardResult", "SHARD_PROTOCOL_VERSION",

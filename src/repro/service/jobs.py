@@ -143,10 +143,11 @@ def _worker_session():
 
 
 def _run_request(request_dict: dict, attempt: int = 0) -> dict:
+    from .engines import engine_for
     request = AnalysisRequest.from_dict(request_dict)
     key = request.key()
     maybe_inject("run_request", key=key, attempt=attempt)
-    if request.kind in ("mc_transient", "mc_dc"):
+    if engine_for(request.kind).fan_out:
         # no nested pools: the job already owns a whole process
         options = {k: v for k, v in request.options.items()
                    if k != "n_workers"}

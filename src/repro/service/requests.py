@@ -20,33 +20,34 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, replace
 
-from ..circuit.netlist import Circuit, content_digest
+from ..circuit.netlist import content_digest
 from ..errors import AnalysisError
-from .serialize import circuit_to_dict, from_jsonable, to_jsonable
+from .engines import engine_for
+from .serialize import (circuit_record, from_jsonable, output_triples,
+                        to_jsonable)
 
 REQUEST_FORMAT_VERSION = 1
-
-#: The kinds :class:`~repro.service.session.AnalysisSession` executes.
-REQUEST_KINDS = ("transient_mismatch", "dc_mismatch",
-                 "mc_transient", "mc_dc")
-
-
-def _clean(options: dict) -> dict:
-    """Drop ``None`` entries so that 'omitted' and 'default' hash
-    identically - requests built with and without explicit defaults
-    would otherwise miss each other's cached results."""
-    return {k: v for k, v in options.items() if v is not None}
 
 
 @dataclass(frozen=True)
 class AnalysisRequest:
     """One analysis job as a JSON-serializable value.
 
-    Build instances through the classmethod constructors
-    (:meth:`transient_mismatch`, :meth:`dc_mismatch`,
-    :meth:`monte_carlo_transient`, :meth:`monte_carlo_dc`) - they
-    serialize the circuit and options into canonical form so that equal
-    workloads get equal :meth:`key` values.
+    Build instances through :meth:`build` (any registered kind - see
+    :func:`~repro.service.engines.registered_kinds`) or the named
+    classmethod constructors (:meth:`transient_mismatch`,
+    :meth:`dc_mismatch`, :meth:`monte_carlo_transient`,
+    :meth:`monte_carlo_dc`, :meth:`pss`, :meth:`ac`, :meth:`sweep`) -
+    they serialize the circuit and options into canonical form through
+    the kind's registered engine so that equal workloads get equal
+    :meth:`key` values.
+
+    Every constructor accepts *variations* - a declarative
+    :class:`~repro.variation.VariationSpec` - as an alternative to a
+    raw *param_covariance* matrix; the spec rides the request as a
+    tagged JSON payload and is lowered onto the circuit's declaration
+    order at execution time, bit-identical to the equivalent hand-built
+    matrix.
     """
 
     kind: str
@@ -57,12 +58,35 @@ class AnalysisRequest:
     version: int = REQUEST_FORMAT_VERSION
 
     def __post_init__(self):
-        if self.kind not in REQUEST_KINDS:
-            raise AnalysisError(
-                f"unknown request kind '{self.kind}'; expected one of "
-                f"{REQUEST_KINDS}")
+        # raises AnalysisError listing the registered kinds
+        engine_for(self.kind)
 
     # -- constructors --------------------------------------------------
+    @classmethod
+    def build(cls, kind: str, circuit=None, measures=(), outputs=None,
+              **kwargs) -> "AnalysisRequest":
+        """Build a request of any registered *kind*.
+
+        The kind's engine canonicalizes *kwargs* into the JSON-stable
+        options dict; *measures* / *outputs* are consumed according to
+        the engine's payload slot.  This is the generic form behind
+        every named constructor - a newly registered engine is
+        constructible here with no further plumbing.
+        """
+        engine = engine_for(kind)
+        options = engine.canonicalize(**kwargs)
+        measures_t: tuple = ()
+        outputs_t: tuple = ()
+        if engine.payload == "measures":
+            measures_t = tuple(to_jsonable(list(measures)))
+        elif engine.payload == "outputs":
+            outputs_t = output_triples(
+                outputs if outputs is not None else {})
+        record = (circuit_record(circuit)
+                  if circuit is not None else {})
+        return cls(kind=kind, circuit=record, measures=measures_t,
+                   outputs=outputs_t, options=options)
+
     @classmethod
     def transient_mismatch(cls, circuit, measures,
                            period: float | None = None,
@@ -71,29 +95,27 @@ class AnalysisRequest:
                            dt_settle: float | None = None,
                            pss_options=None, param_covariance=None,
                            cmin: float | None = None,
-                           backend: str | None = None) -> "AnalysisRequest":
+                           backend: str | None = None,
+                           variations=None) -> "AnalysisRequest":
         """The paper's sensitivity analysis (:func:`~repro.core.analysis.
         transient_mismatch_analysis`) as a request."""
-        options = _clean({
-            "period": period, "oscillator_anchor": oscillator_anchor,
-            "t_settle": t_settle, "dt_settle": dt_settle,
-            "pss_options": to_jsonable(pss_options),
-            "param_covariance": _cov(param_covariance),
-            "cmin": cmin, "backend": backend,
-        })
-        return cls(kind="transient_mismatch", circuit=_record(circuit),
-                   measures=tuple(to_jsonable(list(measures))),
-                   options=options)
+        return cls.build(
+            "transient_mismatch", circuit, measures=measures,
+            period=period, oscillator_anchor=oscillator_anchor,
+            t_settle=t_settle, dt_settle=dt_settle,
+            pss_options=pss_options, param_covariance=param_covariance,
+            variations=variations, cmin=cmin, backend=backend)
 
     @classmethod
     def dc_mismatch(cls, circuit, outputs: dict,
                     param_covariance=None, cmin: float | None = None,
-                    backend: str | None = None) -> "AnalysisRequest":
+                    backend: str | None = None,
+                    variations=None) -> "AnalysisRequest":
         """DC mismatch (dcmatch) analysis as a request."""
-        options = _clean({"param_covariance": _cov(param_covariance),
-                          "cmin": cmin, "backend": backend})
-        return cls(kind="dc_mismatch", circuit=_record(circuit),
-                   outputs=_outputs(outputs), options=options)
+        return cls.build(
+            "dc_mismatch", circuit, outputs=outputs,
+            param_covariance=param_covariance, variations=variations,
+            cmin=cmin, backend=backend)
 
     @classmethod
     def monte_carlo_transient(cls, circuit, measures, n: int,
@@ -111,27 +133,23 @@ class AnalysisRequest:
                               n_workers: int | None = None,
                               cmin: float | None = None,
                               backend: str | None = None,
-                              retry=None) -> "AnalysisRequest":
+                              retry=None,
+                              variations=None) -> "AnalysisRequest":
         """Transient Monte-Carlo (:func:`~repro.core.montecarlo.
         monte_carlo_transient`) as a request.
 
         *retry* (a :class:`~repro.service.jobs.RetryPolicy` or its
         ``to_dict()`` form) puts the run's shards under supervision.
         """
-        options = _clean({
-            "n": int(n), "t_stop": float(t_stop), "dt": float(dt),
-            "window": list(window) if window is not None else None,
-            "seed": int(seed), "sigma_scale": float(sigma_scale),
-            "param_covariance": _cov(param_covariance),
-            "chunk_size": int(chunk_size), "method": method,
-            "extra_record": list(extra_record) if extra_record else None,
-            "adaptive": adaptive or None, "rtol": rtol, "atol": atol,
-            "dt_min": dt_min, "dt_max": dt_max, "n_workers": n_workers,
-            "cmin": cmin, "backend": backend, "retry": _retry(retry),
-        })
-        return cls(kind="mc_transient", circuit=_record(circuit),
-                   measures=tuple(to_jsonable(list(measures))),
-                   options=options)
+        return cls.build(
+            "mc_transient", circuit, measures=measures, n=n,
+            t_stop=t_stop, dt=dt, window=window, seed=seed,
+            sigma_scale=sigma_scale, param_covariance=param_covariance,
+            variations=variations, chunk_size=chunk_size, method=method,
+            extra_record=extra_record, adaptive=adaptive, rtol=rtol,
+            atol=atol, dt_min=dt_min, dt_max=dt_max,
+            n_workers=n_workers, cmin=cmin, backend=backend,
+            retry=retry)
 
     @classmethod
     def monte_carlo_dc(cls, circuit, outputs: dict, n: int,
@@ -141,18 +159,51 @@ class AnalysisRequest:
                        n_workers: int | None = None,
                        cmin: float | None = None,
                        backend: str | None = None,
-                       retry=None) -> "AnalysisRequest":
+                       retry=None, variations=None) -> "AnalysisRequest":
         """DC Monte-Carlo as a request (*retry* as in
         :meth:`monte_carlo_transient`)."""
-        options = _clean({
-            "n": int(n), "seed": int(seed),
-            "sigma_scale": float(sigma_scale),
-            "param_covariance": _cov(param_covariance),
-            "chunk_size": chunk_size, "n_workers": n_workers,
-            "cmin": cmin, "backend": backend, "retry": _retry(retry),
-        })
-        return cls(kind="mc_dc", circuit=_record(circuit),
-                   outputs=_outputs(outputs), options=options)
+        return cls.build(
+            "mc_dc", circuit, outputs=outputs, n=n, seed=seed,
+            sigma_scale=sigma_scale, param_covariance=param_covariance,
+            variations=variations, chunk_size=chunk_size,
+            n_workers=n_workers, cmin=cmin, backend=backend,
+            retry=retry)
+
+    @classmethod
+    def pss(cls, circuit, measures=(), period: float | None = None,
+            oscillator_anchor: str | None = None,
+            t_settle: float | None = None,
+            dt_settle: float | None = None, pss_options=None,
+            cmin: float | None = None,
+            backend: str | None = None) -> "AnalysisRequest":
+        """Periodic steady state (:func:`~repro.analysis.pss.pss` /
+        :func:`~repro.analysis.pss.pss_oscillator`) as a cacheable
+        request; *measures* (optional) report nominal orbit metrics in
+        the summary."""
+        return cls.build(
+            "pss", circuit, measures=measures, period=period,
+            oscillator_anchor=oscillator_anchor, t_settle=t_settle,
+            dt_settle=dt_settle, pss_options=pss_options, cmin=cmin,
+            backend=backend)
+
+    @classmethod
+    def ac(cls, circuit, outputs: dict, source: str, freqs,
+           amplitude: float = 1.0, cmin: float | None = None,
+           backend: str | None = None) -> "AnalysisRequest":
+        """Small-signal AC sweep (:func:`~repro.analysis.ac.
+        ac_analysis`) as a request; *outputs* maps metric names to
+        (differential) response nodes."""
+        return cls.build(
+            "ac", circuit, outputs=outputs, source=source, freqs=freqs,
+            amplitude=amplitude, cmin=cmin, backend=backend)
+
+    @classmethod
+    def sweep(cls, requests, labels=None) -> "AnalysisRequest":
+        """A batch of sub-requests (live or ``to_dict()`` form) as one
+        request; each case memoizes individually *and* the sweep as a
+        whole memoizes on its content."""
+        return cls.build("sweep", None, requests=list(requests),
+                         labels=labels)
 
     # -- identity ------------------------------------------------------
     def key(self) -> str:
@@ -263,47 +314,3 @@ class AnalysisResult:
 
     def as_cached(self) -> "AnalysisResult":
         return replace(self, from_cache=True)
-
-
-# ---------------------------------------------------------------------------
-# constructor helpers
-# ---------------------------------------------------------------------------
-def _record(circuit) -> dict:
-    if isinstance(circuit, dict):
-        return circuit
-    if isinstance(circuit, Circuit):
-        return circuit_to_dict(circuit)
-    # CompiledCircuit and friends expose .circuit
-    inner = getattr(circuit, "circuit", None)
-    if isinstance(inner, Circuit):
-        return circuit_to_dict(inner)
-    raise TypeError("expected a Circuit, CompiledCircuit or circuit dict")
-
-
-def _outputs(outputs: dict) -> tuple:
-    """Canonicalise the dcmatch output map into sorted (name, pos, neg)
-    triples - a hashable, JSON-stable shape."""
-    rows = []
-    for name, spec in outputs.items():
-        pos, neg = (spec if isinstance(spec, (tuple, list))
-                    else (spec, None))
-        rows.append((str(name), str(pos),
-                     None if neg is None else str(neg)))
-    return tuple(sorted(rows))
-
-
-def _cov(param_covariance) -> list | None:
-    if param_covariance is None:
-        return None
-    import numpy as np
-    return np.asarray(param_covariance, dtype=float).tolist()
-
-
-def _retry(retry) -> dict | None:
-    """Canonicalise a retry policy (or its dict form) for the options
-    map; duck-typed so this module need not import the jobs layer."""
-    if retry is None:
-        return None
-    if isinstance(retry, dict):
-        return dict(retry)
-    return retry.to_dict()

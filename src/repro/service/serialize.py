@@ -44,8 +44,11 @@ def _registry() -> dict[str, type]:
         from ..circuit.sources import (CurrentSource, Dc, Pwl, Sine,
                                        SmoothPulse, VoltageSource)
         from ..circuit.technology import MosParams, Technology
+        from ..core.gaussian_mixture import MixtureComponent
         from ..core.measures import DcLevel, EdgeDelay, Frequency
         from ..errors import FailureRecord
+        from ..variation import (CorrelationGroup, ParameterVariation,
+                                 VariationSpec)
         _REGISTRY = {cls.__name__: cls for cls in (
             Resistor, Capacitor, Inductor,
             VoltageSource, CurrentSource, Vccs, Vcvs, Mosfet,
@@ -54,6 +57,8 @@ def _registry() -> dict[str, type]:
             DcLevel, EdgeDelay, Frequency,
             NewtonOptions, PssOptions, TransientOptions,
             FailureRecord,
+            ParameterVariation, CorrelationGroup, VariationSpec,
+            MixtureComponent,
         )}
     return _REGISTRY
 
@@ -142,3 +147,127 @@ def circuit_from_dict(data: dict) -> Circuit:
     ckt.ic.update({node: float(v)
                    for node, v in data.get("ic", {}).items()})
     return ckt
+
+
+# ---------------------------------------------------------------------------
+# shared canonicalization helpers
+#
+# One construction site for the payload shapes that requests, shards and
+# engines all agree on (these used to be copy-pasted between
+# requests.py and shards.py).
+# ---------------------------------------------------------------------------
+def clean_options(options: dict) -> dict:
+    """Drop ``None`` entries so that 'omitted' and 'default' hash
+    identically - requests built with and without explicit defaults
+    would otherwise miss each other's cached results."""
+    return {k: v for k, v in options.items() if v is not None}
+
+
+def circuit_record(circuit) -> dict:
+    """Canonicalise any circuit-shaped argument into the serialized
+    record: dicts pass through, :class:`Circuit` serializes, compiled
+    circuits (anything exposing a ``.circuit`` attribute) serialize
+    their inner :class:`Circuit`."""
+    if isinstance(circuit, dict):
+        return circuit
+    if isinstance(circuit, Circuit):
+        return circuit_to_dict(circuit)
+    inner = getattr(circuit, "circuit", None)
+    if isinstance(inner, Circuit):
+        return circuit_to_dict(inner)
+    raise TypeError("expected a Circuit, CompiledCircuit or circuit dict")
+
+
+def covariance_payload(param_covariance) -> list | None:
+    """Mismatch covariance as nested lists (JSON), or ``None``."""
+    if param_covariance is None:
+        return None
+    return np.asarray(param_covariance, dtype=float).tolist()
+
+
+def variation_payload(variations) -> dict | None:
+    """A :class:`~repro.variation.VariationSpec` (or its already-encoded
+    tagged dict) as the tagged-jsonable options payload, or ``None``."""
+    if variations is None:
+        return None
+    if isinstance(variations, dict):
+        return variations
+    return to_jsonable(variations)
+
+
+def variation_spec(payload):
+    """Decode :func:`variation_payload` output back into a live
+    :class:`~repro.variation.VariationSpec` (``None`` passes through)."""
+    if payload is None or not isinstance(payload, dict):
+        return payload
+    return from_jsonable(payload)
+
+
+def retry_payload(retry) -> dict | None:
+    """Canonicalise a retry policy (or its dict form) for an options
+    map; duck-typed so this module need not import the jobs layer."""
+    if retry is None:
+        return None
+    if isinstance(retry, dict):
+        return dict(retry)
+    return retry.to_dict()
+
+
+def output_triples(outputs) -> tuple:
+    """Canonicalise a dcmatch output map into sorted
+    ``(name, pos, neg)`` triples - a hashable, JSON-stable shape.
+    Already-canonical triple sequences pass through unchanged."""
+    if not isinstance(outputs, dict):
+        return tuple(
+            (str(name), str(pos), None if neg is None else str(neg))
+            for name, pos, neg in outputs)
+    rows = []
+    for name, spec in outputs.items():
+        pos, neg = (spec if isinstance(spec, (tuple, list))
+                    else (spec, None))
+        rows.append((str(name), str(pos),
+                     None if neg is None else str(neg)))
+    return tuple(sorted(rows))
+
+
+def output_map(triples) -> dict:
+    """Invert :func:`output_triples` into the engine-facing dict."""
+    return {name: (pos if neg is None else (pos, neg))
+            for name, pos, neg in triples}
+
+
+def encode_measures(measures) -> list:
+    """Serialize registered measures; keep custom ones live (the
+    payload then works in-process / via pickle but refuses JSON)."""
+    out = []
+    for m in measures:
+        if isinstance(m, dict):
+            out.append(m)
+            continue
+        try:
+            out.append(to_jsonable(m))
+        except TypeError:
+            out.append(m)
+    return out
+
+
+def decode_measures(measures) -> list:
+    """Decode :func:`encode_measures` output back into live measures
+    (live objects pass through)."""
+    return [from_jsonable(m) if isinstance(m, dict) else m
+            for m in measures]
+
+
+def measure_tokens(measures) -> list:
+    """Hashable stand-ins for a measure list: serialized records pass
+    through, live (unregistered) measures hash by type + repr."""
+    out = []
+    for m in measures:
+        if isinstance(m, dict):
+            out.append(m)
+            continue
+        try:
+            out.append(to_jsonable(m))
+        except TypeError:
+            out.append(["live", type(m).__name__, repr(m)])
+    return out

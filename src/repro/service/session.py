@@ -18,22 +18,23 @@ Eviction and :meth:`AnalysisSession.clear` cascade through the evicted
 objects' own ``clear_caches()`` so that bounded store size means bounded
 memory, not just a bounded entry count.
 
-The free functions in :mod:`repro.core` (``transient_mismatch_analysis``
-and friends) are thin wrappers over the process-default session
-(:func:`default_session`), so plain functional callers share these
-caches without knowing they exist.
+Execution is registry-driven: :meth:`AnalysisSession.run` looks the
+request kind up in :mod:`repro.service.engines` and runs the registered
+engine - this module owns the stores and the memoization only, and
+never imports :mod:`repro.core` or :mod:`repro.analysis` itself (CI
+enforces that split, so a new engine registers without touching the
+session).  The free functions in :mod:`repro.core`
+(``transient_mismatch_analysis`` and friends) are thin wrappers over
+the process-default session (:func:`default_session`), so plain
+functional callers share these caches without knowing they exist.
 """
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from typing import Callable
 
-from ..circuit.netlist import Circuit, content_digest
-from ..errors import AnalysisError
 from .requests import AnalysisRequest, AnalysisResult
-from .serialize import circuit_from_dict, from_jsonable
 
 
 class _LruStore:
@@ -120,32 +121,10 @@ class AnalysisSession:
     # -- domain-object caches ------------------------------------------
     def compile(self, circuit, cmin: float | None = None,
                 backend=None):
-        """Compile *circuit* through the session cache.
-
-        An already-compiled circuit passes straight through (with the
-        same copy-on-backend-override semantics as the functional API).
-        Backend *instances* bypass the cache - they are mutable solver
-        state, not a describable configuration.
-        """
-        from ..core.analysis import _as_compiled
-        if not isinstance(circuit, Circuit):
-            return _as_compiled(circuit, backend=backend)
-        from ..analysis.mna import compile_circuit
-        from ..constants import CMIN_DEFAULT
-        backend = backend if backend is not None else self.backend
-        cmin_eff = CMIN_DEFAULT if cmin is None else cmin
-        if backend is not None and not isinstance(backend, str):
-            return compile_circuit(circuit, cmin=cmin_eff,
-                                   backend=backend)
-        key = content_digest("session-compile-v1", circuit.fingerprint(),
-                             float(cmin_eff), backend)
-        hit = self.compiled.get(key)
-        if hit is not None:
-            return hit
-        compiled = compile_circuit(circuit, cmin=cmin_eff,
-                                   backend=backend)
-        self.compiled.put(key, compiled)
-        return compiled
+        """Compile *circuit* through the session cache (see
+        :func:`~repro.service.engines.compile_cached`)."""
+        from .engines import compile_cached
+        return compile_cached(self, circuit, cmin=cmin, backend=backend)
 
     def state(self, compiled, deltas=None, source_values=None,
               batch_shape=None):
@@ -168,53 +147,16 @@ class AnalysisSession:
             oscillator_anchor: str | None = None,
             t_settle: float | None = None,
             dt_settle: float | None = None):
-        """Periodic steady state through the session cache.
-
-        Only nominal orbits (``state is None``) are cached: a custom
-        :class:`ParamState` is mutable engine state without a content
-        identity, so those calls always execute.
-        """
-        from ..analysis.pss import pss, pss_oscillator
-
-        def run():
-            if oscillator_anchor is not None:
-                if t_settle is None or dt_settle is None:
-                    raise AnalysisError(
-                        "oscillator analyses need t_settle and dt_settle")
-                return pss_oscillator(compiled, oscillator_anchor,
-                                      t_settle, dt_settle, state=state,
-                                      options=options)
-            if period is None:
-                raise AnalysisError(
-                    "give period= or oscillator_anchor=")
-            return pss(compiled, period, state=state, options=options)
-
-        if state is not None:
-            return run()
-        # The backend tag is part of the key: the orbit is backend-
-        # independent but its cached linearization's factorizations are
-        # not, and cache_key deliberately excludes the backend.
-        key = content_digest(
-            "session-pss-v1", compiled.cache_key,
-            type(compiled.backend).__name__, period, oscillator_anchor,
-            t_settle, dt_settle, options)
-        hit = self.pss_store.get(key)
-        if hit is not None:
-            return hit
-        result = run()
-        self.pss_store.put(key, result)
-        return result
+        """Periodic steady state through the session cache (see
+        :func:`~repro.service.engines.pss_cached`)."""
+        from .engines import pss_cached
+        return pss_cached(self, compiled, period=period, state=state,
+                          options=options,
+                          oscillator_anchor=oscillator_anchor,
+                          t_settle=t_settle, dt_settle=dt_settle)
 
     # -- analysis flows ------------------------------------------------
-    def transient_mismatch(self, circuit, measures,
-                           period: float | None = None,
-                           oscillator_anchor: str | None = None,
-                           t_settle: float | None = None,
-                           dt_settle: float | None = None,
-                           state=None, pss_options=None,
-                           injections=None, param_covariance=None,
-                           precomputed_pss=None, backend=None,
-                           cmin: float | None = None):
+    def transient_mismatch(self, circuit, measures, **kwargs):
         """The paper's sensitivity analysis through the session caches.
 
         Same contract as :func:`~repro.core.analysis.
@@ -222,149 +164,47 @@ class AnalysisSession:
         calls on an unchanged circuit reuse the compiled system and the
         PSS orbit.
         """
-        from ..core.analysis import run_transient_mismatch
-        t_begin = time.perf_counter()
-        compiled = self.compile(circuit, cmin=cmin, backend=backend)
-        if precomputed_pss is None:
-            if period is None and oscillator_anchor is None:
-                raise AnalysisError("give period=, oscillator_anchor=, "
-                                    "or precomputed_pss=")
-            pss_result = self.pss(compiled, period=period, state=state,
-                                  options=pss_options,
-                                  oscillator_anchor=oscillator_anchor,
-                                  t_settle=t_settle, dt_settle=dt_settle)
-        else:
-            pss_result = precomputed_pss
-        t_pss = time.perf_counter()
-        result = run_transient_mismatch(
-            compiled, measures, pss_result,
-            injections=injections, param_covariance=param_covariance)
-        # the engine only saw the precomputed orbit; restore the true
-        # wall-clock split including the (possibly cached) PSS
-        result.runtime_breakdown["pss"] = t_pss - t_begin
-        result.runtime_seconds = time.perf_counter() - t_begin
-        return result
+        from .engines import transient_mismatch_flow
+        return transient_mismatch_flow(self, circuit, measures,
+                                       **kwargs)
 
-    def dc_mismatch(self, circuit, outputs: dict, state=None,
-                    param_covariance=None, backend=None,
-                    cmin: float | None = None):
+    def dc_mismatch(self, circuit, outputs: dict, **kwargs):
         """DC mismatch analysis through the session compile cache."""
-        from ..core.analysis import run_dc_mismatch
-        compiled = self.compile(circuit, cmin=cmin, backend=backend)
-        return run_dc_mismatch(compiled, outputs, state=state,
-                               param_covariance=param_covariance)
+        from .engines import dc_mismatch_flow
+        return dc_mismatch_flow(self, circuit, outputs, **kwargs)
 
     def monte_carlo_transient(self, circuit, measures, **kwargs):
         """Transient Monte-Carlo with the compile shared through the
         session cache (sampling/merge semantics unchanged - see
         :func:`~repro.core.montecarlo.monte_carlo_transient`)."""
-        from ..core.montecarlo import monte_carlo_transient
-        compiled = self.compile(circuit, cmin=kwargs.pop("cmin", None),
-                                backend=kwargs.pop("backend", None))
-        return monte_carlo_transient(compiled, measures, **kwargs)
+        from .engines import mc_transient_flow
+        return mc_transient_flow(self, circuit, measures, **kwargs)
 
     def monte_carlo_dc(self, circuit, outputs: dict, n: int, **kwargs):
         """DC Monte-Carlo with the compile shared through the session
         cache."""
-        from ..core.montecarlo import monte_carlo_dc
-        compiled = self.compile(circuit, cmin=kwargs.pop("cmin", None),
-                                backend=kwargs.pop("backend", None))
-        return monte_carlo_dc(compiled, outputs, n, **kwargs)
+        from .engines import mc_dc_flow
+        return mc_dc_flow(self, circuit, outputs, n, **kwargs)
 
     # -- request execution ---------------------------------------------
     def run(self, request: AnalysisRequest) -> AnalysisResult:
-        """Execute *request*, memoized on its content key.
+        """Execute *request* through its registered engine, memoized on
+        the request's content key.
 
         A repeat of an identical request (same circuit content, same
         options - however it was built) returns the stored result with
-        ``from_cache=True`` without touching the engines.
+        ``from_cache=True`` without touching the engines.  Unknown
+        kinds raise an :class:`~repro.errors.AnalysisError` listing
+        the registered kinds.
         """
+        from .engines import execute
         key = request.key()
         hit = self.results.get(key)
         if hit is not None:
             return hit.as_cached()
-        result = self._execute(request, key)
+        result = execute(self, request, key)
         self.results.put(key, result)
         return result
-
-    def _execute(self, request: AnalysisRequest,
-                 key: str) -> AnalysisResult:
-        import numpy as np
-        t_begin = time.perf_counter()
-        circuit = circuit_from_dict(request.circuit)
-        o = dict(request.options)
-        cov = o.pop("param_covariance", None)
-        cov = np.asarray(cov, dtype=float) if cov is not None else None
-        kind = request.kind
-
-        if kind == "transient_mismatch":
-            measures = [from_jsonable(m) for m in request.measures]
-            detail = self.transient_mismatch(
-                circuit, measures, period=o.get("period"),
-                oscillator_anchor=o.get("oscillator_anchor"),
-                t_settle=o.get("t_settle"), dt_settle=o.get("dt_settle"),
-                pss_options=from_jsonable(o.get("pss_options")),
-                param_covariance=cov, backend=o.get("backend"),
-                cmin=o.get("cmin"))
-            summary = {
-                "metrics": {m.name: {"nominal": detail.nominal[m.name],
-                                     "sigma": detail.sigma(m.name)}
-                            for m in measures},
-                "n_params": len(detail.keys),
-                "f0": detail.pss.f0,
-                "runtime_breakdown": dict(detail.runtime_breakdown),
-            }
-        elif kind == "dc_mismatch":
-            outputs = _output_map(request.outputs)
-            detail = self.dc_mismatch(circuit, outputs,
-                                      param_covariance=cov,
-                                      backend=o.get("backend"),
-                                      cmin=o.get("cmin"))
-            summary = {
-                "metrics": {name: {"nominal": detail.nominal[name],
-                                   "sigma": detail.sigma(name)}
-                            for name in outputs},
-                "n_params": len(detail.keys),
-            }
-        elif kind == "mc_transient":
-            measures = [from_jsonable(m) for m in request.measures]
-            window = o.get("window")
-            detail = self.monte_carlo_transient(
-                circuit, measures, n=o["n"], t_stop=o["t_stop"],
-                dt=o["dt"],
-                window=tuple(window) if window is not None else None,
-                seed=o.get("seed", 0),
-                sigma_scale=o.get("sigma_scale", 1.0),
-                param_covariance=cov,
-                chunk_size=o.get("chunk_size", 250),
-                method=o.get("method", "trap"),
-                extra_record=o.get("extra_record"),
-                backend=o.get("backend"),
-                n_workers=o.get("n_workers"),
-                adaptive=o.get("adaptive", False),
-                rtol=o.get("rtol", 1e-3), atol=o.get("atol", 1e-6),
-                dt_min=o.get("dt_min"), dt_max=o.get("dt_max"),
-                cmin=o.get("cmin"), retry=_retry_policy(o))
-            summary = _mc_summary(detail)
-        elif kind == "mc_dc":
-            outputs = _output_map(request.outputs)
-            detail = self.monte_carlo_dc(
-                circuit, outputs, n=o["n"], seed=o.get("seed", 0),
-                sigma_scale=o.get("sigma_scale", 1.0),
-                param_covariance=cov,
-                chunk_size=o.get("chunk_size"),
-                n_workers=o.get("n_workers"),
-                backend=o.get("backend"), cmin=o.get("cmin"),
-                retry=_retry_policy(o))
-            summary = _mc_summary(detail)
-        else:  # pragma: no cover - __post_init__ rejects unknown kinds
-            raise AnalysisError(f"unknown request kind '{kind}'")
-
-        return AnalysisResult(
-            kind=kind, request_key=key, summary=summary,
-            runtime_seconds=time.perf_counter() - t_begin,
-            failures=list(getattr(detail, "failures", []) or []),
-            detail=detail)
 
     # -- hygiene -------------------------------------------------------
     def clear(self) -> None:
@@ -382,32 +222,6 @@ class AnalysisSession:
                 "states": self.states.stats(),
                 "pss": self.pss_store.stats(),
                 "results": self.results.stats()}
-
-
-def _output_map(outputs: tuple) -> dict:
-    return {name: (pos if neg is None else (pos, neg))
-            for name, pos, neg in outputs}
-
-
-def _retry_policy(options: dict):
-    """Decode a request's ``retry`` option (a plain dict) back into a
-    live :class:`~repro.service.jobs.RetryPolicy`."""
-    spec = options.get("retry")
-    if spec is None:
-        return None
-    from .jobs import RetryPolicy
-    return RetryPolicy.from_dict(spec)
-
-
-def _mc_summary(detail) -> dict:
-    return {
-        "metrics": {name: {"mean": st.mean, "sigma": st.std,
-                           "std_ci_low": st.std_ci_low,
-                           "std_ci_high": st.std_ci_high}
-                    for name, st in detail.stats.items()},
-        "n": detail.n,
-        "n_failed": detail.n_failed,
-    }
 
 
 _DEFAULT_SESSION: AnalysisSession | None = None

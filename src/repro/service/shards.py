@@ -35,13 +35,19 @@ import numpy as np
 
 from ..circuit.netlist import content_digest
 from ..errors import AnalysisError, FailureRecord
-from .serialize import circuit_from_dict, circuit_to_dict, from_jsonable
+from .serialize import (circuit_from_dict, circuit_record,
+                        decode_measures, encode_measures,
+                        from_jsonable, measure_tokens,
+                        variation_payload, variation_spec)
 
 #: Protocol version; bumped whenever the spec/result layout or the
 #: sampling contract changes.  ``from_dict`` refuses other versions.
 #: v2: :class:`ShardResult` grew the ``failures`` record list
 #: (supervised degradation - see :func:`degraded_shard_result`).
-SHARD_PROTOCOL_VERSION = 2
+#: v3: :class:`ShardSpec` grew the declarative ``variations`` payload
+#: (a tagged :class:`~repro.variation.VariationSpec`, lowered onto the
+#: circuit's declaration order when no explicit covariance is given).
+SHARD_PROTOCOL_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,10 @@ class ShardSpec:
     sigma_scale: float = 1.0
     #: Full mismatch covariance as nested lists (JSON), or ``None``.
     param_covariance: list | None = None
+    #: Declarative :class:`~repro.variation.VariationSpec` as a tagged
+    #: JSON payload; lowered in :meth:`deltas` when no explicit
+    #: ``param_covariance`` is given.
+    variations: dict | None = None
     measures: list = field(default_factory=list)
     outputs: dict = field(default_factory=dict)
     options: dict = field(default_factory=dict)
@@ -86,7 +96,8 @@ class ShardSpec:
         return content_digest(
             "shard-workload-v1", self.version, self.kind, self.circuit,
             self.n_total, self.seed, self.sigma_scale,
-            self.param_covariance, _measure_tokens(self.measures),
+            self.param_covariance, self.variations,
+            measure_tokens(self.measures),
             self.outputs, self.options)
 
     # -- serialization -------------------------------------------------
@@ -125,6 +136,8 @@ class ShardSpec:
         rng = np.random.default_rng(self.seed)
         cov = (np.asarray(self.param_covariance, dtype=float)
                if self.param_covariance is not None else None)
+        if cov is None and self.variations is not None:
+            cov = variation_spec(self.variations).covariance(compiled)
         full = sample_mismatch(compiled, self.n_total, rng,
                                self.sigma_scale, param_covariance=cov)
         return {k: v[self.start:self.stop] for k, v in full.items()}
@@ -191,44 +204,6 @@ def _spans(n: int, chunk_size: int) -> list[tuple[int, int]]:
             for start in range(0, n, chunk_size)]
 
 
-def _circuit_record(circuit) -> dict:
-    from ..analysis.mna import CompiledCircuit
-    if isinstance(circuit, CompiledCircuit):
-        circuit = circuit.circuit
-    if isinstance(circuit, dict):
-        return circuit
-    return circuit_to_dict(circuit)
-
-
-def _measure_tokens(measures: list) -> list:
-    """Hashable stand-ins for the measure list: serialized records pass
-    through, live (unregistered) measures hash by type + repr."""
-    from .serialize import to_jsonable
-    out = []
-    for m in measures:
-        if isinstance(m, dict):
-            out.append(m)
-            continue
-        try:
-            out.append(to_jsonable(m))
-        except TypeError:
-            out.append(["live", type(m).__name__, repr(m)])
-    return out
-
-
-def _encode_measures(measures: list) -> list:
-    """Serialize registered measures; keep custom ones live (the spec
-    then works in-process / via pickle but refuses ``to_dict``)."""
-    from .serialize import to_jsonable
-    out = []
-    for m in measures:
-        try:
-            out.append(to_jsonable(m))
-        except TypeError:
-            out.append(m)
-    return out
-
-
 def mc_transient_shards(circuit, measures: list, n: int, t_stop: float,
                         dt: float, chunk_size: int = 250,
                         window: tuple | None = None, seed: int = 0,
@@ -238,7 +213,8 @@ def mc_transient_shards(circuit, measures: list, n: int, t_stop: float,
                         backend: str | None = None,
                         adaptive: bool = False, rtol: float = 1e-3,
                         atol: float = 1e-6, dt_min: float | None = None,
-                        dt_max: float | None = None) -> list["ShardSpec"]:
+                        dt_max: float | None = None,
+                        variations=None) -> list["ShardSpec"]:
     """Plan the shard set of one transient Monte-Carlo run.
 
     The same planner backs
@@ -255,27 +231,29 @@ def mc_transient_shards(circuit, measures: list, n: int, t_stop: float,
         "backend": backend, "adaptive": adaptive,
         "rtol": rtol, "atol": atol, "dt_min": dt_min, "dt_max": dt_max,
     }
-    record = _circuit_record(circuit)
-    encoded = _encode_measures(measures)
+    record = circuit_record(circuit)
+    encoded = encode_measures(measures)
+    var = variation_payload(variations)
     return [ShardSpec(kind="mc_transient", circuit=record, n_total=n,
                       start=start, stop=stop, seed=seed,
                       sigma_scale=sigma_scale, param_covariance=cov,
-                      measures=encoded, options=options)
+                      variations=var, measures=encoded, options=options)
             for start, stop in _spans(n, chunk_size)]
 
 
 def mc_dc_shards(circuit, outputs: dict, n: int, chunk_size: int,
                  seed: int = 0, sigma_scale: float = 1.0,
-                 param_covariance=None,
-                 backend: str | None = None) -> list["ShardSpec"]:
+                 param_covariance=None, backend: str | None = None,
+                 variations=None) -> list["ShardSpec"]:
     """Plan the shard set of one DC Monte-Carlo run (dcmatch baseline)."""
     cov = (np.asarray(param_covariance, dtype=float).tolist()
            if param_covariance is not None else None)
     outs = {name: (list(spec) if isinstance(spec, tuple) else spec)
             for name, spec in outputs.items()}
-    return [ShardSpec(kind="mc_dc", circuit=_circuit_record(circuit),
+    return [ShardSpec(kind="mc_dc", circuit=circuit_record(circuit),
                       n_total=n, start=start, stop=stop, seed=seed,
                       sigma_scale=sigma_scale, param_covariance=cov,
+                      variations=variation_payload(variations),
                       outputs=outs, options={"backend": backend})
             for start, stop in _spans(n, chunk_size)]
 
@@ -283,11 +261,6 @@ def mc_dc_shards(circuit, outputs: dict, n: int, chunk_size: int,
 # ---------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------
-def _decode_measures(spec: ShardSpec) -> list:
-    return [from_jsonable(m) if isinstance(m, dict) else m
-            for m in spec.measures]
-
-
 def _transient_options(spec: ShardSpec, measures: list):
     """The exact :class:`TransientOptions` the pre-shard
     ``monte_carlo_transient`` built - one construction site for both
@@ -323,7 +296,7 @@ def run_shard(spec: ShardSpec, compiled=None) -> ShardResult:
     window = spec.options.get("window")
     if spec.kind == "mc_transient":
         from ..core.montecarlo import _transient_chunk
-        measures = _decode_measures(spec)
+        measures = decode_measures(spec.measures)
         topts = _transient_options(spec, measures)
         vals, failures = _transient_chunk(
             compiled, measures, topts, spec.options["t_stop"],
@@ -351,7 +324,7 @@ def metric_names(spec: ShardSpec) -> list[str]:
     """The metric names a shard of *spec* reports - what a degraded
     result must still carry so the merge stays shaped."""
     if spec.kind == "mc_transient":
-        return [m.name for m in _decode_measures(spec)]
+        return [m.name for m in decode_measures(spec.measures)]
     if spec.kind == "mc_dc":
         return sorted(spec.outputs)
     raise AnalysisError(f"unknown shard kind '{spec.kind}'")

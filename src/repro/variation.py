@@ -1,0 +1,377 @@
+"""Declarative variation specifications (domain layer).
+
+A :class:`VariationSpec` describes *which* circuit parameters vary and
+*how* - component/parameter/distribution triples plus correlation
+groups - as a plain value that serializes, fingerprints and crosses
+process boundaries.  It replaces hand-built ``param_covariance`` arrays
+at every request surface (:class:`~repro.service.requests.
+AnalysisRequest` constructors, :class:`~repro.service.shards.
+ShardSpec`, the Monte-Carlo engines) while lowering onto exactly the
+machinery that already exists:
+
+* :meth:`VariationSpec.lower` produces the full mismatch covariance
+  matrix (paper Eq. 6) in :meth:`~repro.circuit.netlist.Circuit.
+  mismatch_decls` order - bit-identical to the equivalent hand-built
+  array, so samples and sensitivity projections are unchanged;
+* :meth:`VariationSpec.mixture` lowers a non-Gaussian marginal onto the
+  :mod:`~repro.core.gaussian_mixture` machinery (paper Section VIII)
+  for the dominant-parameter extension.
+
+Non-Gaussian distributions (``uniform``, ``lognormal``) are
+moment-matched in the covariance lowering - the linearized method only
+consumes second moments, and the Gaussian Monte-Carlo sampler keeps its
+bit-identical shard contract.  Distribution *shape* enters through the
+mixture lowering, where it belongs.
+
+This module is domain-level: it may import :mod:`repro.circuit` and
+:mod:`repro.stats` but never :mod:`repro.service` (CI enforces it via
+``tools/check_import_layering.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .circuit.elements import MismatchDecl, ParamKey
+from .circuit.netlist import content_digest
+from .errors import AnalysisError
+
+#: Distribution kinds a :class:`ParameterVariation` may declare
+#: (the ``DistributionType`` shape of SPICE tolerance frontends).
+DISTRIBUTIONS = ("gaussian", "uniform", "lognormal")
+
+#: ``sqrt(3)``: half-width of the moment-matched uniform distribution
+#: in units of its standard deviation.
+_SQRT3 = math.sqrt(3.0)
+
+
+@dataclass(frozen=True)
+class ParameterVariation:
+    """How one circuit parameter varies.
+
+    Attributes
+    ----------
+    component, parameter:
+        The :class:`~repro.circuit.elements.MismatchDecl` key this
+        variation applies to (``("M1", "vt0")``, ``("R1", "r")``, ...).
+        The parameter must be *declared* by the circuit (a nonzero
+        element sigma) - variations cannot conjure injection machinery
+        for parameters the compiled circuit does not perturb.
+    distribution:
+        ``"gaussian"`` (default), ``"uniform"`` or ``"lognormal"``.
+    sigma:
+        Absolute standard deviation override, in the parameter's own
+        unit.  ``None`` (default) keeps the circuit's declared sigma.
+    scale:
+        Multiplier on the (declared or overridden) sigma - the per-
+        parameter form of the spec-wide ``default_scale``.
+    half_width:
+        Uniform distributions only: the absolute ``+/- half_width``
+        support bound.  ``None`` moment-matches the support to the
+        effective sigma (``half_width = sigma * sqrt(3)``).
+    shape:
+        Lognormal distributions only: the log-space sigma controlling
+        the skew of the normalized shape (the output std is always the
+        effective sigma; larger *shape* means heavier right tail).
+    group:
+        Optional :class:`CorrelationGroup` name; members of one group
+        are pairwise correlated with the group's ``rho``.
+    """
+
+    component: str
+    parameter: str
+    distribution: str = "gaussian"
+    sigma: float | None = None
+    scale: float = 1.0
+    half_width: float | None = None
+    shape: float = 0.5
+    group: str | None = None
+
+    def __post_init__(self):
+        if self.distribution not in DISTRIBUTIONS:
+            raise AnalysisError(
+                f"unknown distribution '{self.distribution}' for "
+                f"{self.component}.{self.parameter}; expected one of "
+                f"{DISTRIBUTIONS}")
+        if self.sigma is not None and self.sigma <= 0.0:
+            raise AnalysisError(
+                f"{self.component}.{self.parameter}: sigma must be "
+                f"positive, got {self.sigma}")
+        if self.half_width is not None:
+            if self.distribution != "uniform":
+                raise AnalysisError(
+                    f"{self.component}.{self.parameter}: half_width "
+                    f"only applies to uniform distributions")
+            if self.half_width <= 0.0:
+                raise AnalysisError(
+                    f"{self.component}.{self.parameter}: half_width "
+                    f"must be positive, got {self.half_width}")
+        if self.shape <= 0.0:
+            raise AnalysisError(
+                f"{self.component}.{self.parameter}: shape must be "
+                f"positive, got {self.shape}")
+        if self.scale <= 0.0:
+            raise AnalysisError(
+                f"{self.component}.{self.parameter}: scale must be "
+                f"positive, got {self.scale}")
+
+    @property
+    def key(self) -> ParamKey:
+        return (self.component, self.parameter)
+
+    def std(self, declared: float | None) -> float:
+        """Moment-matched standard deviation of this variation.
+
+        *declared* is the circuit's declared sigma for the parameter,
+        used when no explicit override is given.  Uniform variations
+        with an explicit ``half_width`` derive it as
+        ``half_width / sqrt(3)``; every other case is
+        ``sigma * scale``.
+        """
+        if self.distribution == "uniform" and self.half_width is not None:
+            return self.half_width / _SQRT3 * self.scale
+        base = self.sigma if self.sigma is not None else declared
+        if base is None:
+            raise AnalysisError(
+                f"{self.component}.{self.parameter}: no sigma given "
+                f"and none declared by the circuit")
+        return base * self.scale
+
+
+@dataclass(frozen=True)
+class CorrelationGroup:
+    """Pairwise correlation among the variations naming this group.
+
+    ``rho`` applies between every distinct pair of members (a
+    common-process or common-centroid matching group).  For ``k``
+    members the lowered covariance is positive semi-definite when
+    ``rho >= -1 / (k - 1)``; the Monte-Carlo sampler additionally
+    clips negative eigenvalues, exactly as for hand-built matrices.
+    """
+
+    name: str
+    rho: float
+
+    def __post_init__(self):
+        if not -1.0 <= self.rho <= 1.0:
+            raise AnalysisError(
+                f"correlation group '{self.name}': rho must be in "
+                f"[-1, 1], got {self.rho}")
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """The full declarative variation description of one workload.
+
+    The spec is canonicalized on construction - variations sorted by
+    ``(component, parameter)``, groups by name - so two specs declaring
+    the same content in any order are equal, serialize identically and
+    share a :meth:`fingerprint`.
+    """
+
+    variations: tuple = ()
+    groups: tuple = ()
+    #: Spec-wide sigma multiplier (the paper's Fig. 11 mismatch-scale
+    #: sweep as a declarative knob); applies to *every* declared
+    #: mismatch parameter, covered by a variation or not.
+    default_scale: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "variations",
+            tuple(sorted(self.variations, key=lambda v: v.key)))
+        object.__setattr__(
+            self, "groups",
+            tuple(sorted(self.groups, key=lambda g: g.name)))
+        if self.default_scale <= 0.0:
+            raise AnalysisError(
+                f"default_scale must be positive, got "
+                f"{self.default_scale}")
+        seen: set[ParamKey] = set()
+        for v in self.variations:
+            if v.key in seen:
+                raise AnalysisError(
+                    f"duplicate variation for {v.component}."
+                    f"{v.parameter}")
+            seen.add(v.key)
+        names = {g.name for g in self.groups}
+        if len(names) != len(self.groups):
+            raise AnalysisError("duplicate correlation group name")
+        for v in self.variations:
+            if v.group is not None and v.group not in names:
+                raise AnalysisError(
+                    f"{v.component}.{v.parameter} names unknown "
+                    f"correlation group '{v.group}'; defined: "
+                    f"{sorted(names) or '(none)'}")
+
+    # -- identity ------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the canonical spec (order-independent by
+        construction)."""
+        return content_digest("variation-spec-v1", self)
+
+    # -- lookup --------------------------------------------------------
+    def variation_for(self, key: ParamKey) -> ParameterVariation | None:
+        for v in self.variations:
+            if v.key == key:
+                return v
+        return None
+
+    # -- lowering ------------------------------------------------------
+    def stds(self, decls: list[MismatchDecl]) -> np.ndarray:
+        """Per-parameter standard deviations in *decls* order.
+
+        Parameters covered by a variation use its moment-matched
+        :meth:`~ParameterVariation.std`; uncovered declarations keep
+        their declared sigma.  Everything is multiplied by
+        ``default_scale``.  A variation naming a parameter the circuit
+        does not declare is an error - it could silently change
+        nothing.
+        """
+        by_key = {d.key: d.sigma for d in decls}
+        for v in self.variations:
+            if v.key not in by_key:
+                raise AnalysisError(
+                    f"variation targets undeclared parameter "
+                    f"{v.component}.{v.parameter}; declared: "
+                    f"{sorted(by_key) or '(none)'}")
+        out = np.empty(len(decls))
+        for i, d in enumerate(decls):
+            v = self.variation_for(d.key)
+            std = v.std(d.sigma) if v is not None else d.sigma
+            out[i] = std * self.default_scale
+        return out
+
+    def lower(self, decls: list[MismatchDecl]) -> np.ndarray:
+        """The full mismatch covariance matrix in *decls* order.
+
+        Diagonal entries are the squared :meth:`stds`; every distinct
+        pair of variations sharing a correlation group contributes
+        ``rho * std_i * std_j`` off-diagonal.  This is bit-identical to
+        the hand-built array using the same formula, so lowering a spec
+        changes no sample and no sensitivity projection.
+        """
+        stds = self.stds(decls)
+        cov = np.diag(stds ** 2)
+        if self.groups:
+            index = {d.key: i for i, d in enumerate(decls)}
+            rho = {g.name: g.rho for g in self.groups}
+            members: dict[str, list[int]] = {}
+            for v in self.variations:
+                if v.group is not None:
+                    members.setdefault(v.group, []).append(index[v.key])
+            for name, idx in members.items():
+                r = rho[name]
+                for a in range(len(idx)):
+                    for b in range(a + 1, len(idx)):
+                        i, j = idx[a], idx[b]
+                        cov[i, j] = cov[j, i] = r * stds[i] * stds[j]
+        return cov
+
+    def covariance(self, circuit) -> np.ndarray:
+        """:meth:`lower` against a :class:`~repro.circuit.netlist.
+        Circuit` (or anything exposing ``.circuit``, e.g. a compiled
+        one)."""
+        inner = getattr(circuit, "circuit", circuit)
+        return self.lower(inner.mismatch_decls())
+
+    # -- gaussian-mixture lowering (Section VIII) ----------------------
+    def mixture(self, component: str, parameter: str,
+                declared_sigma: float | None = None,
+                n_components: int = 7, span_sigmas: float = 3.0):
+        """Lower one parameter's marginal onto the gaussian-mixture
+        machinery: a list of :class:`~repro.core.gaussian_mixture.
+        MixtureComponent` in parameter-delta space, ready for
+        :func:`~repro.core.gaussian_mixture.project_mixture`.
+
+        * ``gaussian``: the classic :func:`~repro.core.gaussian_mixture.
+          split_gaussian` split;
+        * ``uniform``: equally weighted narrow components spanning the
+          ``+/- half_width`` support;
+        * ``lognormal``: the log-space split projected through the
+          normalized ``exp`` map (zero mean, std equal to the effective
+          sigma, right skew set by ``shape``).
+        """
+        from .core.gaussian_mixture import (MixtureComponent,
+                                            project_mixture,
+                                            split_gaussian)
+        v = self.variation_for((component, parameter))
+        if v is None:
+            v = ParameterVariation(component, parameter)
+        std = v.std(declared_sigma) * self.default_scale
+        if v.distribution == "uniform":
+            half = (v.half_width * v.scale * self.default_scale
+                    if v.half_width is not None else std * _SQRT3)
+            centres = np.linspace(-half, half, n_components)
+            spacing = centres[1] - centres[0]
+            return [MixtureComponent(1.0 / n_components, float(c),
+                                     float(spacing / 2.0))
+                    for c in centres]
+        if v.distribution == "lognormal":
+            tau = v.shape
+            mean_x = math.exp(tau ** 2 / 2.0)
+            std_x = math.sqrt(
+                (math.exp(tau ** 2) - 1.0) * math.exp(tau ** 2))
+
+            def local_model(g: float) -> tuple[float, float]:
+                value = std * (math.exp(g) - mean_x) / std_x
+                slope = std * math.exp(g) / std_x
+                return value, slope
+
+            log_split = split_gaussian(tau, n_components, span_sigmas)
+            return project_mixture(local_model, log_split).components
+        return split_gaussian(std, n_components, span_sigmas)
+
+    # -- derivation ----------------------------------------------------
+    def scaled(self, factor: float) -> "VariationSpec":
+        """A copy with ``default_scale`` multiplied by *factor* (the
+        declarative form of :meth:`~repro.circuit.technology.
+        Technology.scaled` sweeps)."""
+        return replace(self,
+                       default_scale=self.default_scale * factor)
+
+    # -- serialization (plain dicts; the tagged service encoding in
+    # -- repro.service.serialize round-trips these classes too) --------
+    def to_dict(self) -> dict:
+        return {
+            "variations": [
+                {"component": v.component, "parameter": v.parameter,
+                 "distribution": v.distribution, "sigma": v.sigma,
+                 "scale": v.scale, "half_width": v.half_width,
+                 "shape": v.shape, "group": v.group}
+                for v in self.variations],
+            "groups": [{"name": g.name, "rho": g.rho}
+                       for g in self.groups],
+            "default_scale": self.default_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VariationSpec":
+        return cls(
+            variations=tuple(ParameterVariation(**v)
+                             for v in data.get("variations", [])),
+            groups=tuple(CorrelationGroup(**g)
+                         for g in data.get("groups", [])),
+            default_scale=data.get("default_scale", 1.0))
+
+
+def spec_for_circuit(circuit, distribution: str = "gaussian",
+                     scale: float = 1.0) -> VariationSpec:
+    """A :class:`VariationSpec` covering every mismatch declaration of
+    *circuit* with one *distribution*, at the declared sigmas.
+
+    The ``gaussian``/``scale=1`` form lowers to the diagonal covariance
+    the engines would use implicitly; changing *distribution* or
+    *scale* is the declarative version of tolerance-class and Fig.-11
+    style what-if sweeps.
+    """
+    inner = getattr(circuit, "circuit", circuit)
+    return VariationSpec(
+        variations=tuple(
+            ParameterVariation(component=d.element, parameter=d.param,
+                               distribution=distribution)
+            for d in inner.mismatch_decls()),
+        default_scale=scale)

@@ -1,0 +1,175 @@
+"""The engine registry: every analysis kind is a serializable request.
+
+Round-trips a sample request of *every* registered kind through JSON
+(with a coverage assertion so a newly registered kind cannot dodge the
+suite), checks the registry error surface, and proves the new pss/ac/
+sweep kinds are bit-identical to the direct functional API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_circuit
+from repro.analysis.ac import ac_analysis
+from repro.analysis.pss import PssOptions, pss
+from repro.circuit import Circuit, Sine
+from repro.core import DcLevel
+from repro.errors import AnalysisError
+from repro.service import (AnalysisEngine, AnalysisRequest,
+                           AnalysisSession, engine_for, register_engine,
+                           registered_kinds, unregister_engine)
+
+PSS_OPTS = PssOptions(n_steps=64, settle_periods=2)
+
+
+def _rc(r=1e3):
+    ckt = Circuit("rc")
+    ckt.add_vsource("VS", "in", "0",
+                    wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+    ckt.add_resistor("R", "in", "out", r, sigma_rel=0.05)
+    ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+    return ckt
+
+
+def _divider():
+    ckt = Circuit("div")
+    ckt.add_vsource("V1", "in", "0", dc=1.2)
+    ckt.add_resistor("R1", "in", "out", 1e3, sigma_rel=0.02)
+    ckt.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+    return ckt
+
+
+MEAS = [DcLevel("vout", "out")]
+FREQS = [1e3, 1e4, 1e5]
+
+
+# One sample request per registered kind.  The coverage test below
+# fails if a kind is registered without a factory here, so the JSON
+# round-trip suite can never silently skip a kind.
+SAMPLES = {
+    "transient_mismatch": lambda: AnalysisRequest.transient_mismatch(
+        _rc(), MEAS, period=1e-6, pss_options=PSS_OPTS),
+    "dc_mismatch": lambda: AnalysisRequest.dc_mismatch(
+        _divider(), {"vout": "out"}),
+    "mc_transient": lambda: AnalysisRequest.monte_carlo_transient(
+        _rc(), MEAS, n=4, t_stop=2e-6, dt=2e-8, seed=3),
+    "mc_dc": lambda: AnalysisRequest.monte_carlo_dc(
+        _divider(), {"vout": "out"}, n=8, seed=3),
+    "pss": lambda: AnalysisRequest.pss(
+        _rc(), MEAS, period=1e-6, pss_options=PSS_OPTS),
+    "ac": lambda: AnalysisRequest.ac(
+        _rc(), {"vout": "out"}, source="VS", freqs=FREQS),
+    "sweep": lambda: AnalysisRequest.sweep(
+        [AnalysisRequest.dc_mismatch(_divider(), {"vout": "out"})],
+        labels=["div"]),
+}
+
+
+class TestRegistry:
+    def test_every_registered_kind_has_a_sample(self):
+        assert set(SAMPLES) == set(registered_kinds())
+
+    @pytest.mark.parametrize("kind", sorted(SAMPLES))
+    def test_json_round_trip(self, kind):
+        req = SAMPLES[kind]()
+        back = AnalysisRequest.from_json(req.to_json())
+        assert back == req
+        assert back.key() == req.key()
+
+    def test_unknown_kind_lists_registered_kinds(self):
+        with pytest.raises(AnalysisError, match="kind") as exc:
+            AnalysisRequest(kind="nope", circuit={}, options={})
+        for kind in registered_kinds():
+            assert kind in str(exc.value)
+
+    def test_fan_out_flags(self):
+        assert engine_for("mc_transient").fan_out
+        assert engine_for("mc_dc").fan_out
+        assert not engine_for("transient_mismatch").fan_out
+        assert not engine_for("pss").fan_out
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AnalysisError, match="registered"):
+            register_engine(engine_for("pss"))
+
+    def test_custom_engine_register_run_unregister(self):
+        engine = AnalysisEngine(
+            kind="toy_echo",
+            canonicalize=lambda text="": {"text": str(text)},
+            run=lambda session, ctx: ctx.options["text"].upper(),
+            summarize=lambda detail, ctx: {"echo": detail},
+        )
+        register_engine(engine)
+        try:
+            req = AnalysisRequest.build("toy_echo", text="hi")
+            res = AnalysisSession().run(req)
+            assert res.summary == {"echo": "HI"}
+            assert res.detail == "HI"
+        finally:
+            unregister_engine("toy_echo")
+        with pytest.raises(AnalysisError, match="toy_echo"):
+            AnalysisRequest.build("toy_echo", text="hi")
+
+
+class TestPssRequests:
+    def test_cold_parity_with_direct_pss(self):
+        """The request path computes the very same orbit as pss()."""
+        direct = pss(compile_circuit(_rc()), 1e-6, options=PSS_OPTS)
+        res = AnalysisSession().run(SAMPLES["pss"]())
+        assert res.summary["f0"] == direct.f0
+        assert res.summary["n_steps"] == direct.n_steps
+        np.testing.assert_array_equal(res.detail.x, direct.x)
+
+    def test_memoized_repeat(self):
+        s = AnalysisSession()
+        r1 = s.run(SAMPLES["pss"]())
+        r2 = s.run(SAMPLES["pss"]())
+        assert not r1.from_cache and r2.from_cache
+        assert r2.summary == r1.summary
+
+    def test_measures_evaluated_on_orbit(self):
+        res = AnalysisSession().run(SAMPLES["pss"]())
+        assert "vout" in res.summary["metrics"]
+        v = res.summary["metrics"]["vout"]["nominal"]
+        assert np.isfinite(v)
+
+    def test_needs_period_or_anchor(self):
+        with pytest.raises(AnalysisError, match="period"):
+            AnalysisRequest.pss(_rc(), MEAS)
+
+
+class TestAcRequests:
+    def test_parity_with_direct_ac(self):
+        compiled = compile_circuit(_rc())
+        h = ac_analysis(compiled, "VS", FREQS).transfer("out")
+        res = AnalysisSession().run(SAMPLES["ac"]())
+        out = res.summary["metrics"]["vout"]
+        np.testing.assert_allclose(out["magnitude"], np.abs(h))
+        assert res.summary["freqs"] == FREQS
+
+    def test_requires_source_and_freqs(self):
+        with pytest.raises(AnalysisError, match="source"):
+            AnalysisRequest.ac(_rc(), {"vout": "out"}, source=None,
+                               freqs=FREQS)
+        with pytest.raises(AnalysisError, match="freqs"):
+            AnalysisRequest.ac(_rc(), {"vout": "out"}, source="VS",
+                               freqs=None)
+
+
+class TestSweepRequests:
+    def test_sub_requests_share_session_caches(self):
+        s = AnalysisSession()
+        sub = AnalysisRequest.dc_mismatch(_divider(), {"vout": "out"})
+        sweep = AnalysisRequest.sweep([sub, sub], labels=["a", "b"])
+        res = s.run(sweep)
+        cases = res.summary["cases"]
+        assert [c["label"] for c in cases] == ["a", "b"]
+        assert not cases[0]["from_cache"] and cases[1]["from_cache"]
+        assert cases[0]["summary"] == cases[1]["summary"]
+        # the sub-result landed in the request memo under its own key
+        assert s.run(sub).from_cache
+
+    def test_label_count_checked(self):
+        sub = AnalysisRequest.dc_mismatch(_divider(), {"vout": "out"})
+        with pytest.raises(AnalysisError, match="label"):
+            AnalysisRequest.sweep([sub], labels=["a", "b"])

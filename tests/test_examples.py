@@ -61,6 +61,14 @@ def test_service_batch(capsys):
     out = capsys.readouterr().out
     assert "from_cache=True, sigma identical: True" in out
     assert "request round-trips through JSON" in out
+    assert "sweep request replays the study: 4/4" in out
+
+
+def test_variation_spec(capsys):
+    run_example("variation_spec.py")
+    out = capsys.readouterr().out
+    assert "spec round-trips through JSON" in out
+    assert "sigma identical = True" in out
 
 
 def test_comparator_offset_no_mc(capsys):

@@ -1,0 +1,188 @@
+"""Declarative variation specs: lowering, correlation, serialization.
+
+The contract under test is the acceptance criterion of the spec: a
+``VariationSpec`` lowers onto exactly the ``param_covariance`` matrix
+one would build by hand, so every downstream path (Eq. 6 propagation,
+Monte-Carlo sampling, the shard protocol) is bit-identical between the
+declarative and the raw-array form.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import (CorrelationGroup, ParameterVariation, VariationSpec,
+                   monte_carlo_dc, spec_for_circuit)
+from repro.circuit import Circuit, default_technology
+from repro.core import dc_mismatch_analysis
+from repro.errors import AnalysisError
+from repro.service import ShardSpec, from_jsonable, to_jsonable
+from repro.service.shards import mc_dc_shards, merge_shard_results, run_shard
+
+
+def _divider():
+    ckt = Circuit("div")
+    ckt.add_vsource("V1", "in", "0", dc=1.2)
+    ckt.add_resistor("R1", "in", "out", 1e3, sigma_rel=0.02)
+    ckt.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+    return ckt
+
+
+def _spec(rho=None, **overrides):
+    groups = () if rho is None else (CorrelationGroup("rs", rho),)
+    group = None if rho is None else "rs"
+    return VariationSpec(
+        variations=(
+            ParameterVariation("R1", "r", group=group, **overrides),
+            ParameterVariation("R2", "r", group=group, **overrides),
+        ),
+        groups=groups,
+    )
+
+
+class TestLowering:
+    def test_diagonal_matches_hand_built_covariance(self):
+        ckt = _divider()
+        decls = ckt.mismatch_decls()
+        hand = np.diag([d.sigma ** 2 for d in decls])
+        cov = _spec().lower(decls)
+        np.testing.assert_array_equal(cov, hand)
+
+    def test_correlation_group_off_diagonals(self):
+        ckt = _divider()
+        decls = ckt.mismatch_decls()
+        cov = _spec(rho=0.5).lower(decls)
+        stds = np.array([d.sigma for d in decls])
+        hand = np.diag(stds ** 2)
+        hand[0, 1] = hand[1, 0] = 0.5 * stds[0] * stds[1]
+        np.testing.assert_array_equal(cov, hand)
+
+    def test_sigma_override_and_scale(self):
+        ckt = _divider()
+        decls = ckt.mismatch_decls()
+        cov = _spec(sigma=7.0, scale=2.0).lower(decls)
+        np.testing.assert_array_equal(np.diag(cov), [196.0, 196.0])
+
+    def test_uniform_moment_matching(self):
+        spec = _spec(half_width=3.0, distribution="uniform")
+        std = spec.variations[0].std(declared=None)
+        assert std == pytest.approx(3.0 / math.sqrt(3.0))
+
+    def test_lognormal_mixture_second_moment(self):
+        decl_sigma = 0.4
+        spec = _spec(distribution="lognormal", shape=0.5)
+        comps = spec.mixture("R1", "r", declared_sigma=decl_sigma,
+                            n_components=15, span_sigmas=4.0)
+        w = np.array([c.weight for c in comps])
+        mu = np.array([c.mean for c in comps])
+        sd = np.array([c.sigma for c in comps])
+        mean = float(w @ mu)
+        var = float(w @ (sd ** 2 + mu ** 2)) - mean ** 2
+        assert mean == pytest.approx(0.0, abs=0.05 * decl_sigma)
+        assert math.sqrt(var) == pytest.approx(decl_sigma, rel=0.05)
+
+    def test_undeclared_target_rejected(self):
+        spec = VariationSpec(
+            variations=(ParameterVariation("R9", "r", sigma=1.0),))
+        with pytest.raises(AnalysisError, match="R9"):
+            spec.lower(_divider().mismatch_decls())
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(AnalysisError, match="group"):
+            VariationSpec(variations=(
+                ParameterVariation("R1", "r", sigma=1.0, group="ghost"),))
+
+
+class TestSerialization:
+    def test_jsonable_round_trip(self):
+        spec = _spec(rho=0.25)
+        back = from_jsonable(json.loads(json.dumps(to_jsonable(spec))))
+        assert back == spec
+        assert back.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_order_independent(self):
+        a = _spec(rho=0.25)
+        b = VariationSpec(variations=tuple(reversed(a.variations)),
+                          groups=a.groups)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sensitive_to_values(self):
+        assert _spec().fingerprint() != _spec(scale=2.0).fingerprint()
+
+    def test_plain_dict_round_trip(self):
+        spec = _spec(rho=0.25)
+        assert VariationSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestEndToEnd:
+    def test_dc_mismatch_spec_equals_hand_built(self):
+        ckt = _divider()
+        spec = spec_for_circuit(ckt)
+        cov = spec.covariance(ckt)
+        a = dc_mismatch_analysis(ckt, {"vout": "out"}, variations=spec)
+        b = dc_mismatch_analysis(ckt, {"vout": "out"},
+                                 param_covariance=cov)
+        assert a.sigma("vout") == b.sigma("vout")
+
+    def test_mc_bit_identical_to_hand_built(self):
+        ckt = _divider()
+        spec = _spec(rho=0.3)
+        cov = spec.covariance(ckt)
+        a = monte_carlo_dc(ckt, {"vout": "out"}, 32, seed=5,
+                           param_covariance=cov)
+        b = monte_carlo_dc(ckt, {"vout": "out"}, 32, seed=5,
+                           variations=spec)
+        np.testing.assert_array_equal(a.samples["vout"],
+                                      b.samples["vout"])
+
+    def test_mc_bit_identical_across_pool(self):
+        ckt = _divider()
+        spec = _spec(rho=0.3)
+        a = monte_carlo_dc(ckt, {"vout": "out"}, 32, seed=5,
+                           param_covariance=spec.covariance(ckt))
+        c = monte_carlo_dc(ckt, {"vout": "out"}, 32, seed=5,
+                           variations=spec, n_workers=2)
+        np.testing.assert_array_equal(a.samples["vout"],
+                                      c.samples["vout"])
+
+    def test_both_forms_rejected(self):
+        ckt = _divider()
+        spec = _spec()
+        with pytest.raises(ValueError, match="not both"):
+            monte_carlo_dc(ckt, {"vout": "out"}, 4, variations=spec,
+                           param_covariance=spec.covariance(ckt))
+
+    def test_shard_spec_carries_variations(self):
+        ckt = _divider()
+        spec = _spec(rho=0.3)
+        cov_shards = mc_dc_shards(ckt, {"vout": "out"}, 32, 8, seed=5,
+                                  param_covariance=spec.covariance(ckt))
+        var_shards = mc_dc_shards(ckt, {"vout": "out"}, 32, 8, seed=5,
+                                  variations=spec)
+        assert all(isinstance(s.variations, dict) for s in var_shards)
+        merged_cov = merge_shard_results(
+            [run_shard(s) for s in cov_shards])
+        merged_var = merge_shard_results(
+            [run_shard(s) for s in var_shards])
+        np.testing.assert_array_equal(merged_cov.samples["vout"],
+                                      merged_var.samples["vout"])
+
+    def test_shard_round_trip_keeps_variations(self):
+        ckt = _divider()
+        shard = mc_dc_shards(ckt, {"vout": "out"}, 8, 8, seed=5,
+                             variations=_spec(rho=0.3))[0]
+        back = ShardSpec.from_json(shard.to_json())
+        assert back.variations == shard.variations
+        assert back.workload_key() == shard.workload_key()
+
+    def test_technology_variation_spec_scaled(self):
+        tech = default_technology()
+        from repro import inverter_chain
+        ckt = inverter_chain(tech, n_stages=2)
+        spec = tech.variation_spec(ckt, scale=4.0)
+        cov = spec.covariance(ckt)
+        base = tech.variation_spec(ckt).covariance(ckt)
+        np.testing.assert_allclose(cov, 16.0 * base)

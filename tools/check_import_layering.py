@@ -3,14 +3,26 @@
 
 The dependency direction is: ``repro.service`` (application) ->
 ``repro.core`` -> ``repro.analysis`` / ``repro.circuit`` (domain).
-The domain layers must never import the service package - not even
-lazily inside a function - or the layering silently collapses into a
-cycle.  (``repro.core`` is the one sanctioned exception: its free
-functions are thin wrappers that *lazily* import the default session.)
+Each named rule below pins one edge of that graph:
+
+``domain-no-service``
+    The domain layers (``repro.circuit``, ``repro.analysis``) and the
+    declarative :mod:`repro.variation` module must never import the
+    service package - not even lazily inside a function - or the
+    layering silently collapses into a cycle.  (``repro.core`` is the
+    one sanctioned exception: its free functions are thin wrappers
+    that *lazily* import the default session.)
+
+``session-no-internals``
+    ``repro/service/session.py`` is pure cache policy: it must not
+    import ``repro.core`` or ``repro.analysis`` directly.  All
+    numerical imports belong to the engine registry
+    (``repro/service/engines.py``), so adding an analysis kind never
+    touches the session.
 
 Run from the repository root::
 
-    python tools/check_import_layering.py
+    python tools/check_import_layering.py [--only RULE]
 
 Exits non-zero listing every violation.  The unit test in
 ``tests/test_service.py`` runs the same check, so tier-1 catches
@@ -19,45 +31,107 @@ violations before CI does.
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
-#: Packages that must never mention repro.service.
-FORBIDDEN_IN = ("src/repro/circuit", "src/repro/analysis")
+
+@dataclass(frozen=True)
+class Rule:
+    """One forbidden-import edge: *patterns* may not appear in *paths*.
+
+    *paths* are repo-relative and may name directories (scanned
+    recursively for ``*.py``) or single files.
+    """
+
+    name: str
+    paths: tuple[str, ...]
+    patterns: tuple[re.Pattern, ...]
+    description: str
+
+    def files(self, root: Path):
+        for rel in self.paths:
+            path = root / rel
+            if path.is_file():
+                yield path
+            else:
+                yield from sorted(path.rglob("*.py"))
+
+    def violations(self, root: Path) -> list[str]:
+        found = []
+        for path in self.files(root):
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if any(p.match(line) for p in self.patterns):
+                    found.append(
+                        f"{path.relative_to(root)}:{lineno}: "
+                        f"[{self.name}] {line.strip()}")
+        return found
+
 
 #: Any spelling of an import of the service package, top-level or
 #: inside a function: absolute, or relative (..service / .service).
-_PATTERNS = (
+_SERVICE_PATTERNS = (
     re.compile(r"^\s*(from|import)\s+repro\.service\b"),
     re.compile(r"^\s*from\s+\.\.?service\b"),
     re.compile(r"^\s*from\s+\.\.?\s+import\s+.*\bservice\b"),
 )
 
+#: Imports of the numerical layers from within the session module.
+_INTERNALS_PATTERNS = (
+    re.compile(r"^\s*(from|import)\s+repro\.(core|analysis|circuit)\b"),
+    re.compile(r"^\s*from\s+\.\.(core|analysis|circuit)\b"),
+    re.compile(r"^\s*from\s+\.\.\s+import\s+.*\b(core|analysis)\b"),
+)
 
-def violations(root: Path) -> list[str]:
+RULES = (
+    Rule(
+        name="domain-no-service",
+        paths=("src/repro/circuit", "src/repro/analysis",
+               "src/repro/variation.py"),
+        patterns=_SERVICE_PATTERNS,
+        description="domain layer (and repro.variation) importing "
+                    "repro.service",
+    ),
+    Rule(
+        name="session-no-internals",
+        paths=("src/repro/service/session.py",),
+        patterns=_INTERNALS_PATTERNS,
+        description="session.py importing analysis internals (these "
+                    "belong to the engine registry)",
+    ),
+)
+
+
+def violations(root: Path, only: str | None = None) -> list[str]:
     found = []
-    for pkg in FORBIDDEN_IN:
-        for path in sorted((root / pkg).rglob("*.py")):
-            for lineno, line in enumerate(
-                    path.read_text().splitlines(), start=1):
-                if any(p.match(line) for p in _PATTERNS):
-                    found.append(f"{path.relative_to(root)}:{lineno}: "
-                                 f"{line.strip()}")
+    for rule in RULES:
+        if only is not None and rule.name != only:
+            continue
+        found.extend(rule.violations(root))
     return found
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", choices=[r.name for r in RULES], default=None,
+        help="check a single rule instead of all of them")
+    args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
-    found = violations(root)
+    found = violations(root, only=args.only)
     if found:
-        print("import layering violations (domain layer importing "
-              "repro.service):")
+        print("import layering violations:")
         for v in found:
             print("  " + v)
+        for rule in RULES:
+            if any(f"[{rule.name}]" in v for v in found):
+                print(f"rule {rule.name}: {rule.description}")
         return 1
-    print(f"import layering OK ({', '.join(FORBIDDEN_IN)} are "
-          "service-free)")
+    checked = [r.name for r in RULES if args.only in (None, r.name)]
+    print(f"import layering OK ({', '.join(checked)})")
     return 0
 
 
