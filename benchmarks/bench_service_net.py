@@ -1,0 +1,114 @@
+"""The analysis service over loopback HTTP: parity, memo, fan-out.
+
+The network front-end must add *transport*, not numerics: a
+``monte_carlo_transient`` request served over ``POST /run`` has to be
+bit-identical to the in-process :class:`AnalysisSession` run, and the
+shard scatter across two worker daemons has to merge bit-identically to
+:func:`monte_carlo_transient` itself.  This benchmark measures the four
+temperatures of one RC Monte-Carlo workload (``REPRO_BENCH_MC``
+samples):
+
+* **local** - in-process session run (the no-network reference);
+* **http_cold** - the same request through a loopback daemon: engine
+  cost plus one HTTP round trip;
+* **http_warm** - the identical request again: served from the
+  daemon-side result memo, so the wall time *is* the transport cost;
+* **scatter** - the workload planned as shards and fanned out over two
+  worker daemons, span-merged client-side.
+
+Acceptance: all paths produce bit-identical samples/summaries, and the
+warm HTTP repeat is at least 5x faster than the cold one (asserted
+here, and published as ``speedup_http_memo`` in
+``BENCH_service_net.json`` where ``check_regression.py`` gates it
+>= 1.0 across PRs).
+"""
+
+import numpy as np
+from conftest import WallClock, mc_samples, publish
+
+from repro.circuit import Circuit, Sine
+from repro.core.measures import DcLevel
+from repro.core.montecarlo import monte_carlo_transient
+from repro.service import (AnalysisRequest, AnalysisServer,
+                           AnalysisSession, RemoteSession,
+                           scatter_monte_carlo_transient)
+
+T_STOP, DT, SEED = 2e-6, 2e-8, 7
+
+
+def _rc() -> Circuit:
+    ckt = Circuit("rc_lowpass")
+    ckt.add_vsource("VS", "in", "0",
+                    wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+    ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.05)
+    ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+    return ckt
+
+
+def test_service_net_loopback(results_dir):
+    n = mc_samples(24)
+    chunk = max(2, n // 2)
+    measures = [DcLevel("vout", "out")]
+    request = AnalysisRequest.monte_carlo_transient(
+        _rc(), measures, n, T_STOP, DT, seed=SEED, chunk_size=chunk)
+
+    # -- in-process references (session summary + raw samples) ---------
+    with WallClock() as w_local:
+        local = AnalysisSession().run(request)
+    local_mc = monte_carlo_transient(_rc(), measures, n, T_STOP, DT,
+                                     seed=SEED, chunk_size=chunk)
+
+    # -- the same request over loopback HTTP ---------------------------
+    with AnalysisServer() as server:
+        client = RemoteSession(server.url)
+        with WallClock() as w_cold:
+            served = client.run(request)
+        with WallClock() as w_warm:
+            memo = client.run(request)
+        assert not served.from_cache and memo.from_cache
+
+    # -- shard fan-out over two worker daemons -------------------------
+    with AnalysisServer() as w1, AnalysisServer() as w2:
+        with WallClock() as w_scatter:
+            scattered = scatter_monte_carlo_transient(
+                [w1.url, w2.url], _rc(), measures, n, T_STOP, DT,
+                seed=SEED, chunk_size=chunk)
+
+    # the wire adds transport, never numerics
+    assert served.summary == local.summary
+    assert memo.summary == local.summary
+    assert scattered.summary() == local.summary
+    assert np.array_equal(scattered.samples["vout"],
+                          local_mc.samples["vout"])
+    sigma = served.summary["metrics"]["vout"]["sigma"]
+    assert sigma == local_mc.stats["vout"].std
+
+    speedup_memo = w_cold.seconds / w_warm.seconds
+    assert speedup_memo >= 5.0, (
+        f"warm HTTP repeat only {speedup_memo:.1f}x faster than cold")
+
+    publish(results_dir, "service_net", "\n".join([
+        f"analysis service over loopback HTTP "
+        f"(RC Monte-Carlo, n = {n}, chunk = {chunk})",
+        f"{'path':<12s} {'wall [s]':>10s}  notes",
+        f"{'local':<12s} {w_local.seconds:>10.3f}  in-process session "
+        "(reference)",
+        f"{'http_cold':<12s} {w_cold.seconds:>10.3f}  POST /run, empty "
+        "daemon memo",
+        f"{'http_warm':<12s} {w_warm.seconds:>10.4f}  POST /run, "
+        f"daemon memo hit ({speedup_memo:.0f}x vs cold)",
+        f"{'scatter':<12s} {w_scatter.seconds:>10.3f}  2 shards over "
+        "2 worker daemons, merged",
+        f"sigma(vout) = {sigma * 1e3:.4f} mV on every path "
+        "(bit-identical)",
+    ]), data={
+        "n_samples": n,
+        "n_worker_daemons": 2,
+        "chunk_size": chunk,
+        "sigma_vout": sigma,
+        "speedup_http_memo": speedup_memo,
+        "wall_seconds": {"local": w_local.seconds,
+                         "http_cold": w_cold.seconds,
+                         "http_warm": w_warm.seconds,
+                         "scatter_2workers": w_scatter.seconds},
+    })

@@ -17,11 +17,11 @@ Run:  python examples/comparator_offset.py [--mc 100]
 
 import argparse
 
-from repro import (DcLevel, default_technology, monte_carlo_transient,
-                   strongarm_offset_testbench,
-                   transient_mismatch_analysis, width_sensitivity_report)
-from repro.analysis.pss import PssOptions
-from repro.circuits.comparator import CORE_DEVICES
+from repro.api import (CORE_DEVICES, DcLevel, PssOptions,
+                       default_technology, monte_carlo_transient,
+                       strongarm_offset_testbench,
+                       transient_mismatch_analysis,
+                       width_sensitivity_report)
 
 
 def main() -> None:

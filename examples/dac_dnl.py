@@ -12,10 +12,10 @@ Run:  python examples/dac_dnl.py
 
 import numpy as np
 
-from repro import (compile_circuit, dc_mismatch_analysis, default_technology,
-                   monte_carlo_dc, resistor_string_dac)
-from repro.circuits.dac import dac_tap_names
-from repro.core.contributions import covariance, difference_variance
+from repro.api import (compile_circuit, covariance, dac_tap_names,
+                       dc_mismatch_analysis, default_technology,
+                       difference_variance, monte_carlo_dc,
+                       resistor_string_dac)
 
 
 def main() -> None:

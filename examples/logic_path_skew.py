@@ -15,10 +15,10 @@ Run:  python examples/logic_path_skew.py [--mc N]
 import argparse
 import math
 
-from repro import (EdgeDelay, default_technology, logic_path_testbench,
-                   monte_carlo_transient, transient_mismatch_analysis)
-from repro.analysis.pss import PssOptions
-from repro.core.contributions import difference_variance
+from repro.api import (EdgeDelay, PssOptions, default_technology,
+                       difference_variance, logic_path_testbench,
+                       monte_carlo_transient,
+                       transient_mismatch_analysis)
 
 
 def analyse(late_input: str, mc_samples: int) -> None:

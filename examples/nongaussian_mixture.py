@@ -16,11 +16,10 @@ Run:  python examples/nongaussian_mixture.py
 
 import numpy as np
 
-from repro import (compile_circuit, default_technology,
-                   periodic_sensitivities, ring_oscillator)
-from repro.analysis.pss import PssOptions, pss_oscillator
-from repro.core.gaussian_mixture import project_mixture, split_gaussian
-from repro.stats import normalized_skewness
+from repro.api import (PssOptions, compile_circuit, default_technology,
+                       normalized_skewness, periodic_sensitivities,
+                       project_mixture, pss_oscillator,
+                       ring_oscillator, split_gaussian)
 
 KEY = ("MN1", "vt0")
 SIGMA_P = 60e-3          # a wildly exaggerated 60 mV threshold sigma

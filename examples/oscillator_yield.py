@@ -11,11 +11,11 @@ that matter, at minimum added area.
 Run:  python examples/oscillator_yield.py
 """
 
-from repro import (Frequency, compile_circuit, default_technology,
-                   ring_oscillator, transient_mismatch_analysis,
-                   width_sensitivities)
-from repro.analysis.pss import PssOptions
-from repro.core.design_sensitivity import sigma_after_resize
+from repro.api import (Frequency, PssOptions, compile_circuit,
+                       default_technology, ring_oscillator,
+                       sigma_after_resize,
+                       transient_mismatch_analysis,
+                       width_sensitivities)
 
 TARGET_REL_SIGMA = 0.018      # spec: sigma(f)/f below 1.8 %
 

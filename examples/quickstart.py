@@ -13,9 +13,9 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import (Circuit, Frequency, default_technology,
-                   dc_mismatch_analysis, ring_oscillator,
-                   transient_mismatch_analysis)
+from repro.api import (Circuit, Frequency, default_technology,
+                       dc_mismatch_analysis, ring_oscillator,
+                       transient_mismatch_analysis)
 
 # ----------------------------------------------------------------------
 # 1. DC mismatch analysis of a divider (prior art the paper extends)

@@ -12,17 +12,24 @@ service layer (see README "Architecture") makes that cheap:
 * a :class:`JobQueue` fans independent requests out (inline here;
   ``n_workers=4`` would use a process pool unchanged);
 * every analysis kind lives in the engine registry
-  (:func:`repro.registered_kinds`), so the same request/session/queue
-  machinery covers ``pss``, ``ac`` and ``sweep`` requests too.
+  (:func:`repro.api.registered_kinds`), so the same request/session/
+  queue machinery covers ``pss``, ``ac`` and ``sweep`` requests too;
+* the session is transport-independent: run with ``--url
+  http://host:port`` (a daemon started by ``examples/service_daemon.py``
+  or :func:`repro.api.serve`) and the *same* sweep runs remotely
+  through a :class:`RemoteSession` - same request keys, same memo
+  behaviour, same result surface.
 
 Workload: sigma of the output level of a sine-driven RC low-pass as the
 load resistor is swept - small enough to run in seconds, shaped exactly
 like a real parameter study.
 """
 
-from repro import (AnalysisRequest, AnalysisSession, Circuit, DcLevel,
-                   JobQueue, Sine, registered_kinds)
-from repro.analysis.pss import PssOptions
+import argparse
+
+from repro.api import (AnalysisRequest, AnalysisSession, Circuit,
+                       DcLevel, JobQueue, PssOptions, RemoteSession,
+                       Sine, registered_kinds)
 
 
 def rc_lowpass(r_series: float) -> Circuit:
@@ -35,7 +42,7 @@ def rc_lowpass(r_series: float) -> Circuit:
     return ckt
 
 
-def main() -> None:
+def main(url: str | None = None, token: str | None = None) -> None:
     measures = [DcLevel("vout", "out")]
     pss_opts = PssOptions(n_steps=128, settle_periods=3)
     sweep = [500.0, 1e3, 2e3, 4e3]
@@ -44,8 +51,12 @@ def main() -> None:
         rc_lowpass(r), measures, period=1e-6, pss_options=pss_opts)
         for r in sweep]
 
-    session = AnalysisSession()
-    print("R sweep through one AnalysisSession:")
+    if url is not None:
+        session = RemoteSession(url, token=token)
+        print(f"R sweep through the daemon at {url}:")
+    else:
+        session = AnalysisSession()
+        print("R sweep through one AnalysisSession:")
     with JobQueue(session=session) as queue:
         results = queue.map(requests)
         for r, res in zip(sweep, results):
@@ -95,4 +106,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default=None,
+                        help="analysis daemon URL (default: in-process)")
+    parser.add_argument("--token", default=None,
+                        help="tenant token for the daemon")
+    args = parser.parse_args()
+    main(url=args.url, token=args.token)

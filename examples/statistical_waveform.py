@@ -13,9 +13,9 @@ import csv
 
 import numpy as np
 
-from repro import (Circuit, Sine, compile_circuit, default_technology,
-                   periodic_sensitivities, pss, statistical_waveform)
-from repro.analysis.pss import PssOptions
+from repro.api import (Circuit, PssOptions, Sine, compile_circuit,
+                       default_technology, periodic_sensitivities,
+                       pss, statistical_waveform)
 
 
 def build_stage():

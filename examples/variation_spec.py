@@ -23,10 +23,10 @@ import json
 
 import numpy as np
 
-from repro import (AnalysisRequest, CorrelationGroup, ParameterVariation,
-                   VariationSpec, Circuit, dc_mismatch_analysis,
-                   default_session, monte_carlo_dc)
-from repro.service import from_jsonable, to_jsonable
+from repro.api import (AnalysisRequest, Circuit, CorrelationGroup,
+                       ParameterVariation, VariationSpec,
+                       dc_mismatch_analysis, default_session,
+                       from_jsonable, monte_carlo_dc, to_jsonable)
 
 
 def ladder() -> Circuit:

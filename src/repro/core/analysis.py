@@ -185,6 +185,38 @@ def run_transient_mismatch(
                            "measures": t_end - t_lptv})
 
 
+def _positional_shim(func_name: str, order: tuple[str, ...],
+                     args: tuple, kwargs: dict) -> dict:
+    """Map legacy positional arguments (beyond circuit + outputs) onto
+    their keyword names, with a :class:`DeprecationWarning`.
+
+    The public entry points froze their keyword surface in the
+    ``repro.api`` facade; positional call shapes like
+    ``dc_mismatch_analysis(ckt, outs, None, cov)`` still work but warn,
+    so they can be retired without breaking anyone silently.
+    """
+    if not args:
+        return kwargs
+    if len(args) > len(order):
+        raise TypeError(
+            f"{func_name}() takes at most {2 + len(order)} positional "
+            f"arguments ({2 + len(args)} given)")
+    import warnings
+    names = order[:len(args)]
+    warnings.warn(
+        f"passing {', '.join(names)} positionally to {func_name}() is "
+        "deprecated; pass them as keywords",
+        DeprecationWarning, stacklevel=3)
+    merged = dict(kwargs)
+    for name, value in zip(names, args):
+        if name in merged:
+            raise TypeError(
+                f"{func_name}() got multiple values for argument "
+                f"'{name}'")
+        merged[name] = value
+    return merged
+
+
 def _as_request(kind: str, circuit, requestable: bool, **kwargs):
     """Build the :class:`~repro.service.requests.AnalysisRequest` form
     of a free-function call, or ``None`` when the call can only run on
@@ -204,8 +236,31 @@ def _as_request(kind: str, circuit, requestable: bool, **kwargs):
         return None
 
 
-def transient_mismatch_analysis(
-        circuit, measures: list[Measure],
+#: Historical positional order of :func:`transient_mismatch_analysis`,
+#: used by the deprecation shim that maps stray positionals to keywords.
+_TRANSIENT_ORDER = ("period", "oscillator_anchor", "t_settle",
+                    "dt_settle", "state", "pss_options", "injections",
+                    "param_covariance", "precomputed_pss", "backend",
+                    "variations")
+
+_DC_ORDER = ("state", "param_covariance", "backend", "variations")
+
+
+def transient_mismatch_analysis(circuit, measures: list[Measure],
+                                *args, **kwargs):
+    """Run the paper's sensitivity-based transient mismatch analysis.
+
+    Keyword-only beyond *circuit* and *measures* (legacy positional
+    call shapes still work with a :class:`DeprecationWarning`); see
+    :func:`_transient_mismatch_analysis` for the full contract.
+    """
+    kwargs = _positional_shim("transient_mismatch_analysis",
+                              _TRANSIENT_ORDER, args, kwargs)
+    return _transient_mismatch_analysis(circuit, measures, **kwargs)
+
+
+def _transient_mismatch_analysis(
+        circuit, measures: list[Measure], *,
         period: float | None = None,
         oscillator_anchor: str | None = None,
         t_settle: float | None = None,
@@ -217,6 +272,8 @@ def transient_mismatch_analysis(
         precomputed_pss: PssResult | None = None,
         backend: str | None = None,
         variations=None,
+        retry=None,
+        n_workers: int | None = None,
 ) -> MismatchAnalysisResult:
     """Run the paper's sensitivity-based transient mismatch analysis.
 
@@ -262,6 +319,10 @@ def transient_mismatch_analysis(
         Linear-solver backend name or instance (``"dense"``,
         ``"cached"``, ``"sparse"``; see :mod:`repro.linalg`); default
         auto-selects by circuit size.
+    retry, n_workers:
+        Accepted for keyword uniformity with the Monte-Carlo entry
+        points; a single deterministic solve has nothing to retry or
+        fan out, so they are checked for shape and otherwise ignored.
 
     Returns
     -------
@@ -277,7 +338,8 @@ def transient_mismatch_analysis(
         measures=measures, period=period,
         oscillator_anchor=oscillator_anchor, t_settle=t_settle,
         dt_settle=dt_settle, pss_options=pss_options,
-        param_covariance=param_covariance, variations=variations)
+        param_covariance=param_covariance, variations=variations,
+        retry=retry, n_workers=n_workers)
     if request is not None:
         return session.run(request).detail
     if variations is not None:
@@ -350,11 +412,25 @@ def run_dc_mismatch(compiled: CompiledCircuit,
 
 def dc_mismatch_analysis(circuit,
                          outputs: dict[str, str | tuple[str, str]],
-                         state: ParamState | None = None,
-                         param_covariance: np.ndarray | None = None,
-                         backend: str | None = None,
-                         variations=None,
-                         ) -> MismatchAnalysisResult:
+                         *args, **kwargs):
+    """DC mismatch analysis; keyword-only beyond *circuit* and
+    *outputs* (legacy positional call shapes still work with a
+    :class:`DeprecationWarning`).  See :func:`_dc_mismatch_analysis`
+    for the full contract."""
+    kwargs = _positional_shim("dc_mismatch_analysis", _DC_ORDER,
+                              args, kwargs)
+    return _dc_mismatch_analysis(circuit, outputs, **kwargs)
+
+
+def _dc_mismatch_analysis(circuit,
+                          outputs: dict[str, str | tuple[str, str]], *,
+                          state: ParamState | None = None,
+                          param_covariance: np.ndarray | None = None,
+                          backend: str | None = None,
+                          variations=None,
+                          retry=None,
+                          n_workers: int | None = None,
+                          ) -> MismatchAnalysisResult:
     """DC mismatch (dcmatch / [8]) analysis - the method the paper extends.
 
     A thin wrapper over the process-default
@@ -374,6 +450,9 @@ def dc_mismatch_analysis(circuit,
     variations:
         Declarative :class:`~repro.variation.VariationSpec` as an
         alternative to *param_covariance* (mutually exclusive).
+    retry, n_workers:
+        Accepted for keyword uniformity with the Monte-Carlo entry
+        points; checked for shape and otherwise ignored.
     """
     from ..service.session import default_session
     session = default_session()
@@ -382,7 +461,7 @@ def dc_mismatch_analysis(circuit,
         requestable=(state is None
                      and (backend is None or isinstance(backend, str))),
         outputs=outputs, param_covariance=param_covariance,
-        variations=variations)
+        variations=variations, retry=retry, n_workers=n_workers)
     if request is not None:
         return session.run(request).detail
     if variations is not None:

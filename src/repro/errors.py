@@ -109,6 +109,18 @@ class WorkerCrashError(ReproError):
     fault-injection harness simulating such a crash in-process."""
 
 
+class AuthenticationError(ReproError):
+    """Raised by the network front-end (:mod:`repro.service.net`) when a
+    request carries no tenant token, or an unknown one.  Maps to HTTP
+    401 on the wire."""
+
+
+class QuotaExceededError(ReproError):
+    """Raised by the network front-end when a tenant exceeds one of its
+    :class:`~repro.service.net.TenantConfig` quotas (e.g. pending
+    asynchronous jobs).  Maps to HTTP 429 on the wire."""
+
+
 #: Error classes a supervised job retry can plausibly fix: numerical
 #: failures (possibly transient - a marginal sample, a perturbed
 #: start), infrastructure failures (crashed worker, overrun deadline).

@@ -29,11 +29,15 @@ must not import ``repro.service`` - CI enforces it).
 """
 
 from ..errors import FailureRecord
+from .client import (RemoteJob, RemoteSession, ScatterResult,
+                     scatter_monte_carlo_transient, scatter_shards)
 from .engines import (AnalysisEngine, engine_for, register_engine,
                       registered_kinds, unregister_engine)
 from .faults import FaultPlan, FaultRule
 from .jobs import Job, JobQueue, RetryPolicy, run_supervised_shard
-from .requests import AnalysisRequest, AnalysisResult
+from .net import AnalysisServer, TenantConfig, serve
+from .requests import (REQUEST_FORMAT_VERSION, AnalysisRequest,
+                       AnalysisResult)
 from .serialize import (circuit_from_dict, circuit_to_dict, from_jsonable,
                         to_jsonable)
 from .session import AnalysisSession, default_session
@@ -42,7 +46,7 @@ from .shards import (SHARD_PROTOCOL_VERSION, MergedShards, ShardResult,
                      mc_transient_shards, merge_shard_results, run_shard)
 
 __all__ = [
-    "AnalysisRequest", "AnalysisResult",
+    "AnalysisRequest", "AnalysisResult", "REQUEST_FORMAT_VERSION",
     "AnalysisSession", "default_session",
     "AnalysisEngine", "register_engine", "unregister_engine",
     "engine_for", "registered_kinds",
@@ -54,4 +58,7 @@ __all__ = [
     "run_shard", "merge_shard_results",
     "circuit_to_dict", "circuit_from_dict",
     "to_jsonable", "from_jsonable",
+    "AnalysisServer", "TenantConfig", "serve",
+    "RemoteSession", "RemoteJob", "ScatterResult",
+    "scatter_shards", "scatter_monte_carlo_transient",
 ]

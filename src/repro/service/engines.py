@@ -360,6 +360,20 @@ def _mismatch_payloads(param_covariance, variations) -> dict:
             "variations": variation_payload(variations)}
 
 
+def _uniform_keywords(retry, n_workers) -> None:
+    """Validate the uniform keyword surface on single-solve kinds.
+
+    Every request constructor accepts ``retry=`` / ``n_workers=`` so
+    call sites can switch kinds without reshaping their keyword set.
+    On kinds that are one deterministic solve there is nothing to fan
+    out or retry, so the values are validated and dropped from the
+    canonical options (the request key stays independent of them).
+    """
+    retry_payload(retry)  # raises on a malformed policy shape
+    if n_workers is not None and int(n_workers) < 1:
+        raise AnalysisError("n_workers must be >= 1")
+
+
 def _retry_policy(options: dict):
     """Decode a request's ``retry`` option (a plain dict) back into a
     live :class:`~repro.service.jobs.RetryPolicy`."""
@@ -388,7 +402,9 @@ def _mc_summary(detail, ctx) -> dict:
 def _canon_transient_mismatch(period=None, oscillator_anchor=None,
                               t_settle=None, dt_settle=None,
                               pss_options=None, param_covariance=None,
-                              variations=None, cmin=None, backend=None):
+                              variations=None, cmin=None, backend=None,
+                              retry=None, n_workers=None):
+    _uniform_keywords(retry, n_workers)
     return clean_options({
         "period": period, "oscillator_anchor": oscillator_anchor,
         "t_settle": t_settle, "dt_settle": dt_settle,
@@ -424,7 +440,9 @@ def _summary_transient_mismatch(detail, ctx) -> dict:
 # dc_mismatch
 # ---------------------------------------------------------------------------
 def _canon_dc_mismatch(param_covariance=None, variations=None,
-                       cmin=None, backend=None):
+                       cmin=None, backend=None,
+                       retry=None, n_workers=None):
+    _uniform_keywords(retry, n_workers)
     return clean_options({
         "cmin": cmin, "backend": backend,
         **_mismatch_payloads(param_covariance, variations),
@@ -519,7 +537,8 @@ def _run_mc_dc(session, ctx):
 # ---------------------------------------------------------------------------
 def _canon_pss(period=None, oscillator_anchor=None, t_settle=None,
                dt_settle=None, pss_options=None, cmin=None,
-               backend=None):
+               backend=None, retry=None, n_workers=None):
+    _uniform_keywords(retry, n_workers)
     if period is None and oscillator_anchor is None:
         raise AnalysisError("give period= or oscillator_anchor=")
     return clean_options({
@@ -558,7 +577,8 @@ def _summary_pss(detail, ctx) -> dict:
 # ac
 # ---------------------------------------------------------------------------
 def _canon_ac(source=None, freqs=None, amplitude=1.0, cmin=None,
-              backend=None):
+              backend=None, retry=None, n_workers=None):
+    _uniform_keywords(retry, n_workers)
     if source is None:
         raise AnalysisError("ac requests need source= (stimulus name)")
     if freqs is None:

@@ -161,7 +161,7 @@ def _run_request(request_dict: dict, attempt: int = 0) -> dict:
     return result
 
 
-def _compiled_for(spec: ShardSpec, session):
+def compiled_for_shard(spec: ShardSpec, session):
     """Compile a shard's circuit, through the session compile cache
     when that is semantically transparent (no session-level backend
     override that the spec does not know about)."""
@@ -174,7 +174,7 @@ def _compiled_for(spec: ShardSpec, session):
     return compile_circuit(circuit, backend=backend)
 
 
-def _execute_shard(spec: ShardSpec, attempt: int = 0,
+def execute_shard(spec: ShardSpec, attempt: int = 0,
                    compiled=None) -> ShardResult:
     """One shard attempt: the fault-injection site, then the shard."""
     maybe_inject("run_shard", key=spec.start, attempt=attempt)
@@ -183,14 +183,14 @@ def _execute_shard(spec: ShardSpec, attempt: int = 0,
 
 def _run_shard(spec_dict: dict, attempt: int = 0) -> dict:
     spec = ShardSpec.from_dict(spec_dict)
-    compiled = _compiled_for(spec, _worker_session())
-    return _execute_shard(spec, attempt, compiled).to_dict()
+    compiled = compiled_for_shard(spec, _worker_session())
+    return execute_shard(spec, attempt, compiled).to_dict()
 
 
 # ---------------------------------------------------------------------------
 # inline supervision (shared with the Monte-Carlo engines)
 # ---------------------------------------------------------------------------
-def _run_with_retry(policy: RetryPolicy, attempt_fn, degrade_fn):
+def run_with_retry(policy: RetryPolicy, attempt_fn, degrade_fn):
     """Synchronous retry loop: *attempt_fn(attempt)* until success,
     retryable-error budget exhaustion, or a non-retryable error.
 
@@ -225,8 +225,8 @@ def run_supervised_shard(spec: ShardSpec, policy: RetryPolicy,
     if policy.degrade:
         def degrade_fn(exc, attempts):
             return degraded_shard_result(spec, exc, attempts)
-    return _run_with_retry(
-        policy, lambda attempt: _execute_shard(spec, attempt, compiled),
+    return run_with_retry(
+        policy, lambda attempt: execute_shard(spec, attempt, compiled),
         degrade_fn)
 
 
@@ -495,14 +495,14 @@ class JobQueue:
                 try:
                     future.set_result(run_supervised_shard(
                         spec, self.retry,
-                        compiled=_compiled_for(spec, self.session)))
+                        compiled=compiled_for_shard(spec, self.session)))
                 except Exception as exc:
                     future.set_exception(exc)
                 return Job(spec, future)
             return Job(spec, _inline_future(
-                None, lambda attempt: _execute_shard(
+                None, lambda attempt: execute_shard(
                     spec, attempt,
-                    _compiled_for(spec, self.session)), None))
+                    compiled_for_shard(spec, self.session)), None))
         if self.retry is None:
             inner, _ = self._submit_raw(_run_shard, spec.to_dict(), 0)
             return Job(spec, _chain(inner, ShardResult.from_dict))
@@ -551,7 +551,7 @@ def _inline_future(policy: RetryPolicy | None, attempt_fn,
             future.set_result(attempt_fn(0))
         else:
             future.set_result(
-                _run_with_retry(policy, attempt_fn, degrade_fn))
+                run_with_retry(policy, attempt_fn, degrade_fn))
     except Exception as exc:  # propagate through the future
         future.set_exception(exc)
     return future

@@ -1,0 +1,532 @@
+"""HTTP front-end of the analysis service (stdlib only).
+
+The daemon serves the exact wire formats the lower layers already
+speak - :meth:`AnalysisRequest.to_dict` payloads and
+:class:`~repro.service.shards.ShardSpec` shards - over a
+:class:`http.server.ThreadingHTTPServer`, routed through one shared
+:class:`~repro.service.session.AnalysisSession` / inline
+:class:`~repro.service.jobs.JobQueue`.  Nothing here re-implements
+execution: a request served over HTTP runs the same registered engine,
+through the same content-addressed caches, as the in-process
+``default_session()`` path, so the summaries (and the request keys they
+memoize under) are bit-identical.
+
+Endpoints
+---------
+``GET /health``
+    Liveness + version negotiation: wire versions
+    (``REQUEST_FORMAT_VERSION``, ``SHARD_PROTOCOL_VERSION``), the
+    facade ``API_VERSION`` and the registered kinds.  Unauthenticated.
+``GET /stats``
+    Session store counters plus per-tenant quota counters.
+``POST /run``
+    Execute one :class:`AnalysisRequest` synchronously; returns the
+    ``AnalysisResult.to_dict()`` summary.
+``POST /shard``
+    Execute one :class:`ShardSpec`; returns ``ShardResult.to_dict()``.
+    This is the cross-host fan-out surface: a coordinator plans shards
+    with :func:`~repro.service.shards.mc_transient_shards`, scatters
+    them over N daemons (:func:`~repro.service.client.scatter_shards`)
+    and merges bit-identically via
+    :func:`~repro.service.shards.merge_shard_results`.
+``POST /jobs``
+    Asynchronous submit; returns ``202`` with the job key (the
+    request's content key - resubmitting an identical request returns
+    the same job instead of queueing twice).
+``GET /jobs/<key>``
+    Poll: ``queued`` / ``running`` / ``done`` (with the result) /
+    ``failed`` (with the structured error record).
+
+Tenancy
+-------
+When the server is constructed with :class:`TenantConfig` entries,
+every endpoint except ``/health`` requires a token
+(``Authorization: Bearer <token>`` or ``X-Repro-Token``).  Each tenant
+gets a bounded result quota layered *on top of* the session LRUs: the
+session stays shared (two tenants running the same workload share one
+cached result), but once a tenant holds more than ``max_results``
+distinct result keys its oldest keys are evicted from the session memo
+- unless another tenant still holds them - so one chatty tenant cannot
+wash out everyone else's warm cache.  ``max_pending_jobs`` bounds the
+asynchronous queue per tenant the same way.
+
+Errors
+------
+Every error leaves as one tagged payload built from
+:class:`~repro.errors.FailureRecord` (the same schema degraded shard
+results carry), with the HTTP status mapped from the exception
+hierarchy - see :func:`status_for` - and the registered kinds listed on
+unknown-kind errors.  Supervision is server-side: construct the server
+with ``retry=RetryPolicy(...)`` and transient solver faults retry (or
+degrade, for shards) exactly as they do on an in-process supervised
+queue, surfacing as ``failures`` on a ``200`` rather than as a 5xx.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import (AnalysisError, AuthenticationError, FailureRecord,
+                      JobTimeoutError, MeasurementError, NetlistError,
+                      QuotaExceededError, ReproError, SolverError,
+                      WorkerCrashError)
+from .engines import registered_kinds
+from .jobs import JobQueue, RetryPolicy
+from .jobs import compiled_for_shard, execute_shard, run_supervised_shard
+from .requests import REQUEST_FORMAT_VERSION, AnalysisRequest
+from .serialize import to_jsonable
+from .session import AnalysisSession
+from .shards import SHARD_PROTOCOL_VERSION, ShardSpec
+
+
+def wire_versions() -> dict:
+    """The version vector negotiated through ``GET /health``."""
+    return {"request_format": REQUEST_FORMAT_VERSION,
+            "shard_protocol": SHARD_PROTOCOL_VERSION}
+
+
+def _api_version() -> str | None:
+    # lazy: repro.api imports this module (serve / AnalysisServer)
+    try:
+        from ..api import API_VERSION
+    except ImportError:  # stripped installs without the facade
+        return None
+    return API_VERSION
+
+
+# ---------------------------------------------------------------------------
+# uniform error schema
+# ---------------------------------------------------------------------------
+def status_for(exc: BaseException) -> int:
+    """HTTP status of *exc*, mapped from the exception hierarchy.
+
+    Client mistakes (malformed payloads, unknown kinds, bad netlists)
+    are 4xx; numerical failures are ``422 Unprocessable`` - the request
+    was well-formed, the mathematics refused; infrastructure failures
+    map to their conventional 5xx; anything unrecognised is a 500.
+    """
+    if isinstance(exc, AuthenticationError):
+        return 401
+    if isinstance(exc, QuotaExceededError):
+        return 429
+    if isinstance(exc, JobTimeoutError):
+        return 504
+    if isinstance(exc, WorkerCrashError):
+        return 502
+    if isinstance(exc, (SolverError, MeasurementError)):
+        return 422
+    if isinstance(exc, (AnalysisError, NetlistError, ReproError)):
+        return 400
+    if isinstance(exc, (ValueError, TypeError, KeyError,
+                        json.JSONDecodeError)):
+        return 400
+    return 500
+
+
+def error_payload(exc: BaseException, status: int,
+                  site: str = "net") -> dict:
+    """One tagged wire error: a serialized
+    :class:`~repro.errors.FailureRecord` (solver context and all), the
+    mapped *status*, the version vector, and - for unknown-kind errors
+    - the kinds this daemon does speak."""
+    record = FailureRecord.from_exception(exc, site=site, attempts=1)
+    payload = {"error": to_jsonable(record), "status": status,
+               "versions": wire_versions()}
+    message = record.message
+    if "unknown request kind" in message or "unknown shard kind" in message:
+        payload["kinds"] = list(registered_kinds())
+    return payload
+
+
+class _HttpError(ReproError):
+    """Internal: an error with an explicit HTTP status (404s mostly)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+# ---------------------------------------------------------------------------
+# tenancy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant of the daemon: its token and its quotas."""
+
+    name: str
+    token: str
+    #: Distinct result keys this tenant may hold in the session memo
+    #: before its oldest are evicted (refcounted across tenants).
+    max_results: int = 32
+    #: Unfinished asynchronous jobs this tenant may have queued.
+    max_pending_jobs: int = 8
+
+    def __post_init__(self):
+        if self.max_results < 1:
+            raise ValueError("TenantConfig.max_results must be >= 1")
+        if self.max_pending_jobs < 1:
+            raise ValueError("TenantConfig.max_pending_jobs must be >= 1")
+
+
+#: The implicit tenant of an open (token-less) daemon.
+ANONYMOUS = TenantConfig(name="anonymous", token="",
+                         max_results=10 ** 9, max_pending_jobs=10 ** 9)
+
+
+class _TenantState:
+    """Mutable per-tenant accounting (quota keys + counters)."""
+
+    def __init__(self, config: TenantConfig):
+        self.config = config
+        #: Result keys this tenant holds, oldest first.
+        self.keys: OrderedDict = OrderedDict()
+        self.requests = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        return {"results": len(self.keys),
+                "max_results": self.config.max_results,
+                "requests": self.requests,
+                "evictions": self.evictions}
+
+
+class _JobRecord:
+    """One asynchronous job: its future plus the tenants awaiting it."""
+
+    def __init__(self, key: str, tenants: set):
+        self.key = key
+        self.tenants = tenants
+        self.future: Future | None = None
+        self.started = threading.Event()
+
+    def status(self) -> str:
+        if self.future is None or not self.future.done():
+            return "running" if self.started.is_set() else "queued"
+        return "failed" if self.future.exception() is not None else "done"
+
+
+# ---------------------------------------------------------------------------
+# the application (transport-free: the handler only parses/serializes)
+# ---------------------------------------------------------------------------
+class ServiceApp:
+    """Endpoint logic over one shared session - everything the HTTP
+    handler does after parsing and before serializing.  Keeping it off
+    the handler class makes the surface testable without sockets and
+    reusable by a future transport."""
+
+    def __init__(self, session: AnalysisSession | None = None,
+                 tenants: list[TenantConfig] | None = None,
+                 retry: RetryPolicy | None = None,
+                 job_workers: int = 2,
+                 max_body_bytes: int = 16 * 2 ** 20):
+        self.session = session if session is not None else AnalysisSession()
+        self.retry = retry
+        self.max_body_bytes = max_body_bytes
+        # inline queue: executes in the calling (handler) thread,
+        # through the shared session's memo, under `retry` supervision
+        self.queue = JobQueue(session=self.session, retry=retry)
+        self._open = tenants is None
+        roster = [ANONYMOUS] if tenants is None else list(tenants)
+        self._by_token = {t.token: _TenantState(t) for t in roster}
+        if len(self._by_token) != len(roster):
+            raise ValueError("tenant tokens must be unique")
+        self._quota_lock = threading.Lock()
+        #: result key -> set of tenant names holding it (refcount).
+        self._owners: dict[str, set] = {}
+        self._jobs_lock = threading.Lock()
+        self._jobs: dict[str, _JobRecord] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-job")
+
+    # -- auth ----------------------------------------------------------
+    def authenticate(self, token: str | None) -> _TenantState:
+        if self._open:
+            return self._by_token[""]
+        if not token:
+            raise AuthenticationError(
+                "missing tenant token (Authorization: Bearer <token> "
+                "or X-Repro-Token)")
+        try:
+            return self._by_token[token]
+        except KeyError:
+            raise AuthenticationError("unknown tenant token") from None
+
+    # -- per-tenant result quota ---------------------------------------
+    def _record_result(self, tenant: _TenantState, key: str) -> None:
+        """Charge *key* to *tenant*; evict its oldest keys over quota,
+        dropping each from the session memo only once no tenant holds
+        it (the session LRU itself stays shared)."""
+        evict = []
+        with self._quota_lock:
+            tenant.requests += 1
+            tenant.keys[key] = True
+            tenant.keys.move_to_end(key)
+            self._owners.setdefault(key, set()).add(tenant.config.name)
+            while len(tenant.keys) > tenant.config.max_results:
+                old, _ = tenant.keys.popitem(last=False)
+                holders = self._owners.get(old, set())
+                holders.discard(tenant.config.name)
+                tenant.evictions += 1
+                if not holders:
+                    self._owners.pop(old, None)
+                    evict.append(old)
+        for old in evict:
+            self.session.evict_result(old)
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> dict:
+        return {"status": "ok", "api_version": _api_version(),
+                "versions": wire_versions(),
+                "kinds": list(registered_kinds()),
+                "authenticated": not self._open}
+
+    def stats(self) -> dict:
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        return {"session": self.session.stats(),
+                "tenants": {st.config.name: st.stats()
+                            for st in self._by_token.values()},
+                "jobs": {"total": len(jobs),
+                         "pending": sum(1 for j in jobs
+                                        if j.status() in ("queued",
+                                                          "running"))}}
+
+    def run(self, tenant: _TenantState, payload: dict) -> dict:
+        request = AnalysisRequest.from_dict(payload)
+        result = self.queue.submit(request).result()
+        self._record_result(tenant, request.key())
+        return result.to_dict()
+
+    def run_shard(self, tenant: _TenantState, payload: dict) -> dict:
+        spec = ShardSpec.from_dict(payload)
+        with self._quota_lock:
+            tenant.requests += 1
+        compiled = compiled_for_shard(spec, self.session)
+        if self.retry is not None:
+            result = run_supervised_shard(spec, self.retry,
+                                          compiled=compiled)
+        else:
+            result = execute_shard(spec, 0, compiled)
+        return result.to_dict()
+
+    def submit_job(self, tenant: _TenantState, payload: dict) -> dict:
+        request = AnalysisRequest.from_dict(payload)
+        key = request.key()
+        with self._jobs_lock:
+            record = self._jobs.get(key)
+            if record is not None:
+                # idempotent resubmit: same content, same job
+                record.tenants.add(tenant.config.name)
+                return self._job_payload(record)
+            pending = sum(
+                1 for r in self._jobs.values()
+                if tenant.config.name in r.tenants
+                and r.status() in ("queued", "running"))
+            if pending >= tenant.config.max_pending_jobs:
+                raise QuotaExceededError(
+                    f"tenant '{tenant.config.name}' already has "
+                    f"{pending} pending jobs "
+                    f"(max_pending_jobs={tenant.config.max_pending_jobs})")
+            record = _JobRecord(key, {tenant.config.name})
+            self._jobs[key] = record
+
+        def _execute():
+            record.started.set()
+            result = self.queue.submit(request).result()
+            self._record_result(tenant, key)
+            return result
+
+        record.future = self._executor.submit(_execute)
+        return self._job_payload(record)
+
+    def job_status(self, tenant: _TenantState, key: str) -> dict:
+        with self._jobs_lock:
+            record = self._jobs.get(key)
+        if record is None:
+            raise _HttpError(404, f"no job with key '{key}'")
+        return self._job_payload(record)
+
+    def _job_payload(self, record: _JobRecord) -> dict:
+        status = record.status()
+        payload = {"key": record.key, "status": status}
+        if status == "done":
+            payload["result"] = record.future.result().to_dict()
+        elif status == "failed":
+            exc = record.future.exception()
+            payload["error_status"] = status_for(exc)
+            payload["error"] = to_jsonable(
+                FailureRecord.from_exception(exc, site="job", attempts=1))
+        return payload
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        self.queue.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing
+# ---------------------------------------------------------------------------
+class _HttpServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: ServiceApp  # attached by AnalysisServer
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-analysis"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, *args) -> None:  # tests spin many daemons
+        pass
+
+    def _token(self) -> str | None:
+        auth = self.headers.get("Authorization", "")
+        if auth.startswith("Bearer "):
+            return auth[len("Bearer "):].strip()
+        return self.headers.get("X-Repro-Token")
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.app.max_body_bytes:
+            raise _HttpError(413, f"request body of {length} bytes "
+                                  f"exceeds the "
+                                  f"{self.app.max_body_bytes} byte limit")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise AnalysisError("expected a JSON request body")
+        return json.loads(raw.decode("utf-8"))
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        try:
+            if method == "GET" and path == "/health":
+                self._send(200, self.app.health())
+                return
+            tenant = self.app.authenticate(self._token())
+            if method == "GET" and path == "/stats":
+                self._send(200, self.app.stats())
+            elif method == "POST" and path == "/run":
+                self._send(200, self.app.run(tenant, self._body()))
+            elif method == "POST" and path == "/shard":
+                self._send(200, self.app.run_shard(tenant, self._body()))
+            elif method == "POST" and path == "/jobs":
+                self._send(202, self.app.submit_job(tenant, self._body()))
+            elif method == "GET" and path.startswith("/jobs/"):
+                key = path[len("/jobs/"):]
+                self._send(200, self.app.job_status(tenant, key))
+            else:
+                raise _HttpError(404,
+                                 f"no endpoint for {method} {path}")
+        except Exception as exc:
+            status = (exc.status if isinstance(exc, _HttpError)
+                      else status_for(exc))
+            self._send(status, error_payload(exc, status))
+
+
+class AnalysisServer:
+    """The long-running daemon: a threaded HTTP server over one
+    :class:`ServiceApp`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`url`)
+    - the shape every loopback test and example uses.  Use as a context
+    manager, or pair :meth:`start` with :meth:`close`.
+    """
+
+    def __init__(self, session: AnalysisSession | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 tenants: list[TenantConfig] | None = None,
+                 retry: RetryPolicy | None = None, job_workers: int = 2,
+                 max_body_bytes: int = 16 * 2 ** 20):
+        self.app = ServiceApp(session=session, tenants=tenants,
+                              retry=retry, job_workers=job_workers,
+                              max_body_bytes=max_body_bytes)
+        self._httpd = _HttpServer((host, port), _Handler)
+        self._httpd.app = self.app
+        self._thread: threading.Thread | None = None
+
+    @property
+    def session(self) -> AnalysisSession:
+        return self.app.session
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AnalysisServer":
+        """Serve on a daemon thread; returns self (chainable)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-analysis-server", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the daemon entry point)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(host: str = "127.0.0.1", port: int = 8760,
+          session: AnalysisSession | None = None,
+          tenants: list[TenantConfig] | None = None,
+          retry: RetryPolicy | None = None, job_workers: int = 2,
+          block: bool = True) -> AnalysisServer:
+    """Start an analysis daemon.
+
+    ``block=True`` (the daemon entry point) serves on the calling
+    thread until interrupted; ``block=False`` serves on a background
+    thread and returns the started :class:`AnalysisServer` (close it).
+    """
+    server = AnalysisServer(session=session, host=host, port=port,
+                            tenants=tenants, retry=retry,
+                            job_workers=job_workers)
+    if not block:
+        return server.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return server

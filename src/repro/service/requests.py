@@ -96,26 +96,42 @@ class AnalysisRequest:
                            pss_options=None, param_covariance=None,
                            cmin: float | None = None,
                            backend: str | None = None,
-                           variations=None) -> "AnalysisRequest":
+                           variations=None, retry=None,
+                           n_workers: int | None = None
+                           ) -> "AnalysisRequest":
         """The paper's sensitivity analysis (:func:`~repro.core.analysis.
-        transient_mismatch_analysis`) as a request."""
+        transient_mismatch_analysis`) as a request.
+
+        *retry* / *n_workers* are accepted for keyword uniformity with
+        the Monte-Carlo constructors; a single deterministic solve has
+        nothing to fan out or retry, so they are validated and dropped
+        from the canonical options.
+        """
         return cls.build(
             "transient_mismatch", circuit, measures=measures,
             period=period, oscillator_anchor=oscillator_anchor,
             t_settle=t_settle, dt_settle=dt_settle,
             pss_options=pss_options, param_covariance=param_covariance,
-            variations=variations, cmin=cmin, backend=backend)
+            variations=variations, cmin=cmin, backend=backend,
+            retry=retry, n_workers=n_workers)
 
     @classmethod
     def dc_mismatch(cls, circuit, outputs: dict,
                     param_covariance=None, cmin: float | None = None,
                     backend: str | None = None,
-                    variations=None) -> "AnalysisRequest":
-        """DC mismatch (dcmatch) analysis as a request."""
+                    variations=None, retry=None,
+                    n_workers: int | None = None) -> "AnalysisRequest":
+        """DC mismatch (dcmatch) analysis as a request.
+
+        *retry* / *n_workers* are accepted for keyword uniformity with
+        the Monte-Carlo constructors; validated, then dropped from the
+        canonical options.
+        """
         return cls.build(
             "dc_mismatch", circuit, outputs=outputs,
             param_covariance=param_covariance, variations=variations,
-            cmin=cmin, backend=backend)
+            cmin=cmin, backend=backend, retry=retry,
+            n_workers=n_workers)
 
     @classmethod
     def monte_carlo_transient(cls, circuit, measures, n: int,

@@ -210,7 +210,12 @@ def retry_payload(retry) -> dict | None:
         return None
     if isinstance(retry, dict):
         return dict(retry)
-    return retry.to_dict()
+    to_dict = getattr(retry, "to_dict", None)
+    if to_dict is None:
+        raise TypeError(
+            f"retry must be a RetryPolicy, its dict form, or None - "
+            f"got {type(retry).__name__!r}")
+    return to_dict()
 
 
 def output_triples(outputs) -> tuple:

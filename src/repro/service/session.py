@@ -31,6 +31,7 @@ functional callers share these caches without knowing they exist.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable
 
@@ -38,7 +39,15 @@ from .requests import AnalysisRequest, AnalysisResult
 
 
 class _LruStore:
-    """A bounded mapping with LRU eviction and an eviction callback."""
+    """A bounded mapping with LRU eviction and an eviction callback.
+
+    Individual operations are thread-safe (one lock per store), which
+    is what lets a :class:`AnalysisSession` be shared by the concurrent
+    handler threads of the network front-end
+    (:mod:`repro.service.net`).  Two threads missing on the same key
+    simply both compute - content addressing makes the double ``put``
+    harmless.
+    """
 
     def __init__(self, capacity: int,
                  on_evict: "Callable | None" = None):
@@ -47,42 +56,62 @@ class _LruStore:
         self.capacity = capacity
         self.on_evict = on_evict
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key):
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            _, evicted = self._data.popitem(last=False)
-            if self.on_evict is not None:
-                self.on_evict(evicted)
+        evicted = []
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                _, old = self._data.popitem(last=False)
+                evicted.append(old)
+        if self.on_evict is not None:
+            for old in evicted:
+                self.on_evict(old)
+
+    def pop(self, key):
+        """Remove *key* (cascading through the eviction callback) and
+        return its value, or ``None`` when absent."""
+        with self._lock:
+            value = self._data.pop(key, None)
+        if value is not None and self.on_evict is not None:
+            self.on_evict(value)
+        return value
 
     def clear(self) -> None:
+        with self._lock:
+            values = list(self._data.values())
+            self._data.clear()
         if self.on_evict is not None:
-            for value in self._data.values():
+            for value in values:
                 self.on_evict(value)
-        self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def stats(self) -> dict:
-        return {"size": len(self._data), "capacity": self.capacity,
-                "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {"size": len(self._data), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses}
 
 
 def _clear_detail_caches(result: AnalysisResult) -> None:
@@ -205,6 +234,16 @@ class AnalysisSession:
         result = execute(self, request, key)
         self.results.put(key, result)
         return result
+
+    def evict_result(self, key: str) -> bool:
+        """Drop one memoized result by request key (cascading through
+        its detail caches); returns whether the key was present.
+
+        This is the seam the network front-end's per-tenant quotas use:
+        a tenant over its result budget evicts *its own* oldest keys
+        without disturbing the session-wide LRU order of the rest.
+        """
+        return self.results.pop(key) is not None
 
     # -- hygiene -------------------------------------------------------
     def clear(self) -> None:

@@ -1,0 +1,169 @@
+"""The ``repro.api`` facade: closure, versioning, layering, shims.
+
+This suite pins the PR's API-redesign contract:
+
+* ``repro.api`` is a *closed* surface - ``API_VERSION`` is present,
+  every ``__all__`` name resolves, and the re-exports are the very
+  objects from their home modules (no copies, no drift);
+* the in-repo examples and the network front-end respect the layering
+  rules CI enforces (``examples-use-facade``, ``net-no-internals``);
+* the request paths take ``variations`` / ``retry`` / ``n_workers``
+  uniformly, and the legacy positional call shapes of the analysis
+  entry points warn (``DeprecationWarning``) without breaking.
+"""
+
+import re
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import (AnalysisRequest, Circuit, RetryPolicy,
+                       dc_mismatch_analysis,
+                       transient_mismatch_analysis)
+
+ROOT = Path(__file__).parent.parent
+
+
+def _divider(r1=1e3):
+    ckt = Circuit("div")
+    ckt.add_vsource("V1", "in", "0", dc=1.2)
+    ckt.add_resistor("R1", "in", "out", r1, sigma_rel=0.02)
+    ckt.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+    return ckt
+
+
+def _layering_violations(only=None):
+    tools = ROOT / "tools"
+    sys.path.insert(0, str(tools))
+    try:
+        from check_import_layering import RULES, violations
+    finally:
+        sys.path.remove(str(tools))
+    return {r.name for r in RULES}, violations(ROOT, only=only)
+
+
+# ---------------------------------------------------------------------------
+# the closed surface
+# ---------------------------------------------------------------------------
+class TestFacade:
+    def test_api_version_is_major_minor(self):
+        assert re.fullmatch(r"\d+\.\d+", api.API_VERSION)
+        assert "API_VERSION" in api.__all__
+
+    def test_all_names_resolve(self):
+        missing = [name for name in api.__all__
+                   if not hasattr(api, name)]
+        assert missing == []
+
+    def test_all_has_no_duplicates(self):
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_reexports_are_the_home_objects(self):
+        from repro.circuit import Circuit as home_circuit
+        from repro.core import \
+            transient_mismatch_analysis as home_transient
+        from repro.service import AnalysisServer as home_server
+        from repro.service import RemoteSession as home_client
+        assert api.Circuit is home_circuit
+        assert api.transient_mismatch_analysis is home_transient
+        assert api.AnalysisServer is home_server
+        assert api.RemoteSession is home_client
+
+    def test_daemon_reports_the_facade_version(self):
+        with api.AnalysisServer() as server:
+            health = api.RemoteSession(server.url).health()
+        assert health["api_version"] == api.API_VERSION
+
+
+# ---------------------------------------------------------------------------
+# layering rules (the same checker CI runs)
+# ---------------------------------------------------------------------------
+class TestLayering:
+    def test_new_rules_are_registered(self):
+        names, _ = _layering_violations()
+        assert {"net-no-internals", "examples-use-facade"} <= names
+
+    def test_net_layer_uses_no_internals(self):
+        _, found = _layering_violations(only="net-no-internals")
+        assert found == []
+
+    def test_examples_import_only_the_facade(self):
+        _, found = _layering_violations(only="examples-use-facade")
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# keyword uniformity: variations / retry / n_workers everywhere
+# ---------------------------------------------------------------------------
+class TestUniformKeywords:
+    def test_single_solve_requests_accept_and_drop_them(self):
+        plain = AnalysisRequest.dc_mismatch(_divider(), {"v": "out"})
+        tuned = AnalysisRequest.dc_mismatch(
+            _divider(), {"v": "out"},
+            retry=RetryPolicy(max_attempts=2), n_workers=4)
+        assert tuned.key() == plain.key()
+
+    def test_entry_points_accept_retry_and_n_workers(self):
+        res = dc_mismatch_analysis(
+            _divider(), {"v": "out"},
+            retry=RetryPolicy(max_attempts=2), n_workers=2)
+        assert res.sigma("v") > 0
+
+    def test_bogus_retry_is_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            AnalysisRequest.dc_mismatch(_divider(), {"v": "out"},
+                                        retry="soon")
+
+
+# ---------------------------------------------------------------------------
+# deprecation policy: positional call shapes warn, then keep working
+# ---------------------------------------------------------------------------
+class TestPositionalDeprecation:
+    def test_dc_positional_warns_and_matches_keyword(self):
+        cov = np.diag([1e-4, 1e-4])
+        with pytest.warns(DeprecationWarning,
+                          match="param_covariance positionally"):
+            legacy = dc_mismatch_analysis(_divider(), {"v": "out"},
+                                          None, cov)
+        modern = dc_mismatch_analysis(_divider(), {"v": "out"},
+                                      param_covariance=cov)
+        assert legacy.sigma("v") == modern.sigma("v")
+
+    def test_transient_positional_warns_and_matches_keyword(self):
+        from repro.api import DcLevel, PssOptions
+        ckt = Circuit("rc")
+        ckt.add_vsource("VS", "in", "0",
+                        wave=api.Sine(amplitude=0.3, freq=1e6,
+                                      offset=0.6))
+        ckt.add_resistor("R", "in", "out", 1e3, sigma_rel=0.05)
+        ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+        opts = PssOptions(n_steps=64, settle_periods=2)
+        meas = [DcLevel("vout", "out")]
+        with pytest.warns(DeprecationWarning,
+                          match="passing period positionally"):
+            legacy = transient_mismatch_analysis(ckt, meas, 1e-6,
+                                                 pss_options=opts)
+        modern = transient_mismatch_analysis(ckt, meas, period=1e-6,
+                                             pss_options=opts)
+        assert legacy.sigma("vout") == modern.sigma("vout")
+
+    def test_keyword_call_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            dc_mismatch_analysis(_divider(), {"v": "out"})
+
+    def test_too_many_positionals_is_a_type_error(self):
+        with pytest.raises(TypeError, match="at most"):
+            dc_mismatch_analysis(_divider(), {"v": "out"},
+                                 None, None, None, None, None)
+
+    def test_positional_keyword_clash_is_a_type_error(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="multiple values"):
+                dc_mismatch_analysis(_divider(), {"v": "out"}, None,
+                                     state=None)

@@ -64,6 +64,23 @@ def test_service_batch(capsys):
     assert "sweep request replays the study: 4/4" in out
 
 
+def test_service_daemon(capsys):
+    run_example("service_daemon.py")
+    out = capsys.readouterr().out
+    assert "from_cache=True" in out
+    assert "bit-identical to the in-process run: True" in out
+
+
+def test_service_batch_against_daemon(capsys):
+    from repro.service import AnalysisServer
+    with AnalysisServer() as server:
+        run_example("service_batch.py", argv=["--url", server.url])
+    out = capsys.readouterr().out
+    assert f"daemon at {server.url}" in out
+    assert "from_cache=True, sigma identical: True" in out
+    assert "sweep request replays the study: 4/4" in out
+
+
 def test_variation_spec(capsys):
     run_example("variation_spec.py")
     out = capsys.readouterr().out

@@ -35,7 +35,7 @@ from repro.service import (AnalysisRequest, AnalysisResult, FaultPlan,
                            merge_shard_results, run_supervised_shard,
                            to_jsonable)
 from repro.service.faults import FAULTS_ENV, maybe_inject
-from repro.service.jobs import _run_with_retry
+from repro.service.jobs import run_with_retry
 
 
 def _divider():
@@ -147,7 +147,7 @@ class TestRetryPolicy:
             raise AnalysisError("malformed on purpose")
 
         with pytest.raises(AnalysisError):
-            _run_with_retry(FAST, attempt, None)
+            run_with_retry(FAST, attempt, None)
         assert calls == [0]  # no retry for a deterministic error
 
     def test_retryable_exhaustion_raises_without_degrade(self):
@@ -158,7 +158,7 @@ class TestRetryPolicy:
             raise ConvergenceError("still diverging")
 
         with pytest.raises(ConvergenceError):
-            _run_with_retry(FAST, attempt, None)
+            run_with_retry(FAST, attempt, None)
         assert calls == [0, 1, 2]
 
 

@@ -1,0 +1,486 @@
+"""Loopback tests of the HTTP front-end (daemon + client).
+
+Everything here crosses real sockets on ephemeral loopback ports, but
+the workloads are the cheap sine-driven RC / resistive-divider circuits
+from ``test_service.py``, so the suite stays fast.  The invariants under
+test are the PR's contract:
+
+* a request served over HTTP is bit-identical to the in-process
+  ``AnalysisSession`` run (same engines, same keys, same summaries);
+* the shard protocol fans out across worker daemons and merges
+  bit-identically to :func:`monte_carlo_transient`;
+* tenancy: token auth, bounded per-tenant result quotas layered over
+  the shared session memo, pending-job quotas;
+* one tagged error schema (:class:`FailureRecord` payloads) with HTTP
+  statuses mapped from the exception hierarchy - and injected faults
+  degrading into ``failures`` on a 200, not into 5xx.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.analysis.pss import PssOptions
+from repro.circuit import Circuit, Sine
+from repro.core import DcLevel
+from repro.core.montecarlo import monte_carlo_transient
+from repro.errors import (AnalysisError, AuthenticationError,
+                          ConvergenceError, FailureRecord,
+                          JobTimeoutError, QuotaExceededError, ReproError,
+                          WorkerCrashError)
+from repro.service import (AnalysisRequest, AnalysisServer,
+                           AnalysisSession, FaultPlan, FaultRule,
+                           RemoteSession, RetryPolicy, TenantConfig,
+                           mc_transient_shards, merge_shard_results,
+                           registered_kinds, run_shard,
+                           scatter_monte_carlo_transient, scatter_shards)
+from repro.service.net import error_payload, status_for, wire_versions
+
+PSS_OPTS = PssOptions(n_steps=64, settle_periods=2)
+MEAS = [DcLevel("vout", "out")]
+
+
+def _rc(r=1e3):
+    ckt = Circuit("rc")
+    ckt.add_vsource("VS", "in", "0",
+                    wave=Sine(amplitude=0.3, freq=1e6, offset=0.6))
+    ckt.add_resistor("R", "in", "out", r, sigma_rel=0.05)
+    ckt.add_capacitor("C", "out", "0", 1e-9, sigma_rel=0.02)
+    return ckt
+
+
+def _divider(r1=1e3):
+    ckt = Circuit("div")
+    ckt.add_vsource("V1", "in", "0", dc=1.2)
+    ckt.add_resistor("R1", "in", "out", r1, sigma_rel=0.02)
+    ckt.add_resistor("R2", "out", "0", 3e3, sigma_rel=0.02)
+    return ckt
+
+
+def _transient_request(r=1e3):
+    return AnalysisRequest.transient_mismatch(
+        _rc(r), MEAS, period=1e-6, pss_options=PSS_OPTS)
+
+
+def _dc_request(r1=1e3):
+    return AnalysisRequest.dc_mismatch(_divider(r1), {"vdc": "out"})
+
+
+def _raw(url, method="GET", body=None, token=None, headers=None):
+    """Raw HTTP exchange, bypassing the client: (status, json payload)."""
+    req = urllib.request.Request(url, data=body, method=method)
+    req.add_header("Content-Type", "application/json")
+    if token is not None:
+        req.add_header("Authorization", f"Bearer {token}")
+    for name, value in (headers or {}).items():
+        req.add_header(name, value)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_run_bit_identical_to_in_process(self):
+        request = _transient_request()
+        local = AnalysisSession().run(request)
+        with AnalysisServer() as server:
+            client = RemoteSession(server.url)
+            remote = client.run(request)
+            again = client.run(request)
+        def numbers(summary):
+            # everything but the wall-clock timings
+            return {k: v for k, v in summary.items()
+                    if k != "runtime_breakdown"}
+
+        assert numbers(remote.summary) == numbers(local.summary)
+        assert remote.sigma("vout") == local.sigma("vout")
+        assert remote.request_key == request.key()
+        assert not remote.from_cache
+        assert again.from_cache
+        assert again.summary == remote.summary
+
+    def test_health_and_version_negotiation(self):
+        with AnalysisServer() as server:
+            health = RemoteSession(server.url).health()
+        assert health["status"] == "ok"
+        assert health["versions"] == wire_versions()
+        assert health["authenticated"] is False
+        assert "transient_mismatch" in health["kinds"]
+        assert health["api_version"] is not None
+
+    def test_client_refuses_version_mismatch(self):
+        class _Stale(RemoteSession):
+            def health(self):
+                return {"versions": {"request_format": -1,
+                                     "shard_protocol": -1}}
+
+        with AnalysisServer() as server:
+            client = _Stale(server.url)
+            with pytest.raises(AnalysisError, match="version mismatch"):
+                client.run(_dc_request())
+
+    def test_shard_round_trip(self):
+        specs = mc_transient_shards(_rc(), MEAS, 8, 2e-6, 2e-8,
+                                    chunk_size=4, seed=3)
+        local = [run_shard(s) for s in specs]
+        with AnalysisServer() as server:
+            remote = [RemoteSession(server.url).run_shard(s)
+                      for s in specs]
+        for mine, theirs in zip(local, remote):
+            assert theirs.to_dict() == mine.to_dict()
+        merged = merge_shard_results(remote)
+        assert np.array_equal(
+            merged.samples["vout"],
+            merge_shard_results(local).samples["vout"])
+
+    def test_scatter_matches_in_process_mc(self):
+        n, t_stop, dt, seed, chunk = 8, 2e-6, 2e-8, 11, 4
+        with AnalysisServer() as w1, AnalysisServer() as w2:
+            remote = scatter_monte_carlo_transient(
+                [w1.url, w2.url], _rc(), MEAS, n, t_stop, dt,
+                seed=seed, chunk_size=chunk)
+        local = monte_carlo_transient(_rc(), MEAS, n, t_stop, dt,
+                                      seed=seed, chunk_size=chunk)
+        assert np.array_equal(remote.samples["vout"],
+                              local.samples["vout"])
+        assert remote.sigma("vout") == local.stats["vout"].std
+        assert remote.mean("vout") == local.stats["vout"].mean
+        assert remote.n_failed == 0 and remote.failures == []
+
+    def test_scatter_summary_matches_served_request(self):
+        """The merged scatter summary equals what ``POST /run`` of the
+        whole Monte-Carlo workload reports - two routes, one answer."""
+        n, seed, chunk = 8, 5, 4
+        request = AnalysisRequest.monte_carlo_transient(
+            _rc(), MEAS, n, 2e-6, 2e-8, seed=seed, chunk_size=chunk)
+        with AnalysisServer() as server:
+            served = RemoteSession(server.url).run(request)
+            scattered = scatter_monte_carlo_transient(
+                [server.url], _rc(), MEAS, n, 2e-6, 2e-8,
+                seed=seed, chunk_size=chunk)
+        assert scattered.summary() == served.summary
+
+
+# ---------------------------------------------------------------------------
+# concurrency and the shared memo
+# ---------------------------------------------------------------------------
+class TestConcurrentClients:
+    def test_clients_share_the_warm_cache(self):
+        request = _transient_request()
+        with AnalysisServer() as server:
+            RemoteSession(server.url).run(request)  # warm it
+            results, errors = [], []
+
+            def hit():
+                try:
+                    results.append(RemoteSession(server.url).run(request))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.session.stats()
+        assert errors == []
+        assert len(results) == 4
+        assert all(r.from_cache for r in results)
+        assert all(r.summary == results[0].summary for r in results)
+        assert stats["results"]["hits"] >= 4
+
+    def test_remote_stats_mirror_session_stats(self):
+        with AnalysisServer() as server:
+            client = RemoteSession(server.url)
+            client.run(_dc_request())
+            client.run(_dc_request())
+            remote = client.stats()
+            local = server.session.stats()
+        assert remote == local
+        assert remote["results"]["hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# asynchronous jobs
+# ---------------------------------------------------------------------------
+class TestJobs:
+    def test_submit_poll_result(self):
+        with AnalysisServer() as server:
+            client = RemoteSession(server.url)
+            job = client.submit(_dc_request())
+            result = job.result(timeout=30)
+            assert job.done()
+            assert job.poll()["status"] == "done"
+        assert result.sigma("vdc") > 0
+        expected = AnalysisSession().run(_dc_request())
+        assert result.summary == expected.summary
+
+    def test_resubmit_is_idempotent(self):
+        request = _dc_request()
+        with AnalysisServer() as server:
+            client = RemoteSession(server.url)
+            first = client.submit(request)
+            first.result(timeout=30)
+            second = client.submit(request)
+            assert second.key == first.key == request.key()
+            assert second.poll()["status"] == "done"
+            stats = client.server_stats()
+        assert stats["jobs"]["total"] == 1
+
+    def test_unknown_job_key_is_404(self):
+        with AnalysisServer() as server:
+            status, payload = _raw(server.url + "/jobs/deadbeef")
+            with pytest.raises(ReproError, match="no job with key"):
+                RemoteSession(server.url)._call("GET", "/jobs/deadbeef")
+        assert status == 404
+        assert payload["error"]["__type__"] == "FailureRecord"
+
+    def test_failed_job_reports_structured_error(self):
+        bad = {"version": 1, "kind": "transient_mismatch",
+               "circuit": {}, "measures": [], "outputs": [],
+               "options": {}}
+        with AnalysisServer() as server:
+            status, payload = _raw(server.url + "/jobs", "POST",
+                                   json.dumps(bad).encode())
+            assert status == 202
+            job_url = server.url + "/jobs/" + payload["key"]
+            for _ in range(200):
+                status, data = _raw(job_url)
+                if data["status"] in ("done", "failed"):
+                    break
+        assert data["status"] == "failed"
+        assert data["error"]["__type__"] == "FailureRecord"
+        assert data["error"]["site"] == "job"
+        assert data["error_status"] in (400, 422)
+
+
+# ---------------------------------------------------------------------------
+# tenancy: tokens and quotas
+# ---------------------------------------------------------------------------
+TENANTS = [TenantConfig(name="alice", token="tok-a", max_results=2,
+                        max_pending_jobs=1),
+           TenantConfig(name="bob", token="tok-b", max_results=2)]
+
+
+class TestTenancy:
+    def test_token_required_and_checked(self):
+        with AnalysisServer(tenants=TENANTS) as server:
+            assert RemoteSession(server.url).health()["authenticated"]
+            with pytest.raises(AuthenticationError,
+                               match="missing tenant token"):
+                RemoteSession(server.url).run(_dc_request())
+            with pytest.raises(AuthenticationError,
+                               match="unknown tenant token"):
+                RemoteSession(server.url, token="wrong").run(_dc_request())
+            ok = RemoteSession(server.url, token="tok-a").run(_dc_request())
+            assert ok.sigma("vdc") > 0
+            status, _ = _raw(server.url + "/stats")
+            assert status == 401
+
+    def test_x_repro_token_header(self):
+        with AnalysisServer(tenants=TENANTS) as server:
+            status, payload = _raw(server.url + "/stats",
+                                   headers={"X-Repro-Token": "tok-b"})
+        assert status == 200
+        assert "bob" in payload["tenants"]
+
+    def test_quota_evicts_tenants_oldest_result(self):
+        requests = [_dc_request(r1) for r1 in (1e3, 2e3, 3e3)]
+        with AnalysisServer(tenants=TENANTS) as server:
+            alice = RemoteSession(server.url, token="tok-a")
+            for request in requests:
+                alice.run(request)
+            # alice holds 2 of 3 keys: the newest is still memoized,
+            # the oldest was evicted from the shared memo
+            assert alice.run(requests[-1]).from_cache
+            rerun = alice.run(requests[0])
+            stats = alice.server_stats()
+        assert not rerun.from_cache
+        assert stats["tenants"]["alice"]["evictions"] >= 1
+        assert stats["tenants"]["alice"]["results"] == 2
+
+    def test_shared_results_survive_one_tenants_eviction(self):
+        shared = _dc_request(1e3)
+        with AnalysisServer(tenants=TENANTS) as server:
+            alice = RemoteSession(server.url, token="tok-a")
+            bob = RemoteSession(server.url, token="tok-b")
+            alice.run(shared)
+            bob.run(shared)          # bob now holds the same key
+            alice.run(_dc_request(2e3))
+            alice.run(_dc_request(3e3))  # alice's quota evicts `shared`
+            # ...but bob still holds it, so the memo kept it warm
+            assert bob.run(shared).from_cache
+            stats = bob.server_stats()
+        assert stats["tenants"]["alice"]["evictions"] == 1
+        assert stats["session"]["results"]["size"] == 3
+
+    def test_pending_job_quota_is_429(self):
+        plan = FaultPlan(rules=[FaultRule(site="run_request",
+                                          kind="hang",
+                                          hang_seconds=1.0)])
+        with AnalysisServer(tenants=TENANTS) as server:
+            alice = RemoteSession(server.url, token="tok-a")
+            with plan.active():
+                slow = alice.submit(_dc_request(1e3))
+                with pytest.raises(QuotaExceededError,
+                                   match="pending jobs"):
+                    alice.submit(_dc_request(2e3))
+            assert slow.result(timeout=30).sigma("vdc") > 0
+            # with the first job drained the quota frees up
+            assert alice.submit(_dc_request(2e3)).result(
+                timeout=30).sigma("vdc") > 0
+
+    def test_tenant_config_validation(self):
+        with pytest.raises(ValueError, match="max_results"):
+            TenantConfig(name="x", token="t", max_results=0)
+        with pytest.raises(ValueError, match="max_pending_jobs"):
+            TenantConfig(name="x", token="t", max_pending_jobs=0)
+        dupes = [TenantConfig(name="a", token="same"),
+                 TenantConfig(name="b", token="same")]
+        with pytest.raises(ValueError, match="unique"):
+            AnalysisServer(tenants=dupes)
+
+
+# ---------------------------------------------------------------------------
+# the uniform error schema
+# ---------------------------------------------------------------------------
+class TestErrorSchema:
+    def test_status_mapping(self):
+        assert status_for(AuthenticationError("x")) == 401
+        assert status_for(QuotaExceededError("x")) == 429
+        assert status_for(JobTimeoutError("x")) == 504
+        assert status_for(WorkerCrashError("x")) == 502
+        assert status_for(ConvergenceError("x", iterations=3)) == 422
+        assert status_for(AnalysisError("x")) == 400
+        assert status_for(ValueError("x")) == 400
+        assert status_for(RuntimeError("x")) == 500
+
+    def test_error_payload_is_tagged_failure_record(self):
+        payload = error_payload(AnalysisError("nope"), 400)
+        assert payload["status"] == 400
+        assert payload["versions"] == wire_versions()
+        record = payload["error"]
+        assert record["__type__"] == "FailureRecord"
+        assert record["error"] == "AnalysisError"
+        assert record["message"] == "nope"
+
+    def test_unknown_kind_lists_registered_kinds(self):
+        bad = {"version": 1, "kind": "astrology", "circuit": {},
+               "measures": [], "outputs": [], "options": {}}
+        with AnalysisServer() as server:
+            status, payload = _raw(server.url + "/run", "POST",
+                                   json.dumps(bad).encode())
+        assert status == 400
+        assert payload["error"]["__type__"] == "FailureRecord"
+        assert "unknown request kind" in payload["error"]["message"]
+        assert sorted(payload["kinds"]) == sorted(registered_kinds())
+
+    def test_future_wire_version_is_400(self):
+        request = _dc_request().to_dict()
+        request["version"] = 99
+        with AnalysisServer() as server:
+            status, payload = _raw(server.url + "/run", "POST",
+                                   json.dumps(request).encode())
+        assert status == 400
+        assert "version" in payload["error"]["message"]
+
+    def test_malformed_json_is_400(self):
+        with AnalysisServer() as server:
+            status, payload = _raw(server.url + "/run", "POST",
+                                   b"this is not json")
+            empty, _ = _raw(server.url + "/run", "POST", b"")
+        assert status == 400
+        assert payload["error"]["__type__"] == "FailureRecord"
+        assert empty == 400
+
+    def test_unknown_endpoint_is_404(self):
+        with AnalysisServer() as server:
+            status, payload = _raw(server.url + "/nope")
+        assert status == 404
+        assert "no endpoint" in payload["error"]["message"]
+
+    def test_client_rebuilds_server_exception(self):
+        """A convergence fault on the daemon surfaces client-side as
+        the same exception class, solver context and all."""
+        plan = FaultPlan(rules=[FaultRule(site="run_request",
+                                          kind="convergence")])
+        with AnalysisServer() as server:
+            client = RemoteSession(server.url)
+            with plan.active():
+                with pytest.raises(ConvergenceError) as info:
+                    client.run(_dc_request())
+        assert info.value.iterations == 0
+        assert "injected convergence failure" in str(info.value)
+
+    def test_raw_convergence_fault_is_422(self):
+        plan = FaultPlan(rules=[FaultRule(site="run_request",
+                                          kind="convergence")])
+        body = json.dumps(_dc_request().to_dict()).encode()
+        with AnalysisServer() as server:
+            with plan.active():
+                status, payload = _raw(server.url + "/run", "POST", body)
+        assert status == 422
+        assert payload["error"]["error"] == "ConvergenceError"
+
+
+# ---------------------------------------------------------------------------
+# supervision over the wire: faults degrade, they don't 5xx
+# ---------------------------------------------------------------------------
+class TestFaultedDaemon:
+    RETRY = RetryPolicy(max_attempts=2, base_delay=0.0)
+
+    def test_transient_shard_fault_heals_on_retry(self):
+        specs = mc_transient_shards(_rc(), MEAS, 8, 2e-6, 2e-8,
+                                    chunk_size=4, seed=3)
+        clean = [run_shard(s) for s in specs]
+        plan = FaultPlan(rules=[FaultRule(site="run_shard",
+                                          kind="convergence",
+                                          fail_attempts=1)])
+        with AnalysisServer(retry=self.RETRY) as server:
+            with plan.active():
+                healed = scatter_shards([server.url], specs)
+        for mine, theirs in zip(clean, healed):
+            assert theirs.to_dict() == mine.to_dict()
+
+    def test_exhausted_shard_degrades_into_failures(self):
+        n, chunk, seed = 8, 4, 3
+        plan = FaultPlan(rules=[FaultRule(site="run_shard",
+                                          kind="convergence",
+                                          start=chunk)])
+        with AnalysisServer(retry=self.RETRY) as server:
+            with plan.active():
+                result = scatter_monte_carlo_transient(
+                    [server.url], _rc(), MEAS, n, 2e-6, 2e-8,
+                    seed=seed, chunk_size=chunk)
+        local = monte_carlo_transient(_rc(), MEAS, n, 2e-6, 2e-8,
+                                      seed=seed, chunk_size=chunk)
+        # the faulted span is NaN-frozen and recorded, not a 5xx...
+        assert result.n_failed == chunk
+        assert len(result.failures) == 1
+        record = result.failures[0]
+        assert isinstance(record, FailureRecord)
+        assert record.error == "ConvergenceError"
+        assert (record.start, record.stop) == (chunk, n)
+        assert np.all(np.isnan(result.samples["vout"][chunk:]))
+        # ...and the surviving span is still bit-identical
+        assert np.array_equal(result.samples["vout"][:chunk],
+                              local.samples["vout"][:chunk])
+
+    def test_unsupervised_shard_fault_is_422(self):
+        spec = mc_transient_shards(_rc(), MEAS, 4, 2e-6, 2e-8,
+                                   chunk_size=4, seed=3)[0]
+        plan = FaultPlan(rules=[FaultRule(site="run_shard",
+                                          kind="convergence")])
+        with AnalysisServer() as server:  # no retry policy
+            with plan.active():
+                with pytest.raises(ConvergenceError):
+                    RemoteSession(server.url).run_shard(spec)

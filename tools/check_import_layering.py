@@ -20,6 +20,21 @@ Each named rule below pins one edge of that graph:
     (``repro/service/engines.py``), so adding an analysis kind never
     touches the session.
 
+``net-no-internals``
+    The network front-end (``repro/service/net.py`` and
+    ``repro/service/client.py``) speaks only the service-layer
+    surfaces (requests, shards, serialize, session, jobs) - never
+    ``repro.core`` / ``repro.analysis`` / ``repro.circuit`` directly.
+    Everything that crosses the wire must round-trip through the
+    closed serialization registry, and a transport that reaches into
+    the numerical layers would bypass it.
+
+``examples-use-facade``
+    Examples import :mod:`repro.api` - the closed, versioned public
+    surface - and nothing deeper.  The examples double as the
+    documentation of the supported API, so an example importing a deep
+    module would document an unsupported entry point.
+
 Run from the repository root::
 
     python tools/check_import_layering.py [--only RULE]
@@ -86,6 +101,14 @@ _INTERNALS_PATTERNS = (
     re.compile(r"^\s*from\s+\.\.\s+import\s+.*\b(core|analysis)\b"),
 )
 
+#: Any repro import that is not the ``repro.api`` facade (plain
+#: ``import repro`` / ``import repro.x`` included; ``import repro.api``
+#: and ``from repro.api import ...`` excluded).
+_NON_FACADE_PATTERNS = (
+    re.compile(r"^\s*from\s+repro(?!\.api\b)(\.|\s)"),
+    re.compile(r"^\s*import\s+repro(?!\.api\b)"),
+)
+
 RULES = (
     Rule(
         name="domain-no-service",
@@ -101,6 +124,22 @@ RULES = (
         patterns=_INTERNALS_PATTERNS,
         description="session.py importing analysis internals (these "
                     "belong to the engine registry)",
+    ),
+    Rule(
+        name="net-no-internals",
+        paths=("src/repro/service/net.py",
+               "src/repro/service/client.py"),
+        patterns=_INTERNALS_PATTERNS,
+        description="network front-end importing numerical internals "
+                    "(everything on the wire goes through the "
+                    "service-layer surfaces)",
+    ),
+    Rule(
+        name="examples-use-facade",
+        paths=("examples",),
+        patterns=_NON_FACADE_PATTERNS,
+        description="example importing a deep module instead of the "
+                    "repro.api facade",
     ),
 )
 
