@@ -15,14 +15,26 @@ but every byte crosses real HTTP, so the same code serves real hosts:
    to the in-process run - the cross-host form of the paper's
    validation experiments;
 5. the structured error surface: a bogus request comes back as a typed
-   exception, not a stack trace in HTML.
+   exception, not a stack trace in HTML;
+6. fault tolerance: three worker daemons as *real OS processes* behind
+   a :class:`WorkerPool` - one is drained for a rolling restart, one is
+   SIGKILLed outright, and the scattered Monte-Carlo still completes
+   with samples bit-identical to the in-process run (shards are
+   generative, so failover re-execution changes nothing).
 """
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.api import (AnalysisRequest, AnalysisServer, Circuit,
-                       DcLevel, PssOptions, RemoteSession, Sine,
-                       TenantConfig, monte_carlo_transient,
+                       DcLevel, PssOptions, RemoteSession,
+                       ScatterPolicy, Sine, TenantConfig, WorkerPool,
+                       monte_carlo_transient,
                        scatter_monte_carlo_transient)
 
 
@@ -89,6 +101,62 @@ def main() -> None:
     print(f"merged sigma(vout) = {remote.sigma('vout') * 1e3:.4f} mV; "
           f"samples bit-identical to the in-process run: {identical}")
     assert identical
+
+    # -- surviving a worker kill -----------------------------------------
+    # three daemons as real OS processes this time, so one can actually
+    # die: the pool discovers the corpse through dispatch failures,
+    # opens its breaker, and fails the shards over - while the drained
+    # daemon refuses new work with a tagged 503 that reroutes without
+    # breaker penalty
+    print("spawning 3 worker daemon processes; draining one, "
+          "SIGKILLing another...")
+    daemons = [_spawn_daemon() for _ in range(3)]
+    procs = [p for p, _ in daemons]
+    urls = [u for _, u in daemons]
+    try:
+        policy = ScatterPolicy(base_delay=0.0, failure_threshold=1)
+        with WorkerPool(urls, policy=policy) as pool:
+            pool.probe()                        # everyone looks healthy
+            RemoteSession(urls[2]).drain()      # rolling restart begins
+            procs[0].send_signal(signal.SIGKILL)  # and one just dies
+            procs[0].wait(timeout=10)
+            survived = scatter_monte_carlo_transient(
+                pool, rc_lowpass(), measures, n, t_stop, dt,
+                seed=seed, chunk_size=chunk)
+            report = {e["url"]: e for e in pool.stats()["endpoints"]}
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+    identical = np.array_equal(survived.samples["vout"],
+                               local.samples["vout"])
+    print(f"  killed  {urls[0]}: breaker {report[urls[0]]['breaker']}, "
+          f"{report[urls[0]]['failures']} failures felt")
+    print(f"  healthy {urls[1]}: "
+          f"{report[urls[1]]['dispatched']} shards dispatched")
+    print(f"  drained {urls[2]}: draining="
+          f"{report[urls[2]]['draining']}, breaker "
+          f"{report[urls[2]]['breaker']}")
+    print(f"survived the storm: n_failed={survived.n_failed}, samples "
+          f"bit-identical to the in-process run: {identical}")
+    assert identical and survived.n_failed == 0
+
+
+def _spawn_daemon():
+    """One worker daemon as a killable OS process (``python -m
+    repro.service`` announces its URL on stdout)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    url = proc.stdout.readline().strip()
+    if not url.startswith("http"):
+        proc.kill()
+        raise RuntimeError(f"daemon failed to announce: {url!r}")
+    return proc, url
 
 
 if __name__ == "__main__":

@@ -39,8 +39,9 @@ variation
 service
     Requests/results/sessions/queues, and the network front-end:
     :func:`serve` / :class:`AnalysisServer` on the daemon side,
-    :class:`RemoteSession` plus the ``scatter_*`` fan-out helpers on
-    the client side.
+    :class:`RemoteSession` plus the ``scatter_*`` fan-out helpers and
+    the fault-tolerant :class:`WorkerPool` / :class:`ScatterPolicy`
+    dispatch layer on the client side.
 """
 
 from __future__ import annotations
@@ -75,19 +76,19 @@ from .variation import (CorrelationGroup, ParameterVariation,
 
 # -- errors ------------------------------------------------------------
 from .errors import (AnalysisError, AuthenticationError,
-                     ConvergenceError, FailureRecord, MeasurementError,
-                     NetlistError, QuotaExceededError, ReproError,
-                     SolverError)
+                     ConvergenceError, DrainingError, FailureRecord,
+                     MeasurementError, NetlistError, QuotaExceededError,
+                     ReproError, SolverError, TransportError)
 
 # -- service -----------------------------------------------------------
 from .service import (REQUEST_FORMAT_VERSION, SHARD_PROTOCOL_VERSION,
                       AnalysisRequest, AnalysisResult, AnalysisServer,
                       AnalysisSession, FaultPlan, FaultRule, JobQueue,
                       RemoteJob, RemoteSession, RetryPolicy,
-                      ScatterResult, ShardResult, ShardSpec,
-                      default_session, from_jsonable, mc_dc_shards,
-                      mc_transient_shards, merge_shard_results,
-                      registered_kinds, run_shard,
+                      ScatterPolicy, ScatterResult, ShardResult,
+                      ShardSpec, WorkerPool, default_session,
+                      from_jsonable, mc_dc_shards, mc_transient_shards,
+                      merge_shard_results, registered_kinds, run_shard,
                       scatter_monte_carlo_transient, scatter_shards,
                       serve, to_jsonable, TenantConfig)
 
@@ -119,7 +120,8 @@ __all__ = [
     # errors
     "ReproError", "NetlistError", "SolverError", "ConvergenceError",
     "AnalysisError", "MeasurementError", "AuthenticationError",
-    "QuotaExceededError", "FailureRecord",
+    "QuotaExceededError", "TransportError", "DrainingError",
+    "FailureRecord",
     # service
     "AnalysisRequest", "AnalysisResult", "AnalysisSession",
     "default_session", "registered_kinds", "JobQueue", "RetryPolicy",
@@ -131,4 +133,5 @@ __all__ = [
     "serve", "AnalysisServer", "TenantConfig",
     "RemoteSession", "RemoteJob",
     "ScatterResult", "scatter_shards", "scatter_monte_carlo_transient",
+    "WorkerPool", "ScatterPolicy",
 ]

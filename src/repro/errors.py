@@ -109,6 +109,43 @@ class WorkerCrashError(ReproError):
     fault-injection harness simulating such a crash in-process."""
 
 
+class TransportError(ReproError):
+    """Raised by the network client (:mod:`repro.service.client`) when a
+    call never produced an HTTP response: connection refused/reset, DNS
+    failure, socket timeout - the daemon may not even have seen the
+    request.  Wraps the raw :class:`urllib.error.URLError` /
+    :class:`OSError`, naming the endpoint and method so a multi-daemon
+    scatter can say *which* worker dropped.  Maps to HTTP 502 should a
+    relay ever re-serve it."""
+
+    def __init__(self, message: str, endpoint: str | None = None,
+                 method: str | None = None):
+        super().__init__(message)
+        self.message = message
+        self.endpoint = endpoint
+        self.method = method
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.endpoint, self.method))
+
+
+class DrainingError(ReproError):
+    """Raised by a daemon that is gracefully draining
+    (``POST /admin/drain``): new ``/run``/``/shard``/``/jobs`` work is
+    refused with HTTP 503 while in-flight jobs finish.  ``retry_after``
+    carries the server's retry hint [s]; a
+    :class:`~repro.service.resilience.WorkerPool` reroutes to another
+    endpoint instead of waiting."""
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.message = message
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.retry_after))
+
+
 class AuthenticationError(ReproError):
     """Raised by the network front-end (:mod:`repro.service.net`) when a
     request carries no tenant token, or an unknown one.  Maps to HTTP
@@ -123,11 +160,13 @@ class QuotaExceededError(ReproError):
 
 #: Error classes a supervised job retry can plausibly fix: numerical
 #: failures (possibly transient - a marginal sample, a perturbed
-#: start), infrastructure failures (crashed worker, overrun deadline).
-#: Deterministic request errors (AnalysisError, NetlistError) are
-#: deliberately absent - retrying a malformed request cannot succeed.
+#: start), infrastructure failures (crashed worker, overrun deadline,
+#: dropped connection).  Deterministic request errors (AnalysisError,
+#: NetlistError) are deliberately absent - retrying a malformed request
+#: cannot succeed.
 RETRYABLE_ERRORS = (ConvergenceError, SingularMatrixError,
-                    MeasurementError, JobTimeoutError, WorkerCrashError)
+                    MeasurementError, JobTimeoutError, WorkerCrashError,
+                    TransportError)
 
 
 @dataclass(frozen=True)
@@ -144,7 +183,10 @@ class FailureRecord:
     #: (``"ConvergenceError"``, ``"JobTimeoutError"``, ...).
     error: str
     message: str
-    #: Supervision site: ``"shard"`` or ``"request"``.
+    #: Supervision site: ``"shard"`` / ``"request"`` for server-side
+    #: execution failures, ``"transport"`` for a shard that exhausted
+    #: every endpoint of a :class:`~repro.service.resilience.WorkerPool`
+    #: without ever getting a response.
     site: str
     #: Attempts performed before giving up.
     attempts: int

@@ -28,7 +28,7 @@ below it, never the reverse (``repro.circuit`` / ``repro.analysis``
 must not import ``repro.service`` - CI enforces it).
 """
 
-from ..errors import FailureRecord
+from ..errors import DrainingError, FailureRecord, TransportError
 from .client import (RemoteJob, RemoteSession, ScatterResult,
                      scatter_monte_carlo_transient, scatter_shards)
 from .engines import (AnalysisEngine, engine_for, register_engine,
@@ -36,6 +36,7 @@ from .engines import (AnalysisEngine, engine_for, register_engine,
 from .faults import FaultPlan, FaultRule
 from .jobs import Job, JobQueue, RetryPolicy, run_supervised_shard
 from .net import AnalysisServer, TenantConfig, serve
+from .resilience import CircuitBreaker, ScatterPolicy, WorkerPool
 from .requests import (REQUEST_FORMAT_VERSION, AnalysisRequest,
                        AnalysisResult)
 from .serialize import (circuit_from_dict, circuit_to_dict, from_jsonable,
@@ -61,4 +62,6 @@ __all__ = [
     "AnalysisServer", "TenantConfig", "serve",
     "RemoteSession", "RemoteJob", "ScatterResult",
     "scatter_shards", "scatter_monte_carlo_transient",
+    "WorkerPool", "ScatterPolicy", "CircuitBreaker",
+    "TransportError", "DrainingError",
 ]

@@ -1,0 +1,13 @@
+"""``python -m repro.service``: run one analysis worker daemon.
+
+Announces its URL on stdout before serving (see
+:func:`repro.service.net._main`), which is how the chaos suite and the
+worker-kill example spawn real OS-process daemons on ephemeral ports -
+and then SIGKILL them to prove the :class:`~repro.service.resilience.
+WorkerPool` fails over.
+"""
+
+from .net import _main
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -23,6 +23,7 @@ sample set and slice their spans - see :mod:`repro.service.shards`).
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -34,8 +35,9 @@ import numpy as np
 
 from .. import errors as _errors
 from ..errors import (AnalysisError, JobTimeoutError, ReproError,
-                      SolverError)
+                      SolverError, TransportError)
 from ..stats import describe
+from .faults import maybe_inject
 from .requests import (REQUEST_FORMAT_VERSION, AnalysisRequest,
                        AnalysisResult)
 from .serialize import from_jsonable
@@ -60,9 +62,20 @@ def _rebuild_error(record) -> Exception:
 def _raise_wire_error(payload: dict, status: int) -> None:
     record = payload.get("error") if isinstance(payload, dict) else None
     if isinstance(record, dict) and record.get("__type__") == "FailureRecord":
-        raise _rebuild_error(from_jsonable(record))
-    raise ReproError(f"analysis daemon returned HTTP {status}: "
-                     f"{payload!r}")
+        exc = _rebuild_error(from_jsonable(record))
+    else:
+        exc = ReproError(f"analysis daemon returned HTTP {status}: "
+                         f"{payload!r}")
+    # the HTTP status and the drain retry hint ride along so dispatch
+    # policy (WorkerPool breakers, drain rerouting) can read them off
+    # the reconstructed exception
+    exc.http_status = status
+    retry_after = (payload.get("retry_after")
+                   if isinstance(payload, dict) else None)
+    if retry_after is not None and getattr(exc, "retry_after",
+                                           None) is None:
+        exc.retry_after = float(retry_after)
+    raise exc
 
 
 class RemoteSession:
@@ -89,7 +102,8 @@ class RemoteSession:
         self._negotiated = False
 
     # -- transport -----------------------------------------------------
-    def _call(self, method: str, path: str, payload=None) -> dict:
+    def _call(self, method: str, path: str, payload=None,
+              attempt: int = 0) -> dict:
         data = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         req = urllib.request.Request(self.base_url + path, data=data,
@@ -98,6 +112,12 @@ class RemoteSession:
         if self.token:
             req.add_header("Authorization", f"Bearer {self.token}")
         try:
+            # the transport fault site sits before the socket is
+            # touched; the key names the endpoint so a plan can drop
+            # one daemon of a pool and leave the others alone
+            maybe_inject("transport",
+                         key=f"{self.base_url} {method} {path}",
+                         attempt=attempt)
             with urllib.request.urlopen(req,
                                         timeout=self.timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
@@ -108,6 +128,15 @@ class RemoteSession:
             except json.JSONDecodeError:
                 wire = {"raw": body}
             _raise_wire_error(wire, err.code)
+        except (OSError, http.client.HTTPException) as err:
+            # URLError, ConnectionError, socket.timeout, a connection
+            # torn down mid-response: no HTTP reply ever arrived.
+            # (HTTPError subclasses URLError, so it must be caught
+            # above, not here.)
+            raise TransportError(
+                f"{method} {self.base_url}{path} got no HTTP response "
+                f"({type(err).__name__}: {err})",
+                endpoint=self.base_url, method=method) from err
 
     def _negotiate(self) -> None:
         """Refuse to talk across wire-format versions (once, lazily)."""
@@ -148,11 +177,22 @@ class RemoteSession:
         data = self._call("POST", "/jobs", request.to_dict())
         return RemoteJob(self, data["key"])
 
-    def run_shard(self, spec: ShardSpec) -> ShardResult:
-        """Execute one Monte-Carlo shard on the daemon."""
+    def run_shard(self, spec: ShardSpec,
+                  attempt: int = 0) -> ShardResult:
+        """Execute one Monte-Carlo shard on the daemon.  *attempt* is
+        the dispatcher's re-dispatch counter, threaded into the
+        transport fault site so ``fail_attempts`` rules heal across
+        pool retries."""
         self._negotiate()
         return ShardResult.from_dict(
-            self._call("POST", "/shard", spec.to_dict()))
+            self._call("POST", "/shard", spec.to_dict(),
+                       attempt=attempt))
+
+    def drain(self) -> dict:
+        """Put the daemon into graceful drain (``POST /admin/drain``):
+        in-flight and queued jobs finish and stay pollable, new work is
+        refused with a tagged 503."""
+        return self._call("POST", "/admin/drain")
 
     # -- session-shaped conveniences -----------------------------------
     def transient_mismatch(self, circuit, measures,
@@ -187,21 +227,43 @@ class RemoteJob:
         self.session = session
         self.key = key
 
-    def poll(self) -> dict:
+    def poll(self, attempt: int = 0) -> dict:
         """The raw job record: ``status`` plus result/error fields."""
-        return self.session._call("GET", f"/jobs/{self.key}")
+        return self.session._call("GET", f"/jobs/{self.key}",
+                                  attempt=attempt)
 
     def done(self) -> bool:
         return self.poll()["status"] in ("done", "failed")
 
     def result(self, timeout: float | None = None,
-               poll_interval: float = 0.05) -> AnalysisResult:
+               poll_interval: float = 0.05,
+               transport_retries: int = 5) -> AnalysisResult:
         """Block (polling) until the job finishes; raise its
-        reconstructed error if it failed."""
+        reconstructed error if it failed.
+
+        Polls tolerate transient network failures: the job keeps
+        running server-side whether or not a status request got
+        through, so up to *transport_retries* consecutive
+        :class:`~repro.errors.TransportError` polls are retried with
+        backoff before the error propagates.
+        """
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
+        misses = 0
         while True:
-            data = self.poll()
+            try:
+                data = self.poll(attempt=misses)
+            except TransportError:
+                misses += 1
+                if misses > transport_retries:
+                    raise
+                if deadline is not None \
+                        and time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_interval * min(2.0 ** (misses - 1),
+                                               8.0))
+                continue
+            misses = 0
             if data["status"] == "done":
                 return AnalysisResult.from_dict(data["result"])
             if data["status"] == "failed":
@@ -224,17 +286,66 @@ def _as_sessions(workers) -> list[RemoteSession]:
     return out
 
 
-def scatter_shards(workers, specs: list[ShardSpec]) -> list[ShardResult]:
-    """Execute *specs* across *workers* (URLs or
-    :class:`RemoteSession` objects), round-robin, concurrently; results
-    return in spec order, ready for
-    :func:`~repro.service.shards.merge_shard_results`."""
+def annotate_shard_failure(exc: BaseException, spec: ShardSpec,
+                           endpoint: str) -> BaseException:
+    """Tag a terminal shard failure with *which* span died on *which*
+    endpoint, preserving the exception class (a scatter of 40 shards
+    over 3 daemons is undebuggable without this)."""
+    note = f"[shard [{spec.start}, {spec.stop}) on {endpoint}]"
+    if note not in str(exc):
+        if getattr(exc, "message", None) is not None:
+            exc.message = f"{exc.message} {note}"
+        if exc.args:
+            exc.args = (f"{exc.args[0]} {note}",) + exc.args[1:]
+        else:
+            exc.args = (note,)
+    exc.shard_span = (spec.start, spec.stop)
+    exc.endpoint = endpoint
+    return exc
+
+
+def _run_static(session: RemoteSession,
+                spec: ShardSpec) -> ShardResult:
+    try:
+        return session.run_shard(spec)
+    except Exception as exc:
+        raise annotate_shard_failure(exc, spec, session.base_url)
+
+
+def scatter_shards(workers, specs: list[ShardSpec],
+                   policy=None) -> list[ShardResult]:
+    """Execute *specs* across *workers*, concurrently; results return
+    in spec order, ready for
+    :func:`~repro.service.shards.merge_shard_results`.
+
+    *workers* may be URLs / :class:`RemoteSession` objects (static
+    round-robin over the set) or a
+    :class:`~repro.service.resilience.WorkerPool` (dynamic dispatch
+    with failover, breakers and drain avoidance).  Passing *policy* (a
+    :class:`~repro.service.resilience.ScatterPolicy`) with plain
+    workers wraps them in a temporary pool for this call.
+
+    On a terminal shard failure the outstanding not-yet-started shards
+    are cancelled and the error propagates annotated with the failing
+    span and endpoint.
+    """
+    from .resilience import WorkerPool
+    if isinstance(workers, WorkerPool):
+        return workers.scatter(specs)
+    if policy is not None:
+        with WorkerPool(workers, policy=policy) as pool:
+            return pool.scatter(specs)
     sessions = _as_sessions(workers)
     with ThreadPoolExecutor(max_workers=len(sessions)) as pool:
-        futures = [pool.submit(sessions[i % len(sessions)].run_shard,
-                               spec)
+        futures = [pool.submit(_run_static,
+                               sessions[i % len(sessions)], spec)
                    for i, spec in enumerate(specs)]
-        return [f.result() for f in futures]
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
 
 
 @dataclass
@@ -271,7 +382,7 @@ class ScatterResult:
 
 def scatter_monte_carlo_transient(workers, circuit, measures, n: int,
                                   t_stop: float, dt: float,
-                                  chunk_size: int = 250,
+                                  chunk_size: int = 250, policy=None,
                                   **kwargs) -> ScatterResult:
     """One coordinator, N worker daemons: plan the shard set
     (:func:`~repro.service.shards.mc_transient_shards`), scatter it,
@@ -279,16 +390,27 @@ def scatter_monte_carlo_transient(workers, circuit, measures, n: int,
 
     Accepts the planner's keywords (``window``, ``seed``,
     ``sigma_scale``, ``param_covariance``, ``variations``, ``method``,
-    ``backend``, ...).  Statistics are computed over the finite merged
-    samples exactly as :func:`~repro.core.montecarlo.
+    ``backend``, ...) plus *workers*/*policy* as in
+    :func:`scatter_shards`.  Statistics are computed over the finite
+    merged samples exactly as :func:`~repro.core.montecarlo.
     monte_carlo_transient` computes them, so at equal *chunk_size* the
     whole result - samples and statistics - matches the in-process run
-    bit for bit.
+    bit for bit.  A run whose *every* lane was lost to transport
+    failures raises one :class:`~repro.errors.TransportError`
+    summarizing the loss (statistics over zero samples mean nothing);
+    partial transport loss degrades like any other lane failure.
     """
     t_begin = time.perf_counter()
     specs = mc_transient_shards(circuit, measures, n, t_stop, dt,
                                 chunk_size=chunk_size, **kwargs)
-    merged = merge_shard_results(scatter_shards(workers, specs))
+    merged = merge_shard_results(
+        scatter_shards(workers, specs, policy=policy))
+    if merged.n_failed >= n and merged.failures and all(
+            f.site == "transport" for f in merged.failures):
+        raise TransportError(
+            f"all {n} lanes lost to transport failures across "
+            f"{len(specs)} shards; first: "
+            f"{merged.failures[0].message}")
     stats = {}
     for name, vals in merged.samples.items():
         good = vals[np.isfinite(vals)]

@@ -7,7 +7,9 @@ that fails to converge once and succeeds on retry.  This module makes
 all of them reproducible:
 
 * :class:`FaultRule` - one injected fault: a *site* (``"run_shard"`` /
-  ``"run_request"``), a *kind* (``"crash"`` / ``"hang"`` /
+  ``"run_request"`` on the execution side; ``"transport"`` on the
+  network client, where a ``"crash"`` is a seeded connection drop and a
+  ``"hang"`` a slow response), a *kind* (``"crash"`` / ``"hang"`` /
   ``"convergence"``), an optional span-start match, an optional
   ``fail_attempts`` bound (fault fires only while ``attempt <
   fail_attempts`` - the "transient-then-succeed" shape), and an
@@ -46,7 +48,7 @@ from ..errors import ConvergenceError, WorkerCrashError
 #: process boundary.
 FAULTS_ENV = "REPRO_FAULT_PLAN"
 
-FAULT_SITES = ("run_shard", "run_request")
+FAULT_SITES = ("run_shard", "run_request", "transport")
 FAULT_KINDS = ("crash", "hang", "convergence")
 
 
@@ -207,6 +209,20 @@ def maybe_inject(site: str, key=None, attempt: int = 0) -> None:
 
 
 def _fire(rule: FaultRule, site: str, key, attempt: int) -> None:
+    if site == "transport":
+        # client-side network faults: the hook sits in
+        # RemoteSession._call, *before* the socket is touched.  A
+        # "crash" is a connection drop (the raw URLError the client's
+        # transport-error handling must absorb); a "hang" is a slow
+        # response (the shape hedged dispatch exists for).
+        if rule.kind == "crash":
+            import urllib.error
+            raise urllib.error.URLError(
+                f"injected connection drop (key={key!r}, "
+                f"attempt {attempt})")
+        if rule.kind == "hang":
+            time.sleep(rule.hang_seconds)
+            return
     if rule.kind == "crash":
         # in a pool worker: die the way a real crash does (no cleanup,
         # no exception crosses the pipe - the parent sees

@@ -36,6 +36,15 @@ Endpoints
 ``GET /jobs/<key>``
     Poll: ``queued`` / ``running`` / ``done`` (with the result) /
     ``failed`` (with the structured error record).
+``POST /admin/drain``
+    Graceful drain for rolling restarts: the daemon stops accepting
+    new ``/run``/``/shard``/``/jobs`` work - each refused with a
+    tagged 503 (:class:`~repro.errors.DrainingError` payload carrying
+    ``retry_after``) - while in-flight and queued jobs run to
+    completion and stay pollable through ``GET /jobs/<key>``.
+    ``GET /health`` reports ``draining: true`` so load balancers and
+    :class:`~repro.service.resilience.WorkerPool` probes route around
+    the daemon instead of tripping its circuit breaker.
 
 Tenancy
 -------
@@ -71,10 +80,10 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import (AnalysisError, AuthenticationError, FailureRecord,
-                      JobTimeoutError, MeasurementError, NetlistError,
-                      QuotaExceededError, ReproError, SolverError,
-                      WorkerCrashError)
+from ..errors import (AnalysisError, AuthenticationError, DrainingError,
+                      FailureRecord, JobTimeoutError, MeasurementError,
+                      NetlistError, QuotaExceededError, ReproError,
+                      SolverError, TransportError, WorkerCrashError)
 from .engines import registered_kinds
 from .jobs import JobQueue, RetryPolicy
 from .jobs import compiled_for_shard, execute_shard, run_supervised_shard
@@ -114,9 +123,11 @@ def status_for(exc: BaseException) -> int:
         return 401
     if isinstance(exc, QuotaExceededError):
         return 429
+    if isinstance(exc, DrainingError):
+        return 503
     if isinstance(exc, JobTimeoutError):
         return 504
-    if isinstance(exc, WorkerCrashError):
+    if isinstance(exc, (WorkerCrashError, TransportError)):
         return 502
     if isinstance(exc, (SolverError, MeasurementError)):
         return 422
@@ -137,6 +148,11 @@ def error_payload(exc: BaseException, status: int,
     record = FailureRecord.from_exception(exc, site=site, attempts=1)
     payload = {"error": to_jsonable(record), "status": status,
                "versions": wire_versions()}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        # the 503 drain tag: clients (and WorkerPool) read this to
+        # retry elsewhere instead of treating the daemon as dead
+        payload["retry_after"] = float(retry_after)
     message = record.message
     if "unknown request kind" in message or "unknown shard kind" in message:
         payload["kinds"] = list(registered_kinds())
@@ -223,10 +239,13 @@ class ServiceApp:
                  tenants: list[TenantConfig] | None = None,
                  retry: RetryPolicy | None = None,
                  job_workers: int = 2,
-                 max_body_bytes: int = 16 * 2 ** 20):
+                 max_body_bytes: int = 16 * 2 ** 20,
+                 drain_retry_after: float = 5.0):
         self.session = session if session is not None else AnalysisSession()
         self.retry = retry
         self.max_body_bytes = max_body_bytes
+        self.drain_retry_after = drain_retry_after
+        self._draining = threading.Event()
         # inline queue: executes in the calling (handler) thread,
         # through the shared session's memo, under `retry` supervision
         self.queue = JobQueue(session=self.session, retry=retry)
@@ -278,17 +297,47 @@ class ServiceApp:
         for old in evict:
             self.session.evict_result(old)
 
+    # -- graceful drain ------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self) -> dict:
+        """Stop accepting new ``/run``/``/shard``/``/jobs`` work (each
+        now refused with a tagged 503) while everything already
+        accepted - including queued asynchronous jobs - runs to
+        completion and stays pollable.  Idempotent; this is the rolling
+        -restart protocol: drain, wait for ``pending`` to reach 0, stop
+        the process."""
+        self._draining.set()
+        with self._jobs_lock:
+            pending = sum(1 for j in self._jobs.values()
+                          if j.status() in ("queued", "running"))
+        return {"status": "draining", "pending_jobs": pending,
+                "retry_after": self.drain_retry_after}
+
+    def _refuse_if_draining(self, what: str) -> None:
+        if self._draining.is_set():
+            raise DrainingError(
+                f"daemon is draining and accepts no new {what}; "
+                f"in-flight work is finishing - retry another endpoint "
+                f"or wait retry_after={self.drain_retry_after} s",
+                retry_after=self.drain_retry_after)
+
     # -- endpoints -----------------------------------------------------
     def health(self) -> dict:
-        return {"status": "ok", "api_version": _api_version(),
+        return {"status": "draining" if self.draining else "ok",
+                "api_version": _api_version(),
                 "versions": wire_versions(),
                 "kinds": list(registered_kinds()),
-                "authenticated": not self._open}
+                "authenticated": not self._open,
+                "draining": self.draining}
 
     def stats(self) -> dict:
         with self._jobs_lock:
             jobs = list(self._jobs.values())
         return {"session": self.session.stats(),
+                "draining": self.draining,
                 "tenants": {st.config.name: st.stats()
                             for st in self._by_token.values()},
                 "jobs": {"total": len(jobs),
@@ -297,12 +346,14 @@ class ServiceApp:
                                                           "running"))}}
 
     def run(self, tenant: _TenantState, payload: dict) -> dict:
+        self._refuse_if_draining("synchronous runs")
         request = AnalysisRequest.from_dict(payload)
         result = self.queue.submit(request).result()
         self._record_result(tenant, request.key())
         return result.to_dict()
 
     def run_shard(self, tenant: _TenantState, payload: dict) -> dict:
+        self._refuse_if_draining("shards")
         spec = ShardSpec.from_dict(payload)
         with self._quota_lock:
             tenant.requests += 1
@@ -315,6 +366,7 @@ class ServiceApp:
         return result.to_dict()
 
     def submit_job(self, tenant: _TenantState, payload: dict) -> dict:
+        self._refuse_if_draining("jobs")
         request = AnalysisRequest.from_dict(payload)
         key = request.key()
         with self._jobs_lock:
@@ -431,6 +483,13 @@ class _Handler(BaseHTTPRequestHandler):
             tenant = self.app.authenticate(self._token())
             if method == "GET" and path == "/stats":
                 self._send(200, self.app.stats())
+            elif method == "POST" and path == "/admin/drain":
+                # body optional (and ignored) - but drain it from the
+                # socket so HTTP/1.1 keep-alive stays framed
+                length = int(self.headers.get("Content-Length") or 0)
+                if length:
+                    self.rfile.read(min(length, self.app.max_body_bytes))
+                self._send(200, self.app.drain())
             elif method == "POST" and path == "/run":
                 self._send(200, self.app.run(tenant, self._body()))
             elif method == "POST" and path == "/shard":
@@ -462,10 +521,12 @@ class AnalysisServer:
                  host: str = "127.0.0.1", port: int = 0,
                  tenants: list[TenantConfig] | None = None,
                  retry: RetryPolicy | None = None, job_workers: int = 2,
-                 max_body_bytes: int = 16 * 2 ** 20):
+                 max_body_bytes: int = 16 * 2 ** 20,
+                 drain_retry_after: float = 5.0):
         self.app = ServiceApp(session=session, tenants=tenants,
                               retry=retry, job_workers=job_workers,
-                              max_body_bytes=max_body_bytes)
+                              max_body_bytes=max_body_bytes,
+                              drain_retry_after=drain_retry_after)
         self._httpd = _HttpServer((host, port), _Handler)
         self._httpd.app = self.app
         self._thread: threading.Thread | None = None
@@ -530,3 +591,37 @@ def serve(host: str = "127.0.0.1", port: int = 8760,
     finally:
         server.close()
     return server
+
+
+def _main(argv: list | None = None) -> int:
+    """``python -m repro.service.net``: one worker daemon as a real OS
+    process.  Announces its URL on stdout (one line, flushed) before
+    serving, so a supervisor - or the chaos suite, which SIGKILLs these
+    to prove failover - can spawn on an ephemeral port and read the
+    address back."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="repro analysis worker daemon")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 binds an ephemeral port (announced on "
+                             "stdout)")
+    parser.add_argument("--retry-attempts", type=int, default=0,
+                        help="arm server-side shard supervision with "
+                             "this retry budget (0: unsupervised)")
+    args = parser.parse_args(argv)
+    retry = (RetryPolicy(max_attempts=args.retry_attempts)
+             if args.retry_attempts > 0 else None)
+    server = AnalysisServer(host=args.host, port=args.port, retry=retry)
+    print(server.url, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -1,0 +1,538 @@
+"""Fault-tolerant cross-host execution: worker pools over N daemons.
+
+PR 7 taught the in-process :class:`~repro.service.jobs.JobQueue` to
+survive its own chaos - retries with backoff, deadlines, pool-crash
+recovery, deterministic degradation.  This module extends the same
+guarantees across the wire, where the failure modes are a daemon
+SIGKILLed mid-shard, a connection reset, a slow straggler, or a host
+draining for a rolling restart:
+
+* :class:`CircuitBreaker` - one endpoint's health automaton: *closed*
+  (traffic flows) -> *open* after ``failure_threshold`` consecutive
+  transport/5xx failures (traffic stops) -> *half-open* after
+  ``cooldown`` seconds (exactly one probe request is let through;
+  success closes the breaker, failure re-opens it).  Breakers stop a
+  dead endpoint from charging every shard a connection timeout before
+  the pool routes around it.
+* :class:`ScatterPolicy` - the client-side supervision parameters:
+  per-shard attempt budget with exponential backoff, breaker
+  thresholds, optional hedged dispatch, degrade-vs-raise.
+* :class:`WorkerPool` - N endpoints behind one ``scatter``: shards are
+  dispatched dynamically to the least-loaded healthy endpoint (not
+  round-robin, so a lost endpoint's share redistributes), a shard whose
+  endpoint fails is retried with backoff on the next healthy endpoint
+  (safe because :class:`~repro.service.shards.ShardSpec` is generative
+  and idempotent - re-execution is bit-identical), a draining endpoint
+  (tagged 503) is rerouted without tripping its breaker, and a shard
+  that exhausts every endpoint degrades into NaN-frozen lanes carrying
+  a :class:`~repro.errors.FailureRecord` with ``site="transport"`` -
+  mirroring the PR 7 degrade contract instead of aborting the run.
+  Optional *hedging* duplicates a shard that outlives the observed
+  latency percentile onto a second endpoint; the first result wins and
+  the straggler is discarded before the merge (results are taken once
+  per span, so a late loser can never double-merge).
+
+Because every shard redraws its samples from the seed, none of this
+perturbs the numbers: a scatter that survived a killed daemon, a
+drained daemon and a hedged straggler merges bit-identical to the
+fault-free in-process :func:`~repro.core.montecarlo.
+monte_carlo_transient` run.  ``tests/test_resilience.py`` proves it on
+loopback; ``benchmarks/bench_scatter_chaos.py`` gates the clean-path
+overhead (<= 5%).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+
+from ..errors import DrainingError, TransportError
+from .client import RemoteSession, annotate_shard_failure
+from .shards import ShardResult, ShardSpec, degraded_shard_result
+
+#: Circuit-breaker states (see :class:`CircuitBreaker`).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+def is_infrastructure_failure(exc: BaseException) -> bool:
+    """Whether *exc* indicts the *endpoint* rather than the workload:
+    transport failures (no HTTP response at all) and 5xx responses.
+    These count against the circuit breaker and reroute the shard;
+    everything else (4xx, solver errors) is the workload's own problem
+    and propagates."""
+    if isinstance(exc, DrainingError):
+        return False  # drain is deliberate, not a failure
+    if isinstance(exc, TransportError):
+        return True
+    return getattr(exc, "http_status", 0) >= 500
+
+
+@dataclass(frozen=True)
+class ScatterPolicy:
+    """Client-side supervision of one :class:`WorkerPool` (the
+    cross-host sibling of :class:`~repro.service.jobs.RetryPolicy`).
+
+    ``delay(k)`` after the *k*-th failed attempt is
+    ``base_delay * backoff**(k-1)`` - the same exponential-backoff
+    shape the job supervisor uses.
+    """
+
+    #: Dispatch attempts per shard across the pool (first + retries;
+    #: each attempt prefers an endpoint the shard has not just failed
+    #: on).
+    max_attempts: int = 3
+    #: Backoff before the first re-dispatch [s]; 0 disables sleeping.
+    base_delay: float = 0.05
+    #: Backoff growth factor per further re-dispatch.
+    backoff: float = 2.0
+    #: Degrade a shard that exhausts every endpoint into NaN-frozen
+    #: lanes with a ``site="transport"`` :class:`~repro.errors.
+    #: FailureRecord` instead of raising.
+    degrade: bool = True
+    #: Consecutive infrastructure failures that open an endpoint's
+    #: breaker.
+    failure_threshold: int = 3
+    #: Seconds an open breaker waits before letting one half-open
+    #: probe through.
+    cooldown: float = 1.0
+    #: Hedge stragglers: once a shard outlives the pool's observed
+    #: latency percentile, dispatch a duplicate on another endpoint
+    #: and take whichever result lands first.
+    hedge: bool = False
+    #: Latency percentile (of recent clean calls) after which a shard
+    #: counts as a straggler.
+    hedge_percentile: float = 95.0
+    #: Clean calls observed before hedging arms (a percentile of two
+    #: points is noise).
+    hedge_min_samples: int = 3
+    #: Hedge no earlier than this many seconds regardless of the
+    #: percentile - guards against hedging everything when the
+    #: workload itself is fast and jittery.
+    hedge_floor: float = 0.05
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("ScatterPolicy.max_attempts must be >= 1")
+        if self.failure_threshold < 1:
+            raise ValueError(
+                "ScatterPolicy.failure_threshold must be >= 1")
+        if self.cooldown < 0.0:
+            raise ValueError("ScatterPolicy.cooldown must be >= 0")
+        if not 0.0 < self.hedge_percentile <= 100.0:
+            raise ValueError(
+                "ScatterPolicy.hedge_percentile must be in (0, 100]")
+        if self.hedge_min_samples < 1:
+            raise ValueError(
+                "ScatterPolicy.hedge_min_samples must be >= 1")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff [s] after *failed_attempts* failures (>= 1)."""
+        if self.base_delay <= 0.0:
+            return 0.0
+        return self.base_delay * self.backoff ** (failed_attempts - 1)
+
+    def to_dict(self) -> dict:
+        return {"max_attempts": self.max_attempts,
+                "base_delay": self.base_delay, "backoff": self.backoff,
+                "degrade": self.degrade,
+                "failure_threshold": self.failure_threshold,
+                "cooldown": self.cooldown, "hedge": self.hedge,
+                "hedge_percentile": self.hedge_percentile,
+                "hedge_min_samples": self.hedge_min_samples,
+                "hedge_floor": self.hedge_floor}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScatterPolicy":
+        return cls(**data)
+
+
+class CircuitBreaker:
+    """Per-endpoint failure automaton: closed -> open -> half-open.
+
+    Thread-safe; *clock* is injectable for tests.  ``allow()`` is the
+    gate a dispatcher asks before sending traffic - it owns the
+    open -> half-open transition and hands out exactly one probe slot,
+    so however many shard threads ask at once, a recovering endpoint
+    sees one trial request, not a thundering herd.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown: float = 1.0, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # caller holds the lock
+        if (self._state == BREAKER_OPEN
+                and self._clock() - self._opened_at >= self.cooldown):
+            self._state = BREAKER_HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May a request go to this endpoint right now?  In half-open,
+        the first caller claims the single probe slot; the rest are
+        refused until the probe resolves."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (self._state == BREAKER_HALF_OPEN
+                    or self._failures >= self.failure_threshold):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self._failures})")
+
+
+class _Endpoint:
+    """One worker daemon inside the pool: session + breaker + flags."""
+
+    def __init__(self, session: RemoteSession, policy: ScatterPolicy):
+        self.session = session
+        self.breaker = CircuitBreaker(
+            failure_threshold=policy.failure_threshold,
+            cooldown=policy.cooldown)
+        self.draining = False
+        self.in_flight = 0
+        self.dispatched = 0
+        self.failures = 0
+
+    @property
+    def url(self) -> str:
+        return self.session.base_url
+
+    def stats(self) -> dict:
+        return {"url": self.url, "breaker": self.breaker.state,
+                "draining": self.draining,
+                "dispatched": self.dispatched,
+                "failures": self.failures,
+                "in_flight": self.in_flight}
+
+
+class WorkerPool:
+    """N worker daemons behind one fault-tolerant ``scatter``.
+
+    Parameters
+    ----------
+    workers:
+        Endpoint URLs or :class:`~repro.service.client.RemoteSession`
+        objects.
+    policy:
+        A :class:`ScatterPolicy`; default :class:`ScatterPolicy()`.
+    probe_interval:
+        When set, a background daemon thread probes every endpoint's
+        ``GET /health`` this often [s]: a healthy probe closes the
+        breaker and refreshes the ``draining`` flag, a failed probe
+        counts like a failed request.  ``None`` (default) relies on
+        request traffic and half-open probes alone; :meth:`probe` runs
+        one sweep on demand either way.
+
+    Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, workers, policy: ScatterPolicy | None = None,
+                 probe_interval: float | None = None):
+        from .client import _as_sessions
+        self.policy = policy if policy is not None else ScatterPolicy()
+        self._endpoints = [_Endpoint(s, self.policy)
+                           for s in _as_sessions(workers)]
+        self._lock = threading.Lock()
+        self._rr = 0
+        self._latencies: deque = deque(maxlen=128)
+        self._hedges = 0
+        self._hedge_wins = 0
+        n = len(self._endpoints)
+        coordinators = max(4, 2 * n)
+        self._coord = ThreadPoolExecutor(
+            max_workers=coordinators, thread_name_prefix="repro-scatter")
+        # every coordinator may hold a primary plus a hedge in flight;
+        # sizing the call executor at 2x keeps that deadlock-free
+        self._calls = ThreadPoolExecutor(
+            max_workers=2 * coordinators, thread_name_prefix="repro-call")
+        self._probe_stop = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+        if probe_interval is not None:
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, args=(probe_interval,),
+                name="repro-pool-probe", daemon=True)
+            self._probe_thread.start()
+
+    # -- endpoint selection --------------------------------------------
+    def _pick(self, exclude: tuple = ()) -> _Endpoint | None:
+        """The least-loaded healthy endpoint (round-robin tiebreak),
+        or a half-open probe slot, or ``None`` when nothing will take
+        traffic right now."""
+        with self._lock:
+            self._rr += 1
+            rr = self._rr
+            n = len(self._endpoints)
+            closed = [(ep, i) for i, ep in enumerate(self._endpoints)
+                      if ep not in exclude and not ep.draining
+                      and ep.breaker.state == BREAKER_CLOSED]
+            if closed:
+                ep, _ = min(closed, key=lambda pair: (
+                    pair[0].in_flight, (pair[1] - rr) % n))
+                return ep
+            # no closed breaker: try to claim a half-open probe slot
+            for i in range(n):
+                ep = self._endpoints[(rr + i) % n]
+                if ep in exclude or ep.draining:
+                    continue
+                if ep.breaker.allow():
+                    return ep
+            # relax the exclusion before giving up: a shard that just
+            # failed on the only live endpoint should still retry there
+            for i in range(n):
+                ep = self._endpoints[(rr + i) % n]
+                if not ep.draining and ep.breaker.allow():
+                    return ep
+            return None
+
+    # -- one attempt ---------------------------------------------------
+    def _timed_run(self, ep: _Endpoint, spec: ShardSpec,
+                   attempt: int) -> ShardResult:
+        """One HTTP shard execution with full accounting: latency on
+        success, breaker bookkeeping on infrastructure failure, the
+        ``draining`` flag on a tagged 503."""
+        with self._lock:
+            ep.in_flight += 1
+            ep.dispatched += 1
+        t0 = time.perf_counter()
+        try:
+            result = ep.session.run_shard(spec, attempt=attempt)
+        except DrainingError:
+            with self._lock:
+                ep.draining = True
+            raise
+        except Exception as exc:
+            if is_infrastructure_failure(exc):
+                ep.breaker.record_failure()
+                with self._lock:
+                    ep.failures += 1
+            raise
+        else:
+            ep.breaker.record_success()
+            with self._lock:
+                self._latencies.append(time.perf_counter() - t0)
+            return result
+        finally:
+            with self._lock:
+                ep.in_flight -= 1
+
+    def _hedge_threshold(self) -> float | None:
+        """Seconds after which a running shard counts as a straggler,
+        or ``None`` while hedging is off / not yet armed."""
+        if not self.policy.hedge:
+            return None
+        with self._lock:
+            lat = sorted(self._latencies)
+        if len(lat) < self.policy.hedge_min_samples:
+            return None
+        rank = self.policy.hedge_percentile / 100.0 * len(lat)
+        index = min(len(lat) - 1, max(0, int(rank + 0.5) - 1))
+        return max(lat[index], self.policy.hedge_floor)
+
+    def _call_with_hedge(self, ep: _Endpoint, spec: ShardSpec,
+                         attempt: int) -> ShardResult:
+        """Execute on *ep*; past the straggler threshold, duplicate
+        onto another endpoint and take the first result that lands.
+        The loser keeps running server-side but its result is dropped
+        here - only one result per span ever reaches the merge."""
+        primary = self._calls.submit(self._timed_run, ep, spec, attempt)
+        threshold = self._hedge_threshold()
+        if threshold is None:
+            return primary.result()
+        try:
+            return primary.result(timeout=threshold)
+        except FuturesTimeoutError:
+            pass
+        alt = self._pick(exclude=(ep,))
+        if alt is None or alt is ep:
+            return primary.result()
+        with self._lock:
+            self._hedges += 1
+        secondary = self._calls.submit(self._timed_run, alt, spec,
+                                       attempt)
+        pending = {primary, secondary}
+        last_exc: BaseException | None = None
+        while pending:
+            done, pending = futures_wait(pending,
+                                         return_when=FIRST_COMPLETED)
+            for fut in done:
+                try:
+                    result = fut.result()
+                except Exception as exc:
+                    last_exc = exc
+                else:
+                    if fut is secondary:
+                        with self._lock:
+                            self._hedge_wins += 1
+                    return result
+        raise last_exc
+
+    # -- the scatter path ----------------------------------------------
+    def _run_one(self, spec: ShardSpec) -> ShardResult:
+        """One shard under the policy: dispatch, reroute on endpoint
+        failure with backoff, degrade (or raise) once every endpoint is
+        exhausted."""
+        policy = self.policy
+        attempts = 0
+        last_exc: BaseException | None = None
+        last_ep: _Endpoint | None = None
+        tried: list[str] = []
+        while attempts < policy.max_attempts:
+            exclude = (last_ep,) if last_ep is not None else ()
+            ep = self._pick(exclude=exclude)
+            if ep is None:
+                attempts += 1
+                if last_exc is None:
+                    last_exc = TransportError(
+                        f"no healthy endpoint for shard "
+                        f"[{spec.start}, {spec.stop}) (all breakers "
+                        f"open or draining)")
+                self._sleep(policy.delay(attempts))
+                continue
+            if ep.url not in tried:
+                tried.append(ep.url)
+            try:
+                return self._call_with_hedge(ep, spec, attempts)
+            except DrainingError as exc:
+                # deliberate refusal: reroute immediately, no backoff
+                last_exc, last_ep = exc, ep
+                attempts += 1
+            except Exception as exc:
+                if not is_infrastructure_failure(exc):
+                    raise annotate_shard_failure(exc, spec, ep.url)
+                last_exc, last_ep = exc, ep
+                attempts += 1
+                self._sleep(policy.delay(attempts))
+        if policy.degrade:
+            return degraded_shard_result(
+                spec, self._exhausted(spec, last_exc, tried), attempts,
+                site="transport")
+        raise self._exhausted(spec, last_exc, tried)
+
+    def _exhausted(self, spec: ShardSpec, last_exc, tried) -> TransportError:
+        where = ", ".join(tried) if tried else "no endpoint reachable"
+        return TransportError(
+            f"shard [{spec.start}, {spec.stop}) exhausted "
+            f"{self.policy.max_attempts} attempts across the pool "
+            f"({where}); last error: {last_exc}",
+            endpoint=tried[-1] if tried else None)
+
+    @staticmethod
+    def _sleep(seconds: float) -> None:
+        if seconds > 0.0:
+            time.sleep(seconds)
+
+    def scatter(self, specs: list[ShardSpec]) -> list[ShardResult]:
+        """Execute *specs* across the pool; results return in spec
+        order, ready for :func:`~repro.service.shards.
+        merge_shard_results`.  A terminal (non-infrastructure) shard
+        failure cancels the not-yet-started remainder and propagates,
+        naming the shard and endpoint."""
+        futures = [self._coord.submit(self._run_one, spec)
+                   for spec in specs]
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
+
+    def run_shard(self, spec: ShardSpec) -> ShardResult:
+        """One shard through the pool's full supervision (the
+        session-shaped convenience)."""
+        return self._run_one(spec)
+
+    # -- health probing ------------------------------------------------
+    def probe(self) -> dict:
+        """One health sweep over every endpoint; returns
+        :meth:`stats`.  A healthy response closes the breaker and
+        refreshes ``draining`` from the payload; a failed probe counts
+        like a failed request."""
+        for ep in self._endpoints:
+            try:
+                health = ep.session.health()
+            except Exception:
+                ep.breaker.record_failure()
+                with self._lock:
+                    ep.failures += 1
+            else:
+                with self._lock:
+                    ep.draining = bool(health.get("draining", False))
+                ep.breaker.record_success()
+        return self.stats()
+
+    def _probe_loop(self, interval: float) -> None:
+        while not self._probe_stop.wait(interval):
+            try:
+                self.probe()
+            except Exception:  # pragma: no cover - probes never raise
+                pass
+
+    # -- introspection / lifecycle -------------------------------------
+    @property
+    def endpoints(self) -> list[str]:
+        return [ep.url for ep in self._endpoints]
+
+    def stats(self) -> dict:
+        with self._lock:
+            hedges, wins = self._hedges, self._hedge_wins
+            samples = len(self._latencies)
+        return {"endpoints": [ep.stats() for ep in self._endpoints],
+                "hedges": hedges, "hedge_wins": wins,
+                "latency_samples": samples}
+
+    def close(self) -> None:
+        self._probe_stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=5.0)
+            self._probe_thread = None
+        self._coord.shutdown(wait=False, cancel_futures=True)
+        self._calls.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

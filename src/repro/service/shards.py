@@ -331,7 +331,8 @@ def metric_names(spec: ShardSpec) -> list[str]:
 
 
 def degraded_shard_result(spec: ShardSpec, error: BaseException,
-                          attempts: int) -> ShardResult:
+                          attempts: int,
+                          site: str = "shard") -> ShardResult:
     """The deterministic degraded form of a shard that exhausted its
     retries: every lane of the owned span NaN-frozen, the whole span
     counted in ``n_failed``, and a structured
@@ -341,10 +342,13 @@ def degraded_shard_result(spec: ShardSpec, error: BaseException,
     since PR 1 (a diverging lane becomes NaN, not an aborted run) to
     whole-shard failures: the merge stays bit-identical on every
     unaffected span, and statistics are computed over the surviving
-    lanes.
+    lanes.  *site* distinguishes execution failures (``"shard"``, the
+    default) from a shard no endpoint would even accept
+    (``"transport"`` - see :class:`~repro.service.resilience.
+    WorkerPool`).
     """
     record = FailureRecord.from_exception(
-        error, site="shard", attempts=attempts, start=spec.start,
+        error, site=site, attempts=attempts, start=spec.start,
         stop=spec.stop)
     samples = {name: np.full(spec.n_lanes, np.nan)
                for name in metric_names(spec)}

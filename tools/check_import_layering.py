@@ -21,8 +21,9 @@ Each named rule below pins one edge of that graph:
     touches the session.
 
 ``net-no-internals``
-    The network front-end (``repro/service/net.py`` and
-    ``repro/service/client.py``) speaks only the service-layer
+    The network front-end (``repro/service/net.py``,
+    ``repro/service/client.py`` and the fault-tolerant dispatch layer
+    ``repro/service/resilience.py``) speaks only the service-layer
     surfaces (requests, shards, serialize, session, jobs) - never
     ``repro.core`` / ``repro.analysis`` / ``repro.circuit`` directly.
     Everything that crosses the wire must round-trip through the
@@ -128,7 +129,8 @@ RULES = (
     Rule(
         name="net-no-internals",
         paths=("src/repro/service/net.py",
-               "src/repro/service/client.py"),
+               "src/repro/service/client.py",
+               "src/repro/service/resilience.py"),
         patterns=_INTERNALS_PATTERNS,
         description="network front-end importing numerical internals "
                     "(everything on the wire goes through the "
